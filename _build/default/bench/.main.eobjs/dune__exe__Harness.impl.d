@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Printf Staged String Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/workloads.ml: Abi Array Convert Format Format_codec Ftype Int64 List Memory Native Omf_fixtures Omf_machine Omf_pbio Option Printf Registry Value

@@ -1,0 +1,70 @@
+(** Thin wrapper over Bechamel: one [Test.make] per measured operation,
+    OLS-estimated ns/op, and plain-text table rendering that mirrors the
+    paper's presentation. *)
+
+open Bechamel
+open Toolkit
+
+let quota_seconds =
+  match Sys.getenv_opt "OMF_BENCH_QUOTA" with
+  | Some s -> (try float_of_string s with Failure _ -> 0.3)
+  | None -> 0.3
+
+let cfg =
+  Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~kde:None
+    ~stabilize:true ()
+
+let instance = Instance.monotonic_clock
+
+(** [measure_ns ~name f] is the OLS-estimated wall time of [f ()] in ns. *)
+let measure_ns ~name (f : unit -> 'a) : float =
+  let test = Test.make ~name (Staged.stage (fun () -> ignore (Sys.opaque_identity (f ())))) in
+  let results = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols instance results in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) analyzed [] with
+  | [ v ] -> (
+    match Analyze.OLS.estimates v with
+    | Some (ns :: _) -> ns
+    | Some [] | None -> nan)
+  | _ -> nan
+
+(* ---- formatting ---- *)
+
+let ns_pp ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1_000.0 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1_000_000.0 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.3f ms" (ns /. 1e6)
+
+let ms_pp ns = Printf.sprintf "%.3f" (ns /. 1e6)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+(** Render rows with left-aligned first column and right-aligned rest. *)
+let table (headers : string list) (rows : string list list) =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  Printf.printf "%s\n" (render headers);
+  Printf.printf "%s\n" (String.make (String.length (render headers)) '-');
+  List.iter (fun r -> Printf.printf "%s\n" (render r)) rows
+
+let note fmt = Printf.printf fmt

@@ -1,0 +1,497 @@
+(** Benchmark harness: regenerates every quantified result in the paper.
+
+    Sections map one-to-one onto the experiment index in DESIGN.md:
+    - T1: Table 1 (format registration cost, PBIO vs xml2wire)
+    - C1: NDR vs XML-text wire (order-of-magnitude claim, section 1)
+    - C2: NDR vs XDR (>= 50% claim, section 1)
+    - C3: encoded-size expansion (6-8x claim, section 6)
+    - E1: end-to-end latency and discovery amortization (section 5)
+    - E2: heterogeneous receive: compiled plans vs interpretation (DCG)
+    - E3: server scalability with subscriber count (section 1)
+    - A1: discovery-method ablation (orthogonality, section 3.3)
+
+    Absolute numbers reflect this simulator on today's hardware; the
+    *shape* (who wins, by what factor, where overheads vanish) is the
+    reproduction target. See EXPERIMENTS.md for paper-vs-measured. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Fx = Omf_fixtures.Paper_structs
+module Xdr = Omf_xdr.Xdr
+module Xmlwire = Omf_xmlwire.Xmlwire
+module X2W = Omf_xml2wire.Xml2wire
+module Catalog = Omf_xml2wire.Catalog
+module Discovery = Omf_xml2wire.Discovery
+module Netsim = Omf_transport.Netsim
+module Http = Omf_httpd.Http
+open Harness
+open Workloads
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — format registration costs                             *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  section "T1. Format registration costs (Table 1)";
+  note
+    "Paper (on its testbed): PBIO .102/.110/.158 ms, xml2wire .191/.225/.304 ms\n\
+     (xml2wire ~1.9-2x PBIO, both sub-ms, growth proportional to structure size).\n";
+  let abi = Abi.sparc_32 in
+  let cases =
+    [ ("A", [ Fx.decl_a ], [ Fx.schema_a ], structure_a)
+    ; ("B", [ Fx.decl_b ], [ Fx.schema_b ], structure_b)
+    ; ("C/D", [ Fx.decl_c; Fx.decl_d ], [ Fx.schema_cd ], structure_d) ]
+  in
+  let rows =
+    List.map
+      (fun (name, decls, schemas, w) ->
+        let sender = make_sender abi w in
+        (* Table 1 reports the span of the fields (end offset); sizeof
+           additionally rounds C/D up to 184 for trailing padding *)
+        let struct_size = sender.s_fmt.Format.layout.Layout.end_offset in
+        let encoded =
+          Bytes.length (Encode.payload sender.s_mem sender.s_fmt sender.s_addr)
+        in
+        let pbio_ns =
+          measure_ns ~name:("t1-pbio-" ^ name) (fun () ->
+              let reg = Registry.create abi in
+              List.iter (fun d -> ignore (Registry.register reg d)) decls)
+        in
+        let x2w_ns =
+          measure_ns ~name:("t1-x2w-" ^ name) (fun () ->
+              let catalog = Catalog.create abi in
+              List.iter
+                (fun s -> ignore (X2W.register_schema catalog s))
+                schemas)
+        in
+        [ name
+        ; string_of_int struct_size
+        ; string_of_int encoded
+        ; string_of_int encoded
+        ; ms_pp pbio_ns
+        ; ms_pp x2w_ns
+        ; Printf.sprintf "%.2fx" (x2w_ns /. pbio_ns) ])
+      cases
+  in
+  table
+    [ "Structure"; "Size (B)"; "Enc PBIO"; "Enc xml2wire"; "PBIO (ms)"
+    ; "xml2wire (ms)"; "ratio" ]
+    rows;
+  note
+    "Encoded sizes are identical by construction (xml2wire feeds the same\n\
+     PBIO marshaling); growth across rows tracks structure size.\n"
+
+(* ------------------------------------------------------------------ *)
+(* C1: NDR vs XML text wire format                                      *)
+(* ------------------------------------------------------------------ *)
+
+let receive_ndr (r : ndr_receiver) payload =
+  Memory.reset r.r_mem;
+  Convert.run r.r_plan payload r.r_mem
+
+let c1 () =
+  section "C1. NDR vs XML-as-wire-format (paper: ~an order of magnitude)";
+  let abi = Abi.x86_64 in
+  let rows =
+    List.map
+      (fun w ->
+        let sender = make_sender abi w in
+        let ndr_rx = make_ndr_receiver abi sender w in
+        let rfmt = receiver_format abi w in
+        let payload = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+        let text = Xmlwire.encode sender.s_mem sender.s_fmt sender.s_addr in
+        let rmem = Memory.create abi in
+        let ndr_ns =
+          measure_ns ~name:("c1-ndr-" ^ w.label) (fun () ->
+              let p = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+              receive_ndr ndr_rx p)
+        in
+        let xml_ns =
+          measure_ns ~name:("c1-xml-" ^ w.label) (fun () ->
+              let t = Xmlwire.encode sender.s_mem sender.s_fmt sender.s_addr in
+              Memory.reset rmem;
+              Xmlwire.decode rfmt rmem t)
+        in
+        ignore payload;
+        ignore text;
+        [ w.label; ns_pp ndr_ns; ns_pp xml_ns
+        ; Printf.sprintf "%.1fx" (xml_ns /. ndr_ns) ])
+      (paper_fixtures @ [ telemetry; scientific 100; scientific 1000 ])
+  in
+  table [ "Workload"; "NDR (enc+dec)"; "XML text (enc+dec)"; "XML/NDR" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* C2: NDR vs XDR                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c2 () =
+  section "C2. NDR vs XDR (paper: gains often exceeding 50%)";
+  let homogeneous = (Abi.x86_64, Abi.x86_64) in
+  let heterogeneous = (Abi.x86_64, Abi.sparc_64) in
+  let bench_pair (sabi, rabi) w =
+    let sender = make_sender sabi w in
+    let ndr_rx = make_ndr_receiver rabi sender w in
+    let rfmt = receiver_format rabi w in
+    let rmem = Memory.create rabi in
+    let ndr_ns =
+      measure_ns ~name:(Printf.sprintf "c2-ndr-%s-%s" rabi.Abi.name w.label)
+        (fun () ->
+          let p = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+          receive_ndr ndr_rx p)
+    in
+    let xdr_ns =
+      measure_ns ~name:(Printf.sprintf "c2-xdr-%s-%s" rabi.Abi.name w.label)
+        (fun () ->
+          let x = Xdr.encode sender.s_mem sender.s_fmt sender.s_addr in
+          Memory.reset rmem;
+          Xdr.decode rfmt rmem x)
+    in
+    (ndr_ns, xdr_ns)
+  in
+  let workloads = paper_fixtures @ [ telemetry; scientific 1000 ] in
+  List.iter
+    (fun ((sabi, rabi) as pair, title) ->
+      subsection title;
+      ignore sabi;
+      ignore rabi;
+      let rows =
+        List.map
+          (fun w ->
+            let ndr, xdr = bench_pair pair w in
+            [ w.label; ns_pp ndr; ns_pp xdr
+            ; Printf.sprintf "%.0f%%" ((xdr -. ndr) /. xdr *. 100.0) ])
+          workloads
+      in
+      table [ "Workload"; "NDR"; "XDR"; "NDR gain" ] rows)
+    [ (homogeneous, "homogeneous (x86-64 -> x86-64): NDR converts nothing")
+    ; (heterogeneous, "heterogeneous (x86-64 -> sparc-64): receiver converts once")
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* C3: encoded sizes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let c3 () =
+  section "C3. Message size expansion (paper: XML text 6-8x binary)";
+  let abi = Abi.x86_64 in
+  let rows =
+    List.map
+      (fun w ->
+        let sender = make_sender abi w in
+        let ndr =
+          Bytes.length (Encode.payload sender.s_mem sender.s_fmt sender.s_addr)
+        in
+        let xdr =
+          Bytes.length (Xdr.encode sender.s_mem sender.s_fmt sender.s_addr)
+        in
+        let xml =
+          String.length (Xmlwire.encode sender.s_mem sender.s_fmt sender.s_addr)
+        in
+        [ w.label; string_of_int ndr; string_of_int xdr; string_of_int xml
+        ; Printf.sprintf "%.1fx" (float_of_int xml /. float_of_int xdr)
+        ; Printf.sprintf "%.1fx" (float_of_int xml /. float_of_int ndr) ])
+      (paper_fixtures @ [ telemetry; scientific 100; scientific 1000 ])
+  in
+  table
+    [ "Workload"; "NDR (B)"; "XDR (B)"; "XML text (B)"; "XML/XDR"; "XML/NDR" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E1: end-to-end latency and amortization                              *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1. End-to-end latency: discovery cost amortization (section 5)";
+  note
+    "Simulated 1999-era LAN (100 us one-way, 100 Mbit/s). xml2wire adds a\n\
+     one-time metadata retrieval (HTTP round-trip + parse + register);\n\
+     steady-state per-message cost is identical because marshaling is\n\
+     untouched PBIO NDR.\n";
+  let abi = Abi.x86_64 in
+  let w = structure_a in
+  let sender = make_sender abi w in
+  let msg = message sender.s_mem sender.s_fmt sender.s_addr in
+  let msg_len = Bytes.length msg in
+  let schema_len = String.length Fx.schema_a in
+  (* one-time CPU costs, measured *)
+  let register_compiled_ns =
+    measure_ns ~name:"e1-reg-compiled" (fun () ->
+        let reg = Registry.create abi in
+        ignore (Registry.register reg Fx.decl_a))
+  in
+  let register_x2w_ns =
+    measure_ns ~name:"e1-reg-x2w" (fun () ->
+        let c = Catalog.create abi in
+        ignore (X2W.register_schema c Fx.schema_a))
+  in
+  let profile = Netsim.lan_1999 in
+  (* drive an actual netsim stream to get the per-message virtual time —
+     the analytic formula below is cross-checked against it *)
+  let measured_per_message_us =
+    let a, b, clock, _ = Netsim.pair profile in
+    let n = 1000 in
+    for _ = 1 to n do
+      Omf_transport.Link.send a msg
+    done;
+    for _ = 1 to n do
+      ignore (Omf_transport.Link.recv_exn b)
+    done;
+    Netsim.now clock /. float_of_int n
+  in
+  let per_message_us =
+    Netsim.transmit_time profile msg_len +. profile.Netsim.propagation_us
+  in
+
+  let discovery_us =
+    (* HTTP GET: request out, document back, plus parse+register CPU *)
+    (2.0 *. profile.Netsim.propagation_us)
+    +. Netsim.transmit_time profile 64 (* request *)
+    +. Netsim.transmit_time profile schema_len
+    +. (register_x2w_ns /. 1e3)
+  in
+  let compiled_setup_us = register_compiled_ns /. 1e3 in
+  let rows =
+    List.map
+      (fun n ->
+        let fn = float_of_int n in
+        let plain = compiled_setup_us +. (fn *. per_message_us) in
+        let x2w = discovery_us +. (fn *. per_message_us) in
+        [ string_of_int n
+        ; Printf.sprintf "%.1f" (plain /. fn)
+        ; Printf.sprintf "%.1f" (x2w /. fn)
+        ; Printf.sprintf "%.2f%%" ((x2w -. plain) /. plain *. 100.0) ])
+      [ 1; 10; 100; 1_000; 10_000 ]
+  in
+  table
+    [ "Messages"; "compiled us/msg"; "xml2wire us/msg"; "overhead" ]
+    rows;
+  note
+    "One-time costs: compiled registration %s; remote discovery %.1f us\n\
+     (RTT + %d-byte schema + parse/register %s).\n\
+     The table charges each message full serialisation + propagation\n\
+     (%.1f us, isolated-message latency). A driven netsim stream of 1000\n\
+     back-to-back messages pipelines down to %.1f us/msg of link time —\n\
+     amortization of the discovery cost holds in either regime.\n"
+    (ns_pp register_compiled_ns) discovery_us schema_len
+    (ns_pp register_x2w_ns) per_message_us measured_per_message_us
+
+(* ------------------------------------------------------------------ *)
+(* E2: heterogeneous receive — compiled plans vs interpretation          *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2. Receiver-side conversion across ABI pairs (DCG analogue)";
+  note
+    "Receive cost of one C/D message (payload -> native struct), by sender\n\
+     and receiver ABI. 'plan' = conversion compiled once per format pair\n\
+     (the paper's dynamic code generation); 'interp' = per-record metadata\n\
+     interpretation; 'ops' = compiled plan length (1 = pure blit).\n";
+  let w = structure_d in
+  let pairs =
+    [ (Abi.x86_64, Abi.x86_64)  (* identical *)
+    ; (Abi.x86_64, Abi.alpha_64)  (* same layout, different machine *)
+    ; (Abi.x86_64, Abi.power_64)  (* byte swap only *)
+    ; (Abi.x86_64, Abi.sparc_32)  (* swap + resize + repack *)
+    ; (Abi.sparc_32, Abi.x86_64)  (* the reverse direction *)
+    ; (Abi.x86_32, Abi.arm_32)  (* same order, different padding *) ]
+  in
+  let rows =
+    List.map
+      (fun (sabi, rabi) ->
+        let sender = make_sender sabi w in
+        let payload = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+        let ndr_rx = make_ndr_receiver rabi sender w in
+        let native = receiver_format rabi w in
+        let wire = Format_codec.decode (Format_codec.encode sender.s_fmt) in
+        let imem = Memory.create rabi in
+        let plan_ns =
+          measure_ns
+            ~name:(Printf.sprintf "e2-plan-%s-%s" sabi.Abi.name rabi.Abi.name)
+            (fun () -> receive_ndr ndr_rx payload)
+        in
+        let interp_ns =
+          measure_ns
+            ~name:(Printf.sprintf "e2-int-%s-%s" sabi.Abi.name rabi.Abi.name)
+            (fun () ->
+              Memory.reset imem;
+              Convert.interpret ~wire ~native payload imem)
+        in
+        [ Printf.sprintf "%s -> %s" sabi.Abi.name rabi.Abi.name
+        ; string_of_int (Convert.op_count ndr_rx.r_plan)
+        ; ns_pp plan_ns
+        ; ns_pp interp_ns
+        ; Printf.sprintf "%.1fx" (interp_ns /. plan_ns) ])
+      pairs
+  in
+  table [ "ABI pair"; "ops"; "plan"; "interp"; "interp/plan" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: server scalability with subscriber count                         *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3. Per-client cost as subscribers scale (section 1)";
+  note
+    "One publisher delivers a structure-B event to N subscribers (mixed\n\
+     ABIs, round-robin). Total CPU per event = 1 encode + N decodes; the\n\
+     table reports cost per event per subscriber.\n";
+  let w = structure_b in
+  let sender = make_sender Abi.x86_64 w in
+  let subscriber_abis = [ Abi.x86_64; Abi.sparc_32; Abi.arm_32; Abi.power_64 ] in
+  let make_subs n =
+    List.init n (fun i ->
+        let abi = List.nth subscriber_abis (i mod List.length subscriber_abis) in
+        (make_ndr_receiver abi sender w, receiver_format abi w, Memory.create abi))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let subs = make_subs n in
+        let fn = float_of_int n in
+        let ndr_ns =
+          measure_ns ~name:(Printf.sprintf "e3-ndr-%d" n) (fun () ->
+              let p = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+              List.iter (fun (rx, _, _) -> ignore (receive_ndr rx p)) subs)
+        in
+        let xdr_ns =
+          measure_ns ~name:(Printf.sprintf "e3-xdr-%d" n) (fun () ->
+              let x = Xdr.encode sender.s_mem sender.s_fmt sender.s_addr in
+              List.iter
+                (fun (_, rfmt, rmem) ->
+                  Memory.reset rmem;
+                  ignore (Xdr.decode rfmt rmem x))
+                subs)
+        in
+        let xml_ns =
+          measure_ns ~name:(Printf.sprintf "e3-xml-%d" n) (fun () ->
+              let t = Xmlwire.encode sender.s_mem sender.s_fmt sender.s_addr in
+              List.iter
+                (fun (_, rfmt, rmem) ->
+                  Memory.reset rmem;
+                  ignore (Xmlwire.decode rfmt rmem t))
+                subs)
+        in
+        [ string_of_int n
+        ; ns_pp (ndr_ns /. fn)
+        ; ns_pp (xdr_ns /. fn)
+        ; ns_pp (xml_ns /. fn)
+        ; Printf.sprintf "%.1fx" (xml_ns /. ndr_ns) ])
+      [ 1; 4; 16; 64; 256 ]
+  in
+  table
+    [ "Subscribers"; "NDR /sub"; "XDR /sub"; "XML /sub"; "XML/NDR" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A1: discovery ablation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  section "A1. Discovery-method ablation (orthogonality, section 3.3)";
+  note
+    "The same format discovered three ways; steady-state marshal cost must\n\
+     be identical (discovery and marshaling are orthogonal), only the\n\
+     one-time discovery cost differs.\n";
+  let abi = Abi.x86_64 in
+  let w = structure_a in
+  (* a real HTTP metaserver on loopback *)
+  let server = Http.serve_table ~port:0 [ ("/flight.xsd", Fx.schema_a) ] in
+  let tmp = Filename.temp_file "omf-bench" ".xsd" in
+  let oc = open_out tmp in
+  output_string oc Fx.schema_a;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Http.shutdown server;
+      Sys.remove tmp)
+    (fun () ->
+      let sources =
+        [ ("compiled-in", Discovery.compiled [ Fx.decl_a ])
+        ; ("local file", Discovery.from_file tmp)
+        ; ( "HTTP"
+          , Discovery.from_fetcher ~label:"http"
+              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ) ]
+      in
+      let rows =
+        List.map
+          (fun (label, source) ->
+            let discovery_ns =
+              measure_ns ~name:("a1-disc-" ^ label) (fun () ->
+                  let c = Catalog.create abi in
+                  ignore (Discovery.discover c [ source ]))
+            in
+            (* steady state: marshal with the discovered format *)
+            let c = Catalog.create abi in
+            ignore (Discovery.discover c [ source ]);
+            let fmt = Option.get (Catalog.find_format c w.format_name) in
+            let mem = Memory.create abi in
+            let addr = Native.store mem fmt w.value in
+            let rx =
+              make_ndr_receiver abi
+                { s_abi = abi; s_fmt = fmt; s_mem = mem; s_addr = addr }
+                w
+            in
+            let steady_ns =
+              measure_ns ~name:("a1-steady-" ^ label) (fun () ->
+                  let p = Encode.payload mem fmt addr in
+                  receive_ndr rx p)
+            in
+            [ label; ns_pp discovery_ns; ns_pp steady_ns ])
+          sources
+      in
+      table [ "Discovery method"; "one-time discovery"; "steady-state msg" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* A2: plan-optimization ablation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let a2 () =
+  section "A2. Ablation: blit coalescing and bulk array copies";
+  note
+    "The plan compiler's two optimisation passes (merge conversion-free\n\
+     field runs into single blits; copy conversion-free arrays in one\n\
+     blit), switched off. Same semantics, homogeneous receive cost:\n";
+  let abi = Abi.x86_64 in
+  let rows =
+    List.map
+      (fun w ->
+        let sender = make_sender abi w in
+        let payload = Encode.payload sender.s_mem sender.s_fmt sender.s_addr in
+        let native = receiver_format abi w in
+        let wire = Format_codec.decode (Format_codec.encode sender.s_fmt) in
+        let opt = Convert.compile ~wire ~native in
+        let unopt = Convert.compile_unoptimized ~wire ~native in
+        let mem = Memory.create abi in
+        let run plan =
+          measure_ns ~name:("a2-" ^ w.label) (fun () ->
+              Memory.reset mem;
+              Convert.run plan payload mem)
+        in
+        let t_opt = run opt and t_unopt = run unopt in
+        [ w.label
+        ; string_of_int (Convert.op_count opt)
+        ; string_of_int (Convert.op_count unopt)
+        ; ns_pp t_opt
+        ; ns_pp t_unopt
+        ; Printf.sprintf "%.1fx" (t_unopt /. t_opt) ])
+      (paper_fixtures @ [ telemetry; scientific 1000 ])
+  in
+  table
+    [ "Workload"; "ops opt"; "ops raw"; "optimised"; "unoptimised"; "cost" ]
+    rows
+
+let () =
+  Printf.printf
+    "omf benchmarks — Open Metadata Formats reproduction\n\
+     quota=%.2fs per measurement (set OMF_BENCH_QUOTA to change)\n"
+    Harness.quota_seconds;
+  t1 ();
+  c1 ();
+  c2 ();
+  c3 ();
+  e1 ();
+  e2 ();
+  e3 ();
+  a1 ();
+  a2 ();
+  Printf.printf "\nAll benchmark sections completed.\n"

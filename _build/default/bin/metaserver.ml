@@ -1,0 +1,88 @@
+(** metaserver: publish XML metadata documents over HTTP so that
+    xml2wire-based applications can discover formats remotely — "in the
+    same manner that web browsers retrieve other XML documents"
+    (section 7).
+
+    [metaserver DIR] serves every [*.xsd] in DIR, validating each on
+    startup so clients never fetch a broken document. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"DIR" ~doc:"Directory of .xsd metadata documents.")
+
+let port_arg =
+  Arg.(
+    value & opt int 8080
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every request.")
+
+let run dir port host verbose =
+  setup_logs verbose;
+  let docs = Sys.readdir dir in
+  let xsds =
+    Array.to_list docs
+    |> List.filter (fun f -> Filename.check_suffix f ".xsd")
+    |> List.sort compare
+  in
+  if xsds = [] then `Error (false, Printf.sprintf "no .xsd files in %s" dir)
+  else begin
+    (* validate all documents up front *)
+    let broken =
+      List.filter_map
+        (fun f ->
+          let path = Filename.concat dir f in
+          let ic = open_in_bin path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Omf_xschema.Schema.of_string text with
+          | schema ->
+            Printf.printf "  /%s: %d type(s): %s\n" f
+              (List.length schema.Omf_xschema.Schema.types)
+              (String.concat ", "
+                 (List.map
+                    (fun ct -> ct.Omf_xschema.Schema.ct_name)
+                    schema.Omf_xschema.Schema.types));
+            None
+          | exception Omf_xschema.Schema.Schema_error m -> Some (f, m))
+        xsds
+    in
+    match broken with
+    | (f, m) :: _ -> `Error (false, Printf.sprintf "%s: %s" f m)
+    | [] ->
+      let server = Omf_httpd.Http.serve_directory ~host ~port dir in
+      Printf.printf "metaserver: serving %d document(s) from %s on http://%s:%d/\n%!"
+        (List.length xsds) dir host server.Omf_httpd.Http.port;
+      (* serve until interrupted *)
+      let rec forever () =
+        Thread.delay 3600.0;
+        forever ()
+      in
+      forever ()
+  end
+
+let () =
+  let doc = "HTTP metadata server for xml2wire discovery" in
+  let info = Cmd.info "metaserver" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(ret (const run $ dir_arg $ port_arg $ host_arg $ verbose_arg))))

@@ -1,0 +1,1 @@
+examples/airline.ml: Abi Array Format Ftype Hashtbl Int64 List Memory Omf_backbone Omf_httpd Omf_machine Omf_pbio Omf_transport Omf_util Omf_xml2wire Option Printf Value

@@ -1,0 +1,1 @@
+examples/blackbox.ml: Abi Array Filename Fun Int64 List Memory Native Omf_journal Omf_machine Omf_pbio Omf_util Omf_xml2wire Option Printf Sys Unix Value

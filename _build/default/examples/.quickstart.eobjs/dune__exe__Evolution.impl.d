@@ -1,0 +1,1 @@
+examples/evolution.ml: Abi Format Format_codec Ftype List Memory Omf_httpd Omf_machine Omf_pbio Omf_xml2wire Option Printf Receiver Registry Unix Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abi Bytes Encode Fmt Format List Memory Omf_machine Omf_pbio Omf_transport Omf_util Omf_xml2wire Printf Value

@@ -1,0 +1,1 @@
+examples/scientific.ml: Abi Array Bytes Convert Encode Format_codec Int64 Memory Native Omf_machine Omf_pbio Omf_util Omf_xdr Omf_xml2wire Omf_xmlwire Option Printf String Value

@@ -1,0 +1,123 @@
+(** Black-box flight recorder: NDR journals on disk.
+
+    An operations recorder (little-endian, 64-bit) appends every event it
+    sees to a journal file — at NDR speed, no conversion, descriptors
+    embedded once per format. Later, an investigator's workstation
+    (big-endian, 32-bit, a different process that never talked to the
+    recorder) replays the file and computes statistics: the journal is
+    self-describing, so "written to data files in a heterogeneous
+    computing environment" (section 4.1.2) just works.
+
+    Run with: dune exec examples/blackbox.exe *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Journal = Omf_journal.Journal
+module X2W = Omf_xml2wire.Xml2wire
+module Catalog = Omf_xml2wire.Catalog
+module Prng = Omf_util.Prng
+
+let schema =
+  {|<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:simpleType name="Phase">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="taxi"/>
+      <xsd:enumeration value="takeoff"/>
+      <xsd:enumeration value="cruise"/>
+      <xsd:enumeration value="landing"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="FlightSample">
+    <xsd:element name="t_ms" type="xsd:unsigned-long"/>
+    <xsd:element name="phase" type="Phase"/>
+    <xsd:element name="alt_ft" type="xsd:integer"/>
+    <xsd:element name="speed_kts" type="xsd:integer"/>
+    <xsd:element name="engine_temp" type="xsd:double" minOccurs="2" maxOccurs="2"/>
+    <xsd:element name="warnings" type="xsd:string" minOccurs="0" maxOccurs="*"/>
+  </xsd:complexType>
+</xsd:schema>|}
+
+let phases = [| "taxi"; "takeoff"; "cruise"; "landing" |]
+
+let sample rng i =
+  let phase = phases.(min 3 (i * 4 / 600)) in
+  let alt =
+    match phase with
+    | "taxi" -> 0
+    | "takeoff" -> i * 150
+    | "cruise" -> 31000
+    | _ -> max 0 (31000 - ((i - 450) * 200))
+  in
+  let warnings =
+    if Prng.int rng 100 < 3 then [| Value.String "ENG2-TEMP-HIGH" |] else [||]
+  in
+  Value.Record
+    [ ("t_ms", Value.Uint (Int64.of_int (i * 500)))
+    ; ("phase", Value.String phase)
+    ; ("alt_ft", Value.Int (Int64.of_int alt))
+    ; ("speed_kts",
+       Value.Int (Int64.of_int (if alt = 0 then 15 else 250 + Prng.int rng 200)))
+    ; ("engine_temp",
+       Value.Array
+         [| Value.Float (600.0 +. (Prng.float rng *. 150.0))
+          ; Value.Float (600.0 +. (Prng.float rng *. 170.0)) |])
+    ; ("warnings", Value.Array warnings) ]
+
+let () =
+  let path = Filename.temp_file "blackbox" ".omfj" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let rng = Prng.create ~seed:1771L () in
+
+  (* --- the recorder: x86-64, writes 600 samples --- *)
+  let recorder_abi = Abi.x86_64 in
+  let catalog = Catalog.create recorder_abi in
+  ignore (X2W.register_schema catalog schema);
+  let fmt = Option.get (Catalog.find_format catalog "FlightSample") in
+  let mem = Memory.create recorder_abi in
+  let writer, close = Journal.Writer.to_file path in
+  for i = 0 to 599 do
+    let addr = Native.store mem fmt (sample rng i) in
+    Journal.Writer.append writer mem fmt addr
+  done;
+  close ();
+  Printf.printf "recorder (%s): %d records -> %s (%d bytes)\n"
+    recorder_abi.Abi.name
+    (Journal.Writer.record_count writer)
+    (Filename.basename path)
+    (Unix.stat path).Unix.st_size;
+
+  (* --- the investigator: sparc-32, replays and analyses --- *)
+  let inv_abi = Abi.sparc_32 in
+  let inv_catalog = Catalog.create inv_abi in
+  ignore (X2W.register_schema inv_catalog schema);
+  let reader, rclose =
+    Journal.Reader.of_file path (Catalog.registry inv_catalog)
+      (Memory.create inv_abi)
+  in
+  Fun.protect ~finally:rclose @@ fun () ->
+  let count, max_alt, warnings =
+    Journal.Reader.fold reader
+      (fun (count, max_alt, warnings) (_, v) ->
+        let alt = Int64.to_int (Value.to_int64 (Value.field_exn v "alt_ft")) in
+        let w =
+          match Value.field_exn v "warnings" with
+          | Value.Array a ->
+            warnings
+            @ List.map
+                (fun (t, wv) -> (t, Value.to_string_exn wv))
+                (Array.to_list (Array.map (fun wv -> (Value.field_exn v "t_ms", wv)) a))
+          | _ -> warnings
+        in
+        (count + 1, max max_alt alt, w))
+      (0, 0, [])
+  in
+  Printf.printf "investigator (%s): replayed %d samples\n" inv_abi.Abi.name count;
+  Printf.printf "  maximum altitude: %d ft\n" max_alt;
+  Printf.printf "  warnings during flight: %d\n" (List.length warnings);
+  List.iter
+    (fun (t, w) ->
+      Printf.printf "    t=%Lds  %s\n"
+        (Int64.div (Value.to_int64 t) 1000L)
+        w)
+    warnings

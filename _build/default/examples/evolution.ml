@@ -1,0 +1,121 @@
+(** Format evolution and fault tolerance.
+
+    Demonstrates section 3.3's architecture: remote discovery as the
+    primary metadata source with compiled-in declarations as the
+    fault-tolerant fallback, plus live re-discovery when the remote
+    document changes ("applications dynamically react to message format
+    changes", section 4.3).
+
+    Run with: dune exec examples/evolution.exe *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Catalog = Omf_xml2wire.Catalog
+module Discovery = Omf_xml2wire.Discovery
+module Http = Omf_httpd.Http
+
+let schema_v1 =
+  {|<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Position">
+    <xsd:element name="callsign" type="xsd:string" />
+    <xsd:element name="lat" type="xsd:double" />
+    <xsd:element name="lon" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>|}
+
+let schema_v2 =
+  {|<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Position">
+    <xsd:element name="callsign" type="xsd:string" />
+    <xsd:element name="lat" type="xsd:double" />
+    <xsd:element name="lon" type="xsd:double" />
+    <xsd:element name="alt_ft" type="xsd:integer" />
+    <xsd:element name="groundspeed" type="xsd:integer" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>|}
+
+(* The compiled-in fallback a robust deployment ships with: enough to keep
+   basic communication going when the metadata server is unreachable. *)
+let compiled_fallback =
+  [ Ftype.declare "Position"
+      [ ("callsign", "string"); ("lat", "double"); ("lon", "double") ] ]
+
+let describe catalog =
+  match Catalog.find catalog "Position" with
+  | Some e ->
+    Printf.printf "    Position: %d fields, %d bytes, from %s\n"
+      (List.length e.Catalog.decl.Ftype.fields)
+      (Format.struct_size e.Catalog.format)
+      e.Catalog.source
+  | None -> Printf.printf "    Position: not registered\n"
+
+let () =
+  (* a metadata server we can reconfigure and kill *)
+  let current = ref (Some schema_v1) in
+  let server =
+    Http.serve ~port:0 (fun ~path ~headers:_ ->
+        match !current with
+        | Some body -> Http.ok body
+        | None -> Http.not_found path)
+  in
+  let sources =
+    [ Discovery.from_fetcher
+        ~label:(Printf.sprintf "http://127.0.0.1:%d/position.xsd" server.Http.port)
+        (Http.fetcher ~port:server.Http.port ~path:"/position.xsd" ())
+    ; Discovery.compiled ~label:"compiled-in fallback" compiled_fallback ]
+  in
+
+  Printf.printf "1. initial discovery (metadata server up, serving v1):\n";
+  let catalog = Catalog.create Abi.x86_64 in
+  let watch = Discovery.watch catalog sources in
+  Printf.printf "    source: %s\n" (Discovery.current watch).Discovery.source;
+  describe catalog;
+
+  Printf.printf "\n2. nothing changed; refresh is a no-op:\n";
+  (match Discovery.refresh watch with
+  | None -> Printf.printf "    refresh: metadata unchanged\n"
+  | Some _ -> Printf.printf "    refresh: unexpected change?\n");
+
+  Printf.printf "\n3. the format evolves: server now publishes v2 (adds alt_ft, track):\n";
+  current := Some schema_v2;
+  (match Discovery.refresh watch with
+  | Some outcome ->
+    Printf.printf "    refresh: re-registered from %s\n" outcome.Discovery.source
+  | None -> Printf.printf "    refresh: change missed?!\n");
+  describe catalog;
+
+  Printf.printf
+    "\n4. messages still flow to an old v1 receiver (restricted evolution):\n";
+  let v2_fmt = Option.get (Catalog.find_format catalog "Position") in
+  let msg =
+    message_of_value Abi.x86_64 v2_fmt
+      (Value.Record
+         [ ("callsign", Value.String "DAL1771")
+         ; ("lat", Value.Float 33.64)
+         ; ("lon", Value.Float (-84.43))
+         ; ("alt_ft", Value.Int 31000L)
+         ; ("groundspeed",
+            Value.Array [| Value.Int 455L; Value.Int 462L |]) ])
+  in
+  let old_registry = Registry.create Abi.sparc_32 in
+  List.iter (fun d -> ignore (Registry.register old_registry d)) compiled_fallback;
+  let old_receiver =
+    Receiver.create old_registry (Memory.create Abi.sparc_32)
+  in
+  ignore (Receiver.learn old_receiver (Format_codec.encode v2_fmt));
+  let _, v = Receiver.receive_value old_receiver msg in
+  Printf.printf "    v1 receiver decoded: %s\n" (Value.to_string v);
+
+  Printf.printf "\n5. disaster: the metadata server goes away entirely:\n";
+  current := None;
+  Http.shutdown server;
+  Unix.sleepf 0.05;
+  let fresh = Catalog.create Abi.x86_64 in
+  let outcome = Discovery.discover fresh sources in
+  Printf.printf "    discovery fell back to: %s\n" outcome.Discovery.source;
+  describe fresh;
+  Printf.printf
+    "    degraded but functional: basic communication continues on the\n\
+     \    compiled-in formats, as section 3.3 prescribes.\n"

@@ -1,0 +1,1 @@
+lib/backbone/broker.ml: Bytes Catalog Char Hashtbl List Logs Omf_machine Omf_pbio Omf_transport Omf_xml2wire Omf_xschema Printf Xml2wire

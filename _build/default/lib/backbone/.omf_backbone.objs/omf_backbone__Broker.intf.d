@@ -1,0 +1,1 @@
+lib/backbone/broker.mli: Catalog Omf_machine Omf_pbio Omf_transport Omf_xml2wire

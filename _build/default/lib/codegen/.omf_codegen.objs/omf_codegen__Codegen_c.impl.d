@@ -1,0 +1,1 @@
+lib/codegen/codegen_c.ml: Abi Buffer Ftype List Omf_machine Omf_pbio Printf String

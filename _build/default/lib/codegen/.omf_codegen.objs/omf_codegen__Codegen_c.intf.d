@@ -1,0 +1,1 @@
+lib/codegen/codegen_c.mli: Ftype Omf_pbio

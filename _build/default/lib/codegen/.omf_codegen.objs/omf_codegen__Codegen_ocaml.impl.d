@@ -1,0 +1,1 @@
+lib/codegen/codegen_ocaml.ml: Buffer Char Ftype List Omf_machine Omf_pbio Printf String

@@ -1,0 +1,1 @@
+lib/codegen/codegen_ocaml.mli: Ftype Omf_pbio

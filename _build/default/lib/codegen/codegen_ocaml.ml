@@ -1,0 +1,239 @@
+(** OCaml code generation: typed constructors and accessors for message
+    formats, so application code touches {!Omf_pbio.Value} through a
+    checked, named interface instead of raw association lists.
+
+    Generated per format:
+    - [let <name>_decl : Ftype.t] — the compiled-in declaration
+      (fault-tolerant discovery fallback);
+    - [let make_<name> ~field:... () : Value.t] — a labelled constructor
+      (dynamic-array control fields are omitted: the binding layer fills
+      them);
+    - [let <name>_<field> : Value.t -> <ty>] — typed accessors. *)
+
+open Omf_pbio
+
+let is_keyword = function
+  | "and" | "as" | "assert" | "begin" | "class" | "constraint" | "do"
+  | "done" | "downto" | "else" | "end" | "exception" | "external" | "false"
+  | "for" | "fun" | "function" | "functor" | "if" | "in" | "include"
+  | "inherit" | "initializer" | "lazy" | "let" | "match" | "method"
+  | "module" | "mutable" | "new" | "object" | "of" | "open" | "or"
+  | "private" | "rec" | "sig" | "struct" | "then" | "to" | "true" | "try"
+  | "type" | "val" | "virtual" | "when" | "while" | "with" ->
+    true
+  | _ -> false
+
+(** Lowercase, keyword-safe OCaml identifier for a field or format name. *)
+let ident (name : string) : string =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | 'A' .. 'Z' ->
+        if i = 0 then Buffer.add_char b (Char.lowercase_ascii c)
+        else Buffer.add_char b (Char.lowercase_ascii c)
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  let s = if s = "" || not (s.[0] >= 'a' && s.[0] <= 'z') then "f_" ^ s else s in
+  if is_keyword s then s ^ "_" else s
+
+type field_ty = Tint | Tuint | Tfloat | Tchar | Tstring | Tvalue
+
+let scalar_ty (e : Ftype.elem) : field_ty =
+  match e with
+  | Ftype.Int_t p ->
+    if Omf_machine.Abi.prim_signed p then Tint else Tuint
+  | Ftype.Float_t _ -> Tfloat
+  | Ftype.Char_t -> Tchar
+  | Ftype.String_t -> Tstring
+  | Ftype.Named_t _ -> Tvalue
+
+let ty_string = function
+  | Tint | Tuint -> "int64"
+  | Tfloat -> "float"
+  | Tchar -> "char"
+  | Tstring -> "string"
+  | Tvalue -> "Value.t"
+
+let wrap_expr ty var =
+  match ty with
+  | Tint -> Printf.sprintf "Value.Int %s" var
+  | Tuint -> Printf.sprintf "Value.Uint %s" var
+  | Tfloat -> Printf.sprintf "Value.Float %s" var
+  | Tchar -> Printf.sprintf "Value.Char %s" var
+  | Tstring -> Printf.sprintf "Value.String %s" var
+  | Tvalue -> var
+
+let unwrap_expr ty var =
+  match ty with
+  | Tint | Tuint -> Printf.sprintf "Value.to_int64 %s" var
+  | Tfloat -> Printf.sprintf "Value.to_float_exn %s" var
+  | Tchar ->
+    Printf.sprintf
+      "(match %s with Value.Char c -> c | v -> Value.type_error \"char expected, got %%s\" (Value.to_string v))"
+      var
+  | Tstring -> Printf.sprintf "Value.to_string_exn %s" var
+  | Tvalue -> var
+
+(* control fields of dynamic arrays: filled by the binding layer *)
+let controls_of (decl : Ftype.t) : string list =
+  List.filter_map
+    (fun (f : Ftype.field) ->
+      match f.Ftype.f_dim with Ftype.Var c -> Some c | _ -> None)
+    decl.Ftype.fields
+
+let decl_expr (decl : Ftype.t) : string =
+  let rows =
+    List.map
+      (fun (f : Ftype.field) ->
+        Printf.sprintf "(%S, %S)" f.Ftype.f_name
+          (Ftype.to_type_string (f.Ftype.f_elem, f.Ftype.f_dim)))
+      decl.Ftype.fields
+  in
+  Printf.sprintf "Ftype.declare %S\n    [ %s ]" decl.Ftype.name
+    (String.concat "\n    ; " rows)
+
+let constructor (decl : Ftype.t) : string =
+  let controls = controls_of decl in
+  let fields =
+    List.filter
+      (fun (f : Ftype.field) -> not (List.mem f.Ftype.f_name controls))
+      decl.Ftype.fields
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "let make_%s" (ident decl.Ftype.name));
+  List.iter
+    (fun (f : Ftype.field) ->
+      let ty = scalar_ty f.Ftype.f_elem in
+      let ty_s =
+        match f.Ftype.f_dim with
+        | Ftype.Scalar -> ty_string ty
+        | Ftype.Fixed _ | Ftype.Var _ -> (
+          match (f.Ftype.f_elem, f.Ftype.f_dim) with
+          | Ftype.Char_t, Ftype.Fixed _ -> "string" (* char[N] buffer *)
+          | _ -> ty_string ty ^ " array")
+      in
+      Buffer.add_string b
+        (Printf.sprintf "\n    ~(%s : %s)" (ident f.Ftype.f_name) ty_s))
+    fields;
+  Buffer.add_string b "\n    () : Value.t =\n  Value.Record\n    [ ";
+  let bindings =
+    List.map
+      (fun (f : Ftype.field) ->
+        let v = ident f.Ftype.f_name in
+        let ty = scalar_ty f.Ftype.f_elem in
+        let expr =
+          match (f.Ftype.f_dim, f.Ftype.f_elem) with
+          | Ftype.Scalar, _ -> wrap_expr ty v
+          | Ftype.Fixed _, Ftype.Char_t -> Printf.sprintf "Value.String %s" v
+          | (Ftype.Fixed _ | Ftype.Var _), _ ->
+            Printf.sprintf "Value.Array (Array.map (fun x -> %s) %s)"
+              (wrap_expr ty "x") v
+        in
+        Printf.sprintf "(%S, %s)" f.Ftype.f_name expr)
+      fields
+  in
+  Buffer.add_string b (String.concat "\n    ; " bindings);
+  Buffer.add_string b " ]\n";
+  Buffer.contents b
+
+let accessors (decl : Ftype.t) : string =
+  let b = Buffer.create 512 in
+  let prefix = ident decl.Ftype.name in
+  List.iter
+    (fun (f : Ftype.field) ->
+      let ty = scalar_ty f.Ftype.f_elem in
+      let body =
+        match (f.Ftype.f_dim, f.Ftype.f_elem) with
+        | Ftype.Scalar, _ -> unwrap_expr ty "(Value.field_exn record name)"
+        | Ftype.Fixed _, Ftype.Char_t ->
+          unwrap_expr Tstring "(Value.field_exn record name)"
+        | (Ftype.Fixed _ | Ftype.Var _), _ ->
+          Printf.sprintf
+            "Array.map (fun x -> %s) (Value.to_array_exn (Value.field_exn record name))"
+            (unwrap_expr ty "x")
+      in
+      Buffer.add_string b
+        (Printf.sprintf "let %s_%s record =\n  let name = %S in\n  %s\n\n"
+           prefix (ident f.Ftype.f_name) f.Ftype.f_name body))
+    decl.Ftype.fields;
+  Buffer.contents b
+
+(* type of one constructor parameter / accessor result *)
+let field_ty_string (f : Ftype.field) : string =
+  let ty = scalar_ty f.Ftype.f_elem in
+  match (f.Ftype.f_dim, f.Ftype.f_elem) with
+  | Ftype.Scalar, _ -> ty_string ty
+  | Ftype.Fixed _, Ftype.Char_t -> "string"
+  | (Ftype.Fixed _ | Ftype.Var _), _ -> ty_string ty ^ " array"
+
+let signature_for (decl : Ftype.t) : string =
+  let b = Buffer.create 512 in
+  let prefix = ident decl.Ftype.name in
+  Buffer.add_string b
+    (Printf.sprintf "val %s_decl : Ftype.t
+(** Compiled-in declaration of %s (fault-tolerant discovery fallback). *)
+
+"
+       prefix decl.Ftype.name);
+  let controls = controls_of decl in
+  Buffer.add_string b (Printf.sprintf "val make_%s :" prefix);
+  List.iter
+    (fun (f : Ftype.field) ->
+      if not (List.mem f.Ftype.f_name controls) then
+        Buffer.add_string b
+          (Printf.sprintf "
+  %s:%s ->" (ident f.Ftype.f_name)
+             (field_ty_string f)))
+    decl.Ftype.fields;
+  Buffer.add_string b "
+  unit -> Value.t
+";
+  Buffer.add_string b
+    (Printf.sprintf
+       "(** Labelled constructor for %s values (dynamic-array control fields
+    are filled by the binding layer). *)
+
+"
+       decl.Ftype.name);
+  List.iter
+    (fun (f : Ftype.field) ->
+      Buffer.add_string b
+        (Printf.sprintf "val %s_%s : Value.t -> %s
+" prefix
+           (ident f.Ftype.f_name) (field_ty_string f)))
+    decl.Ftype.fields;
+  Buffer.add_char b '
+';
+  Buffer.contents b
+
+(** [interface_text decls] is the .mli for {!module_text}'s output. *)
+let interface_text (decls : Ftype.t list) : string =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "(* Generated by xml2wire codegen - do not edit. *)
+     open Omf_pbio
+
+";
+  List.iter (fun d -> Buffer.add_string b (signature_for d)) decls;
+  Buffer.contents b
+
+(** [module_text decls] is a complete OCaml module body for a set of
+    declarations. *)
+let module_text (decls : Ftype.t list) : string =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "(* Generated by xml2wire codegen - do not edit. *)\n\
+     open Omf_pbio\n\n";
+  List.iter
+    (fun decl ->
+      Buffer.add_string b
+        (Printf.sprintf "let %s_decl : Ftype.t =\n  %s\n\n"
+           (ident decl.Ftype.name) (decl_expr decl));
+      Buffer.add_string b (constructor decl);
+      Buffer.add_char b '\n';
+      Buffer.add_string b (accessors decl))
+    decls;
+  Buffer.contents b

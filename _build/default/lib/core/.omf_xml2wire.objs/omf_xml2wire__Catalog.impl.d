@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Abi Fmt Format Ftype Hashtbl List Omf_machine Omf_pbio Option

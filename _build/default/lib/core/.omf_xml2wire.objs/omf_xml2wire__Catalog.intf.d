@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Abi Format Ftype Omf_machine Omf_pbio Stdlib

@@ -1,0 +1,1 @@
+lib/core/compat.ml: Fmt Ftype List Mapper Omf_pbio Omf_xschema Printf String

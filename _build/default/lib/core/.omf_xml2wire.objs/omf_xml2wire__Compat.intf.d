@@ -1,0 +1,1 @@
+lib/core/compat.mli: Ftype Omf_pbio Omf_xschema Stdlib

@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Catalog Format Ftype Fun List Logs Mapper Omf_pbio Omf_xschema Printexc

@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Catalog Format Ftype Omf_pbio

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Abi Ftype List Omf_machine Omf_pbio Omf_xschema Printf Schema String

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Ftype Omf_pbio Omf_xschema Schema

@@ -1,0 +1,1 @@
+lib/core/xml2wire.ml: Catalog Discovery Format Format_codec List Mapper Memory Omf_machine Omf_pbio Omf_xschema Pbio Value

@@ -1,0 +1,1 @@
+lib/core/xml2wire.mli: Catalog Discovery Format Mapper Omf_pbio Pbio Value

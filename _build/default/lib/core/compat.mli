@@ -1,0 +1,36 @@
+(** Format-evolution compatibility analysis: what an upgraded metadata
+    document means for receivers that are already running (PBIO's
+    restricted evolution, section 6). Drives [xml2wire diff]. *)
+
+open Omf_pbio
+
+type severity =
+  | Safe  (** old receivers are unaffected *)
+  | Degraded  (** old receivers keep running but see default values *)
+  | Warning  (** values flow but may lose range or precision *)
+  | Breaking  (** same-named field can no longer be reconciled *)
+
+val severity_rank : severity -> int
+val severity_label : severity -> string
+
+type change = {
+  field : string;
+  severity : severity;
+  description : string;
+}
+
+type report = {
+  format_name : string;
+  changes : change list;  (** most severe first *)
+  verdict : severity;  (** worst severity, [Safe] when nothing changed *)
+}
+
+val diff : old_decl:Ftype.t -> new_decl:Ftype.t -> report
+
+val diff_schemas :
+  old_schema:Omf_xschema.Schema.t -> new_schema:Omf_xschema.Schema.t ->
+  report list
+(** Diff whole metadata documents; formats appearing are [Safe], formats
+    disappearing are [Breaking]. *)
+
+val pp_report : Stdlib.Format.formatter -> report -> unit

@@ -1,0 +1,151 @@
+(** Metadata discovery: finding the XML that defines message structure.
+
+    Sources are ordered fallback chains (section 3.3): a system can use
+    remote discovery as its primary method and compiled-in declarations as
+    the fault-tolerant fallback, retaining "a useful, if degraded, level
+    of functionality" when the network or metadata server is down.
+
+    A [Document] source is any producer of schema text — a local file, an
+    HTTP URL (the fetch closure comes from {!Omf_httpd}), an in-memory
+    registry, a test injector. A [Compiled] source contributes PBIO
+    declarations directly, exactly like the paper's compiled-in PBIO
+    metadata. *)
+
+open Omf_pbio
+
+let log = Logs.Src.create "omf.discovery" ~doc:"xml2wire metadata discovery"
+
+module Log = (val Logs.src_log log)
+
+type source =
+  | Document of { label : string; fetch : unit -> string }
+      (** fetch must return XML Schema text; any exception = source down *)
+  | Compiled of { label : string; decls : Ftype.t list }
+
+let source_label = function
+  | Document { label; _ } -> label
+  | Compiled { label; _ } -> label
+
+(** Convenience constructors. *)
+
+let from_string ?(label = "inline") text =
+  Document { label; fetch = (fun () -> text) }
+
+let from_file path =
+  Document
+    { label = "file:" ^ path
+    ; fetch =
+        (fun () ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))) }
+
+let from_fetcher ~label fetch = Document { label; fetch }
+let compiled ?(label = "compiled-in") decls = Compiled { label; decls }
+
+exception Discovery_failed of (string * string) list
+(** every source failed: [(source label, reason)] per attempt *)
+
+type outcome = {
+  formats : Format.t list;  (** in registration order *)
+  source : string;  (** which source won *)
+  document : string option;  (** the schema text, for [Document] sources *)
+}
+
+let register_document catalog ~label (text : string) : outcome =
+  let schema = Omf_xschema.Schema.of_string text in
+  let simple = Omf_xschema.Schema.find_simple_type schema in
+  let formats =
+    List.map
+      (fun ct ->
+        let decl = Mapper.decl_of_complex_type ~simple ct in
+        Catalog.register catalog ~source:label decl)
+      schema.Omf_xschema.Schema.types
+  in
+  { formats; source = label; document = Some text }
+
+let register_compiled catalog ~label (decls : Ftype.t list) : outcome =
+  let formats =
+    List.map (fun d -> Catalog.register catalog ~source:label d) decls
+  in
+  { formats; source = label; document = None }
+
+(** [discover catalog sources] tries each source in order and registers
+    every format the first working source defines. Raises
+    {!Discovery_failed} when all sources fail. *)
+let discover (catalog : Catalog.t) (sources : source list) : outcome =
+  if sources = [] then invalid_arg "Discovery.discover: no sources";
+  let rec go failures = function
+    | [] -> raise (Discovery_failed (List.rev failures))
+    | source :: rest -> (
+      let label = source_label source in
+      match
+        match source with
+        | Document { fetch; _ } -> register_document catalog ~label (fetch ())
+        | Compiled { decls; _ } -> register_compiled catalog ~label decls
+      with
+      | outcome ->
+        Log.info (fun m ->
+            m "discovered %d format(s) from %s"
+              (List.length outcome.formats) label);
+        outcome
+      | exception e ->
+        let reason = Printexc.to_string e in
+        Log.warn (fun m -> m "source %s failed: %s" label reason);
+        go ((label, reason) :: failures) rest)
+  in
+  go [] sources
+
+(* ------------------------------------------------------------------ *)
+(* Change tracking / re-discovery                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A watched discovery: remembers the winning document so that a later
+    [refresh] can detect metadata changes (the paper's "dynamically react
+    to message format changes") and re-register only when something
+    actually changed. *)
+type watched = {
+  catalog : Catalog.t;
+  sources : source list;
+  mutable last : outcome;
+}
+
+let watch (catalog : Catalog.t) (sources : source list) : watched =
+  { catalog; sources; last = discover catalog sources }
+
+let current (w : watched) = w.last
+
+(** [refresh w] re-runs discovery; returns [Some outcome] if the metadata
+    changed (and was re-registered), [None] if it is unchanged. A refresh
+    whose sources all fail raises {!Discovery_failed} and leaves the
+    previous registration in force. *)
+let refresh (w : watched) : outcome option =
+  let rec probe failures = function
+    | [] -> raise (Discovery_failed (List.rev failures))
+    | source :: rest -> (
+      let label = source_label source in
+      match source with
+      | Document { fetch; _ } -> (
+        match fetch () with
+        | text -> `Document (label, text)
+        | exception e ->
+          probe ((label, Printexc.to_string e) :: failures) rest)
+      | Compiled { decls; _ } -> `Compiled (label, decls))
+  in
+  match probe [] w.sources with
+  | `Document (label, text) ->
+    if w.last.document = Some text then None
+    else begin
+      let outcome = register_document w.catalog ~label text in
+      w.last <- outcome;
+      Some outcome
+    end
+  | `Compiled (label, decls) ->
+    (* compiled metadata cannot change at run time *)
+    if w.last.document = None then None
+    else begin
+      let outcome = register_compiled w.catalog ~label decls in
+      w.last <- outcome;
+      Some outcome
+    end

@@ -1,0 +1,48 @@
+(** Metadata discovery: ordered fallback chains over document producers
+    (files, HTTP fetchers, inline text) and compiled-in declarations —
+    remote discovery as the primary method, compiled-in metadata as the
+    fault-tolerant fallback (section 3.3). *)
+
+open Omf_pbio
+
+type source =
+  | Document of { label : string; fetch : unit -> string }
+      (** must return XML Schema text; any exception = source down *)
+  | Compiled of { label : string; decls : Ftype.t list }
+
+val source_label : source -> string
+
+val from_string : ?label:string -> string -> source
+val from_file : string -> source
+val from_fetcher : label:string -> (unit -> string) -> source
+val compiled : ?label:string -> Ftype.t list -> source
+
+exception Discovery_failed of (string * string) list
+(** Every source failed: [(source label, reason)] per attempt. *)
+
+type outcome = {
+  formats : Format.t list;  (** in registration order *)
+  source : string;  (** which source won *)
+  document : string option;  (** the schema text, for [Document] wins *)
+}
+
+val register_document : Catalog.t -> label:string -> string -> outcome
+val register_compiled : Catalog.t -> label:string -> Ftype.t list -> outcome
+
+val discover : Catalog.t -> source list -> outcome
+(** Try each source in order; register every format the first working
+    source defines. Raises {!Discovery_failed} when all fail. *)
+
+(** {1 Change tracking} *)
+
+type watched
+(** A discovery whose winning document is remembered so that metadata
+    changes can be detected and re-registered at run time. *)
+
+val watch : Catalog.t -> source list -> watched
+val current : watched -> outcome
+
+val refresh : watched -> outcome option
+(** Re-run discovery: [Some outcome] if the metadata changed (and was
+    re-registered), [None] if unchanged. When all sources fail, raises
+    {!Discovery_failed} and leaves the previous registration in force. *)

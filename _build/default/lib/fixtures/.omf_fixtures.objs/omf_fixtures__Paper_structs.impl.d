@@ -1,0 +1,1 @@
+lib/fixtures/paper_structs.ml: Array Format Ftype Int64 List Omf_pbio Value

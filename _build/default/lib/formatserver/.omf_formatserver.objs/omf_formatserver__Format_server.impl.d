@@ -1,0 +1,1 @@
+lib/formatserver/format_server.ml: Bytes Char Fun Hashtbl Lazy Logs Mutex Omf_pbio Omf_transport Printf String Unix

@@ -1,0 +1,1 @@
+lib/formatserver/format_server.mli: Hashtbl Mutex Omf_pbio Unix

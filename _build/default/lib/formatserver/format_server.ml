@@ -1,0 +1,205 @@
+(** A format server: the system-wide registry of format descriptors that
+    production PBIO deployments used instead of (or alongside)
+    per-connection negotiation.
+
+    Senders register a format descriptor once and receive a *global id*;
+    message headers then carry that id, and any receiver anywhere can
+    resolve it with one lookup (cached thereafter). This trades the
+    per-connection descriptor frame for a once-per-process round trip —
+    and it is precisely the "configuration server" role the paper's
+    fault-tolerance discussion assigns to compiled-in formats when the
+    network is down.
+
+    Protocol (length-prefixed frames over TCP, via {!Omf_transport.Tcp}):
+    - ['R' blob]  register a descriptor; reply ['I' id32] (idempotent:
+      re-registering the same blob returns the same id)
+    - ['G' id32]  fetch a descriptor; reply ['D' blob] or ['N'] *)
+
+let log = Logs.Src.create "omf.formatserver" ~doc:"format server"
+
+module Log = (val Logs.src_log log)
+
+exception Protocol_error of string
+
+let proto_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let u32_to_bytes v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (v land 0xFF));
+  b
+
+let u32_of_bytes b off =
+  let c i = Char.code (Bytes.get b (off + i)) in
+  (c 0 lsl 24) lor (c 1 lsl 16) lor (c 2 lsl 8) lor c 3
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Server = struct
+  type t = {
+    socket : Unix.file_descr;
+    port : int;
+    mutex : Mutex.t;
+    by_blob : (string, int) Hashtbl.t;
+    by_id : (int, string) Hashtbl.t;
+    mutable next_id : int;
+  }
+
+  let register t (blob : string) : int =
+    Mutex.lock t.mutex;
+    let id =
+      match Hashtbl.find_opt t.by_blob blob with
+      | Some id -> id
+      | None ->
+        (* reject blobs that do not decode: the server never serves junk *)
+        (try ignore (Omf_pbio.Format_codec.decode blob)
+         with Omf_pbio.Format_codec.Codec_error m ->
+           Mutex.unlock t.mutex;
+           proto_error "refusing malformed descriptor: %s" m);
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Hashtbl.replace t.by_blob blob id;
+        Hashtbl.replace t.by_id id blob;
+        Log.info (fun m -> m "registered format id %d (%d bytes)" id (String.length blob));
+        id
+    in
+    Mutex.unlock t.mutex;
+    id
+
+  let lookup t (id : int) : string option =
+    Mutex.lock t.mutex;
+    let r = Hashtbl.find_opt t.by_id id in
+    Mutex.unlock t.mutex;
+    r
+
+  let handle t (link : Omf_transport.Link.t) =
+    let rec loop () =
+      match Omf_transport.Link.recv link with
+      | None -> ()
+      | Some frame ->
+        if Bytes.length frame < 1 then proto_error "empty frame";
+        (match Bytes.get frame 0 with
+        | 'R' ->
+          let blob = Bytes.sub_string frame 1 (Bytes.length frame - 1) in
+          (match register t blob with
+          | id ->
+            Omf_transport.Link.send link
+              (Bytes.cat (Bytes.of_string "I") (u32_to_bytes id))
+          | exception Protocol_error _ ->
+            Omf_transport.Link.send link (Bytes.of_string "N"))
+        | 'G' ->
+          if Bytes.length frame < 5 then proto_error "short lookup frame";
+          let id = u32_of_bytes frame 1 in
+          (match lookup t id with
+          | Some blob ->
+            Omf_transport.Link.send link
+              (Bytes.cat (Bytes.of_string "D") (Bytes.of_string blob))
+          | None -> Omf_transport.Link.send link (Bytes.of_string "N"))
+        | k -> proto_error "unknown request kind %C" k);
+        loop ()
+    in
+    (try loop () with _ -> ());
+    Omf_transport.Link.close link
+
+  (** [start ?host ~port ()] runs a format server (ephemeral port with
+      [~port:0]); stop it with {!shutdown}. *)
+  let start ?(host = "127.0.0.1") ~port () : t =
+    (* create the table first so the accept handler can close over it *)
+    let rec t =
+      lazy
+        (let socket, bound_port =
+           Omf_transport.Tcp.listen ~host ~port (fun link ->
+               handle (Lazy.force t) link)
+         in
+         { socket; port = bound_port; mutex = Mutex.create ()
+         ; by_blob = Hashtbl.create 32; by_id = Hashtbl.create 32
+         ; next_id = 1 })
+    in
+    Lazy.force t
+
+  let shutdown t =
+    try Unix.close t.socket with Unix.Unix_error _ -> ()
+
+  (** Number of distinct formats registered so far. *)
+  let size t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.by_id in
+    Mutex.unlock t.mutex;
+    n
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type t = {
+    link : Omf_transport.Link.t;
+    mutex : Mutex.t;
+    id_cache : (string, int) Hashtbl.t;  (** blob -> global id *)
+    blob_cache : (int, string) Hashtbl.t;
+  }
+
+  exception Server_unavailable of string
+
+  let connect ?(host = "127.0.0.1") ~port () : t =
+    match Omf_transport.Tcp.connect ~host ~port () with
+    | link ->
+      { link; mutex = Mutex.create (); id_cache = Hashtbl.create 8
+      ; blob_cache = Hashtbl.create 8 }
+    | exception Omf_transport.Tcp.Tcp_error m -> raise (Server_unavailable m)
+
+  let rpc t frame =
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        Omf_transport.Link.send t.link frame;
+        match Omf_transport.Link.recv t.link with
+        | Some reply -> reply
+        | None -> raise (Server_unavailable "connection closed"))
+
+  (** [register t fmt] obtains the global id for [fmt], registering its
+      descriptor if the server has not seen it before. *)
+  let register (t : t) (fmt : Omf_pbio.Format.t) : int =
+    let blob = Omf_pbio.Format_codec.encode fmt in
+    match Hashtbl.find_opt t.id_cache blob with
+    | Some id -> id
+    | None ->
+      let reply = rpc t (Bytes.cat (Bytes.of_string "R") (Bytes.of_string blob)) in
+      if Bytes.length reply = 5 && Bytes.get reply 0 = 'I' then begin
+        let id = u32_of_bytes reply 1 in
+        Hashtbl.replace t.id_cache blob id;
+        Hashtbl.replace t.blob_cache id blob;
+        id
+      end
+      else proto_error "register: unexpected reply"
+
+  (** [fetch t id] resolves a global id to a descriptor blob ([None] if
+      the server does not know it). Suitable as the [?resolve] callback
+      of {!Omf_pbio.Pbio.Receiver.create}. *)
+  let fetch (t : t) (id : int) : string option =
+    match Hashtbl.find_opt t.blob_cache id with
+    | Some blob -> Some blob
+    | None -> (
+      match rpc t (Bytes.cat (Bytes.of_string "G") (u32_to_bytes id)) with
+      | reply when Bytes.length reply >= 1 && Bytes.get reply 0 = 'D' ->
+        let blob = Bytes.sub_string reply 1 (Bytes.length reply - 1) in
+        Hashtbl.replace t.blob_cache id blob;
+        Some blob
+      | reply when Bytes.length reply >= 1 && Bytes.get reply 0 = 'N' -> None
+      | _ -> proto_error "fetch: unexpected reply"
+      | exception Server_unavailable _ -> None)
+
+  (** A resolve callback that degrades gracefully when the server dies:
+      failed lookups return [None] and the receiver reports
+      [Unknown_format] rather than crashing. *)
+  let resolver (t : t) : int -> string option =
+    fun id -> try fetch t id with Protocol_error _ -> None
+
+  let close (t : t) = Omf_transport.Link.close t.link
+end

@@ -1,0 +1,48 @@
+(** Format server: a system-wide registry of format descriptors (the
+    role real PBIO deployments used alongside per-connection
+    negotiation). Senders register a descriptor once and get a global
+    id; message headers carry it; receivers resolve ids with one cached
+    lookup. Protocol: length-prefixed frames over TCP —
+    ['R' blob] → ['I' id32] (idempotent), ['G' id32] → ['D' blob] / ['N']. *)
+
+exception Protocol_error of string
+
+module Server : sig
+  type t = private {
+    socket : Unix.file_descr;
+    port : int;
+    mutex : Mutex.t;
+    by_blob : (string, int) Hashtbl.t;
+    by_id : (int, string) Hashtbl.t;
+    mutable next_id : int;
+  }
+
+  val start : ?host:string -> port:int -> unit -> t
+  (** [~port:0] binds an ephemeral port. *)
+
+  val shutdown : t -> unit
+
+  val size : t -> int
+  (** Distinct formats registered so far. *)
+end
+
+module Client : sig
+  type t
+
+  exception Server_unavailable of string
+
+  val connect : ?host:string -> port:int -> unit -> t
+  (** Raises {!Server_unavailable} when nothing is listening. *)
+
+  val register : t -> Omf_pbio.Format.t -> int
+  (** Obtain the global id (registering the descriptor if new). *)
+
+  val fetch : t -> int -> string option
+  (** Resolve a global id to a descriptor blob; cached. *)
+
+  val resolver : t -> int -> string option
+  (** A resolve callback for {!Omf_pbio.Pbio.Receiver.create} that
+      degrades to [None] (→ [Unknown_format]) when the server dies. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/generated/generated_asd.ml: Array Ftype Omf_pbio Value

@@ -1,0 +1,1 @@
+lib/generated/generated_asd.mli: Ftype Omf_pbio Value

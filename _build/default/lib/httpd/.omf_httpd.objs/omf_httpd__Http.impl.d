@@ -1,0 +1,1 @@
+lib/httpd/http.ml: Buffer Filename Fun List Logs Printexc Printf String Sys Thread Unix

@@ -1,0 +1,1 @@
+lib/httpd/http.mli: Unix

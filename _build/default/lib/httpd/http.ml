@@ -1,0 +1,219 @@
+(** Minimal HTTP/1.0 over TCP: enough protocol for metadata documents to
+    be "retrieved from remote locations in the same manner that web
+    browsers retrieve other XML documents" (section 7). GET only.
+
+    The server dispatches on a handler function; {!serve_table} and
+    {!serve_directory} cover the metaserver use cases. The client's
+    {!get} returns the body and doubles as the fetch closure for
+    {!Omf_xml2wire.Discovery.from_fetcher}. *)
+
+let log = Logs.Src.create "omf.http" ~doc:"mini HTTP server/client"
+
+module Log = (val Logs.src_log log)
+
+exception Http_error of string
+
+let http_error fmt = Printf.ksprintf (fun s -> raise (Http_error s)) fmt
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+let ok ?(content_type = "text/xml") body =
+  { status = 200; reason = "OK"; content_type; body }
+
+let not_found path =
+  { status = 404; reason = "Not Found"; content_type = "text/plain"
+  ; body = Printf.sprintf "no document at %s\n" path }
+
+let server_error msg =
+  { status = 500; reason = "Internal Server Error"
+  ; content_type = "text/plain"; body = msg ^ "\n" }
+
+(* ------------------------------------------------------------------ *)
+(* Wire reading helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_line_crlf (ic : in_channel) : string =
+  let b = Buffer.create 64 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> ()
+    | '\r' -> (
+      match input_char ic with
+      | '\n' -> ()
+      | c ->
+        Buffer.add_char b '\r';
+        Buffer.add_char b c;
+        go ())
+    | c ->
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let read_headers ic : (string * string) list =
+  let rec go acc =
+    let line = read_line_crlf ic in
+    if String.equal line "" then List.rev acc
+    else
+      match String.index_opt line ':' with
+      | None -> go acc (* tolerate junk header lines *)
+      | Some i ->
+        let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+        let v =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        go ((k, v) :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type handler = path:string -> headers:(string * string) list -> response
+
+let write_response oc (r : response) =
+  output_string oc
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+       r.status r.reason r.content_type (String.length r.body));
+  output_string oc r.body;
+  flush oc
+
+let handle_connection (handler : handler) fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let request_line = read_line_crlf ic in
+     let headers = read_headers ic in
+     match String.split_on_char ' ' request_line with
+     | [ "GET"; path; _ ] | [ "GET"; path ] ->
+       let resp =
+         try handler ~path ~headers
+         with e -> server_error (Printexc.to_string e)
+       in
+       Log.info (fun m -> m "GET %s -> %d" path resp.status);
+       write_response oc resp
+     | _ ->
+       write_response oc
+         { status = 400; reason = "Bad Request"; content_type = "text/plain"
+         ; body = "only GET is supported\n" }
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+type server = { socket : Unix.file_descr; port : int }
+
+(** [serve ?host ~port handler] starts an accept loop in a thread.
+    [~port:0] binds an ephemeral port; read it from the result. *)
+let serve ?(host = "127.0.0.1") ~port (handler : handler) : server =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 32;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let accept_loop () =
+    try
+      while true do
+        let fd, _ = Unix.accept sock in
+        ignore (Thread.create (handle_connection handler) fd)
+      done
+    with Unix.Unix_error _ -> ()
+  in
+  ignore (Thread.create accept_loop ());
+  { socket = sock; port = bound_port }
+
+let shutdown (s : server) =
+  try Unix.close s.socket with Unix.Unix_error _ -> ()
+
+(** Serve a fixed table of [path -> document]. *)
+let serve_table ?host ~port (table : (string * string) list) : server =
+  serve ?host ~port (fun ~path ~headers:_ ->
+      match List.assoc_opt path table with
+      | Some body -> ok body
+      | None -> not_found path)
+
+(** Serve [*.xsd] files from a directory: [/name.xsd -> dir/name.xsd]. *)
+let serve_directory ?host ~port (dir : string) : server =
+  serve ?host ~port (fun ~path ~headers:_ ->
+      let name = Filename.basename path in
+      if
+        String.equal name "" || String.contains name '/'
+        || not (Filename.check_suffix name ".xsd")
+      then not_found path
+      else
+        let file = Filename.concat dir name in
+        if Sys.file_exists file then begin
+          let ic = open_in_bin file in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          ok body
+        end
+        else not_found path)
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [get ~host ~port ~path] performs a blocking GET and returns the body.
+    Raises {!Http_error} on connection failure or non-200 status — which
+    is exactly what a {!Omf_xml2wire.Discovery} source should do so the
+    fallback chain can take over. *)
+let get ?(host = "127.0.0.1") ~port ~path () : string =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     http_error "connect %s:%d: %s" host port (Unix.error_message e));
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc
+        (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
+      flush oc;
+      let status_line = read_line_crlf ic in
+      let headers = read_headers ic in
+      let status =
+        match String.split_on_char ' ' status_line with
+        | _ :: code :: _ -> (
+          match int_of_string_opt code with
+          | Some c -> c
+          | None -> http_error "bad status line %S" status_line)
+        | _ -> http_error "bad status line %S" status_line
+      in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | Some n -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> really_input_string ic n
+          | _ -> http_error "bad content-length %S" n)
+        | None ->
+          (* HTTP/1.0: read to EOF *)
+          let b = Buffer.create 1024 in
+          (try
+             while true do
+               Buffer.add_channel b ic 1
+             done
+           with End_of_file -> ());
+          Buffer.contents b
+      in
+      if status <> 200 then http_error "GET %s: HTTP %d" path status;
+      body)
+
+(** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)
+let fetcher ?(host = "127.0.0.1") ~port ~path () : unit -> string =
+  fun () -> get ~host ~port ~path ()

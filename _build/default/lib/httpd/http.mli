@@ -1,0 +1,44 @@
+(** Minimal HTTP/1.0 over TCP (GET only): enough protocol for metadata
+    documents to be retrieved "in the same manner that web browsers
+    retrieve other XML documents" (section 7). *)
+
+exception Http_error of string
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+val ok : ?content_type:string -> string -> response
+val not_found : string -> response
+val server_error : string -> response
+
+(** {1 Server} *)
+
+type handler = path:string -> headers:(string * string) list -> response
+
+type server = { socket : Unix.file_descr; port : int }
+
+val serve : ?host:string -> port:int -> handler -> server
+(** Accept loop in a background thread; [~port:0] binds an ephemeral
+    port (read it from the result). *)
+
+val shutdown : server -> unit
+
+val serve_table : ?host:string -> port:int -> (string * string) list -> server
+(** Serve a fixed [path -> document] table. *)
+
+val serve_directory : ?host:string -> port:int -> string -> server
+(** Serve the [*.xsd] files of a directory; traversal-safe. *)
+
+(** {1 Client} *)
+
+val get : ?host:string -> port:int -> path:string -> unit -> string
+(** Blocking GET; returns the body. Raises {!Http_error} on connection
+    failure or non-200 — exactly what a discovery source should do so
+    the fallback chain can take over. *)
+
+val fetcher : ?host:string -> port:int -> path:string -> unit -> unit -> string
+(** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)

@@ -1,0 +1,1 @@
+lib/journal/journal.ml: Abi Bytes Char Format Format_codec Hashtbl Memory Native Omf_machine Omf_pbio Pbio Printf String Value

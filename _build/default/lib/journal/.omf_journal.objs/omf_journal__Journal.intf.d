@@ -1,0 +1,1 @@
+lib/journal/journal.mli: Abi Format Memory Omf_machine Omf_pbio Pbio Value

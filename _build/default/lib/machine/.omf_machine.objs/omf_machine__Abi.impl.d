@@ -1,0 +1,1 @@
+lib/machine/abi.ml: Bytes Char Endian Fmt List String

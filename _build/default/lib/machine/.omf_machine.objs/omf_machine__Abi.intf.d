@@ -1,0 +1,1 @@
+lib/machine/abi.mli: Endian Format

@@ -1,0 +1,1 @@
+lib/machine/endian.ml: Bytes Char Fmt Int32 Int64

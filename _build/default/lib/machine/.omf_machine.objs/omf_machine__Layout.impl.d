@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Abi Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/machine/layout.mli: Abi Format

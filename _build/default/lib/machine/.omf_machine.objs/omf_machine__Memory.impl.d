@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Abi Bytes Endian Int64 Printf String

@@ -1,0 +1,84 @@
+(** Byte-order primitives: read and write integers and IEEE floats of any
+    width 1..8 at arbitrary offsets in a [bytes] buffer, in either byte
+    order. All integer values travel as [int64] so that 8-byte unsigned
+    quantities round-trip losslessly (as bit patterns). *)
+
+type order = Little | Big
+
+let pp_order ppf = function
+  | Little -> Fmt.string ppf "little-endian"
+  | Big -> Fmt.string ppf "big-endian"
+
+let order_equal a b =
+  match (a, b) with Little, Little | Big, Big -> true | _ -> false
+
+(** [write_uint order buf ~off ~size v] stores the low [size] bytes of [v]
+    at [buf.[off..off+size-1]] in the given byte order. [size] must be in
+    1..8. Truncates silently (two's-complement wrap), as C stores do. *)
+let write_uint order buf ~off ~size v =
+  if size < 1 || size > 8 then invalid_arg "Endian.write_uint: size";
+  if off < 0 || off + size > Bytes.length buf then
+    invalid_arg "Endian.write_uint: bounds";
+  for i = 0 to size - 1 do
+    let shift = 8 * (match order with Little -> i | Big -> size - 1 - i) in
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL) in
+    Bytes.unsafe_set buf (off + i) (Char.unsafe_chr byte)
+  done
+
+(** [read_uint order buf ~off ~size] reads an unsigned integer (as a
+    non-negative bit pattern in the low [size] bytes of the result). *)
+let read_uint order buf ~off ~size =
+  if size < 1 || size > 8 then invalid_arg "Endian.read_uint: size";
+  if off < 0 || off + size > Bytes.length buf then
+    invalid_arg "Endian.read_uint: bounds";
+  let v = ref 0L in
+  for i = 0 to size - 1 do
+    let shift = 8 * (match order with Little -> i | Big -> size - 1 - i) in
+    let byte = Int64.of_int (Char.code (Bytes.unsafe_get buf (off + i))) in
+    v := Int64.logor !v (Int64.shift_left byte shift)
+  done;
+  !v
+
+(** [read_int order buf ~off ~size] reads a two's-complement signed integer,
+    sign-extended to 64 bits. *)
+let read_int order buf ~off ~size =
+  let v = read_uint order buf ~off ~size in
+  if size = 8 then v
+  else
+    let sign_bit = Int64.shift_left 1L ((8 * size) - 1) in
+    if Int64.logand v sign_bit <> 0L then
+      Int64.logor v (Int64.shift_left (-1L) (8 * size))
+    else v
+
+(* Signed stores are identical to unsigned stores in two's complement. *)
+let write_int = write_uint
+
+(** IEEE-754 float stores. [size] must be 4 or 8; 4-byte stores round to
+    single precision exactly as a C [float] assignment would. *)
+let write_float order buf ~off ~size v =
+  match size with
+  | 8 -> write_uint order buf ~off ~size:8 (Int64.bits_of_float v)
+  | 4 ->
+    let bits = Int64.of_int32 (Int32.bits_of_float v) in
+    write_uint order buf ~off ~size:4 (Int64.logand bits 0xFFFFFFFFL)
+  | _ -> invalid_arg "Endian.write_float: size must be 4 or 8"
+
+let read_float order buf ~off ~size =
+  match size with
+  | 8 -> Int64.float_of_bits (read_uint order buf ~off ~size:8)
+  | 4 ->
+    let bits = Int64.to_int32 (read_uint order buf ~off ~size:4) in
+    Int32.float_of_bits bits
+  | _ -> invalid_arg "Endian.read_float: size must be 4 or 8"
+
+(** [swap_in_place buf ~off ~size] reverses the [size] bytes at [off]:
+    the core of byte-order conversion for same-width transfers. *)
+let swap_in_place buf ~off ~size =
+  let i = ref off and j = ref (off + size - 1) in
+  while !i < !j do
+    let t = Bytes.get buf !i in
+    Bytes.set buf !i (Bytes.get buf !j);
+    Bytes.set buf !j t;
+    incr i;
+    decr j
+  done

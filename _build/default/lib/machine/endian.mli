@@ -1,0 +1,33 @@
+(** Byte-order primitives: integers and IEEE floats of width 1..8 at
+    arbitrary offsets in a [bytes] buffer, in either byte order. Integer
+    values travel as [int64] bit patterns so 8-byte unsigned quantities
+    round-trip losslessly. *)
+
+type order = Little | Big
+
+val pp_order : Format.formatter -> order -> unit
+val order_equal : order -> order -> bool
+
+val write_uint : order -> bytes -> off:int -> size:int -> int64 -> unit
+(** Stores the low [size] bytes (1..8) of the value; truncates silently
+    (two's-complement wrap), as C stores do. Raises [Invalid_argument] on
+    bad size or bounds. *)
+
+val read_uint : order -> bytes -> off:int -> size:int -> int64
+(** Unsigned read: non-negative bit pattern in the low [size] bytes. *)
+
+val read_int : order -> bytes -> off:int -> size:int -> int64
+(** Signed read: two's-complement, sign-extended to 64 bits. *)
+
+val write_int : order -> bytes -> off:int -> size:int -> int64 -> unit
+(** Identical to {!write_uint} (two's complement). *)
+
+val write_float : order -> bytes -> off:int -> size:int -> float -> unit
+(** IEEE-754 store; [size] must be 4 or 8. 4-byte stores round to single
+    precision exactly as a C [float] assignment would. *)
+
+val read_float : order -> bytes -> off:int -> size:int -> float
+
+val swap_in_place : bytes -> off:int -> size:int -> unit
+(** Reverses the [size] bytes at [off]: the core of byte-order conversion
+    for same-width transfers. *)

@@ -1,0 +1,135 @@
+(** Simulated process address space.
+
+    The paper's data lives in C memory: structures whose string and
+    dynamic-array fields are raw pointers into the heap. To reproduce NDR —
+    "move data directly out of memory onto the transmission medium" — we
+    give each simulated process an address space in which program data
+    exists as genuine native byte images under that process's {!Abi.t}.
+
+    Addresses are plain integers, non-zero (address 0 is the null pointer),
+    allocated from a growable arena. Reads and writes honour the owning
+    ABI's byte order via {!Endian}. *)
+
+type t = {
+  abi : Abi.t;
+  mutable arena : bytes;
+  mutable brk : int;  (** next free offset within the arena *)
+  base : int;  (** simulated address of arena offset 0; keeps 0 = NULL *)
+}
+
+let null = 0
+
+let create ?(initial_size = 4096) (abi : Abi.t) : t =
+  { abi; arena = Bytes.make initial_size '\000'; brk = 0; base = 0x1000 }
+
+let abi t = t.abi
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let offset_of_addr t addr len =
+  let off = addr - t.base in
+  if addr = null then fault "null pointer dereference"
+  else if off < 0 || off + len > t.brk then
+    fault "access [0x%x, +%d) outside allocated arena (brk=0x%x)" addr len
+      (t.base + t.brk)
+  else off
+
+let ensure_capacity t needed =
+  let cap = Bytes.length t.arena in
+  if needed > cap then begin
+    let cap' = max needed (cap * 2) in
+    let arena' = Bytes.make cap' '\000' in
+    Bytes.blit t.arena 0 arena' 0 t.brk;
+    t.arena <- arena'
+  end
+
+(** [alloc t ~align size] returns the simulated address of a fresh
+    zero-initialised block. [size = 0] is allowed (returns a unique,
+    valid-for-zero-length address). *)
+let alloc t ?(align = 8) size =
+  if size < 0 then invalid_arg "Memory.alloc: negative size";
+  let align = max 1 align in
+  let start = (t.brk + align - 1) / align * align in
+  ensure_capacity t (start + max size 1);
+  Bytes.fill t.arena start (max size 1) '\000';
+  t.brk <- start + max size 1;
+  t.base + start
+
+(* ---- raw byte access ---- *)
+
+let read_bytes t addr len =
+  let off = offset_of_addr t addr len in
+  Bytes.sub t.arena off len
+
+let write_bytes t addr (src : bytes) =
+  let off = offset_of_addr t addr (Bytes.length src) in
+  Bytes.blit src 0 t.arena off (Bytes.length src)
+
+let blit_to_buffer t addr len ~dst ~dst_off =
+  let off = offset_of_addr t addr len in
+  Bytes.blit t.arena off dst dst_off len
+
+let blit_from_buffer t ~src ~src_off ~len addr =
+  let off = offset_of_addr t addr len in
+  Bytes.blit src src_off t.arena off len
+
+(* ---- typed access in the owner's byte order ---- *)
+
+let read_uint t addr ~size =
+  let off = offset_of_addr t addr size in
+  Endian.read_uint t.abi.Abi.endianness t.arena ~off ~size
+
+let read_int t addr ~size =
+  let off = offset_of_addr t addr size in
+  Endian.read_int t.abi.Abi.endianness t.arena ~off ~size
+
+let write_uint t addr ~size v =
+  let off = offset_of_addr t addr size in
+  Endian.write_uint t.abi.Abi.endianness t.arena ~off ~size v
+
+let write_int = write_uint
+
+let read_float t addr ~size =
+  let off = offset_of_addr t addr size in
+  Endian.read_float t.abi.Abi.endianness t.arena ~off ~size
+
+let write_float t addr ~size v =
+  let off = offset_of_addr t addr size in
+  Endian.write_float t.abi.Abi.endianness t.arena ~off ~size v
+
+(* ---- pointers ---- *)
+
+let pointer_size t = Abi.size_of t.abi Abi.Pointer
+
+let read_pointer t addr = Int64.to_int (read_uint t addr ~size:(pointer_size t))
+
+let write_pointer t addr target =
+  write_uint t addr ~size:(pointer_size t) (Int64.of_int target)
+
+(* ---- C strings ---- *)
+
+(** [strlen t addr] is the length of the NUL-terminated string at [addr]. *)
+let strlen t addr =
+  let start = offset_of_addr t addr 1 in
+  match Bytes.index_from_opt t.arena start '\000' with
+  | Some nul when nul < t.brk -> nul - start
+  | Some _ | None -> fault "unterminated string at 0x%x" addr
+
+let read_cstring t addr = Bytes.to_string (read_bytes t addr (strlen t addr))
+
+(** [alloc_cstring t s] copies [s] into the heap with a NUL terminator and
+    returns its address. *)
+let alloc_cstring t s =
+  let addr = alloc t ~align:1 (String.length s + 1) in
+  write_bytes t addr (Bytes.of_string (s ^ "\000"));
+  addr
+
+(** Total bytes currently allocated — used by tests and capacity checks. *)
+let allocated_bytes t = t.brk
+
+(** [reset t] frees everything: all previously returned addresses become
+    invalid. Long-running receivers reset their scratch memory between
+    messages instead of leaking arena space. *)
+let reset t = t.brk <- 0

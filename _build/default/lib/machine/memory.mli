@@ -1,0 +1,57 @@
+(** Simulated process address space: program data exists as genuine
+    native byte images under the owning {!Abi.t} — structs with compiler
+    padding, strings and dynamic arrays as heap blocks referenced by
+    pointer-sized addresses. Address 0 is the null pointer. *)
+
+type t
+
+val null : int
+
+val create : ?initial_size:int -> Abi.t -> t
+val abi : t -> Abi.t
+
+exception Fault of string
+(** Raised on null dereference, out-of-bounds access, or an unterminated
+    string — never silent corruption. *)
+
+val alloc : t -> ?align:int -> int -> int
+(** Fresh zero-initialised block; returns its simulated address. A size
+    of 0 is allowed. *)
+
+(** {1 Raw byte access} *)
+
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+val blit_to_buffer : t -> int -> int -> dst:bytes -> dst_off:int -> unit
+val blit_from_buffer : t -> src:bytes -> src_off:int -> len:int -> int -> unit
+
+(** {1 Typed access} (in the owner's byte order) *)
+
+val read_uint : t -> int -> size:int -> int64
+val read_int : t -> int -> size:int -> int64
+val write_uint : t -> int -> size:int -> int64 -> unit
+val write_int : t -> int -> size:int -> int64 -> unit
+val read_float : t -> int -> size:int -> float
+val write_float : t -> int -> size:int -> float -> unit
+
+(** {1 Pointers and C strings} *)
+
+val pointer_size : t -> int
+val read_pointer : t -> int -> int
+val write_pointer : t -> int -> int -> unit
+
+val strlen : t -> int -> int
+(** Length of the NUL-terminated string at the address. *)
+
+val read_cstring : t -> int -> string
+
+val alloc_cstring : t -> string -> int
+(** Copies the string into the heap with a NUL terminator. *)
+
+(** {1 Lifecycle} *)
+
+val allocated_bytes : t -> int
+
+val reset : t -> unit
+(** Frees everything; previously returned addresses become invalid.
+    Long-running receivers reset scratch memory between messages. *)

@@ -1,0 +1,1 @@
+lib/pbio/convert.ml: Abi Array Bytes Endian Format Int64 Layout List Memory Omf_machine Printf

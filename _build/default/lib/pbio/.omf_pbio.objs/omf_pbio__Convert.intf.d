@@ -1,0 +1,1 @@
+lib/pbio/convert.mli: Format Memory Omf_machine

@@ -1,0 +1,1 @@
+lib/pbio/encode.ml: Abi Bytes Endian Format Int64 Layout List Memory Native Omf_machine Printf String Value

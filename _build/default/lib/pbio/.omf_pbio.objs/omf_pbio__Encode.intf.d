@@ -1,0 +1,1 @@
+lib/pbio/encode.mli: Abi Format Memory Omf_machine Value

@@ -1,0 +1,1 @@
+lib/pbio/format.ml: Abi Buffer Endian Fmt Ftype Hashtbl Layout List Omf_machine Printf String

@@ -1,0 +1,1 @@
+lib/pbio/format.mli: Abi Ftype Layout Omf_machine Stdlib

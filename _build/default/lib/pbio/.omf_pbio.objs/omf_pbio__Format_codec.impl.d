@@ -1,0 +1,1 @@
+lib/pbio/format_codec.ml: Abi Buffer Bytes Char Endian Format Ftype Hashtbl Int64 Layout List Omf_machine Printf String

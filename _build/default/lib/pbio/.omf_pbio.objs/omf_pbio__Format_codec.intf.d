@@ -1,0 +1,1 @@
+lib/pbio/format_codec.mli: Format

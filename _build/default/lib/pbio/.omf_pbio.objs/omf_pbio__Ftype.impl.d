@@ -1,0 +1,1 @@
+lib/pbio/ftype.ml: Abi Fmt List Omf_machine Printf String

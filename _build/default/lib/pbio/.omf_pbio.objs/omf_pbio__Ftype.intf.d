@@ -1,0 +1,1 @@
+lib/pbio/ftype.mli: Abi Omf_machine Stdlib

@@ -1,0 +1,1 @@
+lib/pbio/native.ml: Abi Array Bytes Char Format Int64 Layout List Memory Omf_machine Option Printf String Value

@@ -1,0 +1,1 @@
+lib/pbio/native.mli: Format Memory Omf_machine Value

@@ -1,0 +1,1 @@
+lib/pbio/pbio.ml: Abi Bytes Convert Encode Format Format_codec Ftype Hashtbl Memory Native Omf_machine Printf Value Wire

@@ -1,0 +1,1 @@
+lib/pbio/pbio.mli: Abi Convert Encode Format Format_codec Ftype Memory Native Omf_machine Value Wire

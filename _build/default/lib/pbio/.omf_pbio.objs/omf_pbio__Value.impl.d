@@ -1,0 +1,1 @@
+lib/pbio/value.ml: Array Char Fmt Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/pbio/value.mli: Stdlib

@@ -1,0 +1,1 @@
+lib/pbio/wire.ml: Abi Bytes Char Endian Format Int64 Layout Omf_machine Option Printf String

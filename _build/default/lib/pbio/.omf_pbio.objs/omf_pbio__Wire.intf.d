@@ -1,0 +1,1 @@
+lib/pbio/wire.mli: Format

@@ -1,0 +1,476 @@
+(** Receiver-side conversion from NDR wire payloads to native memory.
+
+    When sender and receiver layouts differ (byte order, primitive widths,
+    padding, pointer sizes), the receiver converts. The paper does this
+    with custom routines "created on-the-fly through dynamic code
+    generation"; our analogue compiles, once per (wire format, native
+    format) pair, a flat *plan* — an array of low-level ops executed by a
+    tight interpreter loop. A coalescing pass merges runs of
+    conversion-free fields into single blits, so the homogeneous case
+    degenerates to one [Blit] plus pointer fixups, i.e. the
+    "directly from the transmission medium into memory" fast path.
+
+    Field matching is by name (PBIO's restricted format evolution):
+    wire-only fields are ignored; native-only fields stay zero. *)
+
+open Omf_machine
+
+exception Field_mismatch of string
+exception Decode_error of string
+
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Field_mismatch s)) fmt
+let dec_error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+type num_kind =
+  | Ksint  (** sign-extend when widening *)
+  | Kuint  (** zero-extend *)
+  | Kfloat  (** IEEE re-encode when resizing *)
+
+type count_src =
+  | Wire_field of { off : int; size : int }
+      (** count read from the wire record (relative to current src base) *)
+
+type op =
+  | Blit of { s_off : int; d_off : int; len : int }
+      (** verbatim copy: layouts and byte order agree over this range *)
+  | Num of { s_off : int; s_size : int; d_off : int; d_size : int; kind : num_kind }
+  | Str of { s_off : int; d_off : int }
+      (** string pointer slot: wire offset -> fresh heap block *)
+  | Loop of {
+      count : int;
+      s_off : int;
+      d_off : int;
+      s_stride : int;
+      d_stride : int;
+      body : op array;
+    }  (** inline (fixed) array whose elements need per-element work *)
+  | Var_array of {
+      s_slot : int;
+      d_slot : int;
+      count : count_src;
+      s_stride : int;
+      d_stride : int;
+      d_align : int;
+      body : op array;
+      bulk : int;
+          (** when >= 0, every element is a verbatim copy of [bulk] bytes
+              and the whole array is copied with one blit *)
+    }
+
+type t = {
+  wire_name : string;
+  wire_endian : Endian.order;
+  wire_ptr_size : int;
+  dst_size : int;
+  dst_align : int;
+  ops : op array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let num_kind_of (wf : Format.rfield) (nf : Format.rfield) : num_kind =
+  match (wf.Format.rf_elem, nf.Format.rf_elem) with
+  | Format.Rfloat _, Format.Rfloat _ -> Kfloat
+  | Format.Rint { signed; _ }, Format.Rint _ -> if signed then Ksint else Kuint
+  | Format.Rchar, Format.Rchar -> Kuint
+  | _ ->
+    mismatch "field %S: wire and native element kinds disagree" nf.Format.rf_name
+
+let elem_class = function
+  | Format.Rint _ -> `Num
+  | Format.Rfloat _ -> `Num
+  | Format.Rchar -> `Num
+  | Format.Rstring -> `String
+  | Format.Rnested _ -> `Nested
+
+(* Offset all ops in a compiled sub-plan; used to splice nested structs
+   inline into the parent plan (flat plans run faster than recursion).
+   Loop / Var_array bodies are element-relative and are left untouched. *)
+let offset_ops (ops : op array) ~ds ~dd : op array =
+  Array.map
+    (function
+      | Blit b -> Blit { b with s_off = b.s_off + ds; d_off = b.d_off + dd }
+      | Num n -> Num { n with s_off = n.s_off + ds; d_off = n.d_off + dd }
+      | Str s -> Str { s_off = s.s_off + ds; d_off = s.d_off + dd }
+      | Loop l -> Loop { l with s_off = l.s_off + ds; d_off = l.d_off + dd }
+      | Var_array v ->
+        let count =
+          match v.count with
+          | Wire_field w -> Wire_field { w with off = w.off + ds }
+        in
+        Var_array { v with s_slot = v.s_slot + ds; d_slot = v.d_slot + dd; count })
+    ops
+
+(** Coalesce adjacent conversion-free ops into [Blit]s. Two consecutive
+    copy-ops merge when the gap between them is the same on both sides
+    (the gap is padding; copying it verbatim is harmless, exactly as a C
+    [memcpy] of the whole struct would). *)
+let coalesce ~(same_order : bool) (ops : op list) : op array =
+  let copyable = function
+    | Blit { s_off; d_off; len } -> Some (s_off, d_off, len)
+    | Num { s_off; s_size; d_off; d_size; kind } ->
+      (* a Num is a plain copy if sizes match and no byte-swap is needed;
+         float bits copy fine when same width & order *)
+      if s_size = d_size && (same_order || s_size = 1) then
+        (match kind with Ksint | Kuint | Kfloat -> Some (s_off, d_off, s_size))
+      else None
+    | Str _ | Loop _ | Var_array _ -> None
+  in
+  let rec go acc pending = function
+    | [] -> (
+      match pending with
+      | Some (s, d, l) -> List.rev (Blit { s_off = s; d_off = d; len = l } :: acc)
+      | None -> List.rev acc)
+    | op :: rest -> (
+      match (copyable op, pending) with
+      | Some (s, d, l), None -> go acc (Some (s, d, l)) rest
+      | Some (s, d, l), Some (ps, pd, pl) ->
+        if s >= ps + pl && s - ps = d - pd then
+          (* same relative position: extend the blit across the gap *)
+          go acc (Some (ps, pd, s + l - ps)) rest
+        else
+          go (Blit { s_off = ps; d_off = pd; len = pl } :: acc) (Some (s, d, l)) rest
+      | None, Some (ps, pd, pl) ->
+        go (op :: Blit { s_off = ps; d_off = pd; len = pl } :: acc) None rest
+      | None, None -> go (op :: acc) None rest)
+  in
+  Array.of_list (go [] None ops)
+
+(* If [body] (already coalesced) is one verbatim copy starting at element
+   offset 0 with identical strides, the whole array can be copied in one
+   blit of [(count-1) * stride + len] bytes (interior padding is copied
+   verbatim, exactly as a C memcpy of the array would). Returns the
+   per-element copy length, or -1 when per-element work is needed. *)
+let bulk_copy_length ~s_stride ~d_stride (body : op array) : int =
+  if s_stride <> d_stride then -1
+  else
+    match body with
+    | [| Blit { s_off = 0; d_off = 0; len } |] when len <= s_stride -> len
+    | _ -> -1
+
+let rec compile_record ~optimize ~(wire : Format.t) ~(native : Format.t) :
+    op array =
+  let same_order =
+    Endian.order_equal wire.Format.abi.Abi.endianness
+      native.Format.abi.Abi.endianness
+  in
+  let native_abi = native.Format.abi in
+  let ops =
+    List.filter_map
+      (fun (nf : Format.rfield) ->
+        match Format.find_field wire nf.Format.rf_name with
+        | None -> None (* native-only field: stays zero *)
+        | Some wf ->
+          Some
+            (compile_field ~optimize ~wire ~native ~same_order ~wf ~nf
+               ~native_abi))
+      native.Format.fields
+    |> List.concat
+  in
+  if optimize then coalesce ~same_order ops else Array.of_list ops
+
+and compile_field ~optimize ~wire ~native ~same_order ~(wf : Format.rfield)
+    ~(nf : Format.rfield) ~native_abi : op list =
+  ignore native;
+  let s_off = wf.Format.rf_layout.Layout.offset in
+  let d_off = nf.Format.rf_layout.Layout.offset in
+  let s_size = wf.Format.rf_layout.Layout.elem_size in
+  let d_size = nf.Format.rf_layout.Layout.elem_size in
+  let scalar_ops () : op list =
+    match (elem_class wf.Format.rf_elem, elem_class nf.Format.rf_elem) with
+    | `Num, `Num ->
+      [ Num { s_off = 0; s_size; d_off = 0; d_size; kind = num_kind_of wf nf } ]
+    | `String, `String -> [ Str { s_off = 0; d_off = 0 } ]
+    | `Nested, `Nested -> (
+      match (wf.Format.rf_elem, nf.Format.rf_elem) with
+      | Format.Rnested wn, Format.Rnested nn ->
+        Array.to_list (compile_record ~optimize ~wire:wn ~native:nn)
+      | _ -> assert false)
+    | _ ->
+      mismatch "field %S: wire is %s-like, native is %s-like"
+        nf.Format.rf_name
+        (match elem_class wf.Format.rf_elem with
+        | `Num -> "numeric" | `String -> "string" | `Nested -> "struct")
+        (match elem_class nf.Format.rf_elem with
+        | `Num -> "numeric" | `String -> "string" | `Nested -> "struct")
+  in
+  let elem_align_native () =
+    match nf.Format.rf_elem with
+    | Format.Rint { prim; _ } | Format.Rfloat prim -> Abi.align_of native_abi prim
+    | Format.Rchar -> 1
+    | Format.Rstring -> Abi.align_of native_abi Abi.Pointer
+    | Format.Rnested n -> n.Format.layout.Layout.struct_align
+  in
+  match (wf.Format.rf_dim, nf.Format.rf_dim) with
+  | Format.Rscalar, Format.Rscalar ->
+    Array.to_list (offset_ops (Array.of_list (scalar_ops ())) ~ds:s_off ~dd:d_off)
+  | Format.Rfixed wn, Format.Rfixed nn ->
+    let count = min wn nn in
+    let body =
+      if optimize then coalesce ~same_order (scalar_ops ())
+      else Array.of_list (scalar_ops ())
+    in
+    let bulk =
+      if optimize then bulk_copy_length ~s_stride:s_size ~d_stride:d_size body
+      else -1
+    in
+    if bulk >= 0 then
+      (* fold the whole inline array into one blit *)
+      [ Blit { s_off; d_off; len = ((count - 1) * s_size) + bulk } ]
+    else
+      [ Loop { count; s_off; d_off; s_stride = s_size; d_stride = d_size; body } ]
+  | Format.Rvar w_control, Format.Rvar _ ->
+    let count_field =
+      match Format.find_field wire w_control with
+      | Some cf -> cf
+      | None -> assert false
+    in
+    let body =
+      if optimize then coalesce ~same_order (scalar_ops ())
+      else Array.of_list (scalar_ops ())
+    in
+    let bulk =
+      if optimize then bulk_copy_length ~s_stride:s_size ~d_stride:d_size body
+      else -1
+    in
+    [ Var_array
+        { s_slot = s_off; d_slot = d_off
+        ; count =
+            Wire_field
+              { off = count_field.Format.rf_layout.Layout.offset
+              ; size = count_field.Format.rf_layout.Layout.elem_size }
+        ; s_stride = s_size; d_stride = d_size
+        ; d_align = elem_align_native (); body; bulk } ]
+  | _ ->
+    mismatch "field %S: wire and native dimensions disagree (fixed/var/scalar)"
+      nf.Format.rf_name
+
+let compile_with ~optimize ~(wire : Format.t) ~(native : Format.t) : t =
+  { wire_name = wire.Format.name
+  ; wire_endian = wire.Format.abi.Abi.endianness
+  ; wire_ptr_size = Abi.size_of wire.Format.abi Abi.Pointer
+  ; dst_size = native.Format.layout.Layout.size
+  ; dst_align = native.Format.layout.Layout.struct_align
+  ; ops = compile_record ~optimize ~wire ~native }
+
+(** [compile ~wire ~native] builds the conversion plan. Raises
+    {!Field_mismatch} when a same-named field is structurally
+    irreconcilable. *)
+let compile ~wire ~native : t = compile_with ~optimize:true ~wire ~native
+
+(** [compile_unoptimized] skips blit coalescing and bulk array copies —
+    the ablation knob for measuring what those passes are worth (bench
+    A2). Semantics are identical to {!compile}. *)
+let compile_unoptimized ~wire ~native : t =
+  compile_with ~optimize:false ~wire ~native
+
+(** Number of primitive ops — exposed so tests can assert that the
+    homogeneous plan really collapses to a single blit. *)
+let op_count (t : t) : int = Array.length t.ops
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let payload_strlen (payload : bytes) (off : int) : int =
+  let len = Bytes.length payload in
+  let rec go i =
+    if i >= len then dec_error "unterminated string at payload offset %d" off
+    else if Bytes.get payload i = '\000' then i - off
+    else go (i + 1)
+  in
+  if off < 0 || off >= len then dec_error "string offset %d out of payload" off;
+  go off
+
+let check_range payload off len what =
+  if off < 0 || len < 0 || off + len > Bytes.length payload then
+    dec_error "%s [%d, +%d) escapes payload of %d bytes" what off len
+      (Bytes.length payload)
+
+(** Execute [plan] over [payload], materialising a native struct in [mem]
+    at [d_base] (an allocated, zeroed block of [plan.dst_size] bytes). *)
+let rec exec_ops (plan : t) (payload : bytes) (s_base : int) (mem : Memory.t)
+    (d_base : int) (ops : op array) : unit =
+  let we = plan.wire_endian in
+  let wp = plan.wire_ptr_size in
+  Array.iter
+    (fun op ->
+      match op with
+      | Blit { s_off; d_off; len } ->
+        check_range payload (s_base + s_off) len "blit";
+        Memory.blit_from_buffer mem ~src:payload ~src_off:(s_base + s_off) ~len
+          (d_base + d_off)
+      | Num { s_off; s_size; d_off; d_size; kind } -> (
+        let src = s_base + s_off in
+        check_range payload src s_size "number";
+        match kind with
+        | Ksint ->
+          let v = Endian.read_int we payload ~off:src ~size:s_size in
+          Memory.write_int mem (d_base + d_off) ~size:d_size v
+        | Kuint ->
+          let v = Endian.read_uint we payload ~off:src ~size:s_size in
+          Memory.write_uint mem (d_base + d_off) ~size:d_size v
+        | Kfloat ->
+          let v = Endian.read_float we payload ~off:src ~size:s_size in
+          Memory.write_float mem (d_base + d_off) ~size:d_size v)
+      | Str { s_off; d_off } ->
+        let slot = s_base + s_off in
+        check_range payload slot wp "string pointer";
+        let woff = Int64.to_int (Endian.read_uint we payload ~off:slot ~size:wp) in
+        if woff = 0 then Memory.write_pointer mem (d_base + d_off) Memory.null
+        else begin
+          let len = payload_strlen payload woff in
+          let s = Bytes.sub_string payload woff len in
+          Memory.write_pointer mem (d_base + d_off) (Memory.alloc_cstring mem s)
+        end
+      | Loop { count; s_off; d_off; s_stride; d_stride; body } ->
+        for i = 0 to count - 1 do
+          exec_ops plan payload
+            (s_base + s_off + (i * s_stride))
+            mem
+            (d_base + d_off + (i * d_stride))
+            body
+        done
+      | Var_array
+          { s_slot; d_slot; count; s_stride; d_stride; d_align; body; bulk } ->
+        let n =
+          match count with
+          | Wire_field { off; size } ->
+            let v = Endian.read_int we payload ~off:(s_base + off) ~size in
+            if Int64.compare v 0L < 0 || Int64.compare v 0x7FFFFFFFL > 0 then
+              dec_error "dynamic array count %Ld out of range" v;
+            Int64.to_int v
+        in
+        if n = 0 then Memory.write_pointer mem (d_base + d_slot) Memory.null
+        else begin
+          let slot = s_base + s_slot in
+          check_range payload slot wp "array pointer";
+          let woff =
+            Int64.to_int (Endian.read_uint we payload ~off:slot ~size:wp)
+          in
+          check_range payload woff (n * s_stride) "dynamic array";
+          let block = Memory.alloc mem ~align:d_align (n * d_stride) in
+          Memory.write_pointer mem (d_base + d_slot) block;
+          if bulk >= 0 then begin
+            (* conversion-free elements: one blit for the whole array *)
+            let len = ((n - 1) * s_stride) + bulk in
+            Memory.blit_from_buffer mem ~src:payload ~src_off:woff ~len block
+          end
+          else
+            for i = 0 to n - 1 do
+              exec_ops plan payload
+                (woff + (i * s_stride))
+                mem
+                (block + (i * d_stride))
+                body
+            done
+        end)
+    ops
+
+(** [run plan payload mem] allocates the destination struct and executes
+    the plan, returning the new struct's address. *)
+let run (plan : t) (payload : bytes) (mem : Memory.t) : int =
+  let d_base = Memory.alloc mem ~align:plan.dst_align (max plan.dst_size 1) in
+  exec_ops plan payload 0 mem d_base plan.ops;
+  d_base
+
+(* ------------------------------------------------------------------ *)
+(* Interpreted baseline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-record metadata interpretation: no compiled plan; every record
+    walks the two format descriptions, looking fields up by name. This is
+    the strawman the paper's dynamic code generation is measured against
+    (bench E2). Semantics are identical to [compile]+[run]. *)
+let interpret ~(wire : Format.t) ~(native : Format.t) (payload : bytes)
+    (mem : Memory.t) : int =
+  let we = wire.Format.abi.Abi.endianness in
+  let wp = Abi.size_of wire.Format.abi Abi.Pointer in
+  let native_abi = native.Format.abi in
+  let rec record (wire : Format.t) (native : Format.t) s_base d_base =
+    List.iter
+      (fun (nf : Format.rfield) ->
+        match Format.find_field wire nf.Format.rf_name with
+        | None -> ()
+        | Some wf -> field wire wf nf s_base d_base)
+      native.Format.fields
+  and field (wire : Format.t) (wf : Format.rfield) (nf : Format.rfield)
+      s_base d_base =
+    let s_off = s_base + wf.Format.rf_layout.Layout.offset in
+    let d_off = d_base + nf.Format.rf_layout.Layout.offset in
+    let s_size = wf.Format.rf_layout.Layout.elem_size in
+    let d_size = nf.Format.rf_layout.Layout.elem_size in
+    let scalar s d =
+      match (wf.Format.rf_elem, nf.Format.rf_elem) with
+      | Format.Rint { signed; _ }, Format.Rint _ ->
+        let v =
+          if signed then Endian.read_int we payload ~off:s ~size:s_size
+          else Endian.read_uint we payload ~off:s ~size:s_size
+        in
+        Memory.write_int mem d ~size:d_size v
+      | Format.Rfloat _, Format.Rfloat _ ->
+        Memory.write_float mem d ~size:d_size
+          (Endian.read_float we payload ~off:s ~size:s_size)
+      | Format.Rchar, Format.Rchar ->
+        Memory.write_uint mem d ~size:1
+          (Endian.read_uint we payload ~off:s ~size:1)
+      | Format.Rstring, Format.Rstring ->
+        let woff = Int64.to_int (Endian.read_uint we payload ~off:s ~size:wp) in
+        if woff = 0 then Memory.write_pointer mem d Memory.null
+        else begin
+          let len = payload_strlen payload woff in
+          Memory.write_pointer mem d
+            (Memory.alloc_cstring mem (Bytes.sub_string payload woff len))
+        end
+      | Format.Rnested wn, Format.Rnested nn -> record wn nn s d
+      | _ -> mismatch "field %S: incompatible kinds" nf.Format.rf_name
+    in
+    match (wf.Format.rf_dim, nf.Format.rf_dim) with
+    | Format.Rscalar, Format.Rscalar -> scalar s_off d_off
+    | Format.Rfixed wn, Format.Rfixed nn ->
+      for i = 0 to min wn nn - 1 do
+        scalar (s_off + (i * s_size)) (d_off + (i * d_size))
+      done
+    | Format.Rvar w_control, Format.Rvar _ ->
+      let cf =
+        match Format.find_field wire w_control with
+        | Some cf -> cf
+        | None -> assert false
+      in
+      let n =
+        Int64.to_int
+          (Endian.read_int we payload
+             ~off:(s_base + cf.Format.rf_layout.Layout.offset)
+             ~size:cf.Format.rf_layout.Layout.elem_size)
+      in
+      if n = 0 then Memory.write_pointer mem d_off Memory.null
+      else begin
+        let woff =
+          Int64.to_int (Endian.read_uint we payload ~off:s_off ~size:wp)
+        in
+        check_range payload woff (n * s_size) "dynamic array";
+        let align =
+          match nf.Format.rf_elem with
+          | Format.Rint { prim; _ } | Format.Rfloat prim ->
+            Abi.align_of native_abi prim
+          | Format.Rchar -> 1
+          | Format.Rstring -> Abi.align_of native_abi Abi.Pointer
+          | Format.Rnested nested -> nested.Format.layout.Layout.struct_align
+        in
+        let block = Memory.alloc mem ~align (n * d_size) in
+        Memory.write_pointer mem d_off block;
+        for i = 0 to n - 1 do
+          scalar (woff + (i * s_size)) (block + (i * d_size))
+        done
+      end
+    | _ -> mismatch "field %S: dimensions disagree" nf.Format.rf_name
+  in
+  let d_base =
+    Memory.alloc mem
+      ~align:native.Format.layout.Layout.struct_align
+      (max native.Format.layout.Layout.size 1)
+  in
+  record wire native 0 d_base;
+  d_base

@@ -1,0 +1,39 @@
+(** Receiver-side conversion from NDR wire payloads to native memory.
+
+    A plan is compiled once per (wire format, native format) pair — the
+    analogue of the paper's dynamic code generation — and executed by a
+    tight loop; a coalescing pass merges conversion-free field runs into
+    single blits so the homogeneous case degenerates to one copy plus
+    pointer fixups. Field matching is by name (PBIO's restricted format
+    evolution): wire-only fields are ignored, native-only fields stay
+    zero. *)
+
+open Omf_machine
+
+exception Field_mismatch of string
+(** Same-named fields that are structurally irreconcilable
+    (string vs number, scalar vs array). *)
+
+exception Decode_error of string
+(** Malformed or malicious payload: offsets or counts escaping the
+    buffer, unterminated strings. *)
+
+type t
+(** A compiled conversion plan. *)
+
+val compile : wire:Format.t -> native:Format.t -> t
+val compile_unoptimized : wire:Format.t -> native:Format.t -> t
+(** Same semantics as {!compile}, without blit coalescing or bulk array
+    copies — the ablation knob (bench A2). *)
+
+val op_count : t -> int
+(** Primitive ops in the plan (1 = pure blit) — exposed so tests can
+    assert the homogeneous collapse. *)
+
+val run : t -> bytes -> Memory.t -> int
+(** Allocate the destination struct in the memory, execute the plan over
+    the payload, return the struct's address. *)
+
+val interpret : wire:Format.t -> native:Format.t -> bytes -> Memory.t -> int
+(** Per-record metadata interpretation (no compiled plan): the baseline
+    the DCG approach is measured against. Identical semantics. *)

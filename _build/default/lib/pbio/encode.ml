@@ -1,0 +1,169 @@
+(** NDR (Natural Data Representation) encoding.
+
+    The sender's native bytes go onto the wire unchanged: the payload is
+    the struct's base image (including compiler padding) followed by the
+    transitive closure of its heap blocks (strings, dynamic arrays), with
+    every pointer slot rewritten to a payload-relative offset — written in
+    the *sender's* pointer width and byte order, because the whole point is
+    that the sender does no conversion work at all. *)
+
+open Omf_machine
+
+exception Encode_error of string
+
+let enc_error fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+(* Growable byte sink with random-access patching (Buffer can't patch). *)
+module Wbuf = struct
+  type t = { mutable data : bytes; mutable len : int }
+
+  let create n = { data = Bytes.make (max n 64) '\000'; len = 0 }
+
+  let ensure t needed =
+    if needed > Bytes.length t.data then begin
+      let cap = max needed (2 * Bytes.length t.data) in
+      let data = Bytes.make cap '\000' in
+      Bytes.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  (** Append [len] zero bytes, returning the offset of the block. *)
+  let reserve t len =
+    ensure t (t.len + len);
+    let off = t.len in
+    Bytes.fill t.data off len '\000';
+    t.len <- t.len + len;
+    off
+
+  let append_mem t mem addr len =
+    let off = reserve t len in
+    Memory.blit_to_buffer mem addr len ~dst:t.data ~dst_off:off;
+    off
+
+  let append_string t s =
+    let off = reserve t (String.length s) in
+    Bytes.blit_string s 0 t.data off (String.length s);
+    off
+
+  let patch_uint t ~order ~off ~size v =
+    Endian.write_uint order t.data ~off ~size v
+
+  let contents t = Bytes.sub t.data 0 t.len
+end
+
+let read_count mem (fmt : Format.t) addr control =
+  match Format.find_field fmt control with
+  | Some cf ->
+    let n =
+      Memory.read_int mem
+        (addr + cf.Format.rf_layout.Layout.offset)
+        ~size:cf.Format.rf_layout.Layout.elem_size
+    in
+    if Int64.compare n 0L < 0 then
+      enc_error "format %s: negative dynamic array count %Ld in %S"
+        fmt.Format.name n control;
+    Int64.to_int n
+  | None -> assert false
+
+(** Copy the record at [src_addr] into [buf] and recursively append its
+    heap blocks, patching pointer slots to payload offsets. *)
+let rec emit_record buf mem (fmt : Format.t) src_addr : int =
+  let base = Wbuf.append_mem buf mem src_addr fmt.Format.layout.Layout.size in
+  patch_record buf mem fmt src_addr base;
+  base
+
+and patch_record buf mem (fmt : Format.t) src_addr base =
+  let order = (Memory.abi mem).Abi.endianness in
+  let ptr_size = Abi.size_of (Memory.abi mem) Abi.Pointer in
+  (* [at] is an absolute offset of a pointer slot within the payload *)
+  let patch_pointer ~at v =
+    Wbuf.patch_uint buf ~order ~off:at ~size:ptr_size (Int64.of_int v)
+  in
+  let emit_string ~at src_slot =
+    let ptr = Memory.read_pointer mem src_slot in
+    if ptr = Memory.null then patch_pointer ~at 0
+    else begin
+      let s = Memory.read_cstring mem ptr in
+      let off = Wbuf.append_string buf (s ^ "\000") in
+      patch_pointer ~at off
+    end
+  in
+  List.iter
+    (fun (f : Format.rfield) ->
+      let foff = f.Format.rf_layout.Layout.offset in
+      let elem_size = f.Format.rf_layout.Layout.elem_size in
+      match (f.Format.rf_dim, f.Format.rf_elem) with
+      | Format.Rscalar, Format.Rstring ->
+        emit_string ~at:(base + foff) (src_addr + foff)
+      | Format.Rscalar, Format.Rnested nested ->
+        patch_record buf mem nested (src_addr + foff) (base + foff)
+      | Format.Rfixed n, Format.Rstring ->
+        for i = 0 to n - 1 do
+          emit_string
+            ~at:(base + foff + (i * elem_size))
+            (src_addr + foff + (i * elem_size))
+        done
+      | Format.Rfixed n, Format.Rnested nested ->
+        for i = 0 to n - 1 do
+          patch_record buf mem nested
+            (src_addr + foff + (i * elem_size))
+            (base + foff + (i * elem_size))
+        done
+      | Format.Rvar control, elem -> (
+        let count = read_count mem fmt src_addr control in
+        let ptr = Memory.read_pointer mem (src_addr + foff) in
+        if count = 0 || ptr = Memory.null then begin
+          if count <> 0 then
+            enc_error "format %s: %S has count %d but a null data pointer"
+              fmt.Format.name f.Format.rf_name count;
+          patch_pointer ~at:(base + foff) 0
+        end
+        else begin
+          let data = Wbuf.append_mem buf mem ptr (count * elem_size) in
+          patch_pointer ~at:(base + foff) data;
+          match elem with
+          | Format.Rnested nested ->
+            for i = 0 to count - 1 do
+              patch_record buf mem nested
+                (ptr + (i * elem_size))
+                (data + (i * elem_size))
+            done
+          | Format.Rstring ->
+            (* char**: each element of the copied pointer block is itself
+               a string pointer needing emission and fixup *)
+            for i = 0 to count - 1 do
+              emit_string
+                ~at:(data + (i * elem_size))
+                (ptr + (i * elem_size))
+            done
+          | Format.Rint _ | Format.Rfloat _ | Format.Rchar -> ()
+        end)
+      | Format.Rscalar, (Format.Rint _ | Format.Rfloat _ | Format.Rchar)
+      | Format.Rfixed _, (Format.Rint _ | Format.Rfloat _ | Format.Rchar) ->
+        (* plain data: already present in the base copy *)
+        ())
+    fmt.Format.fields
+
+(** [payload mem fmt addr] encodes the struct at [addr] to an NDR payload
+    (no message header; see {!Wire} for framing). *)
+let payload (mem : Memory.t) (fmt : Format.t) (addr : int) : bytes =
+  (* physical equality covers the hot path; the structural check is only
+     for formats registered under a different-but-equal ABI profile *)
+  if
+    Memory.abi mem != fmt.Format.abi
+    && not (Abi.layout_equal (Memory.abi mem) fmt.Format.abi)
+  then
+    enc_error "format %s was registered for ABI %s but memory uses %s"
+      fmt.Format.name fmt.Format.abi.Abi.name (Memory.abi mem).Abi.name;
+  let buf = Wbuf.create ((fmt.Format.layout.Layout.size * 2) + 256) in
+  let base = emit_record buf mem fmt addr in
+  assert (base = 0);
+  Wbuf.contents buf
+
+(** One-shot convenience: bind [record] in a scratch memory and encode it.
+    Production senders keep their data in a long-lived {!Memory.t} and call
+    {!payload}; this exists for tests and examples. *)
+let payload_of_value (abi : Abi.t) (fmt : Format.t) (record : Value.t) : bytes =
+  let mem = Memory.create abi in
+  let addr = Native.store mem fmt record in
+  payload mem fmt addr

@@ -1,0 +1,17 @@
+(** NDR (Natural Data Representation) encoding: the payload is the
+    sender's struct base image (padding included) followed by the
+    transitive closure of its heap blocks, with pointer slots rewritten
+    to payload-relative offsets in the sender's own pointer width and
+    byte order. The sender converts nothing. *)
+
+open Omf_machine
+
+exception Encode_error of string
+
+val payload : Memory.t -> Format.t -> int -> bytes
+(** Encode the struct at the given address (no header; see {!Wire}).
+    Raises {!Encode_error} if the memory's ABI does not match the
+    format's, or on inconsistent dynamic-array state. *)
+
+val payload_of_value : Abi.t -> Format.t -> Value.t -> bytes
+(** One-shot convenience (scratch memory) for tests and examples. *)

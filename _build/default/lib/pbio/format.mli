@@ -1,0 +1,71 @@
+(** Registered message formats and the per-process format registry: a
+    declaration resolved against previously registered formats (the
+    Catalog role), laid out for the registry's {!Omf_machine.Abi.t}, and
+    assigned the format id that travels in message headers. *)
+
+open Omf_machine
+
+exception Registration_error of string
+
+type relem =
+  | Rint of { prim : Abi.prim; signed : bool }
+  | Rfloat of Abi.prim
+  | Rchar
+  | Rstring
+  | Rnested of t
+
+and rdim =
+  | Rscalar
+  | Rfixed of int
+  | Rvar of string  (** control field name (same record) *)
+
+and rfield = {
+  rf_name : string;
+  rf_elem : relem;
+  rf_dim : rdim;
+  rf_layout : Layout.field;  (** offsets / sizes under [abi] *)
+}
+
+and t = {
+  name : string;
+  id : int;  (** registry-assigned; wire-side formats carry the peer's *)
+  abi : Abi.t;
+  fields : rfield list;
+  layout : Layout.t;
+  decl : Ftype.t;  (** the logical declaration this was resolved from *)
+}
+
+val resolve : abi:Abi.t -> id:int -> (string -> t option) -> Ftype.t -> t
+(** Resolve and lay out a declaration; [lookup] supplies nested formats.
+    Raises {!Registration_error} on unknown nested formats, missing or
+    non-integer control fields, or empty declarations. *)
+
+val find_field : t -> string -> rfield option
+val struct_size : t -> int
+
+val layout_signature : t -> string
+(** Stable signature of the physical layout: equal signatures mean
+    byte-identical native images for equal logical data (the
+    zero-conversion fast path). *)
+
+val same_wire_layout : t -> t -> bool
+
+val pp_io_fields : Stdlib.Format.formatter -> t -> unit
+(** Render as PBIO IOField rows (compare the paper's Figures 5/8/11). *)
+
+(** Per-process registry. *)
+module Registry : sig
+  type format = t
+  type t
+
+  val create : Abi.t -> t
+  val abi : t -> Abi.t
+  val find : t -> string -> format option
+  val find_by_id : t -> int -> format option
+
+  val register : t -> Ftype.t -> format
+  (** Resolves nested references against current contents (Catalog
+      ordering); re-registering a name replaces it (run-time upgrade). *)
+
+  val all : t -> format list
+end

@@ -1,0 +1,13 @@
+(** Binary serialisation of format descriptors — sent once per
+    (connection, format) during negotiation, or registered with a format
+    server. Records the sender-side physical layout plus the logical
+    declaration, nested formats embedded recursively. Decoding
+    cross-checks the transmitted offsets against a recomputation under
+    the reconstructed ABI, so corrupt descriptors are rejected rather
+    than mis-read. *)
+
+exception Codec_error of string
+
+val encode : Format.t -> string
+val decode : string -> Format.t
+(** Raises {!Codec_error} on malformed input. *)

@@ -1,0 +1,120 @@
+(** Field and format *declarations*: the logical message description that
+    both compiled-in metadata (the paper's [IOField] arrays, Figures 5, 8
+    and 11) and xml2wire's schema translation produce, before any
+    machine-specific layout is assigned. *)
+
+open Omf_machine
+
+type elem =
+  | Int_t of Abi.prim  (** a signed or unsigned C integer type *)
+  | Float_t of Abi.prim  (** [Abi.Float] or [Abi.Double] *)
+  | Char_t  (** single character, marshaled as one byte *)
+  | String_t  (** [char*], NUL-terminated *)
+  | Named_t of string  (** a previously registered format, nested inline *)
+
+type dim =
+  | Scalar
+  | Fixed of int  (** inline array with static bound, e.g. [integer[5]] *)
+  | Var of string
+      (** dynamically-allocated array whose length lives in the named
+          integer control field of the same record, e.g.
+          [integer[eta_count]] *)
+
+type field = { f_name : string; f_elem : elem; f_dim : dim }
+
+type t = { name : string; fields : field list }
+
+let field ?(dim = Scalar) name elem = { f_name = name; f_elem = elem; f_dim = dim }
+
+(* ------------------------------------------------------------------ *)
+(* IOField-style type strings.                                         *)
+(*                                                                     *)
+(* PBIO metadata names types as strings: "integer", "unsigned",        *)
+(* "float", "double", "char", "string", a registered format name, and  *)
+(* array suffixes "[5]" / "[eta_count]". We accept exactly those, plus *)
+(* explicit C-width spellings so ABIs with different "integer" widths  *)
+(* can be described precisely.                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_type_string of string
+
+let base_of_string = function
+  | "integer" | "int" -> Int_t Abi.Int
+  | "short" -> Int_t Abi.Short
+  | "long" -> Int_t Abi.Long
+  | "long long" -> Int_t Abi.Longlong
+  | "unsigned" | "unsigned int" -> Int_t Abi.Uint
+  | "unsigned short" -> Int_t Abi.Ushort
+  | "unsigned long" -> Int_t Abi.Ulong
+  | "unsigned long long" -> Int_t Abi.Ulonglong
+  | "float" -> Float_t Abi.Float
+  | "double" -> Float_t Abi.Double
+  | "char" -> Char_t
+  | "string" -> String_t
+  | other ->
+    if String.length other = 0 then raise (Bad_type_string "empty type string")
+    else Named_t other
+
+(** [of_type_string s] parses an IOField type string such as
+    ["integer"], ["integer[5]"], ["integer[eta_count]"] or
+    ["ASDOffEvent"]. Raises {!Bad_type_string}. *)
+let of_type_string (s : string) : elem * dim =
+  match String.index_opt s '[' with
+  | None -> (base_of_string s, Scalar)
+  | Some i ->
+    if s.[String.length s - 1] <> ']' then
+      raise (Bad_type_string (Printf.sprintf "%S: missing ']'" s));
+    let base = String.sub s 0 i in
+    let inner = String.sub s (i + 1) (String.length s - i - 2) in
+    if String.equal inner "" then
+      raise (Bad_type_string (Printf.sprintf "%S: empty bound" s));
+    let dim =
+      match int_of_string_opt inner with
+      | Some n when n > 0 -> Fixed n
+      | Some n ->
+        raise (Bad_type_string (Printf.sprintf "%S: bound %d not positive" s n))
+      | None -> Var inner
+    in
+    (base_of_string base, dim)
+
+let elem_to_string = function
+  | Int_t Abi.Int -> "integer"
+  | Int_t Abi.Short -> "short"
+  | Int_t Abi.Long -> "long"
+  | Int_t Abi.Longlong -> "long long"
+  | Int_t Abi.Uint -> "unsigned"
+  | Int_t Abi.Ushort -> "unsigned short"
+  | Int_t Abi.Ulong -> "unsigned long"
+  | Int_t Abi.Ulonglong -> "unsigned long long"
+  | Int_t p -> Abi.prim_name p
+  | Float_t Abi.Float -> "float"
+  | Float_t Abi.Double -> "double"
+  | Float_t p -> Abi.prim_name p
+  | Char_t -> "char"
+  | String_t -> "string"
+  | Named_t n -> n
+
+let to_type_string (elem, dim) =
+  let base = elem_to_string elem in
+  match dim with
+  | Scalar -> base
+  | Fixed n -> Printf.sprintf "%s[%d]" base n
+  | Var control -> Printf.sprintf "%s[%s]" base control
+
+(** [io_field name type_string] mirrors one row of a PBIO [IOField]
+    array: [{ "eta", "integer[eta_count]", … }]. *)
+let io_field name type_string =
+  let f_elem, f_dim = of_type_string type_string in
+  { f_name = name; f_elem; f_dim }
+
+(** [declare name rows] builds a format declaration from IOField-style
+    [(field_name, type_string)] rows — the compiled-in metadata style. *)
+let declare name rows =
+  { name; fields = List.map (fun (n, ts) -> io_field n ts) rows }
+
+let pp_field ppf f =
+  Fmt.pf ppf "{ %S, %S }" f.f_name (to_type_string (f.f_elem, f.f_dim))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>format %s:@,%a@]" t.name
+    (Fmt.list ~sep:Fmt.cut pp_field) t.fields

@@ -1,0 +1,207 @@
+(** Binding between typed {!Value.t}s and native in-memory byte images.
+
+    [store] realises the paper's *binding* step output: given a registered
+    format, it constructs in a simulated process {!Omf_machine.Memory} the
+    exact bytes a C program on that ABI would hold — structs with compiler
+    padding, strings and dynamic arrays as heap blocks referenced by
+    pointers. [load] is the inverse.
+
+    Conventions:
+    - A [char[N]] field is presented as a [Value.String] truncated at the
+      first NUL (C string-in-buffer semantics); [store] accepts a string of
+      length <= N and zero-pads.
+    - The control field of a dynamic array may be omitted from the record;
+      it is then filled from the array's length. If present, it must agree.
+    - [Value.String] fields always store as non-null pointers (an empty
+      string is a 1-byte NUL block), matching what C senders do. *)
+
+open Omf_machine
+
+exception Bind_error of string
+
+let bind_error fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+(* Map control-field name -> var-array field, for auto-filling counts. *)
+let controls_of (fmt : Format.t) : (string * Format.rfield) list =
+  List.filter_map
+    (fun (f : Format.rfield) ->
+      match f.Format.rf_dim with
+      | Format.Rvar control -> Some (control, f)
+      | Format.Rscalar | Format.Rfixed _ -> None)
+    fmt.Format.fields
+
+let elem_align (abi : Abi.t) (elem : Format.relem) : int =
+  match elem with
+  | Format.Rint { prim; _ } | Format.Rfloat prim -> Abi.align_of abi prim
+  | Format.Rchar -> 1
+  | Format.Rstring -> Abi.align_of abi Abi.Pointer
+  | Format.Rnested nested -> nested.Format.layout.Layout.struct_align
+
+let rec store_into (mem : Memory.t) (fmt : Format.t) (addr : int)
+    (record : Value.t) : unit =
+  let fields =
+    match record with
+    | Value.Record fields -> fields
+    | v -> bind_error "format %s: expected a record, got %s" fmt.Format.name
+             (Value.to_string v)
+  in
+  let known name = Option.is_some (Format.find_field fmt name) in
+  List.iter
+    (fun (k, _) ->
+      if not (known k) then
+        bind_error "format %s: value has unknown field %S" fmt.Format.name k)
+    fields;
+  let controls = controls_of fmt in
+  let field_value (f : Format.rfield) : Value.t =
+    match List.assoc_opt f.Format.rf_name fields with
+    | Some v -> (
+      (* If this is a control field, validate against the array length. *)
+      match List.assoc_opt f.Format.rf_name controls with
+      | None -> v
+      | Some arr_field -> (
+        match List.assoc_opt arr_field.Format.rf_name fields with
+        | Some (Value.Array a)
+          when Int64.to_int (Value.to_int64 v) <> Array.length a ->
+          bind_error
+            "format %s: control field %S = %Ld disagrees with %S length %d"
+            fmt.Format.name f.Format.rf_name (Value.to_int64 v)
+            arr_field.Format.rf_name (Array.length a)
+        | _ -> v))
+    | None -> (
+      match List.assoc_opt f.Format.rf_name controls with
+      | Some arr_field -> (
+        match List.assoc_opt arr_field.Format.rf_name fields with
+        | Some (Value.Array a) -> Value.Int (Int64.of_int (Array.length a))
+        | Some v ->
+          bind_error "format %s: field %S must be an array, got %s"
+            fmt.Format.name arr_field.Format.rf_name (Value.to_string v)
+        | None ->
+          bind_error "format %s: missing field %S" fmt.Format.name
+            arr_field.Format.rf_name)
+      | None ->
+        bind_error "format %s: missing field %S" fmt.Format.name
+          f.Format.rf_name)
+  in
+  let store_scalar (f : Format.rfield) slot v =
+    let size = f.Format.rf_layout.Layout.elem_size in
+    match f.Format.rf_elem with
+    | Format.Rint _ -> Memory.write_int mem slot ~size (Value.to_int64 v)
+    | Format.Rfloat _ -> Memory.write_float mem slot ~size (Value.to_float_exn v)
+    | Format.Rchar -> (
+      match v with
+      | Value.Char c ->
+        Memory.write_uint mem slot ~size:1 (Int64.of_int (Char.code c))
+      | Value.Int n | Value.Uint n -> Memory.write_uint mem slot ~size:1 n
+      | v ->
+        bind_error "format %s, field %S: expected a char, got %s"
+          fmt.Format.name f.Format.rf_name (Value.to_string v))
+    | Format.Rstring ->
+      let s = Value.to_string_exn v in
+      Memory.write_pointer mem slot (Memory.alloc_cstring mem s)
+    | Format.Rnested nested -> store_into mem nested slot v
+  in
+  List.iter
+    (fun (f : Format.rfield) ->
+      let v = field_value f in
+      let slot = addr + f.Format.rf_layout.Layout.offset in
+      let elem_size = f.Format.rf_layout.Layout.elem_size in
+      match f.Format.rf_dim with
+      | Format.Rscalar -> store_scalar f slot v
+      | Format.Rfixed n -> (
+        match (f.Format.rf_elem, v) with
+        | Format.Rchar, Value.String s ->
+          if String.length s > n then
+            bind_error "format %s, field %S: string %S exceeds char[%d]"
+              fmt.Format.name f.Format.rf_name s n;
+          Memory.write_bytes mem slot (Bytes.of_string s)
+          (* remaining bytes stay zero: Memory.alloc zero-fills *)
+        | _, Value.Array a ->
+          if Array.length a <> n then
+            bind_error "format %s, field %S: expected %d elements, got %d"
+              fmt.Format.name f.Format.rf_name n (Array.length a);
+          Array.iteri (fun i v -> store_scalar f (slot + (i * elem_size)) v) a
+        | _, v ->
+          bind_error "format %s, field %S: expected an array, got %s"
+            fmt.Format.name f.Format.rf_name (Value.to_string v))
+      | Format.Rvar _ -> (
+        match v with
+        | Value.Array a when Array.length a = 0 ->
+          Memory.write_pointer mem slot Memory.null
+        | Value.Array a ->
+          let align = elem_align (Memory.abi mem) f.Format.rf_elem in
+          let block =
+            Memory.alloc mem ~align (Array.length a * elem_size)
+          in
+          Array.iteri (fun i v -> store_scalar f (block + (i * elem_size)) v) a;
+          Memory.write_pointer mem slot block
+        | v ->
+          bind_error "format %s, field %S: expected an array, got %s"
+            fmt.Format.name f.Format.rf_name (Value.to_string v)))
+    fmt.Format.fields
+
+(** [store mem fmt record] allocates a struct block and writes [record]
+    into it, returning its simulated address. *)
+let store (mem : Memory.t) (fmt : Format.t) (record : Value.t) : int =
+  let layout = fmt.Format.layout in
+  let addr =
+    Memory.alloc mem ~align:layout.Layout.struct_align (max layout.Layout.size 1)
+  in
+  store_into mem fmt addr record;
+  addr
+
+let rec load_from (mem : Memory.t) (fmt : Format.t) (addr : int) : Value.t =
+  let read_count (control : string) : int =
+    match Format.find_field fmt control with
+    | Some cf ->
+      Int64.to_int
+        (Memory.read_int mem
+           (addr + cf.Format.rf_layout.Layout.offset)
+           ~size:cf.Format.rf_layout.Layout.elem_size)
+    | None -> assert false (* registration validated this *)
+  in
+  let load_scalar (f : Format.rfield) slot : Value.t =
+    let size = f.Format.rf_layout.Layout.elem_size in
+    match f.Format.rf_elem with
+    | Format.Rint { signed = true; _ } -> Value.Int (Memory.read_int mem slot ~size)
+    | Format.Rint { signed = false; _ } -> Value.Uint (Memory.read_uint mem slot ~size)
+    | Format.Rfloat _ -> Value.Float (Memory.read_float mem slot ~size)
+    | Format.Rchar ->
+      Value.Char (Char.chr (Int64.to_int (Memory.read_uint mem slot ~size:1)))
+    | Format.Rstring ->
+      let ptr = Memory.read_pointer mem slot in
+      Value.String (if ptr = Memory.null then "" else Memory.read_cstring mem ptr)
+    | Format.Rnested nested -> load_from mem nested slot
+  in
+  let load_field (f : Format.rfield) : string * Value.t =
+    let slot = addr + f.Format.rf_layout.Layout.offset in
+    let elem_size = f.Format.rf_layout.Layout.elem_size in
+    let v =
+      match f.Format.rf_dim with
+      | Format.Rscalar -> load_scalar f slot
+      | Format.Rfixed n -> (
+        match f.Format.rf_elem with
+        | Format.Rchar ->
+          (* char[N]: C string-in-buffer semantics, stop at first NUL *)
+          let raw = Memory.read_bytes mem slot n in
+          let len =
+            match Bytes.index_opt raw '\000' with Some i -> i | None -> n
+          in
+          Value.String (Bytes.sub_string raw 0 len)
+        | _ ->
+          Value.Array
+            (Array.init n (fun i -> load_scalar f (slot + (i * elem_size)))))
+      | Format.Rvar control ->
+        let count = read_count control in
+        let ptr = Memory.read_pointer mem slot in
+        if count = 0 then Value.Array [||]
+        else
+          Value.Array
+            (Array.init count (fun i -> load_scalar f (ptr + (i * elem_size))))
+    in
+    (f.Format.rf_name, v)
+  in
+  Value.Record (List.map load_field fmt.Format.fields)
+
+(** [load mem fmt addr] reads the struct at [addr] back into a record, in
+    declaration field order (control fields included). *)
+let load = load_from

@@ -1,0 +1,23 @@
+(** Binding between typed {!Value.t}s and native in-memory byte images:
+    [store] constructs exactly the bytes a C program on that ABI would
+    hold; [load] is the inverse.
+
+    Conventions: [char[N]] fields bind from/to strings (truncated at the
+    first NUL); dynamic-array control fields may be omitted (filled from
+    the array length) and are validated when present; strings always
+    store as non-null pointers. *)
+
+open Omf_machine
+
+exception Bind_error of string
+
+val store_into : Memory.t -> Format.t -> int -> Value.t -> unit
+(** Write a record into an existing struct block. *)
+
+val store : Memory.t -> Format.t -> Value.t -> int
+(** Allocate a struct block, write the record, return its address. *)
+
+val load_from : Memory.t -> Format.t -> int -> Value.t
+val load : Memory.t -> Format.t -> int -> Value.t
+(** Read the struct back as a record in declaration field order (control
+    fields included). *)

@@ -1,0 +1,163 @@
+(** PBIO-style binary communication mechanism: public facade.
+
+    The flow mirrors the paper's decomposition:
+    - {b discovery} happens above this library (xml2wire, or compiled-in
+      {!Ftype.declare} rows);
+    - {b binding}: {!Format.Registry.register} + {!Native.store};
+    - {b marshaling}: {!Encode.payload} / {!Receiver.receive} — NDR with
+      receiver-side conversion compiled per format pair.
+
+    A {!Receiver} corresponds to one incoming connection: it learns the
+    peer's formats from negotiation descriptors, caches conversion plans,
+    and materialises incoming messages in its process {!Memory}. *)
+
+open Omf_machine
+module Value = Value
+module Ftype = Ftype
+module Format = Format
+module Registry = Format.Registry
+module Native = Native
+module Encode = Encode
+module Convert = Convert
+module Wire = Wire
+module Format_codec = Format_codec
+
+exception Unknown_format of string
+
+(* ------------------------------------------------------------------ *)
+(* Sending                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [message ?id mem fmt addr] marshals the struct at [addr]: NDR payload
+    plus framing header. The sender performs no data conversion. [?id]
+    overrides the header's format id (global ids from a format server). *)
+let message ?id (mem : Memory.t) (fmt : Format.t) (addr : int) : bytes =
+  Wire.message ?id fmt (Encode.payload mem fmt addr)
+
+(** [message_of_value abi fmt v] is the one-shot convenience used by
+    examples and tests. *)
+let message_of_value (abi : Abi.t) (fmt : Format.t) (v : Value.t) : bytes =
+  Wire.message fmt (Encode.payload_of_value abi fmt v)
+
+(* ------------------------------------------------------------------ *)
+(* Receiving                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Receiver = struct
+  type mode =
+    | Compiled  (** conversion plans compiled once per format pair *)
+    | Interpreted  (** per-record metadata interpretation (baseline) *)
+
+  (** Operational counters, for monitoring and tests. *)
+  type stats = {
+    mutable messages : int;
+    mutable bytes : int;  (** payload bytes received *)
+    mutable formats_learned : int;
+    mutable plans_compiled : int;
+    mutable resolver_lookups : int;
+  }
+
+  type t = {
+    registry : Registry.t;
+    mem : Memory.t;
+    mode : mode;
+    resolve : (int -> string option) option;
+        (** fetch a descriptor blob for an unknown wire id — typically a
+            format-server lookup *)
+    wire_formats : (int, Format.t) Hashtbl.t;  (** peer format id -> format *)
+    plans : (int * int, Convert.t) Hashtbl.t;
+        (** (peer format id, native format id) -> compiled plan *)
+    stats : stats;
+  }
+
+  let create ?(mode = Compiled) ?resolve (registry : Registry.t)
+      (mem : Memory.t) : t =
+    if not (Abi.layout_equal (Registry.abi registry) (Memory.abi mem)) then
+      invalid_arg "Receiver.create: registry and memory ABIs differ";
+    { registry; mem; mode; resolve; wire_formats = Hashtbl.create 8
+    ; plans = Hashtbl.create 8
+    ; stats =
+        { messages = 0; bytes = 0; formats_learned = 0; plans_compiled = 0
+        ; resolver_lookups = 0 } }
+
+  let memory t = t.mem
+  let stats t = t.stats
+
+  (** [learn ?id t blob] ingests a format descriptor, keyed by [?id] (a
+      global format-server id) or the descriptor's own embedded id (the
+      negotiation case). Returns the reconstructed wire format. *)
+  let learn ?id (t : t) (blob : string) : Format.t =
+    let fmt = Format_codec.decode blob in
+    let fmt =
+      match id with None -> fmt | Some id -> { fmt with Format.id }
+    in
+    Hashtbl.replace t.wire_formats fmt.Format.id fmt;
+    t.stats.formats_learned <- t.stats.formats_learned + 1;
+    (* any cached plans for this id are stale *)
+    Hashtbl.iter
+      (fun (wid, nid) _ ->
+        if wid = fmt.Format.id then Hashtbl.remove t.plans (wid, nid))
+      (Hashtbl.copy t.plans);
+    fmt
+
+  let wire_format (t : t) (id : int) : Format.t option =
+    Hashtbl.find_opt t.wire_formats id
+
+  let native_format_for (t : t) (wire : Format.t) : Format.t =
+    match Registry.find t.registry wire.Format.name with
+    | Some f -> f
+    | None -> raise (Unknown_format wire.Format.name)
+
+  let plan_for (t : t) (wire : Format.t) (native : Format.t) : Convert.t =
+    let key = (wire.Format.id, native.Format.id) in
+    match Hashtbl.find_opt t.plans key with
+    | Some plan -> plan
+    | None ->
+      let plan = Convert.compile ~wire ~native in
+      Hashtbl.replace t.plans key plan;
+      t.stats.plans_compiled <- t.stats.plans_compiled + 1;
+      plan
+
+  (** [receive t msg] demarshals a framed message into [t]'s memory and
+      returns [(native_format, struct_address)]. The struct is laid out
+      for the receiver's ABI regardless of the sender's. *)
+  let receive (t : t) (msg : bytes) : Format.t * int =
+    let header, payload = Wire.split msg in
+    let wire =
+      match wire_format t header.Wire.format_id with
+      | Some f -> f
+      | None -> (
+        (* last chance: ask the resolver (format server) for the blob *)
+        match t.resolve with
+        | Some fetch -> (
+          t.stats.resolver_lookups <- t.stats.resolver_lookups + 1;
+          match fetch header.Wire.format_id with
+          | Some blob -> learn ~id:header.Wire.format_id t blob
+          | None ->
+            raise
+              (Unknown_format
+                 (Printf.sprintf "format id %d (unknown to the format server)"
+                    header.Wire.format_id)))
+        | None ->
+          raise
+            (Unknown_format
+               (Printf.sprintf "peer format id %d (no negotiation seen)"
+                  header.Wire.format_id)))
+    in
+    let native = native_format_for t wire in
+    let addr =
+      match t.mode with
+      | Compiled -> Convert.run (plan_for t wire native) payload t.mem
+      | Interpreted -> Convert.interpret ~wire ~native payload t.mem
+    in
+    t.stats.messages <- t.stats.messages + 1;
+    t.stats.bytes <- t.stats.bytes + Bytes.length payload;
+    (native, addr)
+
+  (** [receive_value t msg] additionally lifts the struct to a
+      {!Value.t} — convenient for applications that do not want to touch
+      simulated memory. *)
+  let receive_value (t : t) (msg : bytes) : Format.t * Value.t =
+    let fmt, addr = receive t msg in
+    (fmt, Native.load t.mem fmt addr)
+end

@@ -1,0 +1,72 @@
+(** PBIO-style binary communication mechanism: public facade.
+
+    The flow mirrors the paper's decomposition: {b discovery} happens
+    above this library (xml2wire or compiled-in declarations);
+    {b binding} is {!Format.Registry.register} + {!Native.store};
+    {b marshaling} is {!message} on the way out and {!Receiver.receive}
+    on the way in — NDR with receiver-side conversion compiled per
+    format pair. *)
+
+open Omf_machine
+module Value = Value
+module Ftype = Ftype
+module Format = Format
+module Registry = Format.Registry
+module Native = Native
+module Encode = Encode
+module Convert = Convert
+module Wire = Wire
+module Format_codec = Format_codec
+
+exception Unknown_format of string
+
+val message : ?id:int -> Memory.t -> Format.t -> int -> bytes
+(** Marshal the struct at the given address: NDR payload plus framing
+    header. The sender performs no data conversion. [?id] overrides the
+    header's format id (global ids from a format server). *)
+
+val message_of_value : Abi.t -> Format.t -> Value.t -> bytes
+(** One-shot convenience (scratch memory). *)
+
+(** A receiver corresponds to one incoming connection (or journal): it
+    learns peer formats from negotiation descriptors (or a resolver),
+    caches conversion plans, and materialises incoming messages in its
+    process memory. *)
+module Receiver : sig
+  type mode =
+    | Compiled  (** conversion plans compiled once per format pair *)
+    | Interpreted  (** per-record metadata interpretation (baseline) *)
+
+  (** Operational counters, for monitoring and tests. *)
+  type stats = {
+    mutable messages : int;
+    mutable bytes : int;  (** payload bytes received *)
+    mutable formats_learned : int;
+    mutable plans_compiled : int;
+    mutable resolver_lookups : int;
+  }
+
+  type t
+
+  val create :
+    ?mode:mode -> ?resolve:(int -> string option) -> Registry.t -> Memory.t ->
+    t
+  (** [resolve] fetches a descriptor blob for an unknown wire format id —
+      typically {!Omf_formatserver.Format_server.Client.resolver}. *)
+
+  val memory : t -> Memory.t
+  val stats : t -> stats
+
+  val learn : ?id:int -> t -> string -> Format.t
+  (** Ingest a format descriptor, keyed by [?id] (a format-server global
+      id) or the descriptor's embedded id (the negotiation case). *)
+
+  val wire_format : t -> int -> Format.t option
+
+  val receive : t -> bytes -> Format.t * int
+  (** Demarshal a framed message into the receiver's memory; returns the
+      native format and struct address. Raises {!Unknown_format} when the
+      format id is unknown and unresolvable. *)
+
+  val receive_value : t -> bytes -> Format.t * Value.t
+end

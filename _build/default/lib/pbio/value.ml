@@ -1,0 +1,97 @@
+(** Application-level typed values: the OCaml face of the C data that a
+    simulated process keeps in its {!Omf_machine.Memory}. A value is bound
+    to a message format (see {!Native}) to produce the native byte image
+    that NDR puts on the wire. *)
+
+type t =
+  | Int of int64  (** signed integer of any C width *)
+  | Uint of int64  (** unsigned integer; bit pattern in an [int64] *)
+  | Float of float
+  | Char of char
+  | String of string
+  | Array of t array
+  | Record of (string * t) list
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y | Uint x, Uint y -> Int64.equal x y
+  | Float x, Float y ->
+    (* NaN-safe bit equality: round-trips must preserve bit patterns. *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Char x, Char y -> Char.equal x y
+  | String x, String y -> String.equal x y
+  | Array x, Array y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if not (equal v y.(i)) then ok := false) x;
+        !ok)
+  | Record x, Record y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+         x y
+  | _ -> false
+
+let rec pp ppf = function
+  | Int v -> Fmt.pf ppf "%Ld" v
+  | Uint v -> Fmt.pf ppf "%Lu" v
+  | Float v -> Fmt.pf ppf "%h" v
+  | Char c -> Fmt.pf ppf "%C" c
+  | String s -> Fmt.pf ppf "%S" s
+  | Array a ->
+    Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any "; ") pp) a
+  | Record fields ->
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%s = %a" k pp v in
+    Fmt.pf ppf "{ %a }" (Fmt.list ~sep:(Fmt.any "; ") pp_binding) fields
+
+let to_string v = Fmt.str "%a" pp v
+
+(* ---- record helpers ---- *)
+
+let field record name =
+  match record with
+  | Record fields -> List.assoc_opt name fields
+  | _ -> None
+
+let field_exn record name =
+  match field record name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Value.field_exn: no field %S" name)
+
+(** [set_field record name v] replaces or appends the binding. *)
+let set_field record name v =
+  match record with
+  | Record fields ->
+    if List.mem_assoc name fields then
+      Record
+        (List.map (fun (k, old) -> if String.equal k name then (k, v) else (k, old)) fields)
+    else Record (fields @ [ (name, v) ])
+  | _ -> invalid_arg "Value.set_field: not a record"
+
+(* ---- coercion helpers used by codecs ---- *)
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let to_int64 = function
+  | Int v | Uint v -> v
+  | Char c -> Int64.of_int (Char.code c)
+  | v -> type_error "expected an integer, got %s" (to_string v)
+
+let to_float_exn = function
+  | Float f -> f
+  | Int v | Uint v -> Int64.to_float v
+  | v -> type_error "expected a float, got %s" (to_string v)
+
+let to_string_exn = function
+  | String s -> s
+  | v -> type_error "expected a string, got %s" (to_string v)
+
+let to_array_exn = function
+  | Array a -> a
+  | v -> type_error "expected an array, got %s" (to_string v)
+
+let to_record_exn = function
+  | Record r -> r
+  | v -> type_error "expected a record, got %s" (to_string v)

@@ -1,0 +1,39 @@
+(** Application-level typed values: the OCaml face of the C data a
+    simulated process keeps in its {!Omf_machine.Memory}. *)
+
+type t =
+  | Int of int64  (** signed integer of any C width *)
+  | Uint of int64  (** unsigned; bit pattern in an [int64] *)
+  | Float of float
+  | Char of char
+  | String of string
+  | Array of t array
+  | Record of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural; floats compare by bit pattern (NaN-safe). *)
+
+val pp : Stdlib.Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Record helpers} *)
+
+val field : t -> string -> t option
+val field_exn : t -> string -> t
+
+val set_field : t -> string -> t -> t
+(** Replaces or appends the binding. *)
+
+(** {1 Coercions} (used by codecs) *)
+
+exception Type_error of string
+
+val type_error : ('a, unit, string, 'b) format4 -> 'a
+
+val to_int64 : t -> int64
+(** Accepts [Int], [Uint] and [Char]. *)
+
+val to_float_exn : t -> float
+val to_string_exn : t -> string
+val to_array_exn : t -> t array
+val to_record_exn : t -> (string * t) list

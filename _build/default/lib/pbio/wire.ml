@@ -1,0 +1,67 @@
+(** Message framing: the compact meta-information that accompanies every
+    NDR payload. The header identifies the format (by registry id) and the
+    sender's ABI fingerprint; everything else about the format travels
+    once, out of band, via {!Format_codec} (format negotiation). Header
+    integers are big-endian, independent of either party's byte order. *)
+
+open Omf_machine
+
+exception Frame_error of string
+
+let frame_error fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
+
+let magic = "OMF1"
+let version = 1
+let header_length = 24
+
+type header = {
+  abi_fingerprint : string;  (** 6 bytes, see {!Abi.fingerprint} *)
+  format_id : int;
+  base_size : int;  (** size of the base struct within the payload *)
+  payload_length : int;
+}
+
+let write_header (h : header) : bytes =
+  let b = Bytes.make header_length '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 '\000';
+  Bytes.blit_string h.abi_fingerprint 0 b 6 Abi.fingerprint_length;
+  Endian.write_uint Endian.Big b ~off:12 ~size:4 (Int64.of_int h.format_id);
+  Endian.write_uint Endian.Big b ~off:16 ~size:4 (Int64.of_int h.base_size);
+  Endian.write_uint Endian.Big b ~off:20 ~size:4 (Int64.of_int h.payload_length);
+  b
+
+let read_header (b : bytes) : header =
+  if Bytes.length b < header_length then
+    frame_error "truncated header: %d bytes" (Bytes.length b);
+  if not (String.equal (Bytes.sub_string b 0 4) magic) then
+    frame_error "bad magic %S" (Bytes.sub_string b 0 4);
+  let v = Char.code (Bytes.get b 4) in
+  if v <> version then frame_error "unsupported version %d" v;
+  let u32 off = Int64.to_int (Endian.read_uint Endian.Big b ~off ~size:4) in
+  { abi_fingerprint = Bytes.sub_string b 6 Abi.fingerprint_length
+  ; format_id = u32 12
+  ; base_size = u32 16
+  ; payload_length = u32 20 }
+
+(** [message ?id fmt payload] frames an NDR payload produced by
+    {!Encode.payload} for [fmt]. The format id defaults to the sender's
+    registry id (per-connection negotiation); pass [?id] to use a global
+    id from a format server instead. *)
+let message ?id (fmt : Format.t) (payload : bytes) : bytes =
+  let h =
+    { abi_fingerprint = Abi.fingerprint fmt.Format.abi
+    ; format_id = Option.value id ~default:fmt.Format.id
+    ; base_size = fmt.Format.layout.Layout.size
+    ; payload_length = Bytes.length payload }
+  in
+  Bytes.cat (write_header h) payload
+
+(** [split msg] returns the parsed header and the payload. *)
+let split (msg : bytes) : header * bytes =
+  let h = read_header msg in
+  if Bytes.length msg <> header_length + h.payload_length then
+    frame_error "message length %d does not match header (%d + %d)"
+      (Bytes.length msg) header_length h.payload_length;
+  (h, Bytes.sub msg header_length h.payload_length)

@@ -1,0 +1,28 @@
+(** Message framing: the compact per-message meta-information
+    accompanying every NDR payload (magic, version, ABI fingerprint,
+    format id, sizes). Header integers are big-endian regardless of
+    either party's byte order. *)
+
+exception Frame_error of string
+
+val magic : string
+val version : int
+val header_length : int
+
+type header = {
+  abi_fingerprint : string;  (** see {!Omf_machine.Abi.fingerprint} *)
+  format_id : int;
+  base_size : int;  (** size of the base struct within the payload *)
+  payload_length : int;
+}
+
+val write_header : header -> bytes
+val read_header : bytes -> header
+
+val message : ?id:int -> Format.t -> bytes -> bytes
+(** Frame an NDR payload. The format id defaults to the sender's registry
+    id (per-connection negotiation); pass [?id] for a format-server
+    global id. *)
+
+val split : bytes -> header * bytes
+(** Parse and length-check a framed message. Raises {!Frame_error}. *)

@@ -1,0 +1,1 @@
+lib/transport/endpoint.ml: Bytes Char Format Format_codec Hashtbl Link Memory Native Omf_machine Omf_pbio Pbio Printf Value

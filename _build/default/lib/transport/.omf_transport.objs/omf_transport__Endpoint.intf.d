@@ -1,0 +1,1 @@
+lib/transport/endpoint.mli: Format Link Memory Omf_machine Omf_pbio Pbio Value

@@ -1,0 +1,1 @@
+lib/transport/link.mli:

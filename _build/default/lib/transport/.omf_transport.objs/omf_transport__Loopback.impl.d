@@ -1,0 +1,1 @@
+lib/transport/loopback.ml: Bytes Link Queue

@@ -1,0 +1,1 @@
+lib/transport/netsim.ml: Bytes Float Link Queue

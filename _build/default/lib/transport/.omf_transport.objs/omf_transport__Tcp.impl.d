@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Bytes Char Link Printf Thread Unix

@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Link Unix

@@ -1,0 +1,98 @@
+(** Endpoints: PBIO format negotiation over any {!Link.t}.
+
+    The wire protocol has two frame kinds. A sender announces each format
+    once per connection before its first use (frame [D] carrying the
+    {!Omf_pbio.Format_codec} descriptor); data messages (frame [M]) then
+    carry only the compact NDR framing. This is the "efficiently
+    represented meta-information" of the paper: per-message metadata cost
+    is a 4-byte format id, not a re-transmitted description. *)
+
+open Omf_machine
+open Omf_pbio
+
+exception Protocol_error of string
+
+let proto_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let frame_descriptor = 'D'
+let frame_message = 'M'
+
+let frame kind body =
+  let b = Bytes.create (1 + Bytes.length body) in
+  Bytes.set b 0 kind;
+  Bytes.blit body 0 b 1 (Bytes.length body);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Sending endpoint                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Sender = struct
+  type t = {
+    link : Link.t;
+    mem : Memory.t;
+    announced : (int, unit) Hashtbl.t;  (** format ids already negotiated *)
+  }
+
+  let create (link : Link.t) (mem : Memory.t) : t =
+    { link; mem; announced = Hashtbl.create 8 }
+
+  let memory t = t.mem
+
+  let announce t (fmt : Format.t) =
+    if not (Hashtbl.mem t.announced fmt.Format.id) then begin
+      Link.send t.link
+        (frame frame_descriptor (Bytes.of_string (Format_codec.encode fmt)));
+      Hashtbl.replace t.announced fmt.Format.id ()
+    end
+
+  (** [send t fmt addr] negotiates [fmt] if needed and ships the struct at
+      [addr] in NDR. *)
+  let send (t : t) (fmt : Format.t) (addr : int) : unit =
+    announce t fmt;
+    Link.send t.link (frame frame_message (Pbio.message t.mem fmt addr))
+
+  (** [send_value t fmt v] binds [v] into the endpoint's memory first. *)
+  let send_value (t : t) (fmt : Format.t) (v : Value.t) : unit =
+    send t fmt (Native.store t.mem fmt v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Receiving endpoint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Receiver = struct
+  type t = {
+    link : Link.t;
+    pbio : Pbio.Receiver.t;
+  }
+
+  let create ?mode (link : Link.t) (registry : Format.Registry.t)
+      (mem : Memory.t) : t =
+    { link; pbio = Pbio.Receiver.create ?mode registry mem }
+
+  let pbio_receiver t = t.pbio
+
+  (** [recv t] processes frames until a data message arrives (descriptor
+      frames are ingested transparently). [None] when the link closes. *)
+  let rec recv (t : t) : (Format.t * int) option =
+    match Link.recv t.link with
+    | None -> None
+    | Some b ->
+      if Bytes.length b < 1 then proto_error "empty frame";
+      let body () = Bytes.sub b 1 (Bytes.length b - 1) in
+      let kind = Bytes.get b 0 in
+      if Char.equal kind frame_descriptor then begin
+        ignore (Pbio.Receiver.learn t.pbio (Bytes.to_string (body ())));
+        recv t
+      end
+      else if Char.equal kind frame_message then
+        Some (Pbio.Receiver.receive t.pbio (body ()))
+      else proto_error "unknown frame kind %C" kind
+
+  let recv_value (t : t) : (Format.t * Value.t) option =
+    match recv t with
+    | None -> None
+    | Some (fmt, addr) ->
+      Some (fmt, Native.load (Pbio.Receiver.memory t.pbio) fmt addr)
+end

@@ -1,0 +1,42 @@
+(** Endpoints: PBIO format negotiation over any {!Link.t}. A sender
+    announces each format once per connection (descriptor frame) before
+    its first data message; per-message metadata is then just the 4-byte
+    format id in the NDR header. *)
+
+open Omf_machine
+open Omf_pbio
+
+exception Protocol_error of string
+
+val frame_descriptor : char
+val frame_message : char
+
+module Sender : sig
+  type t
+
+  val create : Link.t -> Memory.t -> t
+  val memory : t -> Memory.t
+
+  val announce : t -> Format.t -> unit
+  (** Idempotent per connection. *)
+
+  val send : t -> Format.t -> int -> unit
+  (** Negotiate if needed, then ship the struct at the address in NDR. *)
+
+  val send_value : t -> Format.t -> Value.t -> unit
+end
+
+module Receiver : sig
+  type t
+
+  val create :
+    ?mode:Pbio.Receiver.mode -> Link.t -> Format.Registry.t -> Memory.t -> t
+
+  val pbio_receiver : t -> Pbio.Receiver.t
+
+  val recv : t -> (Format.t * int) option
+  (** Process frames until a data message arrives (descriptor frames are
+      ingested transparently); [None] when the link closes. *)
+
+  val recv_value : t -> (Format.t * Value.t) option
+end

@@ -1,0 +1,23 @@
+(** Transport abstraction.
+
+    The paper insists that the metadata system "does not predicate the use
+    of specific data delivery mechanisms"; everything above this interface
+    (endpoints, the event backbone) works over any duplex byte-message
+    link: the in-process {!Loopback}, the deterministic {!Netsim} used for
+    latency experiments, or real TCP sockets ({!Tcp}). *)
+
+type t = {
+  send : bytes -> unit;
+  recv : unit -> bytes option;  (** [None] = link closed and drained *)
+  close : unit -> unit;
+}
+
+exception Closed
+
+let send t msg = t.send msg
+let recv t = t.recv ()
+let close t = t.close ()
+
+(** [recv_exn t] raises {!Closed} instead of returning [None]. *)
+let recv_exn t =
+  match t.recv () with Some m -> m | None -> raise Closed

@@ -1,0 +1,18 @@
+(** Transport abstraction: the metadata system "does not predicate the
+    use of specific data delivery mechanisms". Everything above this
+    interface works over any duplex byte-message link. *)
+
+type t = {
+  send : bytes -> unit;
+  recv : unit -> bytes option;  (** [None] = link closed and drained *)
+  close : unit -> unit;
+}
+
+exception Closed
+
+val send : t -> bytes -> unit
+val recv : t -> bytes option
+val close : t -> unit
+
+val recv_exn : t -> bytes
+(** Raises {!Closed} instead of returning [None]. *)

@@ -1,0 +1,34 @@
+(** In-process duplex link: a pair of FIFO queues. Synchronous and
+    single-threaded — [recv] returns [None] when the queue is empty and
+    the peer has closed, and raises on an empty queue otherwise (callers
+    in the simulation always alternate send/recv deterministically). *)
+
+type side = {
+  inbox : bytes Queue.t;
+  outbox : bytes Queue.t;
+  mutable peer_closed : bool ref;
+  closed : bool ref;
+}
+
+exception Would_block
+(** receive on an empty queue whose peer is still open *)
+
+let link_of_side (s : side) : Link.t =
+  { Link.send =
+      (fun msg ->
+        if !(s.closed) then raise Link.Closed;
+        Queue.push (Bytes.copy msg) s.outbox)
+  ; recv =
+      (fun () ->
+        if not (Queue.is_empty s.inbox) then Some (Queue.pop s.inbox)
+        else if !(s.peer_closed) then None
+        else raise Would_block)
+  ; close = (fun () -> s.closed := true) }
+
+(** [pair ()] creates the two ends of a loopback link. *)
+let pair () : Link.t * Link.t =
+  let q1 = Queue.create () and q2 = Queue.create () in
+  let c1 = ref false and c2 = ref false in
+  let a = { inbox = q1; outbox = q2; peer_closed = c2; closed = c1 } in
+  let b = { inbox = q2; outbox = q1; peer_closed = c1; closed = c2 } in
+  (link_of_side a, link_of_side b)

@@ -1,0 +1,7 @@
+(** In-process duplex link: a pair of FIFO queues, deterministic and
+    single-threaded. Sent buffers are copied. *)
+
+exception Would_block
+(** Receive on an empty queue whose peer is still open. *)
+
+val pair : unit -> Link.t * Link.t

@@ -1,0 +1,34 @@
+(** Deterministic simulated network link for controlled latency
+    experiments: each message is charged
+    [per_message + bytes/bandwidth] serialisation plus [propagation] on a
+    shared virtual clock; back-to-back messages queue behind each other
+    on the sending half. Time unit: microseconds. *)
+
+type clock
+
+val clock : unit -> clock
+val now : clock -> float
+val advance_to : clock -> float -> unit
+
+type profile = {
+  propagation_us : float;  (** one-way latency *)
+  per_message_us : float;  (** fixed per-message processing cost *)
+  bytes_per_us : float;  (** bandwidth, e.g. 12.5 = 100 Mbit/s *)
+}
+
+val lan_1999 : profile
+(** 100 Mbit/s LAN, 100 us one-way — paper-era hardware. *)
+
+val wan : profile
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+val transmit_time : profile -> int -> float
+(** Serialisation cost of one message of the given length. *)
+
+val pair : ?clock:clock -> profile -> Link.t * Link.t * clock * stats
+(** A duplex link whose ends share a virtual clock; the stats record
+    counts a→b traffic. *)

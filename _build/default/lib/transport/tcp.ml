@@ -1,0 +1,104 @@
+(** Real TCP transport (loopback or LAN): length-prefixed byte messages
+    over Unix sockets, satisfying {!Link.t}. Used by the runnable example
+    binaries; simulations and benchmarks prefer {!Loopback} / {!Netsim}
+    for determinism. *)
+
+exception Tcp_error of string
+
+let tcp_error fmt = Printf.ksprintf (fun s -> raise (Tcp_error s)) fmt
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then raise End_of_file;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let link_of_fd (fd : Unix.file_descr) : Link.t =
+  let closed = ref false in
+  let send msg =
+    if !closed then raise Link.Closed;
+    let len = Bytes.length msg in
+    let hdr = Bytes.create 4 in
+    Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xFF));
+    Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xFF));
+    Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xFF));
+    Bytes.set hdr 3 (Char.chr (len land 0xFF));
+    really_write fd hdr 0 4;
+    really_write fd msg 0 len
+  in
+  let recv () =
+    if !closed then None
+    else
+      match
+        let hdr = Bytes.create 4 in
+        really_read fd hdr 0 4;
+        let b i = Char.code (Bytes.get hdr i) in
+        let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if len < 0 || len > 1 lsl 30 then tcp_error "bad frame length %d" len;
+        let msg = Bytes.create len in
+        really_read fd msg 0 len;
+        msg
+      with
+      | msg -> Some msg
+      | exception End_of_file -> None
+  in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  { Link.send; recv; close }
+
+(** [listen ~port handler] accepts connections forever, spawning a thread
+    per connection. Returns the listening socket (close it to stop) and
+    the actually bound port (useful with [~port:0]). *)
+let listen ?(host = "127.0.0.1") ~port (handler : Link.t -> unit) :
+    Unix.file_descr * int =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 16;
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let accept_loop () =
+    try
+      while true do
+        let fd, _ = Unix.accept sock in
+        ignore
+          (Thread.create
+             (fun fd ->
+               let link = link_of_fd fd in
+               try handler link with _ -> Link.close link)
+             fd)
+      done
+    with Unix.Unix_error _ -> ()
+  in
+  ignore (Thread.create accept_loop ());
+  (sock, bound_port)
+
+(** [connect ~host ~port] opens a client link. *)
+let connect ?(host = "127.0.0.1") ~port () : Link.t =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     tcp_error "connect %s:%d: %s" host port (Unix.error_message e));
+  link_of_fd sock

@@ -1,0 +1,16 @@
+(** Real TCP transport: length-prefixed byte messages over Unix sockets,
+    satisfying {!Link.t}. Simulations and benchmarks prefer {!Loopback} /
+    {!Netsim} for determinism. *)
+
+exception Tcp_error of string
+
+val link_of_fd : Unix.file_descr -> Link.t
+
+val listen :
+  ?host:string -> port:int -> (Link.t -> unit) -> Unix.file_descr * int
+(** Accept connections forever, one thread per connection. Returns the
+    listening socket (close it to stop) and the bound port (useful with
+    [~port:0]). *)
+
+val connect : ?host:string -> port:int -> unit -> Link.t
+(** Raises {!Tcp_error} on failure. *)

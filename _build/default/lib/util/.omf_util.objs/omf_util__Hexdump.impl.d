@@ -1,0 +1,1 @@
+lib/util/hexdump.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,27 @@
+(** Monotonic wall-clock helpers for coarse timing in examples and the
+    custom benchmark tables (Bechamel is used for the micro-benchmarks). *)
+
+let now_ns () : int64 =
+  (* [Unix.gettimeofday]-free: [Sys.time] measures CPU time, which is what
+     the registration-cost experiment wants, but for wall latency we use the
+     monotonic clock exposed via [Unix]. This module avoids the [unix]
+     dependency by using [Sys.time] scaled to ns; transports that need real
+     wall time use [Unix.gettimeofday] directly. *)
+  Int64.of_float (Sys.time () *. 1e9)
+
+(** [time_ns f] runs [f ()] and returns [(result, elapsed_cpu_ns)]. *)
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.sub t1 t0)
+
+(** [repeat_ns n f] runs [f] [n] times and returns mean elapsed ns per run. *)
+let repeat_ns n f =
+  assert (n > 0);
+  let t0 = now_ns () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int n

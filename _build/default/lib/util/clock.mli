@@ -1,0 +1,12 @@
+(** Coarse CPU-time helpers for examples and custom benchmark tables
+    (Bechamel is used for the micro-benchmarks). *)
+
+val now_ns : unit -> int64
+(** CPU time (via [Sys.time]) scaled to nanoseconds. *)
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** [time_ns f] runs [f ()] and returns [(result, elapsed_cpu_ns)]. *)
+
+val repeat_ns : int -> (unit -> 'a) -> float
+(** [repeat_ns n f] runs [f] [n] times and returns the mean elapsed ns
+    per run. Requires [n > 0]. *)

@@ -1,0 +1,38 @@
+(** Hexadecimal rendering of byte buffers, for diagnostics and tests. *)
+
+let byte_to_hex b = Printf.sprintf "%02x" (Char.code b)
+
+(** [of_bytes b] renders [b] as a canonical 16-bytes-per-line hex dump with
+    an ASCII gutter, similar to [hexdump -C]. *)
+let of_bytes (b : bytes) : string =
+  let buf = Buffer.create (Bytes.length b * 4) in
+  let len = Bytes.length b in
+  let printable c = c >= ' ' && c <= '~' in
+  let rec line off =
+    if off < len then begin
+      Buffer.add_string buf (Printf.sprintf "%08x  " off);
+      let limit = min 16 (len - off) in
+      for i = 0 to 15 do
+        if i < limit then begin
+          Buffer.add_string buf (byte_to_hex (Bytes.get b (off + i)));
+          Buffer.add_char buf ' '
+        end
+        else Buffer.add_string buf "   ";
+        if i = 7 then Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf " |";
+      for i = 0 to limit - 1 do
+        let c = Bytes.get b (off + i) in
+        Buffer.add_char buf (if printable c then c else '.')
+      done;
+      Buffer.add_string buf "|\n";
+      line (off + 16)
+    end
+  in
+  line 0;
+  Buffer.contents buf
+
+(** [short b] is a compact single-line hex rendering (no offsets), suitable
+    for error messages about small buffers. *)
+let short (b : bytes) : string =
+  String.concat "" (List.map byte_to_hex (List.init (Bytes.length b) (Bytes.get b)))

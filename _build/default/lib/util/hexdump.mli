@@ -1,0 +1,9 @@
+(** Hexadecimal rendering of byte buffers, for diagnostics and tests. *)
+
+val of_bytes : bytes -> string
+(** Canonical 16-bytes-per-line hex dump with offsets and an ASCII gutter,
+    similar to [hexdump -C]. *)
+
+val short : bytes -> string
+(** Compact single-line lowercase hex (no offsets), for error messages
+    about small buffers. *)

@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Abi Buffer Bytes Endian Format Int64 Layout List Memory Native Omf_machine Omf_pbio Printf String Value

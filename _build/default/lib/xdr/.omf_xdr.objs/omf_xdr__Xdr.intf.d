@@ -1,0 +1,1 @@
+lib/xdr/xdr.mli: Abi Format Memory Omf_machine Omf_pbio Value

@@ -1,0 +1,25 @@
+(** XDR (RFC 1014) codec: the "commercial platform" baseline. Both sides
+    convert: the sender translates native bytes into the canonical
+    big-endian 4-byte-unit form, the receiver translates back. Assumes
+    both parties compiled the same interface declaration (classic stub
+    model): no negotiation, no format evolution.
+
+    Era-faithful mapping: char/short/int/long → 4-byte big-endian;
+    long long → 8; float/double → IEEE 4/8; string → u32 length + bytes +
+    pad4; char[N] → opaque fixed; T[count] → u32 count + elements. *)
+
+open Omf_machine
+open Omf_pbio
+
+exception Xdr_error of string
+
+val encode : Memory.t -> Format.t -> int -> bytes
+(** Sender-side conversion: native struct → canonical XDR. *)
+
+val decode : Format.t -> Memory.t -> bytes -> int
+(** Receiver-side conversion: parse XDR into a fresh native struct;
+    returns its address. Raises {!Xdr_error} on truncated, oversized or
+    trailing data. *)
+
+val encode_value : Abi.t -> Format.t -> Value.t -> bytes
+val decode_value : Abi.t -> Format.t -> bytes -> Value.t

@@ -1,0 +1,1 @@
+lib/xml/doc.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/xml/parse.ml: Buffer Char Doc List Printexc Printf String

@@ -1,0 +1,1 @@
+lib/xml/parse.mli: Doc

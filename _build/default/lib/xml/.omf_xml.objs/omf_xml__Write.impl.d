@@ -1,0 +1,1 @@
+lib/xml/write.ml: Buffer Doc List String

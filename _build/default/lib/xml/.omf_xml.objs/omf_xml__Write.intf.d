@@ -1,0 +1,1 @@
+lib/xml/write.mli: Doc

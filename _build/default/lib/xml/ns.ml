@@ -1,0 +1,59 @@
+(** XML namespace resolution (Namespaces in XML, the convention the paper
+    relies on to reference XML Schema datatypes).
+
+    An environment maps prefixes to namespace URIs; [xmlns] / [xmlns:p]
+    attributes extend it lexically as the tree is walked. *)
+
+type env = (string * string) list
+(** association list prefix → URI; [""] is the default namespace prefix *)
+
+let xml_uri = "http://www.w3.org/XML/1998/namespace"
+
+let empty : env = [ ("xml", xml_uri) ]
+
+(** [extend env el] is [env] extended with the namespace declarations that
+    appear on [el]. *)
+let extend (env : env) (el : Doc.element) : env =
+  List.fold_left
+    (fun env (k, v) ->
+      if String.equal k "xmlns" then ("", v) :: env
+      else
+        match Doc.split_qname k with
+        | "xmlns", prefix -> (prefix, v) :: env
+        | _ -> env)
+    env el.Doc.attrs
+
+(** [resolve env qname] expands [qname] to [(uri, local)]. Unbound
+    prefixes resolve to [None]; an unqualified name resolves to the
+    default namespace (which may be [""]). *)
+let resolve (env : env) (qname : string) : (string * string) option =
+  let prefix, local = Doc.split_qname qname in
+  match List.assoc_opt prefix env with
+  | Some uri -> Some (uri, local)
+  | None -> if String.equal prefix "" then Some ("", local) else None
+
+(** Resolve an attribute name: per the spec, unqualified attribute names
+    are in no namespace (they do NOT pick up the default namespace). *)
+let resolve_attr (env : env) (qname : string) : (string * string) option =
+  let prefix, local = Doc.split_qname qname in
+  if String.equal prefix "" then Some ("", local)
+  else
+    match List.assoc_opt prefix env with
+    | Some uri -> Some (uri, local)
+    | None -> None
+
+(** [prefix_for env uri] finds a prefix currently bound to [uri]. *)
+let prefix_for (env : env) (uri : string) : string option =
+  let rec go = function
+    | [] -> None
+    | (p, u) :: rest -> if String.equal u uri then Some p else go rest
+  in
+  go env
+
+(** [matches env el ~uri ~local] tests whether element [el]'s tag expands
+    to [{uri}local] under [env] (already extended with [el]'s own
+    declarations by the caller or via [extend]). *)
+let matches (env : env) (el : Doc.element) ~uri ~local =
+  match resolve env el.Doc.tag with
+  | Some (u, l) -> String.equal u uri && String.equal l local
+  | None -> false

@@ -1,0 +1,385 @@
+(** Recursive-descent XML 1.0 parser.
+
+    Supports the profile needed for metadata documents and then some:
+    XML declaration, processing instructions, comments, DOCTYPE (skipped
+    with correct bracket matching), elements, attributes in either quote
+    style, character data, CDATA sections, predefined entities and decimal
+    / hexadecimal character references. Checks well-formedness: tag
+    balance, attribute uniqueness, single root element.
+
+    It does not implement external entities or DTD-defined entities —
+    metadata documents in this system never use them, and refusing them
+    avoids the classic XML entity-expansion hazards. *)
+
+exception Error of { line : int; col : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Error { line; col; message } ->
+      Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line col message)
+    | _ -> None)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error { line = st.line; col = st.col; message }))
+    fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st <> c then fail st "expected %C, found %C" c (peek st);
+  advance st
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.equal (String.sub st.src st.pos n) s
+
+let expect_string st s =
+  if not (looking_at st s) then fail st "expected %S" s;
+  String.iter (fun _ -> advance st) s
+
+let is_space = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    fail st "expected a name, found %C" (peek st);
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(** Parse a reference after the '&' has been consumed. *)
+let parse_reference st =
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' in
+    if hex then advance st;
+    let start = st.pos in
+    let digit c =
+      (c >= '0' && c <= '9')
+      || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+    in
+    while digit (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ';';
+    let code =
+      try int_of_string ((if hex then "0x" else "") ^ digits)
+      with Failure _ -> fail st "character reference out of range"
+    in
+    if code <= 0 || code > 0x10FFFF then
+      fail st "character reference out of range";
+    (* Encode as UTF-8. *)
+    let b = Buffer.create 4 in
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end;
+    Buffer.contents b
+  end
+  else begin
+    let name = parse_name st in
+    expect st ';';
+    match name with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | other -> fail st "undefined entity &%s;" other
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected attribute value";
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      match peek st with
+      | c when c = quote -> advance st
+      | '&' ->
+        advance st;
+        Buffer.add_string b (parse_reference st);
+        go ()
+      | '<' -> fail st "'<' not allowed in attribute value"
+      | c ->
+        (* Attribute-value normalisation: whitespace becomes a space. *)
+        Buffer.add_char b (if is_space c then ' ' else c);
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_attributes st =
+  let rec go acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_attr_value st in
+      if List.mem_assoc name acc then fail st "duplicate attribute %S" name;
+      go ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_comment st =
+  (* after "<!--" *)
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "--" then begin
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "-->";
+      content
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_pi st =
+  (* after "<?" *)
+  let target = parse_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "?>";
+      (target, content)
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_cdata st =
+  (* after "<![CDATA[" *)
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "]]>";
+      content
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(** Skip a DOCTYPE declaration, tracking nesting of the internal subset. *)
+let skip_doctype st =
+  (* after "<!DOCTYPE" *)
+  let depth = ref 0 in
+  let rec go () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+        incr depth;
+        advance st;
+        go ()
+      | ']' ->
+        decr depth;
+        advance st;
+        go ()
+      | '>' when !depth = 0 -> advance st
+      | '"' | '\'' ->
+        ignore (parse_attr_value st);
+        go ()
+      | _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let parse_text st =
+  let b = Buffer.create 32 in
+  let rec go () =
+    if eof st then ()
+    else
+      match peek st with
+      | '<' -> ()
+      | '&' ->
+        advance st;
+        Buffer.add_string b (parse_reference st);
+        go ()
+      | c ->
+        if c = ']' && looking_at st "]]>" then
+          fail st "']]>' not allowed in character data";
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let rec parse_element st : Doc.element =
+  (* at '<' of a start tag *)
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_space st;
+  if looking_at st "/>" then begin
+    expect_string st "/>";
+    { Doc.tag; attrs; children = [] }
+  end
+  else begin
+    expect st '>';
+    let children = parse_content st tag in
+    { Doc.tag; attrs; children }
+  end
+
+and parse_content st open_tag : Doc.node list =
+  let rec go acc =
+    if eof st then fail st "unexpected end of input inside <%s>" open_tag
+    else if looking_at st "</" then begin
+      expect_string st "</";
+      let close = parse_name st in
+      skip_space st;
+      expect st '>';
+      if not (String.equal close open_tag) then
+        fail st "mismatched end tag </%s>, expected </%s>" close open_tag;
+      List.rev acc
+    end
+    else if looking_at st "<!--" then begin
+      expect_string st "<!--";
+      go (Doc.Comment (parse_comment st) :: acc)
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect_string st "<![CDATA[";
+      go (Doc.Cdata (parse_cdata st) :: acc)
+    end
+    else if looking_at st "<?" then begin
+      expect_string st "<?";
+      let target, content = parse_pi st in
+      go (Doc.Pi (target, content) :: acc)
+    end
+    else if peek st = '<' && peek2 st = '!' then
+      fail st "unexpected markup declaration in content"
+    else if peek st = '<' then go (Doc.Element (parse_element st) :: acc)
+    else begin
+      let text = parse_text st in
+      if String.equal text "" then go acc else go (Doc.Text text :: acc)
+    end
+  in
+  go []
+
+let parse_xml_decl st =
+  if looking_at st "<?xml" then begin
+    expect_string st "<?xml";
+    let attrs = parse_attributes st in
+    skip_space st;
+    expect_string st "?>";
+    attrs
+  end
+  else []
+
+(** [document s] parses a complete XML document. Raises {!Error}. *)
+let document (s : string) : Doc.t =
+  let st = { src = s; pos = 0; line = 1; col = 1 } in
+  let decl = parse_xml_decl st in
+  let rec prolog () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      expect_string st "<!--";
+      ignore (parse_comment st);
+      prolog ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      expect_string st "<!DOCTYPE";
+      skip_doctype st;
+      prolog ()
+    end
+    else if looking_at st "<?" then begin
+      expect_string st "<?";
+      ignore (parse_pi st);
+      prolog ()
+    end
+  in
+  prolog ();
+  if eof st || peek st <> '<' then fail st "expected root element";
+  let root = parse_element st in
+  let rec epilogue () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      expect_string st "<!--";
+      ignore (parse_comment st);
+      epilogue ()
+    end
+    else if looking_at st "<?" then begin
+      expect_string st "<?";
+      ignore (parse_pi st);
+      epilogue ()
+    end
+    else if not (eof st) then fail st "content after root element"
+  in
+  epilogue ();
+  { Doc.decl; root }
+
+(** [element s] parses a string containing a single element (fragment
+    convenience used in tests and the XML wire format decoder). *)
+let element (s : string) : Doc.element = (document s).Doc.root

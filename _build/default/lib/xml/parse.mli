@@ -1,0 +1,14 @@
+(** Recursive-descent XML 1.0 parser: declaration, PIs, comments, DOCTYPE
+    (skipped with bracket matching), elements, attributes, character
+    data, CDATA, predefined entities and character references.
+    Well-formedness is enforced (tag balance, unique attributes, single
+    root). External and DTD-defined entities are deliberately not
+    supported. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val document : string -> Doc.t
+(** Parses a complete document. Raises {!Error}. *)
+
+val element : string -> Doc.element
+(** Parses a string containing a single element (fragment convenience). *)

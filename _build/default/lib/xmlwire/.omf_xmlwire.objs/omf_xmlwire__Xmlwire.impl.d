@@ -1,0 +1,1 @@
+lib/xmlwire/xmlwire.ml: Array Char Format Int64 Layout List Memory Native Omf_machine Omf_pbio Omf_xml Option Printexc Printf String Value

@@ -1,0 +1,1 @@
+lib/xmlwire/xmlwire.mli: Format Memory Omf_machine Omf_pbio Value

@@ -1,0 +1,198 @@
+(** XML as a *wire format* (XML-RPC style): the text baseline.
+
+    This is the approach the paper argues against for high-performance
+    data exchange: every record is converted from binary memory to ASCII
+    text, transmitted with per-field markup, and parsed and re-binarised
+    on the receiving side. It is self-describing and needs no a-priori
+    agreement, but pays (a) binary->text->binary conversion on both ends
+    and (b) a 6-8x message expansion (section 6).
+
+    Conventions:
+    - one element per field: [<fltNum>1771</fltNum>];
+    - arrays repeat the element; dynamic-array control fields are implied
+      by the repetition count and not transmitted;
+    - chars travel as numeric character codes, floats as shortest
+      round-trip decimal, strings as escaped character data. *)
+
+open Omf_machine
+open Omf_pbio
+
+exception Xmlwire_error of string
+
+let xw_error fmt = Printf.ksprintf (fun s -> raise (Xmlwire_error s)) fmt
+
+let controls_of (fmt : Format.t) : string list =
+  List.filter_map
+    (fun (f : Format.rfield) ->
+      match f.Format.rf_dim with
+      | Format.Rvar control -> Some control
+      | Format.Rscalar | Format.Rfixed _ -> None)
+    fmt.Format.fields
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let float_text ~size v =
+  if size = 4 then Printf.sprintf "%.9g" v else Printf.sprintf "%.17g" v
+
+let rec element_of_record (fmt : Format.t) (v : Value.t) : Omf_xml.Doc.element
+    =
+  let fields = Value.to_record_exn v in
+  let controls = controls_of fmt in
+  let children =
+    List.concat_map
+      (fun (f : Format.rfield) ->
+        if List.mem f.Format.rf_name controls then []
+        else
+          let fv =
+            match List.assoc_opt f.Format.rf_name fields with
+            | Some fv -> fv
+            | None ->
+              xw_error "format %s: value lacks field %S" fmt.Format.name
+                f.Format.rf_name
+          in
+          let size = f.Format.rf_layout.Layout.elem_size in
+          let scalar fv : Omf_xml.Doc.node list =
+            match (f.Format.rf_elem, fv) with
+            | Format.Rint _, _ ->
+              [ Omf_xml.Doc.Text (Int64.to_string (Value.to_int64 fv)) ]
+            | Format.Rfloat _, _ ->
+              [ Omf_xml.Doc.Text (float_text ~size (Value.to_float_exn fv)) ]
+            | Format.Rchar, Value.Char ch ->
+              [ Omf_xml.Doc.Text (string_of_int (Char.code ch)) ]
+            | Format.Rchar, _ ->
+              [ Omf_xml.Doc.Text (Int64.to_string (Value.to_int64 fv)) ]
+            | Format.Rstring, _ ->
+              let s = Value.to_string_exn fv in
+              if String.equal s "" then [] else [ Omf_xml.Doc.Text s ]
+            | Format.Rnested nested, _ ->
+              (element_of_record nested fv).Omf_xml.Doc.children
+          in
+          let mk children =
+            Omf_xml.Doc.Element
+              (Omf_xml.Doc.element ~children f.Format.rf_name)
+          in
+          match (f.Format.rf_dim, f.Format.rf_elem, fv) with
+          | Format.Rscalar, _, _ -> [ mk (scalar fv) ]
+          | Format.Rfixed _, Format.Rchar, Value.String s ->
+            [ mk (if String.equal s "" then [] else [ Omf_xml.Doc.Text s ]) ]
+          | (Format.Rfixed _ | Format.Rvar _), _, Value.Array a ->
+            Array.to_list (Array.map (fun e -> mk (scalar e)) a)
+          | _, _, other ->
+            xw_error "format %s, field %S: expected an array, got %s"
+              fmt.Format.name f.Format.rf_name (Value.to_string other))
+      fmt.Format.fields
+  in
+  Omf_xml.Doc.element ~children fmt.Format.name
+
+(** [encode_value fmt v] renders the record as an XML text message. *)
+let encode_value (fmt : Format.t) (v : Value.t) : string =
+  Omf_xml.Write.element_to_string (element_of_record fmt v)
+
+(** [encode mem fmt addr] is the full sender-side cost the paper talks
+    about: read native binary data and convert it to ASCII markup. *)
+let encode (mem : Memory.t) (fmt : Format.t) (addr : int) : string =
+  encode_value fmt (Native.load mem fmt addr)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let int_of_text name s =
+  match Int64.of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> xw_error "field %S: %S is not an integer" name s
+
+let float_of_text name s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> xw_error "field %S: %S is not a number" name s
+
+let rec record_of_element (fmt : Format.t) (el : Omf_xml.Doc.element) :
+    Value.t =
+  let controls = controls_of fmt in
+  let scalar (f : Format.rfield) (child : Omf_xml.Doc.element) : Value.t =
+    let text = Omf_xml.Doc.text child in
+    let size = f.Format.rf_layout.Layout.elem_size in
+    ignore size;
+    match f.Format.rf_elem with
+    | Format.Rint { signed; _ } ->
+      let v = int_of_text f.Format.rf_name text in
+      if signed then Value.Int v else Value.Uint v
+    | Format.Rfloat _ -> Value.Float (float_of_text f.Format.rf_name text)
+    | Format.Rchar ->
+      let code = Int64.to_int (int_of_text f.Format.rf_name text) in
+      if code < 0 || code > 255 then
+        xw_error "field %S: char code %d out of range" f.Format.rf_name code;
+      Value.Char (Char.chr code)
+    | Format.Rstring -> Value.String text
+    | Format.Rnested nested -> record_of_element nested child
+  in
+  let fields =
+    List.concat_map
+      (fun (f : Format.rfield) ->
+        if List.mem f.Format.rf_name controls then
+          (* reconstructed below from the repetition count *)
+          []
+        else
+          let children = Omf_xml.Doc.find_children el f.Format.rf_name in
+          match f.Format.rf_dim with
+          | Format.Rscalar -> (
+            match children with
+            | [ child ] -> [ (f.Format.rf_name, scalar f child) ]
+            | [] ->
+              xw_error "format %s: message lacks element <%s>" fmt.Format.name
+                f.Format.rf_name
+            | _ ->
+              xw_error "format %s: repeated scalar element <%s>"
+                fmt.Format.name f.Format.rf_name)
+          | Format.Rfixed n -> (
+            match f.Format.rf_elem with
+            | Format.Rchar -> (
+              match children with
+              | [ child ] ->
+                let s = Omf_xml.Doc.text child in
+                if String.length s > n then
+                  xw_error "field %S: %S exceeds char[%d]" f.Format.rf_name s n;
+                [ (f.Format.rf_name, Value.String s) ]
+              | _ -> xw_error "field %S: expected one element" f.Format.rf_name)
+            | _ ->
+              if List.length children <> n then
+                xw_error "field %S: expected %d elements, found %d"
+                  f.Format.rf_name n (List.length children);
+              [ ( f.Format.rf_name
+                , Value.Array (Array.of_list (List.map (scalar f) children)) )
+              ])
+          | Format.Rvar control ->
+            let arr = Array.of_list (List.map (scalar f) children) in
+            [ (f.Format.rf_name, Value.Array arr)
+            ; (control, Value.Int (Int64.of_int (Array.length arr))) ])
+      fmt.Format.fields
+  in
+  (* order the control fields as declared *)
+  let ordered =
+    List.filter_map
+      (fun (f : Format.rfield) -> List.assoc_opt f.Format.rf_name fields
+        |> Option.map (fun v -> (f.Format.rf_name, v)))
+      fmt.Format.fields
+  in
+  Value.Record ordered
+
+(** [decode_value fmt text] parses an XML message back into a record. *)
+let decode_value (fmt : Format.t) (text : string) : Value.t =
+  let el =
+    try Omf_xml.Parse.element text
+    with Omf_xml.Parse.Error _ as e ->
+      xw_error "unparsable message: %s" (Printexc.to_string e)
+  in
+  if not (String.equal el.Omf_xml.Doc.tag fmt.Format.name) then
+    xw_error "message is <%s>, expected <%s>" el.Omf_xml.Doc.tag
+      fmt.Format.name;
+  record_of_element fmt el
+
+(** [decode fmt mem text] is the full receiver-side cost: parse the
+    markup, convert ASCII back to binary, and materialise the native
+    struct. Returns its address. *)
+let decode (fmt : Format.t) (mem : Memory.t) (text : string) : int =
+  Native.store mem fmt (decode_value fmt text)

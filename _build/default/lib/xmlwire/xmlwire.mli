@@ -1,0 +1,21 @@
+(** XML as a wire format (XML-RPC style): the text baseline the paper
+    argues against for high-performance exchange. One element per field;
+    arrays repeat the element; dynamic-array control fields are implied
+    by repetition and not transmitted; chars travel as character codes,
+    floats as round-trip decimal. *)
+
+open Omf_machine
+open Omf_pbio
+
+exception Xmlwire_error of string
+
+val encode_value : Format.t -> Value.t -> string
+val decode_value : Format.t -> string -> Value.t
+(** Raises {!Xmlwire_error} on unparsable or schema-mismatched text. *)
+
+val encode : Memory.t -> Format.t -> int -> string
+(** Full sender-side cost: read native binary data, convert to markup. *)
+
+val decode : Format.t -> Memory.t -> string -> int
+(** Full receiver-side cost: parse markup, re-binarise, materialise the
+    native struct; returns its address. *)

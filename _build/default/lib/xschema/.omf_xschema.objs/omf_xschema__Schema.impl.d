@@ -1,0 +1,1 @@
+lib/xschema/schema.ml: Doc Hashtbl List Ns Omf_xml Option Parse Printexc Printf String

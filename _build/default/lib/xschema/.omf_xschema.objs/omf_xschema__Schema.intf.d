@@ -1,0 +1,1 @@
+lib/xschema/schema.mli: Omf_xml

@@ -1,0 +1,1 @@
+lib/xschema/schema_write.ml: Doc List Omf_xml Printf Schema Write

@@ -1,0 +1,1 @@
+lib/xschema/schema_write.mli: Omf_xml Schema

@@ -1,0 +1,1 @@
+lib/xschema/validate.ml: Doc Fmt Int64 List Omf_xml Printf Schema String

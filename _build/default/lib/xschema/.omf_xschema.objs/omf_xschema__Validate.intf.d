@@ -1,0 +1,1 @@
+lib/xschema/validate.mli: Omf_xml Schema Stdlib

@@ -1,0 +1,328 @@
+(** XML Schema subset: the metadata definition language.
+
+    Supports the profile the paper uses (sections 4.1.1 and Appendix A):
+    [xsd:schema] containing named [xsd:complexType]s whose children are
+    [xsd:element]s with [type], [minOccurs] and [maxOccurs] attributes.
+    Both the 1999 draft spellings the paper uses ([xsd:unsigned-long],
+    [maxOccurs="*"]) and the final 2001 recommendation spellings
+    ([xsd:unsignedLong], [maxOccurs="unbounded"], elements wrapped in
+    [xsd:sequence]) are accepted.
+
+    The AST is deliberately independent of the communication layers; the
+    xml2wire core maps it onto PBIO declarations. *)
+
+(** Recognised XML Schema namespace URIs (draft and final). *)
+let schema_namespaces =
+  [ "http://www.w3.org/1999/XMLSchema"
+  ; "http://www.w3.org/2000/10/XMLSchema"
+  ; "http://www.w3.org/2001/XMLSchema" ]
+
+let is_schema_uri uri = List.mem uri schema_namespaces
+
+type max_occurs =
+  | Bounded of int  (** numeric: a static array bound *)
+  | Unbounded  (** "*" or "unbounded": dynamically sized *)
+  | Counted_by of string
+      (** a sibling integer element gives the run-time count *)
+
+type element = {
+  el_name : string;
+  el_type : type_ref;
+  min_occurs : int;
+  max_occurs : max_occurs option;  (** [None] = plain scalar element *)
+}
+
+and type_ref =
+  | Builtin of builtin  (** a type from the XML Schema namespace *)
+  | Defined of string  (** a named complexType from this document *)
+
+and builtin =
+  | B_string
+  | B_boolean
+  | B_byte
+  | B_unsigned_byte
+  | B_short
+  | B_unsigned_short
+  | B_int  (** xsd:int and xsd:integer *)
+  | B_unsigned_int
+  | B_long
+  | B_unsigned_long
+  | B_float
+  | B_double
+
+type complex_type = {
+  ct_name : string;
+  ct_elements : element list;
+  ct_documentation : string option;
+}
+
+(** A named simple type derived by restriction of a builtin (the paper's
+    footnote 1): usable wherever a builtin is, with extra lexical
+    constraints checked by validation. *)
+type simple_type = {
+  st_name : string;
+  st_base : builtin;
+  st_enumeration : string list;  (** empty = unconstrained *)
+  st_min_inclusive : float option;
+  st_max_inclusive : float option;
+}
+
+type t = {
+  target_namespace : string option;
+  documentation : string option;
+  types : complex_type list;  (** in document order *)
+  simple_types : simple_type list;
+}
+
+let find_type t name =
+  List.find_opt (fun ct -> String.equal ct.ct_name name) t.types
+
+let find_simple_type t name =
+  List.find_opt (fun st -> String.equal st.st_name name) t.simple_types
+
+let builtin_name = function
+  | B_string -> "string"
+  | B_boolean -> "boolean"
+  | B_byte -> "byte"
+  | B_unsigned_byte -> "unsignedByte"
+  | B_short -> "short"
+  | B_unsigned_short -> "unsignedShort"
+  | B_int -> "integer"
+  | B_unsigned_int -> "unsignedInt"
+  | B_long -> "long"
+  | B_unsigned_long -> "unsigned-long"
+  | B_float -> "float"
+  | B_double -> "double"
+
+(** Both draft ("unsigned-long") and final ("unsignedLong") spellings. *)
+let builtin_of_name = function
+  | "string" -> Some B_string
+  | "boolean" -> Some B_boolean
+  | "byte" -> Some B_byte
+  | "unsigned-byte" | "unsignedByte" -> Some B_unsigned_byte
+  | "short" -> Some B_short
+  | "unsigned-short" | "unsignedShort" -> Some B_unsigned_short
+  | "integer" | "int" -> Some B_int
+  | "unsigned-int" | "unsignedInt" | "nonNegativeInteger" -> Some B_unsigned_int
+  | "long" -> Some B_long
+  | "unsigned-long" | "unsignedLong" -> Some B_unsigned_long
+  | "float" -> Some B_float
+  | "double" -> Some B_double
+  | _ -> None
+
+exception Schema_error of string
+
+let schema_error fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Omf_xml
+
+let is_schema_element env el local =
+  match Ns.resolve env el.Doc.tag with
+  | Some (uri, l) -> is_schema_uri uri && String.equal l local
+  | None -> false
+
+let parse_type_ref env (raw : string) : type_ref =
+  match Ns.resolve env raw with
+  | Some (uri, local) when is_schema_uri uri -> (
+    match builtin_of_name local with
+    | Some b -> Builtin b
+    | None -> schema_error "unsupported XML Schema datatype %S" raw)
+  | _ ->
+    (* unqualified or target-namespace-qualified: a user-defined type *)
+    Defined (Doc.local_name raw)
+
+let parse_occurs_attrs el : int * max_occurs option =
+  let min_occurs =
+    match Doc.attr el "minOccurs" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> schema_error "element %S: bad minOccurs %S"
+               (Option.value ~default:"?" (Doc.attr el "name")) s)
+  in
+  let max_occurs =
+    match Doc.attr el "maxOccurs" with
+    | None -> None
+    | Some "*" | Some "unbounded" -> Some Unbounded
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some (Bounded n)
+      | Some n ->
+        schema_error "element %S: bad maxOccurs %d"
+          (Option.value ~default:"?" (Doc.attr el "name")) n
+      | None -> Some (Counted_by s))
+  in
+  (min_occurs, max_occurs)
+
+let parse_element env (el : Doc.element) : element =
+  let el_name =
+    match Doc.attr el "name" with
+    | Some n when not (String.equal n "") -> n
+    | _ -> schema_error "element without a name attribute"
+  in
+  let raw_type =
+    match Doc.attr el "type" with
+    | Some t -> t
+    | None -> schema_error "element %S: missing type attribute" el_name
+  in
+  let min_occurs, max_occurs = parse_occurs_attrs el in
+  { el_name; el_type = parse_type_ref env raw_type; min_occurs; max_occurs }
+
+let documentation_of env (el : Doc.element) : string option =
+  (* <xsd:annotation><xsd:documentation>text</...></...> *)
+  let anns =
+    List.filter (fun c -> is_schema_element env c "annotation")
+      (Doc.child_elements el)
+  in
+  let docs =
+    List.concat_map
+      (fun ann ->
+        let env = Ns.extend env ann in
+        List.filter_map
+          (fun c ->
+            if is_schema_element env c "documentation" then
+              Some (String.trim (Doc.deep_text c))
+            else None)
+          (Doc.child_elements ann))
+      anns
+  in
+  match docs with [] -> None | d :: _ -> Some d
+
+let parse_simple_type env (el : Doc.element) : simple_type =
+  let st_name =
+    match Doc.attr el "name" with
+    | Some n when not (String.equal n "") -> n
+    | _ -> schema_error "simpleType without a name attribute"
+  in
+  let env = Ns.extend env el in
+  let restriction =
+    match
+      List.find_opt (fun c -> is_schema_element env c "restriction")
+        (Doc.child_elements el)
+    with
+    | Some r -> r
+    | None -> schema_error "simpleType %S: only restriction is supported" st_name
+  in
+  let env = Ns.extend env restriction in
+  let st_base =
+    match Doc.attr restriction "base" with
+    | None -> schema_error "simpleType %S: restriction lacks a base" st_name
+    | Some raw -> (
+      match parse_type_ref env raw with
+      | Builtin b -> b
+      | Defined other ->
+        schema_error "simpleType %S: base %S is not a builtin" st_name other)
+  in
+  let facet name =
+    List.filter_map
+      (fun c ->
+        if is_schema_element env c name then
+          match Doc.attr c "value" with
+          | Some v -> Some v
+          | None -> schema_error "simpleType %S: %s without a value" st_name name
+        else None)
+      (Doc.child_elements restriction)
+  in
+  let number name = function
+    | [] -> None
+    | [ v ] -> (
+      match float_of_string_opt v with
+      | Some f -> Some f
+      | None -> schema_error "simpleType %S: %s %S is not numeric" st_name name v)
+    | _ -> schema_error "simpleType %S: duplicate %s facet" st_name name
+  in
+  { st_name; st_base
+  ; st_enumeration = facet "enumeration"
+  ; st_min_inclusive = number "minInclusive" (facet "minInclusive")
+  ; st_max_inclusive = number "maxInclusive" (facet "maxInclusive") }
+
+let parse_complex_type env (el : Doc.element) : complex_type =
+  let ct_name =
+    match Doc.attr el "name" with
+    | Some n when not (String.equal n "") -> n
+    | _ -> schema_error "complexType without a name attribute"
+  in
+  let env = Ns.extend env el in
+  (* accept both direct children (the paper's draft style) and an
+     xsd:sequence wrapper (the final recommendation) *)
+  let containers =
+    let seqs =
+      List.filter (fun c -> is_schema_element env c "sequence")
+        (Doc.child_elements el)
+    in
+    if seqs = [] then [ el ] else seqs
+  in
+  let ct_elements =
+    List.concat_map
+      (fun container ->
+        let env = Ns.extend env container in
+        List.filter_map
+          (fun c ->
+            let env = Ns.extend env c in
+            if is_schema_element env c "element" then
+              Some (parse_element env c)
+            else if
+              is_schema_element env c "annotation"
+              || is_schema_element env c "sequence"
+            then None
+            else
+              schema_error "complexType %S: unsupported child <%s>" ct_name
+                c.Doc.tag)
+          (Doc.child_elements container))
+      containers
+  in
+  if ct_elements = [] then
+    schema_error "complexType %S has no elements" ct_name;
+  { ct_name; ct_elements; ct_documentation = documentation_of env el }
+
+(** [of_document doc] parses a schema document. Raises {!Schema_error}. *)
+let of_document (doc : Doc.t) : t =
+  let root = doc.Doc.root in
+  let env = Ns.extend Ns.empty root in
+  if not (is_schema_element env root "schema") then
+    schema_error "root element <%s> is not an XML Schema" root.Doc.tag;
+  let types =
+    List.filter_map
+      (fun c ->
+        let env = Ns.extend env c in
+        if is_schema_element env c "complexType" then
+          Some (parse_complex_type env c)
+        else None)
+      (Doc.child_elements root)
+  in
+  let simple_types =
+    List.filter_map
+      (fun c ->
+        let env = Ns.extend env c in
+        if is_schema_element env c "simpleType" then
+          Some (parse_simple_type env c)
+        else None)
+      (Doc.child_elements root)
+  in
+  if types = [] then schema_error "schema defines no complexType";
+  (* names must be unique across both kinds *)
+  let seen = Hashtbl.create 8 in
+  let check_name kind name =
+    if Hashtbl.mem seen name then schema_error "duplicate %s %S" kind name;
+    Hashtbl.add seen name ()
+  in
+  List.iter (fun ct -> check_name "complexType" ct.ct_name) types;
+  List.iter (fun st -> check_name "simpleType" st.st_name) simple_types;
+  { target_namespace = Doc.attr root "targetNamespace"
+  ; documentation = documentation_of env root
+  ; types; simple_types }
+
+(** [of_string s] parses schema text. Raises {!Schema_error} (wrapping
+    XML parse errors). *)
+let of_string (s : string) : t =
+  let doc =
+    try Parse.document s
+    with Parse.Error _ as e ->
+      schema_error "not well-formed XML: %s" (Printexc.to_string e)
+  in
+  of_document doc

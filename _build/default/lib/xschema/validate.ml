@@ -1,0 +1,169 @@
+(** Instance validation and message classification.
+
+    The paper (section 4.1.1) notes that representing message structure in
+    XML Schema makes "schema-checking tools applicable to live messages",
+    usable "to determine which of a set of structure definitions a message
+    most closely fits". This module provides both: validate an instance
+    document against a complexType, and classify a document against all
+    the types of a schema. *)
+
+open Omf_xml
+
+type problem = {
+  path : string;  (** slash-separated element path *)
+  reason : string;
+}
+
+let problem path fmt = Printf.ksprintf (fun reason -> { path; reason }) fmt
+
+let is_integer_text s =
+  match Int64.of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let is_number_text s =
+  match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let builtin_ok (b : Schema.builtin) (text : string) : bool =
+  match b with
+  | Schema.B_string -> true
+  | Schema.B_boolean -> (
+    match String.trim text with
+    | "0" | "1" | "true" | "false" -> true
+    | _ -> false)
+  | Schema.B_float | Schema.B_double -> is_number_text text
+  | Schema.B_byte | Schema.B_unsigned_byte | Schema.B_short
+  | Schema.B_unsigned_short | Schema.B_int | Schema.B_unsigned_int
+  | Schema.B_long | Schema.B_unsigned_long ->
+    is_integer_text text
+
+(** Check instance text against a simpleType restriction. *)
+let simple_type_ok (st : Schema.simple_type) (text : string) :
+    (unit, string) result =
+  let text = String.trim text in
+  if not (builtin_ok st.Schema.st_base text) then
+    Error
+      (Printf.sprintf "%S is not a valid %s (base of %s)" text
+         (Schema.builtin_name st.Schema.st_base)
+         st.Schema.st_name)
+  else if
+    st.Schema.st_enumeration <> []
+    && not (List.mem text st.Schema.st_enumeration)
+  then
+    Error
+      (Printf.sprintf "%S is not one of the enumerated values of %s" text
+         st.Schema.st_name)
+  else
+    let numeric_check bound cmp label =
+      match bound with
+      | None -> Ok ()
+      | Some b -> (
+        match float_of_string_opt text with
+        | Some v when cmp v b -> Ok ()
+        | Some v ->
+          Error
+            (Printf.sprintf "%g violates %s of %s (%g)" v label
+               st.Schema.st_name b)
+        | None -> Ok () (* base check already decides lexical validity *))
+    in
+    match numeric_check st.Schema.st_min_inclusive (fun v b -> v >= b) "minInclusive" with
+    | Error _ as e -> e
+    | Ok () ->
+      numeric_check st.Schema.st_max_inclusive (fun v b -> v <= b) "maxInclusive"
+
+(** Expected occurrence interval for an element declaration. *)
+let occurs_interval (e : Schema.element) : int * int option =
+  match e.Schema.max_occurs with
+  | None -> (1, Some 1)
+  | Some (Schema.Bounded n) -> (min e.Schema.min_occurs n, Some n)
+  | Some Schema.Unbounded | Some (Schema.Counted_by _) ->
+    (e.Schema.min_occurs, None)
+
+let rec check_type (schema : Schema.t) (ct : Schema.complex_type) path
+    (el : Doc.element) (problems : problem list) : problem list =
+  (* occurrence counts per declared element *)
+  let problems =
+    List.fold_left
+      (fun problems (decl : Schema.element) ->
+        let children = Doc.find_children el decl.Schema.el_name in
+        let n = List.length children in
+        let lo, hi = occurs_interval decl in
+        let problems =
+          if n < lo then
+            problem path "element <%s> occurs %d times, expected at least %d"
+              decl.Schema.el_name n lo
+            :: problems
+          else
+            match hi with
+            | Some h when n > h ->
+              problem path "element <%s> occurs %d times, expected at most %d"
+                decl.Schema.el_name n h
+              :: problems
+            | _ -> problems
+        in
+        (* content checks *)
+        List.fold_left
+          (fun problems child ->
+            let cpath = path ^ "/" ^ decl.Schema.el_name in
+            match decl.Schema.el_type with
+            | Schema.Builtin b ->
+              if builtin_ok b (Doc.text child) then problems
+              else
+                problem cpath "%S is not a valid %s" (Doc.text child)
+                  (Schema.builtin_name b)
+                :: problems
+            | Schema.Defined name -> (
+              match Schema.find_type schema name with
+              | Some nested -> check_type schema nested cpath child problems
+              | None -> (
+                match Schema.find_simple_type schema name with
+                | Some st -> (
+                  match simple_type_ok st (Doc.text child) with
+                  | Ok () -> problems
+                  | Error reason -> { path = cpath; reason } :: problems)
+                | None ->
+                  problem cpath "references undefined type %S" name :: problems)))
+          problems children)
+      problems ct.Schema.ct_elements
+  in
+  (* unexpected children *)
+  List.fold_left
+    (fun problems child ->
+      if
+        List.exists
+          (fun d -> String.equal d.Schema.el_name child.Doc.tag)
+          ct.Schema.ct_elements
+      then problems
+      else problem path "unexpected element <%s>" child.Doc.tag :: problems)
+    problems (Doc.child_elements el)
+
+(** [validate schema ~type_name el] checks instance element [el] against
+    the named complexType. Returns problems (empty = valid). *)
+let validate (schema : Schema.t) ~(type_name : string) (el : Doc.element) :
+    problem list =
+  match Schema.find_type schema type_name with
+  | None -> [ problem "" "schema has no complexType %S" type_name ]
+  | Some ct -> List.rev (check_type schema ct ct.Schema.ct_name el [])
+
+let is_valid schema ~type_name el = validate schema ~type_name el = []
+
+(** [classify schema el] scores [el] against every complexType and
+    returns [(type_name, problem_count)] pairs, best match first — the
+    paper's "which of a set of structure definitions a message most
+    closely fits". *)
+let classify (schema : Schema.t) (el : Doc.element) :
+    (string * int) list =
+  Schema.(
+    List.map
+      (fun ct ->
+        (ct.ct_name, List.length (validate schema ~type_name:ct.ct_name el)))
+      schema.types)
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+
+(** Best match, if any type validates cleanly. *)
+let best_match (schema : Schema.t) (el : Doc.element) : string option =
+  match classify schema el with
+  | (name, 0) :: _ -> Some name
+  | _ -> None
+
+let pp_problem ppf p =
+  if String.equal p.path "" then Fmt.string ppf p.reason
+  else Fmt.pf ppf "%s: %s" p.path p.reason

@@ -1,0 +1,28 @@
+(** Instance validation and message classification: "schema-checking
+    tools applicable to live messages", usable "to determine which of a
+    set of structure definitions a message most closely fits"
+    (section 4.1.1). *)
+
+type problem = {
+  path : string;  (** slash-separated element path *)
+  reason : string;
+}
+
+val simple_type_ok : Schema.simple_type -> string -> (unit, string) result
+(** Check instance text against a simpleType restriction (base lexical
+    validity, enumeration, min/maxInclusive). *)
+
+val validate : Schema.t -> type_name:string -> Omf_xml.Doc.element -> problem list
+(** Check an instance element against the named complexType: occurrence
+    bounds, content lexical checks, unexpected elements. Empty = valid. *)
+
+val is_valid : Schema.t -> type_name:string -> Omf_xml.Doc.element -> bool
+
+val classify : Schema.t -> Omf_xml.Doc.element -> (string * int) list
+(** Score the element against every type; [(name, problem count)] pairs,
+    best match first. *)
+
+val best_match : Schema.t -> Omf_xml.Doc.element -> string option
+(** The first cleanly validating type, if any. *)
+
+val pp_problem : Stdlib.Format.formatter -> problem -> unit

@@ -1,0 +1,1 @@
+test/test_backbone.ml: Abi Alcotest Broker Fmt Format Hashtbl List Memory Omf_backbone Omf_fixtures Omf_machine Omf_pbio Omf_testkit Omf_transport Omf_util Omf_xml2wire Omf_xschema Option Value

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Abi Alcotest Fmt Ftype List Memory Native Omf_codegen Omf_fixtures Omf_generated Omf_machine Omf_pbio Printf Registry String Value

@@ -1,0 +1,1 @@
+test/test_compat.ml: Abi Alcotest Convert Fmt Format_codec Ftype List Omf_fixtures Omf_machine Omf_pbio Omf_testkit Omf_xml2wire Omf_xschema Registry

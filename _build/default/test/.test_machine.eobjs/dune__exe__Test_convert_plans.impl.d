@@ -1,0 +1,1 @@
+test/test_convert_plans.ml: Abi Alcotest Array Convert Encode Fmt Format Format_codec Ftype Int64 Memory Native Omf_fixtures Omf_machine Omf_pbio Registry Value

@@ -1,0 +1,1 @@
+test/test_formatserver.ml: Abi Alcotest Bytes Fmt Format Format_codec Fun Memory Native Omf_fixtures Omf_formatserver Omf_machine Omf_pbio Omf_transport Receiver Registry Thread Value

@@ -1,0 +1,1 @@
+test/test_httpd.ml: Abi Alcotest Array Catalog Discovery Filename Fun List Omf_fixtures Omf_httpd Omf_machine Omf_pbio Omf_testkit Omf_xml2wire Option Sys Thread Unix

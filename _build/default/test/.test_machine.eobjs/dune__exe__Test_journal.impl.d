@@ -1,0 +1,1 @@
+test/test_journal.ml: Abi Alcotest Filename Fmt Format Ftype Fun List Memory Omf_fixtures Omf_journal Omf_machine Omf_pbio Omf_testkit Option QCheck QCheck_alcotest Registry Sys Unix Value

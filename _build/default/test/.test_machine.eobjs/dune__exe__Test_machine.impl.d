@@ -1,0 +1,1 @@
+test/test_machine.ml: Abi Alcotest Bytes Endian Int32 Int64 Layout List Memory Omf_machine Omf_util Option Printf QCheck QCheck_alcotest String

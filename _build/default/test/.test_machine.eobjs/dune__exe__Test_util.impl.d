@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Float Fun Int64 List Omf_testkit Omf_util String Sys

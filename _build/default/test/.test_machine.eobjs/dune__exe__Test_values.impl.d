@@ -1,0 +1,1 @@
+test/test_values.ml: Abi Alcotest Float Fmt Ftype List Omf_fixtures Omf_machine Omf_pbio Omf_testkit Omf_xml2wire Value

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Doc List Ns Omf_xml Parse Printf QCheck QCheck_alcotest String Write

@@ -1,0 +1,1 @@
+test/test_xschema.ml: Alcotest Buffer List Omf_fixtures Omf_xml Omf_xschema Option Printf Result Schema Schema_write String Validate

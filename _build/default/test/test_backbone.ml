@@ -1,0 +1,251 @@
+(** Tests for the event backbone: advertise / subscribe / publish, late
+    joiners, format scoping by credentials, and run-time format upgrade —
+    the airline scenario's machinery (sections 2 and 4.4). *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+open Omf_backbone
+module Fx = Omf_fixtures.Paper_structs
+module X2W = Omf_xml2wire.Xml2wire
+module Catalog = Omf_xml2wire.Catalog
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+(* a publisher for a stream: catalog + endpoint sender over the broker *)
+let make_publisher broker ~stream abi schema =
+  Broker.advertise broker ~stream ~schema;
+  let catalog = Catalog.create abi in
+  ignore (X2W.register_schema catalog schema);
+  let link = Broker.publisher_link broker ~stream in
+  let sender = Omf_transport.Endpoint.Sender.create link (Memory.create abi) in
+  (catalog, sender)
+
+let publish sender catalog name v =
+  let fmt = Option.get (Catalog.find_format catalog name) in
+  Omf_transport.Endpoint.Sender.send_value sender fmt v
+
+let test_basic_pubsub () =
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  let consumer = Broker.attach_consumer broker ~stream:"flights" Abi.sparc_32 in
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  let events = Broker.poll consumer in
+  check int "two events" 2 (List.length events);
+  let fmt, v = List.hd events in
+  check Alcotest.string "format" "ASDOffEvent" fmt.Format.name;
+  check value_testable "payload" (Value.String "KATL") (Value.field_exn v "org")
+
+let test_multiple_subscribers_fanout () =
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  let consumers =
+    List.init 5 (fun i ->
+        let abi = List.nth Abi.all (i mod List.length Abi.all) in
+        Broker.attach_consumer broker ~stream:"flights" abi)
+  in
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  List.iter
+    (fun c -> check int "every subscriber got it" 1 (List.length (Broker.poll c)))
+    consumers;
+  check int "subscriber count" 5 (Broker.subscriber_count broker ~stream:"flights")
+
+let test_late_joiner_gets_descriptor_replay () =
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  (* publish before anyone subscribes: negotiation frame is cached *)
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  let late = Broker.attach_consumer broker ~stream:"flights" Abi.sparc_32 in
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  let events = Broker.poll late in
+  (* late joiner missed the first event but can decode the second, thanks
+     to descriptor replay *)
+  check int "decodes after joining" 1 (List.length events)
+
+let test_unsubscribe () =
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  let consumer = Broker.attach_consumer broker ~stream:"flights" Abi.x86_64 in
+  consumer.Broker.unsubscribe ();
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  check int "no events after unsubscribe" 0 (List.length (Broker.poll consumer))
+
+let test_unknown_stream () =
+  let broker = Broker.create () in
+  try
+    ignore (Broker.attach_consumer broker ~stream:"nope" Abi.x86_64);
+    Alcotest.fail "expected Unknown_stream"
+  with Broker.Unknown_stream _ -> ()
+
+let test_format_scoping () =
+  (* display clients may see everything; handheld gate devices see only
+     flight number and gate-relevant fields *)
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  Broker.set_scope broker ~stream:"flights" (fun creds ->
+      match List.assoc_opt "role" creds with
+      | Some "display" | None -> None
+      | Some _ -> Some [ "fltNum"; "org"; "dest" ]);
+  let display =
+    Broker.attach_consumer broker ~stream:"flights"
+      ~creds:[ ("role", "display") ] Abi.sparc_32
+  in
+  let handheld =
+    Broker.attach_consumer broker ~stream:"flights"
+      ~creds:[ ("role", "handheld") ] Abi.arm_32
+  in
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  let _, full = List.hd (Broker.poll display) in
+  let _, scoped = List.hd (Broker.poll handheld) in
+  check bool "display sees cntrID" true (Value.field full "cntrID" <> None);
+  check bool "handheld does not see cntrID" true
+    (Value.field scoped "cntrID" = None);
+  check value_testable "handheld sees fltNum" (Value.Int 1771L)
+    (Value.field_exn scoped "fltNum");
+  check value_testable "handheld sees dest" (Value.String "KMCO")
+    (Value.field_exn scoped "dest")
+
+let test_scoping_denies_empty_slice () =
+  let broker = Broker.create () in
+  Broker.advertise broker ~stream:"flights" ~schema:Fx.schema_a;
+  Broker.set_scope broker ~stream:"flights" (fun _ -> Some [ "nothing-real" ]);
+  try
+    ignore (Broker.metadata_for broker ~stream:"flights" []);
+    Alcotest.fail "expected Access_denied"
+  with Broker.Access_denied _ -> ()
+
+let test_runtime_format_upgrade () =
+  (* the paper's headline flexibility: the stream's format gains a field
+     at run time; subscribers re-discover and keep decoding, no recompile *)
+  let broker = Broker.create () in
+  let catalog, sender =
+    make_publisher broker ~stream:"flights" Abi.x86_64 Fx.schema_a
+  in
+  let consumer = Broker.attach_consumer broker ~stream:"flights" Abi.sparc_32 in
+  publish sender catalog "ASDOffEvent" Fx.value_a;
+  check int "v1 event decoded" 1 (List.length (Broker.poll consumer));
+  (* upgrade: add a gate field to the schema, re-advertise, re-register *)
+  let schema_v2 =
+    Omf_testkit.Strings.replace
+      ~sub:{|<xsd:element name="eta" type="xsd:unsigned-long" />|}
+      ~by:{|<xsd:element name="eta" type="xsd:unsigned-long" />
+    <xsd:element name="gate" type="xsd:string" />|}
+      Fx.schema_a
+  in
+  Broker.advertise broker ~stream:"flights" ~schema:schema_v2;
+  ignore (X2W.register_schema catalog schema_v2);
+  let v2 =
+    match Fx.value_a with
+    | Value.Record fields -> Value.Record (fields @ [ ("gate", Value.String "T7") ])
+    | _ -> assert false
+  in
+  publish sender catalog "ASDOffEvent" v2;
+  (* the old consumer still decodes (new wire field dropped by NDR
+     evolution) *)
+  (match Broker.poll consumer with
+  | [ (_, v) ] ->
+    check value_testable "old consumer keeps working" (Value.String "KMCO")
+      (Value.field_exn v "dest");
+    check bool "old consumer has no gate field" true (Value.field v "gate" = None)
+  | events -> Alcotest.failf "expected 1 event, got %d" (List.length events));
+  (* a refreshed consumer sees the new field *)
+  let fresh = Broker.attach_consumer broker ~stream:"flights" Abi.sparc_32 in
+  publish sender catalog "ASDOffEvent" v2;
+  (match Broker.poll fresh with
+  | (_, v) :: _ ->
+    check value_testable "fresh consumer sees the gate" (Value.String "T7")
+      (Value.field_exn v "gate")
+  | [] -> Alcotest.fail "fresh consumer got nothing")
+
+let test_stream_listing () =
+  let broker = Broker.create () in
+  Broker.advertise broker ~stream:"weather" ~schema:Fx.schema_a;
+  Broker.advertise broker ~stream:"flights" ~schema:Fx.schema_b;
+  check bool "streams listed sorted" true
+    (Broker.stream_names broker = [ "flights"; "weather" ])
+
+let test_advertise_validates_schema () =
+  let broker = Broker.create () in
+  try
+    Broker.advertise broker ~stream:"bad" ~schema:"<junk/>";
+    Alcotest.fail "expected Schema_error"
+  with Omf_xschema.Schema.Schema_error _ -> ()
+
+let test_stress_many_streams_and_subscribers () =
+  (* 3 streams, 18 subscribers on rotating ABIs, interleaved publishes *)
+  let broker = Broker.create () in
+  let rng = Omf_util.Prng.create ~seed:99L () in
+  let streams =
+    List.map
+      (fun name ->
+        let pub = make_publisher broker ~stream:name Abi.x86_64 Fx.schema_a in
+        (name, pub))
+      [ "alpha"; "beta"; "gamma" ]
+  in
+  let consumers =
+    List.concat_map
+      (fun (name, _) ->
+        List.init 6 (fun i ->
+            let abi = List.nth Abi.all ((i * 2) mod List.length Abi.all) in
+            (name, Broker.attach_consumer broker ~stream:name abi)))
+      streams
+  in
+  let sent = Hashtbl.create 3 in
+  for _ = 1 to 200 do
+    let name, (catalog, sender) =
+      List.nth streams (Omf_util.Prng.int rng 3)
+    in
+    publish sender catalog "ASDOffEvent" Fx.value_a;
+    Hashtbl.replace sent name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt sent name))
+  done;
+  List.iter
+    (fun (name, consumer) ->
+      let expected = Option.value ~default:0 (Hashtbl.find_opt sent name) in
+      let events = Broker.poll consumer in
+      check int (name ^ " event count") expected (List.length events);
+      List.iter
+        (fun (_, v) ->
+          check value_testable "payload intact" (Value.String "DELTA")
+            (Value.field_exn v "arln"))
+        events)
+    consumers
+
+let () =
+  Alcotest.run "backbone"
+    [ ( "pubsub",
+        [ Alcotest.test_case "basic publish/subscribe" `Quick test_basic_pubsub
+        ; Alcotest.test_case "fan-out to many subscribers" `Quick
+            test_multiple_subscribers_fanout
+        ; Alcotest.test_case "late joiner descriptor replay" `Quick
+            test_late_joiner_gets_descriptor_replay
+        ; Alcotest.test_case "unsubscribe" `Quick test_unsubscribe
+        ; Alcotest.test_case "unknown stream" `Quick test_unknown_stream
+        ; Alcotest.test_case "stream listing" `Quick test_stream_listing
+        ; Alcotest.test_case "advertise validates metadata" `Quick
+            test_advertise_validates_schema
+        ; Alcotest.test_case "stress: streams x subscribers" `Slow
+            test_stress_many_streams_and_subscribers ] )
+    ; ( "scoping",
+        [ Alcotest.test_case "credential-based field scoping" `Quick
+            test_format_scoping
+        ; Alcotest.test_case "empty slice denied" `Quick
+            test_scoping_denies_empty_slice ] )
+    ; ( "evolution",
+        [ Alcotest.test_case "run-time format upgrade" `Quick
+            test_runtime_format_upgrade ] ) ]

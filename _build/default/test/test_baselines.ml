@@ -1,0 +1,261 @@
+(** Tests for the two baseline wire formats: XDR (RFC 1014) and XML text.
+    Both must round-trip the paper's fixtures across heterogeneous ABIs,
+    and must exhibit the size characteristics the paper cites (XDR close
+    to binary, XML 6-8x larger). *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Xdr = Omf_xdr.Xdr
+module Xmlwire = Omf_xmlwire.Xmlwire
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+let formats_for abi decls name =
+  let reg = Registry.create abi in
+  List.iter (fun d -> ignore (Registry.register reg d)) decls;
+  Option.get (Registry.find reg name)
+
+let normalize abi decls name v =
+  let fmt = formats_for abi decls name in
+  let mem = Memory.create abi in
+  Native.load mem fmt (Native.store mem fmt v)
+
+(* ------------------------------------------------------------------ *)
+(* XDR                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let xdr_transfer sender_abi receiver_abi decls name v =
+  let sfmt = formats_for sender_abi decls name in
+  let rfmt = formats_for receiver_abi decls name in
+  let smem = Memory.create sender_abi in
+  let addr = Native.store smem sfmt v in
+  let sent = Native.load smem sfmt addr in
+  let wire = Xdr.encode smem sfmt addr in
+  let rmem = Memory.create receiver_abi in
+  let received = Native.load rmem rfmt (Xdr.decode rfmt rmem wire) in
+  (sent, received, wire)
+
+let test_xdr_known_layout () =
+  (* {int 1; string "ab"} -> 00000001 | len=2 "ab" + 2 pad *)
+  let decl = Ftype.declare "t" [ ("n", "integer"); ("s", "string") ] in
+  let fmt = formats_for Abi.x86_64 [ decl ] "t" in
+  let wire =
+    Xdr.encode_value Abi.x86_64 fmt
+      (Value.Record [ ("n", Value.Int 1L); ("s", Value.String "ab") ])
+  in
+  check Alcotest.string "canonical XDR bytes" "000000010000000261620000"
+    (Omf_util.Hexdump.short wire)
+
+let test_xdr_cross_abi () =
+  List.iter
+    (fun (sender, receiver) ->
+      let sent, received, _ =
+        xdr_transfer sender receiver [ Fx.decl_b ] "ASDOffEventB" Fx.value_b
+      in
+      check value_testable
+        (Printf.sprintf "XDR B %s -> %s" sender.Abi.name receiver.Abi.name)
+        sent received;
+      let sent, received, _ =
+        xdr_transfer sender receiver [ Fx.decl_c; Fx.decl_d ] "threeASDOffs"
+          Fx.value_d
+      in
+      check value_testable
+        (Printf.sprintf "XDR D %s -> %s" sender.Abi.name receiver.Abi.name)
+        sent received)
+    [ (Abi.x86_64, Abi.sparc_32); (Abi.sparc_64, Abi.x86_32)
+    ; (Abi.x86_32, Abi.x86_32) ]
+
+let test_xdr_size_is_modest () =
+  (* XDR stays within ~2x of NDR for the paper fixtures *)
+  let fmt = formats_for Abi.sparc_32 [ Fx.decl_a ] "ASDOffEvent" in
+  let xdr = Xdr.encode_value Abi.sparc_32 fmt Fx.value_a in
+  let ndr = Encode.payload_of_value Abi.sparc_32 fmt Fx.value_a in
+  check bool "XDR size close to NDR size" true
+    (Bytes.length xdr < 2 * Bytes.length ndr)
+
+let test_xdr_rejects_truncation () =
+  let fmt = formats_for Abi.x86_64 [ Fx.decl_a ] "ASDOffEvent" in
+  let wire = Xdr.encode_value Abi.x86_64 fmt Fx.value_a in
+  let truncated = Bytes.sub wire 0 (Bytes.length wire - 4) in
+  (try
+     ignore (Xdr.decode_value Abi.x86_64 fmt truncated);
+     Alcotest.fail "expected Xdr_error"
+   with Xdr.Xdr_error _ -> ());
+  let padded = Bytes.cat wire (Bytes.make 4 '\000') in
+  try
+    ignore (Xdr.decode_value Abi.x86_64 fmt padded);
+    Alcotest.fail "expected Xdr_error (trailing)"
+  with Xdr.Xdr_error _ -> ()
+
+let test_xdr_empty_dynamic_array () =
+  let v =
+    Value.set_field Fx.value_b "eta" (Value.Array [||]) |> fun v ->
+    Value.set_field v "eta_count" (Value.Int 0L)
+  in
+  let sent, received, _ =
+    xdr_transfer Abi.x86_64 Abi.sparc_32 [ Fx.decl_b ] "ASDOffEventB" v
+  in
+  check value_testable "XDR empty dynamic array" sent received
+
+let prop_xdr_roundtrip =
+  QCheck.Test.make ~name:"XDR cross-ABI round-trip (random formats)" ~count:150
+    (QCheck.make
+       (QCheck.Gen.pair (Omf_testkit.Gen.format_and_value ())
+          Omf_testkit.Gen.abi))
+    (fun ((sender_abi, sfmt, v), receiver_abi) ->
+      let rreg = Registry.create receiver_abi in
+      let rfmt = Registry.register rreg sfmt.Format.decl in
+      let smem = Memory.create sender_abi in
+      let addr = Native.store smem sfmt v in
+      let sent = Native.load smem sfmt addr in
+      let wire = Xdr.encode smem sfmt addr in
+      let rmem = Memory.create receiver_abi in
+      let received = Native.load rmem rfmt (Xdr.decode rfmt rmem wire) in
+      Value.equal sent received)
+
+(* ------------------------------------------------------------------ *)
+(* XML text wire                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let xml_transfer sender_abi receiver_abi decls name v =
+  let sfmt = formats_for sender_abi decls name in
+  let rfmt = formats_for receiver_abi decls name in
+  let smem = Memory.create sender_abi in
+  let addr = Native.store smem sfmt v in
+  let sent = Native.load smem sfmt addr in
+  let text = Xmlwire.encode smem sfmt addr in
+  let rmem = Memory.create receiver_abi in
+  let received = Native.load rmem rfmt (Xmlwire.decode rfmt rmem text) in
+  (sent, received, text)
+
+let test_xmlwire_roundtrip_fixtures () =
+  List.iter
+    (fun (decls, name, v) ->
+      let sent, received, _ =
+        xml_transfer Abi.x86_64 Abi.sparc_32 decls name v
+      in
+      check value_testable ("XML wire " ^ name) sent received)
+    [ ([ Fx.decl_a ], "ASDOffEvent", Fx.value_a)
+    ; ([ Fx.decl_b ], "ASDOffEventB", Fx.value_b)
+    ; ([ Fx.decl_c; Fx.decl_d ], "threeASDOffs", Fx.value_d) ]
+
+let test_xmlwire_expansion_factor () =
+  (* section 6: "an expansion factor of 6-8 is not unusual" for binary
+     payloads. Use a numeric-heavy structure (the scientific case). *)
+  let decl =
+    Ftype.declare "samples" [ ("data", "double[64]"); ("seq", "integer") ]
+  in
+  let fmt = formats_for Abi.x86_64 [ decl ] "samples" in
+  let v =
+    Value.Record
+      [ ("data",
+         Value.Array (Array.init 64 (fun i -> Value.Float (float_of_int i *. 1.7))))
+      ; ("seq", Value.Int 42L) ]
+  in
+  let text = Xmlwire.encode_value fmt v in
+  let ndr = Encode.payload_of_value Abi.x86_64 fmt v in
+  let factor = float_of_int (String.length text) /. float_of_int (Bytes.length ndr) in
+  check bool
+    (Printf.sprintf "expansion factor %.1f in [2, 12]" factor)
+    true
+    (factor >= 2.0 && factor <= 12.0)
+
+let test_xmlwire_self_describing () =
+  (* decode does not need sender layout info, only the logical format *)
+  let fmt = formats_for Abi.sparc_32 [ Fx.decl_a ] "ASDOffEvent" in
+  let text = Xmlwire.encode_value fmt (normalize Abi.sparc_32 [ Fx.decl_a ] "ASDOffEvent" Fx.value_a) in
+  let v = Xmlwire.decode_value fmt text in
+  check value_testable "decoded from text alone"
+    (normalize Abi.sparc_32 [ Fx.decl_a ] "ASDOffEvent" Fx.value_a) v
+
+let test_xmlwire_rejects_garbage () =
+  let fmt = formats_for Abi.x86_64 [ Fx.decl_a ] "ASDOffEvent" in
+  List.iter
+    (fun text ->
+      try
+        ignore (Xmlwire.decode_value fmt text);
+        Alcotest.failf "expected Xmlwire_error for %s" text
+      with Xmlwire.Xmlwire_error _ -> ())
+    [ "not xml at all"
+    ; "<WrongRoot/>"
+    ; "<ASDOffEvent><cntrID>x</cntrID></ASDOffEvent>" (* missing fields *)
+    ; {|<ASDOffEvent><cntrID>x</cntrID><arln>y</arln><fltNum>NaNope</fltNum>
+        <equip>e</equip><org>o</org><dest>d</dest><off>1</off><eta>2</eta></ASDOffEvent>|}
+    ]
+
+let test_xmlwire_escapes_content () =
+  let decl = Ftype.declare "msg" [ ("body", "string") ] in
+  let fmt = formats_for Abi.x86_64 [ decl ] "msg" in
+  let v = Value.Record [ ("body", Value.String "a <b> & \"c\"") ] in
+  let text = Xmlwire.encode_value fmt v in
+  check value_testable "markup-significant content survives" v
+    (Xmlwire.decode_value fmt text)
+
+let prop_xmlwire_roundtrip =
+  QCheck.Test.make ~name:"XML wire round-trip (random formats)" ~count:150
+    (QCheck.make (Omf_testkit.Gen.format_and_value ()))
+    (fun (abi, fmt, v) ->
+      let mem = Memory.create abi in
+      let addr = Native.store mem fmt v in
+      let sent = Native.load mem fmt addr in
+      let text = Xmlwire.encode mem fmt addr in
+      let rmem = Memory.create abi in
+      let received = Native.load rmem fmt (Xmlwire.decode fmt rmem text) in
+      Value.equal sent received)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement between all three wire formats                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_wire_formats_agree () =
+  let sent_ndr, recv_ndr =
+    let sreg = Registry.create Abi.x86_64 in
+    let rreg = Registry.create Abi.sparc_32 in
+    ignore (Registry.register sreg Fx.decl_b);
+    ignore (Registry.register rreg Fx.decl_b);
+    let sfmt = Option.get (Registry.find sreg "ASDOffEventB") in
+    let smem = Memory.create Abi.x86_64 in
+    let addr = Native.store smem sfmt Fx.value_b in
+    let msg = message smem sfmt addr in
+    let receiver = Receiver.create rreg (Memory.create Abi.sparc_32) in
+    ignore (Receiver.learn receiver (Format_codec.encode sfmt));
+    (Native.load smem sfmt addr, snd (Receiver.receive_value receiver msg))
+  in
+  let _, recv_xdr, _ =
+    xdr_transfer Abi.x86_64 Abi.sparc_32 [ Fx.decl_b ] "ASDOffEventB" Fx.value_b
+  in
+  let _, recv_xml, _ =
+    xml_transfer Abi.x86_64 Abi.sparc_32 [ Fx.decl_b ] "ASDOffEventB" Fx.value_b
+  in
+  check value_testable "NDR = sent" sent_ndr recv_ndr;
+  check value_testable "XDR agrees with NDR" recv_ndr recv_xdr;
+  check value_testable "XML wire agrees with NDR" recv_ndr recv_xml
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "xdr",
+        [ Alcotest.test_case "canonical layout" `Quick test_xdr_known_layout
+        ; Alcotest.test_case "cross-ABI round-trips" `Quick test_xdr_cross_abi
+        ; Alcotest.test_case "size close to binary" `Quick test_xdr_size_is_modest
+        ; Alcotest.test_case "truncation rejected" `Quick test_xdr_rejects_truncation
+        ; Alcotest.test_case "empty dynamic arrays" `Quick
+            test_xdr_empty_dynamic_array ]
+        @ qsuite [ prop_xdr_roundtrip ] )
+    ; ( "xmlwire",
+        [ Alcotest.test_case "fixture round-trips" `Quick
+            test_xmlwire_roundtrip_fixtures
+        ; Alcotest.test_case "expansion factor" `Quick test_xmlwire_expansion_factor
+        ; Alcotest.test_case "self-describing" `Quick test_xmlwire_self_describing
+        ; Alcotest.test_case "garbage rejected" `Quick test_xmlwire_rejects_garbage
+        ; Alcotest.test_case "content escaping" `Quick test_xmlwire_escapes_content ]
+        @ qsuite [ prop_xmlwire_roundtrip ] )
+    ; ( "agreement",
+        [ Alcotest.test_case "NDR / XDR / XML produce equal values" `Quick
+            test_all_wire_formats_agree ] ) ]

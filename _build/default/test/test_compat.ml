@@ -1,0 +1,149 @@
+(** Tests for the format-evolution compatibility analyzer, including the
+    crucial property: the analyzer's verdict must agree with what the
+    conversion plans actually do (Breaking <=> Field_mismatch). *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Compat = Omf_xml2wire.Compat
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let verdict_of ~old_decl ~new_decl =
+  (Compat.diff ~old_decl ~new_decl).Compat.verdict
+
+let test_no_changes_is_safe () =
+  let r = Compat.diff ~old_decl:Fx.decl_a ~new_decl:Fx.decl_a in
+  check bool "safe" true (r.Compat.verdict = Compat.Safe);
+  check int "no changes" 0 (List.length r.Compat.changes)
+
+let test_added_field_is_safe () =
+  let new_decl =
+    { Fx.decl_a with
+      Ftype.fields = Fx.decl_a.Ftype.fields @ [ Ftype.io_field "gate" "string" ] }
+  in
+  check bool "added field is safe" true
+    (verdict_of ~old_decl:Fx.decl_a ~new_decl = Compat.Safe)
+
+let test_removed_field_degrades () =
+  let new_decl =
+    { Fx.decl_a with
+      Ftype.fields =
+        List.filter
+          (fun (f : Ftype.field) -> f.Ftype.f_name <> "equip")
+          Fx.decl_a.Ftype.fields }
+  in
+  check bool "removed field degrades" true
+    (verdict_of ~old_decl:Fx.decl_a ~new_decl = Compat.Degraded)
+
+let test_int_width_change_warns () =
+  let old_decl = Ftype.declare "t" [ ("x", "integer") ] in
+  let new_decl = Ftype.declare "t" [ ("x", "long") ] in
+  check bool "width change warns" true
+    (verdict_of ~old_decl ~new_decl = Compat.Warning)
+
+let test_kind_change_breaks () =
+  let old_decl = Ftype.declare "t" [ ("x", "integer") ] in
+  let new_decl = Ftype.declare "t" [ ("x", "string") ] in
+  check bool "kind change breaks" true
+    (verdict_of ~old_decl ~new_decl = Compat.Breaking)
+
+let test_dimension_change_breaks () =
+  let old_decl = Ftype.declare "t" [ ("x", "integer") ] in
+  let new_decl = Ftype.declare "t" [ ("x", "integer[4]") ] in
+  check bool "scalar -> array breaks" true
+    (verdict_of ~old_decl ~new_decl = Compat.Breaking)
+
+let test_fixed_bound_change_degrades () =
+  let old_decl = Ftype.declare "t" [ ("x", "integer[5]") ] in
+  let new_decl = Ftype.declare "t" [ ("x", "integer[8]") ] in
+  check bool "bound change degrades" true
+    (verdict_of ~old_decl ~new_decl = Compat.Degraded)
+
+let test_schema_level_diff () =
+  let old_schema = Omf_xschema.Schema.of_string Fx.schema_a in
+  let new_schema =
+    Omf_xschema.Schema.of_string
+      (Omf_testkit.Strings.replace
+         ~sub:{|<xsd:element name="eta" type="xsd:unsigned-long" />|}
+         ~by:{|<xsd:element name="eta" type="xsd:unsigned-long" />
+    <xsd:element name="gate" type="xsd:string" />|}
+         Fx.schema_a)
+  in
+  let reports = Compat.diff_schemas ~old_schema ~new_schema in
+  check int "one report" 1 (List.length reports);
+  check bool "upgrade is safe" true
+    ((List.hd reports).Compat.verdict = Compat.Safe);
+  (* removing a whole format is breaking *)
+  let gone =
+    Compat.diff_schemas
+      ~old_schema:(Omf_xschema.Schema.of_string Fx.schema_cd)
+      ~new_schema:(Omf_xschema.Schema.of_string Fx.schema_b)
+  in
+  check bool "disappearing format is breaking" true
+    (List.exists (fun r -> r.Compat.verdict = Compat.Breaking) gone)
+
+(* The analyzer must agree with the conversion machinery: a pair it does
+   NOT mark Breaking must compile a plan; a pair it marks Breaking must
+   raise Field_mismatch. *)
+let analyzer_agrees ~old_decl ~new_decl =
+  let wire =
+    Format_codec.decode
+      (Format_codec.encode
+         (let reg = Registry.create Abi.x86_64 in
+          Registry.register reg new_decl))
+  in
+  let native =
+    let reg = Registry.create Abi.sparc_32 in
+    Registry.register reg old_decl
+  in
+  let compiles =
+    match Convert.compile ~wire ~native with
+    | _ -> true
+    | exception Convert.Field_mismatch _ -> false
+  in
+  let verdict = verdict_of ~old_decl ~new_decl in
+  if verdict = Compat.Breaking then not compiles else compiles
+
+let test_verdicts_match_plans () =
+  List.iter
+    (fun (old_rows, new_rows) ->
+      let old_decl = Ftype.declare "t" old_rows in
+      let new_decl = Ftype.declare "t" new_rows in
+      if not (analyzer_agrees ~old_decl ~new_decl) then
+        Alcotest.failf "analyzer disagrees with plans for %s -> %s"
+          (Fmt.str "%a" Ftype.pp old_decl)
+          (Fmt.str "%a" Ftype.pp new_decl))
+    [ ([ ("x", "integer") ], [ ("x", "integer") ])
+    ; ([ ("x", "integer") ], [ ("x", "long") ])
+    ; ([ ("x", "integer") ], [ ("x", "string") ])
+    ; ([ ("x", "integer") ], [ ("x", "double") ])
+    ; ([ ("x", "float") ], [ ("x", "double") ])
+    ; ([ ("x", "integer[3]") ], [ ("x", "integer[9]") ])
+    ; ([ ("x", "integer") ], [ ("x", "integer[2]") ])
+    ; ([ ("x", "string") ], [ ("x", "char") ])
+    ; ([ ("a", "integer"); ("b", "string") ], [ ("b", "string") ])
+    ; ([ ("a", "integer") ], [ ("a", "integer"); ("b", "double") ])
+    ; ( [ ("n", "integer"); ("x", "double[n]") ]
+      , [ ("n", "integer"); ("x", "double[n]") ] )
+    ; ( [ ("n", "integer"); ("x", "double[n]") ]
+      , [ ("n", "integer"); ("x", "double[4]") ] ) ]
+
+let () =
+  Alcotest.run "compat"
+    [ ( "verdicts",
+        [ Alcotest.test_case "no changes" `Quick test_no_changes_is_safe
+        ; Alcotest.test_case "added field" `Quick test_added_field_is_safe
+        ; Alcotest.test_case "removed field" `Quick test_removed_field_degrades
+        ; Alcotest.test_case "int width change" `Quick test_int_width_change_warns
+        ; Alcotest.test_case "kind change" `Quick test_kind_change_breaks
+        ; Alcotest.test_case "dimension change" `Quick
+            test_dimension_change_breaks
+        ; Alcotest.test_case "fixed bound change" `Quick
+            test_fixed_bound_change_degrades
+        ; Alcotest.test_case "schema-level diff" `Quick test_schema_level_diff ] )
+    ; ( "soundness",
+        [ Alcotest.test_case "verdicts match conversion plans" `Quick
+            test_verdicts_match_plans ] ) ]

@@ -1,0 +1,261 @@
+(** Focused tests of the conversion-plan compiler: exactly which op
+    sequences come out of known format pairs — coalescing across padding,
+    bulk array folding, byte-order sensitivity, and evolution edge cases.
+    (Semantics are covered by the round-trip properties in test_pbio;
+    these tests pin down the *shape* of the plans, which is what the DCG
+    performance argument rests on.) *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+let fmt_for abi decl =
+  let reg = Registry.create abi in
+  Registry.register reg decl
+
+let wire_of fmt = Format_codec.decode (Format_codec.encode fmt)
+
+let plan ?(optimized = true) ~sender ~receiver decl =
+  let w = wire_of (fmt_for sender decl) in
+  let n = fmt_for receiver decl in
+  if optimized then Convert.compile ~wire:w ~native:n
+  else Convert.compile_unoptimized ~wire:w ~native:n
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_numeric_struct_one_blit () =
+  (* all-numeric, identical layouts: one op *)
+  let d =
+    Ftype.declare "nums"
+      [ ("a", "char"); ("b", "integer"); ("c", "double"); ("d", "short") ]
+  in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  check int "single blit despite padding gaps" 1 (Convert.op_count p)
+
+let test_same_layout_different_machines_one_blit () =
+  (* x86-64 and alpha-64 are layout-equal: still one blit *)
+  let d = Ftype.declare "nums" [ ("a", "integer"); ("b", "double") ] in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.alpha_64 d in
+  check int "cross-machine blit" 1 (Convert.op_count p)
+
+let test_byte_swap_prevents_coalescing () =
+  let d = Ftype.declare "nums" [ ("a", "integer"); ("b", "integer") ] in
+  let homo = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  let swap = plan ~sender:Abi.x86_64 ~receiver:Abi.power_64 d in
+  check int "homogeneous: 1 op" 1 (Convert.op_count homo);
+  check int "byte-swapped: one op per field" 2 (Convert.op_count swap)
+
+let test_chars_coalesce_even_across_orders () =
+  (* single-byte fields are order-independent: they still merge *)
+  let d = Ftype.declare "cc" [ ("a", "char"); ("b", "char"); ("c", "char") ] in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.sparc_64 d in
+  check int "chars blit together despite endianness" 1 (Convert.op_count p)
+
+let test_strings_break_blits () =
+  let d =
+    Ftype.declare "mixed" [ ("a", "integer"); ("s", "string"); ("b", "integer") ]
+  in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  (* blit(a) + str(s) + blit(b): pointer slots can never be copied *)
+  check int "three ops" 3 (Convert.op_count p)
+
+let test_resize_prevents_coalescing () =
+  (* same byte order, but long is 4 bytes on one side and 8 on the other *)
+  let d = Ftype.declare "l" [ ("a", "long"); ("b", "long") ] in
+  let p = plan ~sender:Abi.x86_32 ~receiver:Abi.x86_64 d in
+  check int "per-field resize ops" 2 (Convert.op_count p)
+
+(* ------------------------------------------------------------------ *)
+(* Arrays                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_array_folds_into_blit () =
+  let d = Ftype.declare "arr" [ ("data", "double[16]") ] in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  check int "fixed array is one blit" 1 (Convert.op_count p)
+
+let test_unoptimized_keeps_per_field_ops () =
+  let d =
+    Ftype.declare "nums"
+      [ ("a", "integer"); ("b", "integer"); ("data", "double[16]") ]
+  in
+  let opt = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  let raw = plan ~optimized:false ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  check int "optimised collapses" 1 (Convert.op_count opt);
+  (* raw: a, b as Num ops + a Loop for the array *)
+  check int "unoptimised keeps structure" 3 (Convert.op_count raw)
+
+let test_var_array_stays_one_op () =
+  let d =
+    Ftype.declare "v" [ ("n", "integer"); ("data", "double[n]") ]
+  in
+  let p = plan ~sender:Abi.x86_64 ~receiver:Abi.x86_64 d in
+  (* n merges into... n is a Num adjacent to nothing (data is a pointer
+     slot handled by Var_array); expect 2 ops: blit(n) + var_array *)
+  check int "count + var-array ops" 2 (Convert.op_count p)
+
+(* ------------------------------------------------------------------ *)
+(* Evolution edges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_pair ~sender_decl ~receiver_decl v =
+  let sfmt = fmt_for Abi.x86_64 sender_decl in
+  let nfmt = fmt_for Abi.sparc_32 receiver_decl in
+  let smem = Memory.create Abi.x86_64 in
+  let addr = Native.store smem sfmt v in
+  let payload = Encode.payload smem sfmt addr in
+  let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+  let rmem = Memory.create Abi.sparc_32 in
+  Native.load rmem nfmt (Convert.run p payload rmem)
+
+let test_fixed_array_shrinks_and_grows () =
+  let d5 = Ftype.declare "a" [ ("x", "integer[5]") ] in
+  let d3 = Ftype.declare "a" [ ("x", "integer[3]") ] in
+  let five =
+    Value.Record
+      [ ("x", Value.Array (Array.init 5 (fun i -> Value.Int (Int64.of_int i)))) ]
+  in
+  (* wire 5 -> native 3: first three survive *)
+  let got = run_pair ~sender_decl:d5 ~receiver_decl:d3 five in
+  check value_testable "truncated to 3"
+    (Value.Array [| Value.Int 0L; Value.Int 1L; Value.Int 2L |])
+    (Value.field_exn got "x");
+  (* wire 3 -> native 5: tail zero-filled *)
+  let three =
+    Value.Record
+      [ ("x", Value.Array (Array.init 3 (fun i -> Value.Int (Int64.of_int i)))) ]
+  in
+  let got = run_pair ~sender_decl:d3 ~receiver_decl:d5 three in
+  check value_testable "zero-extended to 5"
+    (Value.Array
+       [| Value.Int 0L; Value.Int 1L; Value.Int 2L; Value.Int 0L; Value.Int 0L |])
+    (Value.field_exn got "x")
+
+let test_signedness_of_widening_follows_wire () =
+  (* a negative signed int widened into a larger signed slot must
+     sign-extend *)
+  let d32 = Ftype.declare "w" [ ("x", "integer") ] in
+  let sfmt = fmt_for Abi.x86_32 d32 in
+  let nfmt =
+    fmt_for Abi.x86_64 (Ftype.declare "w" [ ("x", "long") ])
+  in
+  let smem = Memory.create Abi.x86_32 in
+  let addr = Native.store smem sfmt (Value.Record [ ("x", Value.Int (-42L)) ]) in
+  let payload = Encode.payload smem sfmt addr in
+  let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+  let rmem = Memory.create Abi.x86_64 in
+  let got = Native.load rmem nfmt (Convert.run p payload rmem) in
+  check value_testable "sign-extended" (Value.Int (-42L))
+    (Value.field_exn got "x")
+
+let test_unsigned_widening_zero_extends () =
+  let sfmt = fmt_for Abi.x86_32 (Ftype.declare "w" [ ("x", "unsigned") ]) in
+  let nfmt =
+    fmt_for Abi.x86_64 (Ftype.declare "w" [ ("x", "unsigned long") ])
+  in
+  let smem = Memory.create Abi.x86_32 in
+  (* 0xFFFFFFFF as a 4-byte unsigned *)
+  let addr =
+    Native.store smem sfmt (Value.Record [ ("x", Value.Uint 0xFFFFFFFFL) ])
+  in
+  let payload = Encode.payload smem sfmt addr in
+  let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+  let rmem = Memory.create Abi.x86_64 in
+  let got = Native.load rmem nfmt (Convert.run p payload rmem) in
+  check value_testable "zero-extended" (Value.Uint 0xFFFFFFFFL)
+    (Value.field_exn got "x")
+
+let test_narrowing_truncates_like_c () =
+  (* big value through a narrower receiver field truncates (C cast) *)
+  let sfmt = fmt_for Abi.x86_64 (Ftype.declare "w" [ ("x", "unsigned long") ]) in
+  let nfmt = fmt_for Abi.x86_32 (Ftype.declare "w" [ ("x", "unsigned long") ]) in
+  let smem = Memory.create Abi.x86_64 in
+  let addr =
+    Native.store smem sfmt (Value.Record [ ("x", Value.Uint 0x1_2345_6789L) ])
+  in
+  let payload = Encode.payload smem sfmt addr in
+  let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+  let rmem = Memory.create Abi.x86_32 in
+  let got = Native.load rmem nfmt (Convert.run p payload rmem) in
+  check value_testable "low 32 bits survive" (Value.Uint 0x2345_6789L)
+    (Value.field_exn got "x")
+
+let test_float_width_conversion () =
+  (* wire float (4 bytes) -> native double and back *)
+  let sfmt = fmt_for Abi.x86_64 (Ftype.declare "f" [ ("x", "float") ]) in
+  let nfmt = fmt_for Abi.sparc_32 (Ftype.declare "f" [ ("x", "double") ]) in
+  let smem = Memory.create Abi.x86_64 in
+  let addr = Native.store smem sfmt (Value.Record [ ("x", Value.Float 0.5) ]) in
+  let payload = Encode.payload smem sfmt addr in
+  let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+  let rmem = Memory.create Abi.sparc_32 in
+  let got = Native.load rmem nfmt (Convert.run p payload rmem) in
+  check value_testable "float widens exactly" (Value.Float 0.5)
+    (Value.field_exn got "x")
+
+let test_m68k_repacking () =
+  (* 2-byte alignment on one side, natural on the other: offsets differ
+     for every field after the first char *)
+  let d =
+    Ftype.declare "m" [ ("c", "char"); ("i", "integer"); ("d", "double") ]
+  in
+  let sent, received =
+    let sfmt = fmt_for Abi.m68k_32 d in
+    let nfmt = fmt_for Abi.x86_64 d in
+    check bool "layouts genuinely differ" false
+      (Format.struct_size sfmt = Format.struct_size nfmt);
+    let smem = Memory.create Abi.m68k_32 in
+    let v =
+      Value.Record
+        [ ("c", Value.Char 'q'); ("i", Value.Int 7L); ("d", Value.Float 2.5) ]
+    in
+    let addr = Native.store smem sfmt v in
+    let payload = Encode.payload smem sfmt addr in
+    let p = Convert.compile ~wire:(wire_of sfmt) ~native:nfmt in
+    let rmem = Memory.create Abi.x86_64 in
+    (Native.load smem sfmt addr, Native.load rmem nfmt (Convert.run p payload rmem))
+  in
+  check value_testable "m68k -> x86-64 repack" sent received
+
+let () =
+  Alcotest.run "convert-plans"
+    [ ( "coalescing",
+        [ Alcotest.test_case "numeric struct = one blit" `Quick
+            test_numeric_struct_one_blit
+        ; Alcotest.test_case "layout-equal machines = one blit" `Quick
+            test_same_layout_different_machines_one_blit
+        ; Alcotest.test_case "byte swap blocks merging" `Quick
+            test_byte_swap_prevents_coalescing
+        ; Alcotest.test_case "chars merge across orders" `Quick
+            test_chars_coalesce_even_across_orders
+        ; Alcotest.test_case "strings break blits" `Quick test_strings_break_blits
+        ; Alcotest.test_case "resize blocks merging" `Quick
+            test_resize_prevents_coalescing ] )
+    ; ( "arrays",
+        [ Alcotest.test_case "fixed array folds to blit" `Quick
+            test_fixed_array_folds_into_blit
+        ; Alcotest.test_case "unoptimized keeps per-field ops" `Quick
+            test_unoptimized_keeps_per_field_ops
+        ; Alcotest.test_case "var array op structure" `Quick
+            test_var_array_stays_one_op ] )
+    ; ( "conversions",
+        [ Alcotest.test_case "fixed arrays shrink and grow" `Quick
+            test_fixed_array_shrinks_and_grows
+        ; Alcotest.test_case "signed widening sign-extends" `Quick
+            test_signedness_of_widening_follows_wire
+        ; Alcotest.test_case "unsigned widening zero-extends" `Quick
+            test_unsigned_widening_zero_extends
+        ; Alcotest.test_case "narrowing truncates like C" `Quick
+            test_narrowing_truncates_like_c
+        ; Alcotest.test_case "float width conversion" `Quick
+            test_float_width_conversion
+        ; Alcotest.test_case "m68k repacking" `Quick test_m68k_repacking ] ) ]

@@ -1,0 +1,165 @@
+(** Tests for the mini HTTP server/client and HTTP-based remote metadata
+    discovery (the paper's section 7 future work, realised). *)
+
+open Omf_machine
+open Omf_xml2wire
+module Http = Omf_httpd.Http
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let str = Alcotest.string
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let with_server table f =
+  let server = Http.serve_table ~port:0 table in
+  Fun.protect ~finally:(fun () -> Http.shutdown server) (fun () -> f server)
+
+let test_get_roundtrip () =
+  with_server [ ("/flight.xsd", Fx.schema_a); ("/hello", "hi") ] (fun server ->
+      check str "document body" Fx.schema_a
+        (Http.get ~port:server.Http.port ~path:"/flight.xsd" ());
+      check str "second path" "hi"
+        (Http.get ~port:server.Http.port ~path:"/hello" ()))
+
+let test_404 () =
+  with_server [] (fun server ->
+      try
+        ignore (Http.get ~port:server.Http.port ~path:"/nope" ());
+        Alcotest.fail "expected Http_error"
+      with Http.Http_error _ -> ())
+
+(* A port guaranteed to refuse connections for the duration of [f]: we
+   hold it bound (so no parallel test can take it) but never listen. *)
+let with_dead_port f =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Fun.protect ~finally:(fun () -> Unix.close sock) (fun () -> f port)
+
+let test_connection_refused () =
+  with_dead_port (fun port ->
+      try
+        ignore (Http.get ~port ~path:"/x" ());
+        Alcotest.fail "expected Http_error"
+      with Http.Http_error _ -> ())
+
+let test_concurrent_requests () =
+  with_server [ ("/d.xsd", Fx.schema_b) ] (fun server ->
+      let results = Array.make 8 "" in
+      let threads =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun i ->
+                results.(i) <- Http.get ~port:server.Http.port ~path:"/d.xsd" ())
+              i)
+      in
+      List.iter Thread.join threads;
+      Array.iter (fun r -> check str "every thread got the document" Fx.schema_b r) results)
+
+let test_serve_directory () =
+  let dir = Filename.temp_file "omf" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "flight.xsd" in
+  let oc = open_out path in
+  output_string oc Fx.schema_a;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let server = Http.serve_directory ~port:0 dir in
+      Fun.protect
+        ~finally:(fun () -> Http.shutdown server)
+        (fun () ->
+          check str "served from directory" Fx.schema_a
+            (Http.get ~port:server.Http.port ~path:"/flight.xsd" ());
+          (* traversal and non-xsd requests rejected *)
+          (try
+             ignore (Http.get ~port:server.Http.port ~path:"/flight.txt" ());
+             Alcotest.fail "expected 404 for non-xsd"
+           with Http.Http_error _ -> ());
+          try
+            ignore (Http.get ~port:server.Http.port ~path:"/../etc/passwd" ());
+            Alcotest.fail "expected 404 for traversal"
+          with Http.Http_error _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* HTTP discovery: the xml2wire use case                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_discovery_over_http () =
+  with_server [ ("/flight.xsd", Fx.schema_a) ] (fun server ->
+      let catalog = Catalog.create Abi.x86_64 in
+      let outcome =
+        Discovery.discover catalog
+          [ Discovery.from_fetcher ~label:"http://127.0.0.1/flight.xsd"
+              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ]
+      in
+      check int "one format from HTTP" 1 (List.length outcome.Discovery.formats);
+      check bool "registered" true (Catalog.mem catalog "ASDOffEvent"))
+
+let test_discovery_http_down_falls_back_to_compiled () =
+  (* the paper's fault-tolerance story end-to-end: metadata server dead,
+     compiled-in formats keep the system limping along *)
+  with_dead_port (fun port ->
+      let catalog = Catalog.create Abi.x86_64 in
+      let outcome =
+        Discovery.discover catalog
+          [ Discovery.from_fetcher ~label:"http://dead-metaserver/flight.xsd"
+              (Http.fetcher ~port ~path:"/flight.xsd" ())
+          ; Discovery.compiled ~label:"compiled-in" [ Fx.decl_a ] ]
+      in
+      check str "fallback used" "compiled-in" outcome.Discovery.source;
+      check bool "still functional" true (Catalog.mem catalog "ASDOffEvent"))
+
+let test_metadata_change_via_http () =
+  (* re-discovery over HTTP: server starts serving an upgraded document *)
+  let current = ref Fx.schema_a in
+  let server =
+    Http.serve ~port:0 (fun ~path:_ ~headers:_ -> Http.ok !current)
+  in
+  Fun.protect
+    ~finally:(fun () -> Http.shutdown server)
+    (fun () ->
+      let catalog = Catalog.create Abi.x86_64 in
+      let w =
+        Discovery.watch catalog
+          [ Discovery.from_fetcher ~label:"http"
+              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ]
+      in
+      check bool "initial discovery" true (Catalog.mem catalog "ASDOffEvent");
+      check bool "no spurious refresh" true (Discovery.refresh w = None);
+      current :=
+        Omf_testkit.Strings.replace
+          ~sub:{|<xsd:element name="eta" type="xsd:unsigned-long" />|}
+          ~by:{|<xsd:element name="eta" type="xsd:unsigned-long" />
+                <xsd:element name="gate" type="xsd:string" />|}
+          Fx.schema_a;
+      match Discovery.refresh w with
+      | Some _ ->
+        let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+        check bool "upgraded over HTTP" true
+          (Option.is_some (Omf_pbio.Format.find_field fmt "gate"))
+      | None -> Alcotest.fail "HTTP change not detected")
+
+let () =
+  Alcotest.run "httpd"
+    [ ( "http",
+        [ Alcotest.test_case "GET round-trip" `Quick test_get_roundtrip
+        ; Alcotest.test_case "404" `Quick test_404
+        ; Alcotest.test_case "connection refused" `Quick test_connection_refused
+        ; Alcotest.test_case "concurrent requests" `Quick test_concurrent_requests
+        ; Alcotest.test_case "directory serving" `Quick test_serve_directory ] )
+    ; ( "discovery",
+        [ Alcotest.test_case "discover over HTTP" `Quick test_discovery_over_http
+        ; Alcotest.test_case "HTTP down -> compiled fallback" `Quick
+            test_discovery_http_down_falls_back_to_compiled
+        ; Alcotest.test_case "metadata change via HTTP" `Quick
+            test_metadata_change_via_http ] ) ]

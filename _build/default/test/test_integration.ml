@@ -1,0 +1,328 @@
+(** Integration tests: whole-system scenarios that cross every layer —
+    HTTP metadata discovery, the catalog, the backbone, NDR transfer with
+    mixed ABIs, the format server, and failure injection. These are the
+    checked versions of the example programs. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module X2W = Omf_xml2wire.Xml2wire
+module Catalog = Omf_xml2wire.Catalog
+module Discovery = Omf_xml2wire.Discovery
+module Broker = Omf_backbone.Broker
+module Http = Omf_httpd.Http
+module Fs = Omf_formatserver.Format_server
+module Endpoint = Omf_transport.Endpoint
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let str = Alcotest.string
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 1: the airline system, end to end                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_airline_system () =
+  (* metaserver *)
+  let server = Http.serve_table ~port:0 [ ("/flights.xsd", Fx.schema_a) ] in
+  Fun.protect
+    ~finally:(fun () -> Http.shutdown server)
+    (fun () ->
+      let broker = Broker.create () in
+      (* capture point discovers its metadata over HTTP *)
+      let catalog = Catalog.create Abi.x86_64 in
+      let outcome =
+        Discovery.discover catalog
+          [ Discovery.from_fetcher ~label:"http"
+              (Http.fetcher ~port:server.Http.port ~path:"/flights.xsd" ())
+          ; Discovery.compiled [ Fx.decl_a ] ]
+      in
+      check str "metadata came from HTTP" "http" outcome.Discovery.source;
+      Broker.advertise broker ~stream:"flights"
+        ~schema:(Option.get outcome.Discovery.document);
+      Broker.set_scope broker ~stream:"flights" (fun creds ->
+          if List.mem_assoc "restricted" creds then Some [ "fltNum"; "dest" ]
+          else None);
+      let link = Broker.publisher_link broker ~stream:"flights" in
+      let sender = Endpoint.Sender.create link (Memory.create Abi.x86_64) in
+      let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+      (* consumers on every ABI, one of them scoped *)
+      let consumers =
+        List.map
+          (fun abi -> Broker.attach_consumer broker ~stream:"flights" abi)
+          Abi.all
+      in
+      let scoped =
+        Broker.attach_consumer broker ~stream:"flights"
+          ~creds:[ ("restricted", "1") ] Abi.arm_32
+      in
+      for _ = 1 to 3 do
+        Endpoint.Sender.send_value sender fmt Fx.value_a
+      done;
+      List.iteri
+        (fun i c ->
+          let events = Broker.poll c in
+          check int (Printf.sprintf "consumer %d got all events" i) 3
+            (List.length events);
+          let _, v = List.hd events in
+          check value_testable "payload correct" (Value.String "KMCO")
+            (Value.field_exn v "dest"))
+        consumers;
+      let scoped_events = Broker.poll scoped in
+      check int "scoped consumer got all events" 3 (List.length scoped_events);
+      let _, v = List.hd scoped_events in
+      check bool "scoped consumer sees only the slice" true
+        (Value.field v "cntrID" = None && Value.field v "fltNum" <> None))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 2: live upgrade while the system runs                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_upgrade_mid_stream () =
+  let schema_v2 =
+    Omf_testkit.Strings.replace
+      ~sub:{|<xsd:element name="eta" type="xsd:unsigned-long" />|}
+      ~by:{|<xsd:element name="eta" type="xsd:unsigned-long" />
+    <xsd:element name="gate" type="xsd:string" />|}
+      Fx.schema_a
+  in
+  let docs = ref Fx.schema_a in
+  let server = Http.serve ~port:0 (fun ~path:_ ~headers:_ -> Http.ok !docs) in
+  Fun.protect
+    ~finally:(fun () -> Http.shutdown server)
+    (fun () ->
+      let broker = Broker.create () in
+      let catalog = Catalog.create Abi.x86_64 in
+      let watch =
+        Discovery.watch catalog
+          [ Discovery.from_fetcher ~label:"http"
+              (Http.fetcher ~port:server.Http.port ~path:"/f.xsd" ()) ]
+      in
+      Broker.advertise broker ~stream:"flights" ~schema:Fx.schema_a;
+      let link = Broker.publisher_link broker ~stream:"flights" in
+      let sender = Endpoint.Sender.create link (Memory.create Abi.x86_64) in
+      let old_consumer =
+        Broker.attach_consumer broker ~stream:"flights" Abi.sparc_32
+      in
+      let fmt_v1 = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+      Endpoint.Sender.send_value sender fmt_v1 Fx.value_a;
+      check int "v1 flows" 1 (List.length (Broker.poll old_consumer));
+      (* metadata changes at the server; publisher refreshes *)
+      docs := schema_v2;
+      (match Discovery.refresh watch with
+      | Some _ -> ()
+      | None -> Alcotest.fail "refresh missed the upgrade");
+      Broker.advertise broker ~stream:"flights" ~schema:schema_v2;
+      let fmt_v2 = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+      check bool "upgraded format differs" false
+        (Format.same_wire_layout fmt_v1 fmt_v2);
+      let v2_value =
+        Value.set_field Fx.value_a "gate" (Value.String "T7")
+      in
+      Endpoint.Sender.send_value sender fmt_v2 v2_value;
+      (* the running v1 consumer keeps decoding, dropping the new field *)
+      (match Broker.poll old_consumer with
+      | [ (_, v) ] ->
+        check bool "old consumer: no gate" true (Value.field v "gate" = None);
+        check value_testable "old consumer: payload intact"
+          (Value.String "KMCO") (Value.field_exn v "dest")
+      | other -> Alcotest.failf "expected 1 event, got %d" (List.length other));
+      (* a new consumer discovers v2 and sees everything *)
+      let new_consumer =
+        Broker.attach_consumer broker ~stream:"flights" Abi.power_64
+      in
+      Endpoint.Sender.send_value sender fmt_v2 v2_value;
+      match Broker.poll new_consumer with
+      | (_, v) :: _ ->
+        check value_testable "new consumer sees the gate" (Value.String "T7")
+          (Value.field_exn v "gate")
+      | [] -> Alcotest.fail "new consumer got nothing")
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 3: format server instead of per-connection negotiation      *)
+(* ------------------------------------------------------------------ *)
+
+let test_format_server_based_system () =
+  let fs = Fs.Server.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Fs.Server.shutdown fs)
+    (fun () ->
+      (* the sender discovers metadata from XML and registers the physical
+         format with the format server *)
+      let catalog = Catalog.create Abi.x86_64 in
+      ignore (X2W.register_schema catalog Fx.schema_b);
+      let fmt = Option.get (Catalog.find_format catalog "ASDOffEventB") in
+      let sc = Fs.Client.connect ~port:fs.Fs.Server.port () in
+      let gid = Fs.Client.register sc fmt in
+      let mem = Memory.create Abi.x86_64 in
+      let addr = Native.store mem fmt Fx.value_b in
+      let msgs = List.init 5 (fun _ -> message ~id:gid mem fmt addr) in
+      (* two receivers on different ABIs resolve via the server *)
+      List.iter
+        (fun abi ->
+          let rc = Fs.Client.connect ~port:fs.Fs.Server.port () in
+          let rcat = Catalog.create abi in
+          ignore (X2W.register_schema rcat Fx.schema_b);
+          let receiver =
+            Receiver.create
+              ~resolve:(Fs.Client.resolver rc)
+              (Catalog.registry rcat) (Memory.create abi)
+          in
+          List.iter
+            (fun msg ->
+              let _, v = Receiver.receive_value receiver msg in
+              check value_testable (abi.Abi.name ^ " via format server")
+                (Value.String "ZTL-ARTCC-0004")
+                (Value.field_exn v "cntrID"))
+            msgs;
+          Fs.Client.close rc)
+        [ Abi.sparc_32; Abi.alpha_64 ];
+      Fs.Client.close sc)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 4: all three wire formats agree, full stack, random data    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_stack_wire_format_agreement =
+  QCheck.Test.make
+    ~name:"NDR / XDR / XML text agree end-to-end (random formats)" ~count:100
+    (QCheck.make
+       (QCheck.Gen.pair (Omf_testkit.Gen.format_and_value ())
+          Omf_testkit.Gen.abi))
+    (fun ((sender_abi, sfmt, v), receiver_abi) ->
+      let smem = Memory.create sender_abi in
+      let addr = Native.store smem sfmt v in
+      let rreg = Registry.create receiver_abi in
+      let native = Registry.register rreg sfmt.Format.decl in
+      (* NDR *)
+      let ndr =
+        let receiver = Receiver.create rreg (Memory.create receiver_abi) in
+        ignore (Receiver.learn receiver (Format_codec.encode sfmt));
+        snd (Receiver.receive_value receiver (message smem sfmt addr))
+      in
+      (* XDR *)
+      let xdr =
+        let rmem = Memory.create receiver_abi in
+        Native.load rmem native
+          (Omf_xdr.Xdr.decode native rmem (Omf_xdr.Xdr.encode smem sfmt addr))
+      in
+      (* XML text *)
+      let xml =
+        let rmem = Memory.create receiver_abi in
+        Native.load rmem native
+          (Omf_xmlwire.Xmlwire.decode native rmem
+             (Omf_xmlwire.Xmlwire.encode smem sfmt addr))
+      in
+      Value.equal ndr xdr && Value.equal ndr xml)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 5: graceful degradation under infrastructure failure        *)
+(* ------------------------------------------------------------------ *)
+
+let test_total_infrastructure_failure () =
+  (* the metaserver dies (and stays dead: we inject a failing fetcher
+     rather than racing on a recycled port); the system keeps working on
+     compiled-in metadata and per-connection negotiation *)
+  let catalog = Catalog.create Abi.x86_64 in
+  let outcome =
+    Discovery.discover catalog
+      [ Discovery.from_fetcher ~label:"dead-http" (fun () ->
+            raise (Http.Http_error "connect: ECONNREFUSED"))
+      ; Discovery.compiled ~label:"compiled-in" [ Fx.decl_a ] ]
+  in
+  check str "compiled fallback" "compiled-in" outcome.Discovery.source;
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  let rreg = Registry.create Abi.sparc_32 in
+  ignore (Registry.register rreg Fx.decl_a);
+  let receiver = Receiver.create rreg (Memory.create Abi.sparc_32) in
+  ignore (Receiver.learn receiver (Format_codec.encode fmt));
+  let _, v =
+    Receiver.receive_value receiver
+      (message_of_value Abi.x86_64 fmt Fx.value_a)
+  in
+  check value_testable "degraded system still moves data"
+    (Value.String "DELTA") (Value.field_exn v "arln")
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 6: duplex TCP exchange between two full endpoints           *)
+(* ------------------------------------------------------------------ *)
+
+let test_duplex_tcp_exchange () =
+  let server_got = ref None and done_flag = ref false in
+  let mu = Mutex.create () and cond = Condition.create () in
+  let sock, port =
+    Omf_transport.Tcp.listen ~port:0 (fun link ->
+        (* server side: its own catalog, receives then replies *)
+        let catalog = Catalog.create Abi.power_64 in
+        ignore (X2W.register_schema catalog Fx.schema_a);
+        let mem = Memory.create Abi.power_64 in
+        let receiver =
+          Endpoint.Receiver.create link (Catalog.registry catalog) mem
+        in
+        (match Endpoint.Receiver.recv_value receiver with
+        | Some (_, v) ->
+          Mutex.lock mu;
+          server_got := Some v;
+          Mutex.unlock mu;
+          (* reply with an ack on the same link, opposite direction *)
+          let sender = Endpoint.Sender.create link mem in
+          let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+          Endpoint.Sender.send_value sender fmt
+            (Value.set_field v "dest" (Value.String "ACKD"))
+        | None -> ());
+        Mutex.lock mu;
+        done_flag := true;
+        Condition.signal cond;
+        Mutex.unlock mu)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let link = Omf_transport.Tcp.connect ~port () in
+      let catalog = Catalog.create Abi.x86_32 in
+      ignore (X2W.register_schema catalog Fx.schema_a);
+      let mem = Memory.create Abi.x86_32 in
+      let sender = Endpoint.Sender.create link mem in
+      let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+      Endpoint.Sender.send_value sender fmt Fx.value_a;
+      let receiver =
+        Endpoint.Receiver.create link (Catalog.registry catalog) mem
+      in
+      let reply = Endpoint.Receiver.recv_value receiver in
+      Mutex.lock mu;
+      while not !done_flag do
+        Condition.wait cond mu
+      done;
+      Mutex.unlock mu;
+      Omf_transport.Link.close link;
+      (match !server_got with
+      | Some v ->
+        check value_testable "server decoded client's event"
+          (Value.String "KATL") (Value.field_exn v "org")
+      | None -> Alcotest.fail "server got nothing");
+      match reply with
+      | Some (_, v) ->
+        check value_testable "client decoded the ack" (Value.String "ACKD")
+          (Value.field_exn v "dest")
+      | None -> Alcotest.fail "no reply")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "integration"
+    [ ( "scenarios",
+        [ Alcotest.test_case "airline system end-to-end" `Quick
+            test_airline_system
+        ; Alcotest.test_case "live upgrade mid-stream" `Quick
+            test_upgrade_mid_stream
+        ; Alcotest.test_case "format-server-based system" `Quick
+            test_format_server_based_system
+        ; Alcotest.test_case "total infrastructure failure" `Quick
+            test_total_infrastructure_failure
+        ; Alcotest.test_case "duplex TCP exchange" `Quick
+            test_duplex_tcp_exchange ]
+        @ qsuite [ prop_stack_wire_format_agreement ] ) ]

@@ -1,0 +1,207 @@
+(** Tests for binary journals: cross-ABI replay, descriptor embedding,
+    mixed formats, format upgrades mid-file, corruption detection. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+module Journal = Omf_journal.Journal
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+let with_tmp f =
+  let path = Filename.temp_file "omf-journal" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_events path abi events =
+  let reg = Registry.create abi in
+  List.iter (fun d -> ignore (Registry.register reg d)) [ Fx.decl_a; Fx.decl_b ]
+  |> ignore;
+  let writer, close = Journal.Writer.to_file path in
+  List.iter
+    (fun (name, v) ->
+      let fmt = Option.get (Registry.find reg name) in
+      Journal.Writer.append_value writer abi fmt v)
+    events;
+  close ()
+
+let read_all path abi =
+  let reg = Registry.create abi in
+  List.iter (fun d -> ignore (Registry.register reg d)) [ Fx.decl_a; Fx.decl_b ];
+  let reader, close =
+    Journal.Reader.of_file path reg (Memory.create abi)
+  in
+  Fun.protect ~finally:close (fun () ->
+      List.rev (Journal.Reader.fold reader (fun acc ev -> ev :: acc) []))
+
+let test_roundtrip_cross_abi () =
+  with_tmp (fun path ->
+      write_events path Abi.x86_64
+        [ ("ASDOffEvent", Fx.value_a)
+        ; ("ASDOffEventB", Fx.value_b)
+        ; ("ASDOffEvent", Fx.value_a) ];
+      (* replay on a big-endian 32-bit machine *)
+      let events = read_all path Abi.sparc_32 in
+      check int "three messages" 3 (List.length events);
+      let fmt0, v0 = List.nth events 0 in
+      check Alcotest.string "first format" "ASDOffEvent" fmt0.Format.name;
+      check value_testable "payload survives the file + ABI change"
+        (Value.String "ZTL-ARTCC-0004")
+        (Value.field_exn v0 "cntrID");
+      let fmt1, v1 = List.nth events 1 in
+      check Alcotest.string "second format" "ASDOffEventB" fmt1.Format.name;
+      check value_testable "array payload"
+        (Value.Int 3L) (Value.field_exn v1 "eta_count"))
+
+let test_descriptors_written_once () =
+  with_tmp (fun path ->
+      let abi = Abi.x86_64 in
+      let reg = Registry.create abi in
+      let fmt = Registry.register reg Fx.decl_a in
+      let writer, close = Journal.Writer.to_file path in
+      for _ = 1 to 10 do
+        Journal.Writer.append_value writer abi fmt Fx.value_a
+      done;
+      close ();
+      (* 1 descriptor + 10 messages *)
+      check int "record count" 11
+        (let reg2 = Registry.create abi in
+         ignore (Registry.register reg2 Fx.decl_a);
+         List.length (read_all path abi) + 1);
+      check bool "writer counted the same" true
+        (Journal.Writer.record_count writer = 11))
+
+let test_format_upgrade_mid_file () =
+  with_tmp (fun path ->
+      let abi = Abi.x86_64 in
+      let writer, close = Journal.Writer.to_file path in
+      (* v1 events *)
+      let reg1 = Registry.create abi in
+      let fmt1 = Registry.register reg1 Fx.decl_a in
+      Journal.Writer.append_value writer abi fmt1 Fx.value_a;
+      (* upgraded format from a fresh registry: different descriptor *)
+      let reg2 = Registry.create abi in
+      let decl_v2 =
+        { Fx.decl_a with
+          Ftype.fields = Fx.decl_a.Ftype.fields @ [ Ftype.io_field "gate" "string" ] }
+      in
+      let fmt2 = Registry.register reg2 decl_v2 in
+      Journal.Writer.append_value writer abi fmt2
+        (Value.set_field Fx.value_a "gate" (Value.String "T7"));
+      close ();
+      (* a v2-aware reader sees both, the old event with a zero gate *)
+      let reg = Registry.create Abi.sparc_32 in
+      ignore (Registry.register reg decl_v2);
+      let reader, rclose =
+        Journal.Reader.of_file path reg (Memory.create Abi.sparc_32)
+      in
+      Fun.protect ~finally:rclose (fun () ->
+          let events =
+            List.rev (Journal.Reader.fold reader (fun acc ev -> ev :: acc) [])
+          in
+          check int "both events" 2 (List.length events);
+          let _, v1 = List.nth events 0 in
+          check value_testable "old event: empty gate" (Value.String "")
+            (Value.field_exn v1 "gate");
+          let _, v2 = List.nth events 1 in
+          check value_testable "new event: gate present" (Value.String "T7")
+            (Value.field_exn v2 "gate")))
+
+let test_corruption_detected () =
+  with_tmp (fun path ->
+      write_events path Abi.x86_64 [ ("ASDOffEvent", Fx.value_a) ];
+      (* truncate the file mid-record *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (size - 5);
+      Unix.close fd;
+      let reg = Registry.create Abi.x86_64 in
+      ignore (Registry.register reg Fx.decl_a);
+      let reader, close =
+        Journal.Reader.of_file path reg (Memory.create Abi.x86_64)
+      in
+      Fun.protect ~finally:close (fun () ->
+          try
+            ignore (Journal.Reader.fold reader (fun acc _ -> acc) ());
+            Alcotest.fail "expected Journal_error"
+          with Journal.Journal_error _ -> ()))
+
+let test_bad_magic_detected () =
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTAJRNL and then some bytes";
+      close_out oc;
+      let reg = Registry.create Abi.x86_64 in
+      try
+        ignore (Journal.Reader.of_file path reg (Memory.create Abi.x86_64));
+        Alcotest.fail "expected Journal_error"
+      with Journal.Journal_error _ -> ())
+
+let test_empty_journal () =
+  with_tmp (fun path ->
+      let writer, close = Journal.Writer.to_file path in
+      ignore writer;
+      close ();
+      check int "no events" 0 (List.length (read_all path Abi.x86_64)))
+
+let test_large_journal () =
+  with_tmp (fun path ->
+      let abi = Abi.x86_64 in
+      let reg = Registry.create abi in
+      let fmt = Registry.register reg Fx.decl_b in
+      let mem = Memory.create abi in
+      let addr = Omf_pbio.Native.store mem fmt Fx.value_b in
+      let writer, close = Journal.Writer.to_file path in
+      let n = 2000 in
+      for _ = 1 to n do
+        Journal.Writer.append writer mem fmt addr
+      done;
+      close ();
+      let events = read_all path Abi.power_64 in
+      check int "all events replayed" n (List.length events))
+
+let prop_journal_roundtrip =
+  QCheck.Test.make ~name:"journal replay preserves values (random formats)"
+    ~count:100
+    (QCheck.make
+       (QCheck.Gen.pair (Omf_testkit.Gen.format_and_value ())
+          Omf_testkit.Gen.abi))
+    (fun ((writer_abi, fmt, v), reader_abi) ->
+      with_tmp (fun path ->
+          let mem = Memory.create writer_abi in
+          let addr = Omf_pbio.Native.store mem fmt v in
+          let sent = Omf_pbio.Native.load mem fmt addr in
+          let writer, close = Journal.Writer.to_file path in
+          Journal.Writer.append writer mem fmt addr;
+          Journal.Writer.append writer mem fmt addr;
+          close ();
+          let reg = Registry.create reader_abi in
+          ignore (Registry.register reg fmt.Format.decl);
+          let reader, rclose =
+            Journal.Reader.of_file path reg (Memory.create reader_abi)
+          in
+          Fun.protect ~finally:rclose (fun () ->
+              let events =
+                List.rev
+                  (Journal.Reader.fold reader (fun acc ev -> ev :: acc) [])
+              in
+              List.length events = 2
+              && List.for_all (fun (_, got) -> Value.equal sent got) events)))
+
+let () =
+  Alcotest.run "journal"
+    [ ( "journal",
+        [ Alcotest.test_case "cross-ABI replay" `Quick test_roundtrip_cross_abi
+        ; Alcotest.test_case "descriptors written once" `Quick
+            test_descriptors_written_once
+        ; Alcotest.test_case "format upgrade mid-file" `Quick
+            test_format_upgrade_mid_file
+        ; Alcotest.test_case "corruption detected" `Quick test_corruption_detected
+        ; Alcotest.test_case "bad magic detected" `Quick test_bad_magic_detected
+        ; Alcotest.test_case "empty journal" `Quick test_empty_journal
+        ; Alcotest.test_case "large journal" `Quick test_large_journal ]
+        @ [ QCheck_alcotest.to_alcotest prop_journal_roundtrip ] ) ]

@@ -1,0 +1,293 @@
+(** Tests for the transport layer: loopback, the deterministic netsim
+    link, the format-negotiation endpoint protocol, and real TCP. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+open Omf_transport
+module Fx = Omf_fixtures.Paper_structs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Loopback                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_loopback_fifo () =
+  let a, b = Loopback.pair () in
+  Link.send a (Bytes.of_string "one");
+  Link.send a (Bytes.of_string "two");
+  check Alcotest.string "fifo 1" "one" (Bytes.to_string (Link.recv_exn b));
+  check Alcotest.string "fifo 2" "two" (Bytes.to_string (Link.recv_exn b));
+  Link.send b (Bytes.of_string "back");
+  check Alcotest.string "duplex" "back" (Bytes.to_string (Link.recv_exn a))
+
+let test_loopback_close_semantics () =
+  let a, b = Loopback.pair () in
+  Link.send a (Bytes.of_string "last");
+  Link.close a;
+  check bool "queued data still readable" true
+    (Link.recv b = Some (Bytes.of_string "last"));
+  check bool "then end of stream" true (Link.recv b = None);
+  try
+    Link.send a (Bytes.of_string "x");
+    Alcotest.fail "expected Closed"
+  with Link.Closed -> ()
+
+let test_loopback_would_block () =
+  let _, b = Loopback.pair () in
+  try
+    ignore (Link.recv b);
+    Alcotest.fail "expected Would_block"
+  with Loopback.Would_block -> ()
+
+let test_loopback_isolation () =
+  (* sent buffers are copied: mutating after send must not corrupt *)
+  let a, b = Loopback.pair () in
+  let msg = Bytes.of_string "data" in
+  Link.send a msg;
+  Bytes.set msg 0 'X';
+  check Alcotest.string "copy on send" "data" (Bytes.to_string (Link.recv_exn b))
+
+(* ------------------------------------------------------------------ *)
+(* Netsim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_netsim_latency_accounting () =
+  let profile =
+    { Netsim.propagation_us = 100.0; per_message_us = 5.0; bytes_per_us = 10.0 }
+  in
+  let a, b, clock, stats = Netsim.pair profile in
+  Link.send a (Bytes.make 1000 'x');
+  (* sender clock advances past serialisation: 5 + 100 us *)
+  check (Alcotest.float 1e-9) "sender sees serialisation time" 105.0
+    (Netsim.now clock);
+  ignore (Link.recv_exn b);
+  (* receiver additionally waits for propagation *)
+  check (Alcotest.float 1e-9) "receiver sees arrival time" 205.0
+    (Netsim.now clock);
+  check int "stats messages" 1 stats.Netsim.messages;
+  check int "stats bytes" 1000 stats.Netsim.bytes
+
+let test_netsim_pipelining () =
+  (* two back-to-back messages share the pipe: second is delayed by the
+     first's serialisation, not by its propagation *)
+  let profile =
+    { Netsim.propagation_us = 1000.0; per_message_us = 0.0; bytes_per_us = 1.0 }
+  in
+  let a, b, clock, _ = Netsim.pair profile in
+  Link.send a (Bytes.make 500 'x');
+  Link.send a (Bytes.make 500 'y');
+  ignore (Link.recv_exn b);
+  ignore (Link.recv_exn b);
+  (* serialisation: 500 + 500; second arrives at 1000 + 1000 *)
+  check (Alcotest.float 1e-9) "pipelined arrival" 2000.0 (Netsim.now clock)
+
+let test_netsim_transmit_time () =
+  check (Alcotest.float 1e-9) "transmit time formula" 85.0
+    (Netsim.transmit_time
+       { Netsim.propagation_us = 9.0; per_message_us = 5.0; bytes_per_us = 10.0 }
+       800)
+
+let prop_netsim_monotone =
+  QCheck.Test.make ~name:"netsim delivery order and clock monotonicity"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_range 0 5000))
+    (fun sizes ->
+      let a, b, clock, stats =
+        Netsim.pair
+          { Netsim.propagation_us = 50.0; per_message_us = 2.0
+          ; bytes_per_us = 10.0 }
+      in
+      List.iter (fun n -> Link.send a (Bytes.make n 'x')) sizes;
+      let rec drain last times =
+        match Link.recv b with
+        | None -> List.rev times
+        | Some msg ->
+          let now = Netsim.now clock in
+          if now < last then failwith "clock went backwards";
+          drain now ((now, Bytes.length msg) :: times)
+      in
+      let times = drain 0.0 [] in
+      (* all messages delivered, in order, with matching lengths *)
+      List.length times = List.length sizes
+      && List.for_all2 (fun (_, len) n -> len = n) times sizes
+      && stats.Netsim.messages = List.length sizes
+      && stats.Netsim.bytes = List.fold_left ( + ) 0 sizes)
+
+let prop_netsim_latency_lower_bound =
+  QCheck.Test.make ~name:"netsim: every delivery respects the physics"
+    ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 1 100))
+    (fun (size, _) ->
+      let profile =
+        { Netsim.propagation_us = 75.0; per_message_us = 3.0
+        ; bytes_per_us = 12.5 }
+      in
+      let a, b, clock, _ = Netsim.pair profile in
+      Link.send a (Bytes.make size 'x');
+      ignore (Link.recv_exn b);
+      (* arrival >= serialisation + propagation, exactly for a lone msg *)
+      let expect = Netsim.transmit_time profile size +. profile.Netsim.propagation_us in
+      Float.abs (Netsim.now clock -. expect) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint protocol                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let endpoint_pair sender_abi receiver_abi decl =
+  let sreg = Registry.create sender_abi in
+  let sfmt = Registry.register sreg decl in
+  let rreg = Registry.create receiver_abi in
+  ignore (Registry.register rreg decl);
+  let a, b = Loopback.pair () in
+  let sender = Endpoint.Sender.create a (Memory.create sender_abi) in
+  let receiver =
+    Endpoint.Receiver.create b rreg (Memory.create receiver_abi)
+  in
+  (sender, sfmt, receiver)
+
+let test_endpoint_negotiation_automatic () =
+  let sender, sfmt, receiver =
+    endpoint_pair Abi.x86_64 Abi.sparc_32 Fx.decl_a
+  in
+  Endpoint.Sender.send_value sender sfmt Fx.value_a;
+  match Endpoint.Receiver.recv_value receiver with
+  | Some (fmt, v) ->
+    check Alcotest.string "format name" "ASDOffEvent" fmt.Format.name;
+    check value_testable "field survives" (Value.String "DELTA")
+      (Value.field_exn v "arln")
+  | None -> Alcotest.fail "no message"
+
+let test_endpoint_descriptor_sent_once () =
+  let sender, sfmt, receiver =
+    endpoint_pair Abi.x86_64 Abi.x86_64 Fx.decl_a
+  in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Endpoint.Sender.send_value sender sfmt Fx.value_a
+  done;
+  (* drain: 10 data messages; exactly one descriptor frame was prepended *)
+  (try
+     while Option.is_some (Endpoint.Receiver.recv_value receiver) do
+       incr count
+     done
+   with Loopback.Would_block -> ());
+  check int "ten data messages decoded" 10 !count
+
+let test_endpoint_rejects_garbage_frame () =
+  let reg = Registry.create Abi.x86_64 in
+  let a, b = Loopback.pair () in
+  let receiver = Endpoint.Receiver.create b reg (Memory.create Abi.x86_64) in
+  Link.send a (Bytes.of_string "Zjunk");
+  (try
+     ignore (Endpoint.Receiver.recv receiver);
+     Alcotest.fail "expected Protocol_error"
+   with Endpoint.Protocol_error _ -> ());
+  Link.send a (Bytes.of_string "");
+  try
+    ignore (Endpoint.Receiver.recv receiver);
+    Alcotest.fail "expected Protocol_error (empty)"
+  with Endpoint.Protocol_error _ -> ()
+
+let test_endpoint_over_netsim () =
+  (* the protocol is transport-agnostic: same flow over a netsim link *)
+  let sreg = Registry.create Abi.x86_64 in
+  let sfmt = Registry.register sreg Fx.decl_b in
+  let rreg = Registry.create Abi.power_64 in
+  ignore (Registry.register rreg Fx.decl_b);
+  let a, b, clock, _ = Netsim.pair Netsim.lan_1999 in
+  let sender = Endpoint.Sender.create a (Memory.create Abi.x86_64) in
+  let receiver = Endpoint.Receiver.create b rreg (Memory.create Abi.power_64) in
+  Endpoint.Sender.send_value sender sfmt Fx.value_b;
+  (match Endpoint.Receiver.recv_value receiver with
+  | Some (_, v) ->
+    check value_testable "value over netsim"
+      (Value.Uint 1579874834L)
+      (match Value.field_exn v "eta" with
+      | Value.Array a -> a.(0)
+      | _ -> Value.Uint 0L)
+  | None -> Alcotest.fail "no message");
+  check bool "virtual time advanced" true (Netsim.now clock > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* TCP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcp_roundtrip () =
+  let received = ref None in
+  let done_flag = ref false in
+  let mu = Mutex.create () and cond = Condition.create () in
+  let server_sock, port =
+    Tcp.listen ~port:0 (fun link ->
+        let rreg = Registry.create Abi.sparc_32 in
+        ignore (Registry.register rreg Fx.decl_a);
+        let receiver =
+          Endpoint.Receiver.create link rreg (Memory.create Abi.sparc_32)
+        in
+        let v = Endpoint.Receiver.recv_value receiver in
+        Mutex.lock mu;
+        received := v;
+        done_flag := true;
+        Condition.signal cond;
+        Mutex.unlock mu)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close server_sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let link = Tcp.connect ~port () in
+      let sreg = Registry.create Abi.x86_64 in
+      let sfmt = Registry.register sreg Fx.decl_a in
+      let sender = Endpoint.Sender.create link (Memory.create Abi.x86_64) in
+      Endpoint.Sender.send_value sender sfmt Fx.value_a;
+      Mutex.lock mu;
+      while not !done_flag do
+        Condition.wait cond mu
+      done;
+      Mutex.unlock mu;
+      Link.close link;
+      match !received with
+      | Some (_, v) ->
+        check value_testable "value over real TCP, cross-ABI"
+          (Value.String "ZTL-ARTCC-0004")
+          (Value.field_exn v "cntrID")
+      | None -> Alcotest.fail "server saw nothing")
+
+let test_tcp_connect_refused () =
+  try
+    ignore (Tcp.connect ~port:1 ());
+    Alcotest.fail "expected Tcp_error"
+  with Tcp.Tcp_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "transport"
+    [ ( "loopback",
+        [ Alcotest.test_case "fifo + duplex" `Quick test_loopback_fifo
+        ; Alcotest.test_case "close semantics" `Quick test_loopback_close_semantics
+        ; Alcotest.test_case "would-block" `Quick test_loopback_would_block
+        ; Alcotest.test_case "buffer isolation" `Quick test_loopback_isolation ] )
+    ; ( "netsim",
+        [ Alcotest.test_case "latency accounting" `Quick
+            test_netsim_latency_accounting
+        ; Alcotest.test_case "pipelining" `Quick test_netsim_pipelining
+        ; Alcotest.test_case "transmit time" `Quick test_netsim_transmit_time ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_netsim_monotone; prop_netsim_latency_lower_bound ] )
+    ; ( "endpoint",
+        [ Alcotest.test_case "automatic negotiation" `Quick
+            test_endpoint_negotiation_automatic
+        ; Alcotest.test_case "descriptor sent once" `Quick
+            test_endpoint_descriptor_sent_once
+        ; Alcotest.test_case "garbage frames rejected" `Quick
+            test_endpoint_rejects_garbage_frame
+        ; Alcotest.test_case "works over netsim" `Quick test_endpoint_over_netsim ] )
+    ; ( "tcp",
+        [ Alcotest.test_case "cross-ABI over real sockets" `Quick test_tcp_roundtrip
+        ; Alcotest.test_case "connection refused" `Quick test_tcp_connect_refused ] )
+    ]

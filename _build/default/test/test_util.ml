@@ -1,0 +1,128 @@
+(** Tests for the utility modules: hexdump, the deterministic PRNG, and
+    the coarse timing helpers. *)
+
+module Hexdump = Omf_util.Hexdump
+module Prng = Omf_util.Prng
+module Clock = Omf_util.Clock
+
+let check = Alcotest.check
+let str = Alcotest.string
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_hexdump_short () =
+  check str "empty" "" (Hexdump.short Bytes.empty);
+  check str "bytes" "00ff10" (Hexdump.short (Bytes.of_string "\x00\xff\x10"))
+
+let test_hexdump_canonical () =
+  let dump = Hexdump.of_bytes (Bytes.of_string "Hello, world!\x00\x01\x02\x03") in
+  check bool "offset column" true (String.length dump > 0 && String.sub dump 0 8 = "00000000");
+  check bool "ascii gutter shows printables" true
+    (let rec contains i =
+       i + 5 <= String.length dump
+       && (String.sub dump i 5 = "Hello" || contains (i + 1))
+     in
+     contains 0);
+  check bool "non-printables dotted" true (String.contains dump '.');
+  (* 17 bytes -> two lines *)
+  check int "line count" 2
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' dump)))
+
+let test_hexdump_alignment () =
+  (* every full line has the same width *)
+  let dump = Hexdump.of_bytes (Bytes.init 64 (fun i -> Char.chr i)) in
+  let lines = List.filter (fun s -> s <> "") (String.split_on_char '\n' dump) in
+  let widths = List.map String.length lines in
+  check bool "uniform line width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L () in
+  let b = Prng.create ~seed:7L () in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1000) in
+  check bool "same seed, same stream" true (xs = ys);
+  let c = Prng.create ~seed:8L () in
+  let zs = List.init 100 (fun _ -> Prng.int c 1000) in
+  check bool "different seed, different stream" true (xs <> zs)
+
+let test_prng_ranges () =
+  let r = Prng.create () in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of range: %d" v;
+    let f = Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_strings () =
+  let r = Prng.create () in
+  let s = Prng.string r 20 in
+  check int "length" 20 (String.length s);
+  check bool "printable" true
+    (String.for_all (fun c -> c >= ' ' && c <= '~') s);
+  let id = Prng.ident r 12 in
+  check bool "identifier shape" true
+    (id.[0] >= 'a' && id.[0] <= 'z'
+    && String.for_all
+         (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+         id)
+
+let test_prng_zero_seed_is_usable () =
+  let r = Prng.create ~seed:0L () in
+  (* xorshift with state 0 would be stuck at 0 forever; the constructor
+     must avoid that *)
+  let distinct = List.sort_uniq compare (List.init 10 (fun _ -> Prng.int r 1000000)) in
+  check bool "not stuck" true (List.length distinct > 1)
+
+let test_prng_distribution_rough () =
+  let r = Prng.create () in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let v = Prng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < n / 20 || c > n / 5 then
+        Alcotest.failf "bucket %d wildly off: %d/%d" i c n)
+    buckets
+
+let test_clock_measures_something () =
+  let _, ns =
+    Clock.time_ns (fun () ->
+        let acc = ref 0 in
+        for i = 1 to 100_000 do
+          acc := !acc + i
+        done;
+        !acc)
+  in
+  check bool "non-negative" true (Int64.compare ns 0L >= 0);
+  let per = Clock.repeat_ns 10 (fun () -> Sys.opaque_identity (List.init 100 Fun.id)) in
+  check bool "repeat gives a finite mean" true (Float.is_finite per && per >= 0.0)
+
+let test_strings_replace () =
+  check str "basic" "a-Y-c" (Omf_testkit.Strings.replace ~sub:"b" ~by:"Y" "a-b-c");
+  check str "multiple" "xx" (Omf_testkit.Strings.replace ~sub:"ab" ~by:"x" "abab");
+  check str "absent" "hello" (Omf_testkit.Strings.replace ~sub:"zz" ~by:"x" "hello");
+  check str "longer replacement" "aXXXb"
+    (Omf_testkit.Strings.replace ~sub:"-" ~by:"XXX" "a-b")
+
+let () =
+  Alcotest.run "util"
+    [ ( "hexdump",
+        [ Alcotest.test_case "short form" `Quick test_hexdump_short
+        ; Alcotest.test_case "canonical form" `Quick test_hexdump_canonical
+        ; Alcotest.test_case "alignment" `Quick test_hexdump_alignment ] )
+    ; ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic
+        ; Alcotest.test_case "ranges" `Quick test_prng_ranges
+        ; Alcotest.test_case "strings" `Quick test_prng_strings
+        ; Alcotest.test_case "zero seed" `Quick test_prng_zero_seed_is_usable
+        ; Alcotest.test_case "rough uniformity" `Quick
+            test_prng_distribution_rough ] )
+    ; ( "clock",
+        [ Alcotest.test_case "measures" `Quick test_clock_measures_something ] )
+    ; ( "strings",
+        [ Alcotest.test_case "replace" `Quick test_strings_replace ] ) ]

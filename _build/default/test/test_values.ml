@@ -1,0 +1,133 @@
+(** Unit tests for the Value and Ftype helper surfaces (the pieces not
+    already exercised by round-trip properties): pretty-printing,
+    record edits, coercion errors, declaration printing. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pp_forms () =
+  let v =
+    Value.Record
+      [ ("i", Value.Int (-3L)); ("u", Value.Uint 7L); ("c", Value.Char 'x')
+      ; ("s", Value.String "hi"); ("a", Value.Array [| Value.Int 1L |]) ]
+  in
+  let text = Value.to_string v in
+  List.iter
+    (fun needle ->
+      check bool ("prints " ^ needle) true
+        (Omf_testkit.Strings.replace ~sub:needle ~by:"" text <> text))
+    [ "i = -3"; "u = 7"; "'x'"; {|"hi"|}; "[|1|]" ]
+
+let test_equal_corner_cases () =
+  check bool "nan equals itself (bit equality)" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  check bool "+0 and -0 differ bitwise" false
+    (Value.equal (Value.Float 0.0) (Value.Float (-0.0)));
+  check bool "int vs uint constructors differ" false
+    (Value.equal (Value.Int 3L) (Value.Uint 3L));
+  check bool "record order matters" false
+    (Value.equal
+       (Value.Record [ ("a", Value.Int 1L); ("b", Value.Int 2L) ])
+       (Value.Record [ ("b", Value.Int 2L); ("a", Value.Int 1L) ]));
+  check bool "array length mismatch" false
+    (Value.equal (Value.Array [| Value.Int 1L |]) (Value.Array [||]))
+
+let test_set_field () =
+  let r = Value.Record [ ("a", Value.Int 1L) ] in
+  let r2 = Value.set_field r "a" (Value.Int 9L) in
+  check bool "replace" true (Value.field_exn r2 "a" = Value.Int 9L);
+  let r3 = Value.set_field r "b" (Value.String "new") in
+  check bool "append" true (Value.field r3 "b" = Some (Value.String "new"));
+  check bool "original untouched" true (Value.field_exn r "a" = Value.Int 1L);
+  try
+    ignore (Value.set_field (Value.Int 1L) "x" (Value.Int 2L));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_coercion_errors () =
+  let expect_type_error f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Type_error"
+    with Value.Type_error _ -> ()
+  in
+  expect_type_error (fun () -> Value.to_int64 (Value.String "no"));
+  expect_type_error (fun () -> Value.to_float_exn (Value.String "no"));
+  expect_type_error (fun () -> Value.to_string_exn (Value.Int 1L));
+  expect_type_error (fun () -> Value.to_array_exn (Value.Int 1L));
+  expect_type_error (fun () -> Value.to_record_exn (Value.Int 1L));
+  (* chars coerce to their codes; ints coerce to floats *)
+  check bool "char to int64" true (Value.to_int64 (Value.Char 'A') = 65L);
+  check bool "int to float" true (Value.to_float_exn (Value.Int 2L) = 2.0)
+
+let test_field_exn_message () =
+  try
+    ignore (Value.field_exn (Value.Record []) "missing");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument m ->
+    check bool "mentions the field" true
+      (Omf_testkit.Strings.replace ~sub:"missing" ~by:"" m <> m)
+
+(* ------------------------------------------------------------------ *)
+(* Ftype printing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ftype_pp () =
+  let text = Fmt.str "%a" Ftype.pp Omf_fixtures.Paper_structs.decl_b in
+  List.iter
+    (fun needle ->
+      check bool ("declaration prints " ^ needle) true
+        (Omf_testkit.Strings.replace ~sub:needle ~by:"" text <> text))
+    [ "format ASDOffEventB"; {|"unsigned long[5]"|}
+    ; {|"unsigned long[eta_count]"|} ]
+
+let test_elem_to_string_total () =
+  (* every integer prim has a printable spelling that parses back *)
+  List.iter
+    (fun p ->
+      let e = Ftype.Int_t p in
+      let s = Ftype.elem_to_string e in
+      check bool (s ^ " parses back") true
+        (match Ftype.of_type_string s with
+        | Ftype.Int_t _, Ftype.Scalar -> true
+        | _ -> false))
+    [ Abi.Short; Abi.Ushort; Abi.Int; Abi.Uint; Abi.Long; Abi.Ulong
+    ; Abi.Longlong; Abi.Ulonglong ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalog printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_pp () =
+  let c = Omf_xml2wire.Catalog.create Abi.sparc_32 in
+  ignore
+    (Omf_xml2wire.Catalog.register c ~source:"unit-test"
+       Omf_fixtures.Paper_structs.decl_a);
+  let text = Fmt.str "%a" Omf_xml2wire.Catalog.pp c in
+  List.iter
+    (fun needle ->
+      check bool ("catalog prints " ^ needle) true
+        (Omf_testkit.Strings.replace ~sub:needle ~by:"" text <> text))
+    [ "sparc-32"; "ASDOffEvent"; "32 bytes"; "unit-test" ]
+
+let () =
+  Alcotest.run "values"
+    [ ( "value",
+        [ Alcotest.test_case "pretty printing" `Quick test_pp_forms
+        ; Alcotest.test_case "equality corners" `Quick test_equal_corner_cases
+        ; Alcotest.test_case "set_field" `Quick test_set_field
+        ; Alcotest.test_case "coercion errors" `Quick test_coercion_errors
+        ; Alcotest.test_case "field_exn message" `Quick test_field_exn_message ] )
+    ; ( "ftype",
+        [ Alcotest.test_case "declaration printing" `Quick test_ftype_pp
+        ; Alcotest.test_case "spellings parse back" `Quick
+            test_elem_to_string_total ] )
+    ; ( "catalog",
+        [ Alcotest.test_case "catalog printing" `Quick test_catalog_pp ] ) ]

@@ -1,0 +1,1 @@
+test/testkit/gen.ml: Abi Array Format Ftype Int32 Int64 List Omf_machine Omf_pbio Printf QCheck Value

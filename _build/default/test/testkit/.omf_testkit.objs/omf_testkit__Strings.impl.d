@@ -1,0 +1,1 @@
+test/testkit/strings.ml: Buffer String

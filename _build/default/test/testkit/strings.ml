@@ -1,0 +1,21 @@
+(** Tiny string helpers for tests (avoids a Str dependency). *)
+
+(** [replace ~sub ~by s] replaces every literal occurrence of [sub]. *)
+let replace ~sub ~by s =
+  let n = String.length sub in
+  if n = 0 then invalid_arg "Strings.replace: empty pattern";
+  let b = Buffer.create (String.length s) in
+  let rec go i =
+    if i > String.length s - n then
+      Buffer.add_string b (String.sub s i (String.length s - i))
+    else if String.equal (String.sub s i n) sub then begin
+      Buffer.add_string b by;
+      go (i + n)
+    end
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Build-time generator: emits the OCaml module for the paper's fixture
+    formats (see lib/generated/dune). That the output compiles and its
+    constructors round-trip is itself part of the test suite. *)
+
+let decls =
+  [ Omf_fixtures.Paper_structs.decl_a
+  ; Omf_fixtures.Paper_structs.decl_b
+  ; Omf_fixtures.Paper_structs.decl_c
+  ; Omf_fixtures.Paper_structs.decl_d ]
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--mli" then
+    print_string (Omf_codegen.Codegen_ocaml.interface_text decls)
+  else print_string (Omf_codegen.Codegen_ocaml.module_text decls)
