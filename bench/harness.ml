@@ -5,10 +5,15 @@
 open Bechamel
 open Toolkit
 
+(** Quick mode ([OMF_BENCH_QUICK] set): a fast smoke pass — tiny
+    measurement quota and reduced workload scale — used by the [@smoke]
+    alias. Numbers are noisy; shape only. *)
+let quick = Sys.getenv_opt "OMF_BENCH_QUICK" <> None
+
 let quota_seconds =
   match Sys.getenv_opt "OMF_BENCH_QUOTA" with
   | Some s -> (try float_of_string s with Failure _ -> 0.3)
-  | None -> 0.3
+  | None -> if quick then 0.02 else 0.3
 
 let cfg =
   Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~kde:None

@@ -8,6 +8,7 @@
     - E1: end-to-end latency and discovery amortization (section 5)
     - E2: heterogeneous receive: compiled plans vs interpretation (DCG)
     - E3: server scalability with subscriber count (section 1)
+    - E3-tcp: relay fan-out over real TCP sockets (relayd pipeline)
     - A1: discovery-method ablation (orthogonality, section 3.3)
 
     Absolute numbers reflect this simulator on today's hardware; the
@@ -24,6 +25,7 @@ module Catalog = Omf_xml2wire.Catalog
 module Discovery = Omf_xml2wire.Discovery
 module Netsim = Omf_transport.Netsim
 module Http = Omf_httpd.Http
+module Relay = Omf_relay.Relay
 open Harness
 open Workloads
 
@@ -383,6 +385,102 @@ let e3 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E3-tcp: relay fan-out over real TCP                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e3_tcp () =
+  section "E3-tcp. Relay fan-out over real TCP (1 publisher -> N subscribers)";
+  note
+    "The relayd event loop on loopback TCP: one publisher streams\n\
+     structure-A events through the relay to N subscriber connections\n\
+     (mixed ABIs, block policy, loss-free). Wall-clock delivery rate of\n\
+     the full pipeline — encode, frame, select loop, fan-out, decode.\n";
+  let stream = "bench" in
+  let events = if quick then 500 else 5_000 in
+  let counts = if quick then [ 1; 4; 16 ] else [ 1; 4; 16; 64 ] in
+  let event seq =
+    match Fx.value_a with
+    | Value.Record fields ->
+      Value.Record
+        (List.map
+           (fun (k, v) ->
+             if String.equal k "fltNum" then (k, Value.Int (Int64.of_int seq))
+             else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let h = Relay.start () in
+        let port = Relay.port (Relay.relay h) in
+        Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+        let admin = Relay.Client.connect ~port () in
+        Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
+        let pub = Relay.Client.publish admin ~stream in
+        let catalog = Catalog.create Abi.x86_64 in
+        ignore (X2W.register_schema catalog Fx.schema_a);
+        let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+        let sender =
+          Omf_transport.Endpoint.Sender.create pub (Memory.create Abi.x86_64)
+        in
+        let abis = [ Abi.x86_64; Abi.sparc_32; Abi.arm_32; Abi.power_64 ] in
+        let threads =
+          List.init n (fun i ->
+              let abi = List.nth abis (i mod List.length abis) in
+              Thread.create
+                (fun () ->
+                  let c = Relay.attach_consumer ~port ~stream abi in
+                  let rec go () =
+                    match Relay.recv c with
+                    | None -> ()
+                    | Some (_, v) -> (
+                      match Value.field_exn v "fltNum" with
+                      | Value.Int i when Int64.to_int i = events - 1 -> ()
+                      | _ -> go ())
+                  in
+                  go ();
+                  Relay.close_consumer c)
+                ())
+        in
+        let rec wait_subs () =
+          let subs =
+            List.assoc_opt
+              (Printf.sprintf "stream.%s.subscribers" stream)
+              (Relay.Client.stats admin)
+          in
+          if Option.value ~default:0 subs < n then begin
+            Thread.delay 0.005;
+            wait_subs ()
+          end
+        in
+        wait_subs ();
+        let t0 = Unix.gettimeofday () in
+        for seq = 0 to events - 1 do
+          Omf_transport.Endpoint.Sender.send_value sender fmt (event seq)
+        done;
+        List.iter Thread.join threads;
+        let dt = Unix.gettimeofday () -. t0 in
+        let bytes_out =
+          Option.value ~default:0
+            (List.assoc_opt "bytes_out" (Relay.Client.stats admin))
+        in
+        Relay.Client.close admin;
+        let deliveries = float_of_int (events * n) in
+        [ string_of_int n
+        ; Printf.sprintf "%.3f" dt
+        ; Printf.sprintf "%.0f" (float_of_int events /. dt)
+        ; Printf.sprintf "%.0f" (deliveries /. dt)
+        ; Printf.sprintf "%.1f" (float_of_int bytes_out /. dt /. 1e6) ])
+      counts
+  in
+  table
+    [ "Subscribers"; "wall s"; "events/s"; "deliveries/s"; "relay MB/s" ]
+    rows;
+  note "%d events per run, block policy: zero loss, in-order delivery.\n"
+    events
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -410,7 +508,7 @@ let a1 () =
         ; ("local file", Discovery.from_file tmp)
         ; ( "HTTP"
           , Discovery.from_fetcher ~label:"http"
-              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ) ]
+              (Http.fetcher ~port:(Http.port server) ~path:"/flight.xsd" ()) ) ]
       in
       let rows =
         List.map
@@ -492,6 +590,7 @@ let () =
   e1 ();
   e2 ();
   e3 ();
+  e3_tcp ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

@@ -70,7 +70,7 @@ let run dir port host verbose =
     | [] ->
       let server = Omf_httpd.Http.serve_directory ~host ~port dir in
       Printf.printf "metaserver: serving %d document(s) from %s on http://%s:%d/\n%!"
-        (List.length xsds) dir host server.Omf_httpd.Http.port;
+        (List.length xsds) dir host (Omf_httpd.Http.port server);
       (* serve until interrupted *)
       let rec forever () =
         Thread.delay 3600.0;

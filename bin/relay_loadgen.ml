@@ -1,0 +1,200 @@
+(** relay_loadgen: drive a relay with 1 publisher and N real TCP
+    subscribers, verify delivery (counts, ordering) and report
+    throughput — the traffic-serving smoke test for {!Omf_relay}.
+
+    Two modes: [--serve] self-hosts a relay on an ephemeral port (one
+    command, full round trip), or [--port P] targets a running relayd.
+    Events are the paper's structure-A ASD events with the sequence
+    number in [fltNum] and optional string padding to scale payloads. *)
+
+open Cmdliner
+open Omf_machine
+open Omf_pbio.Pbio
+module Relay = Omf_relay.Relay
+module Fx = Omf_fixtures.Paper_structs
+module Catalog = Omf_xml2wire.Catalog
+module X2W = Omf_xml2wire.Xml2wire
+
+let event ~seq ~pad =
+  match Fx.value_a with
+  | Value.Record fields ->
+    Value.Record
+      (List.map
+         (fun (k, v) ->
+           match k with
+           | "fltNum" -> (k, Value.Int (Int64.of_int seq))
+           | "equip" when pad > 0 -> (k, Value.String (String.make pad 'x'))
+           | _ -> (k, v))
+         fields)
+  | _ -> assert false
+
+type sub_report = {
+  mutable received : int;
+  mutable out_of_order : int;
+  mutable closed_early : bool;
+}
+
+let subscriber_thread ~host ~port ~stream ~last_seq (abi : Abi.t)
+    (report : sub_report) () =
+  let consumer = Relay.attach_consumer ~host ~port ~stream abi in
+  let rec go prev =
+    match Relay.recv consumer with
+    | None -> report.closed_early <- true
+    | Some (_, v) ->
+      let seq = match Value.field_exn v "fltNum" with
+        | Value.Int i -> Int64.to_int i
+        | _ -> -1
+      in
+      report.received <- report.received + 1;
+      if seq <= prev then report.out_of_order <- report.out_of_order + 1;
+      if seq < last_seq then go seq
+  in
+  (try go (-1) with _ -> report.closed_early <- true);
+  Relay.close_consumer consumer
+
+let run serve host port policy max_queue subscribers events pad stream =
+  let handle =
+    if serve then Some (Relay.start ~host ~policy ~max_queue ()) else None
+  in
+  let port =
+    match handle with Some h -> Relay.port (Relay.relay h) | None -> port
+  in
+  (* advertise, then bring up the publisher endpoint *)
+  let admin = Relay.Client.connect ~host ~port () in
+  Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
+  let pub_link = Relay.Client.publish admin ~stream in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema catalog Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  let sender =
+    Omf_transport.Endpoint.Sender.create pub_link (Memory.create Abi.x86_64)
+  in
+  (* subscribers on rotating ABIs, each verifying its own stream *)
+  let reports =
+    Array.init subscribers (fun _ ->
+        { received = 0; out_of_order = 0; closed_early = false })
+  in
+  let threads =
+    Array.mapi
+      (fun i report ->
+        let abi = List.nth Abi.all (i mod List.length Abi.all) in
+        Thread.create
+          (subscriber_thread ~host ~port ~stream ~last_seq:(events - 1) abi
+             report)
+          ())
+      reports
+  in
+  (* wait until the relay sees all subscriptions before publishing *)
+  let rec wait_subs () =
+    let subs =
+      List.assoc_opt
+        (Printf.sprintf "stream.%s.subscribers" stream)
+        (Relay.Client.stats admin)
+    in
+    if Option.value ~default:0 subs < subscribers then begin
+      Thread.delay 0.01;
+      wait_subs ()
+    end
+  in
+  wait_subs ();
+  let t0 = Unix.gettimeofday () in
+  for seq = 0 to events - 1 do
+    Omf_transport.Endpoint.Sender.send_value sender fmt (event ~seq ~pad)
+  done;
+  Array.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let delivered = Array.fold_left (fun a r -> a + r.received) 0 reports in
+  let ooo = Array.fold_left (fun a r -> a + r.out_of_order) 0 reports in
+  let early =
+    Array.fold_left (fun a r -> a + if r.closed_early then 1 else 0) 0 reports
+  in
+  Printf.printf
+    "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s)\n"
+    events subscribers dt (Relay.policy_to_string policy);
+  Printf.printf "  published        %9d events/s\n"
+    (int_of_float (float_of_int events /. dt));
+  Printf.printf "  delivered        %9d frames (%d deliveries/s)\n" delivered
+    (int_of_float (float_of_int delivered /. dt));
+  Printf.printf "  lost             %9d (expected %d)\n"
+    ((events * subscribers) - delivered)
+    (events * subscribers);
+  Printf.printf "  out of order     %9d\n" ooo;
+  Printf.printf "  closed early     %9d subscriber(s)\n" early;
+  let stats = Relay.Client.stats admin in
+  List.iter
+    (fun k ->
+      match List.assoc_opt k stats with
+      | Some v -> Printf.printf "  relay %-16s %9d\n" k v
+      | None -> ())
+    [ "bytes_in"; "bytes_out"; "frames_dropped"; "subscribers_evicted" ];
+  Relay.Client.close admin;
+  (match handle with Some h -> Relay.stop h | None -> ());
+  if ooo > 0 then `Error (false, "events reordered")
+  else `Ok ()
+
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:"Self-host a relay on an ephemeral port instead of targeting \
+              a running relayd.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Relay host.")
+
+let port_arg =
+  Arg.(
+    value & opt int 9117
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Relay port (ignored with $(b,--serve)).")
+
+let policy_conv =
+  let parse s =
+    match Relay.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Relay.policy_to_string p))
+
+let policy_arg =
+  Arg.(
+    value & opt policy_conv Relay.Block
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Backpressure policy for the self-hosted relay.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"FRAMES" ~doc:"Self-hosted relay queue bound.")
+
+let subscribers_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "subscribers"; "n" ] ~docv:"N" ~doc:"Concurrent TCP subscribers.")
+
+let events_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "events"; "k" ] ~docv:"K" ~doc:"Events to publish.")
+
+let pad_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pad" ] ~docv:"BYTES"
+        ~doc:"Extra string payload per event (0 = the bare 72-byte event).")
+
+let stream_arg =
+  Arg.(
+    value & opt string "loadgen"
+    & info [ "stream" ] ~docv:"NAME" ~doc:"Stream name.")
+
+let () =
+  let doc = "load generator for the event relay (1 publisher, N TCP subscribers)" in
+  let info = Cmd.info "relay_loadgen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            ret
+              (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
+             $ max_queue_arg $ subscribers_arg $ events_arg $ pad_arg
+             $ stream_arg))))

@@ -1,0 +1,108 @@
+(** relayd: the networked event-relay daemon — the {!Omf_backbone}
+    broker served over real TCP ({!Omf_relay}) with bounded
+    per-subscriber queues and a configurable backpressure policy.
+
+    [relayd --port 9117 --policy block] runs until SIGINT/SIGTERM, then
+    drains subscriber queues gracefully and prints final stats. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let port_arg =
+  Arg.(
+    value & opt int 9117
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+
+let policy_conv =
+  let parse s =
+    match Omf_relay.Relay.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown policy %s (want block | drop-oldest | \
+              evict-slow-consumer)"
+             s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Omf_relay.Relay.policy_to_string p))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Omf_relay.Relay.Block
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Backpressure policy for slow subscribers: $(b,block) (stop \
+           reading publishers, loss-free), $(b,drop-oldest) (shed oldest \
+           queued data frame), or $(b,evict-slow-consumer) (disconnect \
+           the laggard).")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"FRAMES"
+        ~doc:"Queued data frames per subscriber before the policy applies.")
+
+let evict_grace_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "evict-grace" ] ~docv:"SECONDS"
+        ~doc:
+          "How long a subscriber may stay over the queue watermark before \
+           $(b,evict-slow-consumer) disconnects it.")
+
+let drain_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "drain" ] ~docv:"SECONDS"
+        ~doc:"Graceful-shutdown flush deadline.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+
+let run port host policy max_queue evict_grace drain verbose =
+  setup_logs verbose;
+  match
+    Omf_relay.Relay.create ~host ~port ~policy ~max_queue
+      ~evict_grace_s:evict_grace ~drain_s:drain ()
+  with
+  | relay ->
+    Printf.printf "relayd: listening on %s:%d (policy %s, max queue %d)\n%!"
+      host
+      (Omf_relay.Relay.port relay)
+      (Omf_relay.Relay.policy_to_string policy)
+      max_queue;
+    let stop _ = Omf_relay.Relay.request_shutdown relay in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Omf_relay.Relay.run relay;
+    Printf.printf "relayd: final stats\n";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+      (Omf_relay.Relay.stats relay);
+    `Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    `Error
+      (false, Printf.sprintf "bind %s:%d: %s" host port (Unix.error_message e))
+
+let () =
+  let doc = "networked event-relay daemon (NDR pub/sub over TCP)" in
+  let info = Cmd.info "relayd" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            ret
+              (const run $ port_arg $ host_arg $ policy_arg $ max_queue_arg
+             $ evict_grace_arg $ drain_arg $ verbose_arg))))

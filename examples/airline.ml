@@ -158,17 +158,17 @@ let () =
         | Some body -> Http.ok body
         | None -> Http.not_found path)
   in
-  Printf.printf "metaserver listening on 127.0.0.1:%d\n\n" server.Http.port;
+  Printf.printf "metaserver listening on 127.0.0.1:%d\n\n" (Http.port server);
 
   let broker = Broker.create () in
 
   (* capture points *)
   let _flight_catalog, publish_flight =
-    make_capture_point broker ~metaserver_port:server.Http.port
+    make_capture_point broker ~metaserver_port:(Http.port server)
       ~stream:"flights" ~path:"/flights.xsd" ~fallback:[] Abi.x86_64
   in
   let _weather_catalog, publish_weather =
-    make_capture_point broker ~metaserver_port:server.Http.port
+    make_capture_point broker ~metaserver_port:(Http.port server)
       ~stream:"weather" ~path:"/weather.xsd" ~fallback:[] Abi.power_64
   in
 

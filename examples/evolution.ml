@@ -62,8 +62,8 @@ let () =
   in
   let sources =
     [ Discovery.from_fetcher
-        ~label:(Printf.sprintf "http://127.0.0.1:%d/position.xsd" server.Http.port)
-        (Http.fetcher ~port:server.Http.port ~path:"/position.xsd" ())
+        ~label:(Printf.sprintf "http://127.0.0.1:%d/position.xsd" (Http.port server))
+        (Http.fetcher ~port:(Http.port server) ~path:"/position.xsd" ())
     ; Discovery.compiled ~label:"compiled-in fallback" compiled_fallback ]
   in
 

@@ -107,7 +107,12 @@ let handle_connection (handler : handler) fd =
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-type server = { socket : Unix.file_descr; port : int }
+type server = {
+  socket : Unix.file_descr;
+  port : int;
+  stopping : bool ref;
+  acceptor : Thread.t;  (** joined by {!shutdown}: no leaked listener *)
+}
 
 (** [serve ?host ~port handler] starts an accept loop in a thread.
     [~port:0] binds an ephemeral port; read it from the result. *)
@@ -121,19 +126,29 @@ let serve ?(host = "127.0.0.1") ~port (handler : handler) : server =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
+  let stopping = ref false in
   let accept_loop () =
     try
-      while true do
+      while not !stopping do
         let fd, _ = Unix.accept sock in
-        ignore (Thread.create (handle_connection handler) fd)
+        if !stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else ignore (Thread.create (handle_connection handler) fd)
       done
     with Unix.Unix_error _ -> ()
   in
-  ignore (Thread.create accept_loop ());
-  { socket = sock; port = bound_port }
+  { socket = sock; port = bound_port; stopping
+  ; acceptor = Thread.create accept_loop () }
 
+let port (s : server) = s.port
+
+(** Stop accepting and join the acceptor thread (in-flight request
+    handlers finish on their own). *)
 let shutdown (s : server) =
-  try Unix.close s.socket with Unix.Unix_error _ -> ()
+  s.stopping := true;
+  (* shutdown() wakes a blocked accept(2); close alone may not *)
+  (try Unix.shutdown s.socket Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close s.socket with Unix.Unix_error _ -> ());
+  Thread.join s.acceptor
 
 (** Serve a fixed table of [path -> document]. *)
 let serve_table ?host ~port (table : (string * string) list) : server =

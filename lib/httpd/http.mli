@@ -19,7 +19,10 @@ val server_error : string -> response
 
 type handler = path:string -> headers:(string * string) list -> response
 
-type server = { socket : Unix.file_descr; port : int }
+type server
+
+val port : server -> int
+(** The actually bound port (useful with [~port:0]). *)
 
 val serve : ?host:string -> port:int -> handler -> server
 (** Accept loop in a background thread; [~port:0] binds an ephemeral

@@ -1,0 +1,694 @@
+(** The networked event relay: the {!Omf_backbone.Broker} served over
+    real TCP by a single-threaded, [Unix.select]-driven event loop.
+
+    This is the deployable form of the paper's event backbone (Figures 1
+    and 3): capture points and subscribers are separate processes on
+    separate machines; the relay hosts the broker — stream advertisement,
+    per-stream format-descriptor caching with replay for late joiners,
+    credential-scoped metadata — behind a small control protocol carried
+    on the same length-prefixed TCP framing as the {!Omf_transport.Endpoint}
+    descriptor/message frames it relays.
+
+    Design points:
+
+    - {b Single-threaded.} One [select] loop owns every socket;
+      non-blocking reads are reassembled into frames by
+      {!Omf_transport.Frame.Decoder}, writes are queued per connection
+      and flushed on writability. No locks, deterministic fan-out order.
+    - {b Bounded queues + backpressure.} Each subscriber has a bounded
+      outbound queue of data frames. When a subscriber falls behind, the
+      configured {!policy} decides: [Block] stops reading from the
+      stream's publishers (loss-free — TCP pushes back to the capture
+      point), [Drop_oldest] sheds the oldest queued data frame
+      (descriptor frames are never shed, so the stream stays decodable),
+      [Evict_slow] disconnects the laggard so the fast majority is
+      unaffected.
+    - {b Shared format machinery.} Descriptor frames are cached once per
+      stream and replayed to every late joiner — the instance-level
+      "compile once, serve many consumers" economics the paper's
+      metadata design enables.
+    - {b Graceful drain.} Shutdown stops accepting and reading, flushes
+      every subscriber queue (up to a deadline), then closes.
+
+    Control protocol (each frame: 1-byte kind + body; see PROTOCOLS.md
+    section 11):
+
+    - ['h'] HELLO     creds as ["k=v"] lines        -> ['o' banner]
+    - ['a'] ADVERTISE ["stream\n<schema xml>"]      -> ['o']
+    - ['p'] PUBLISH   ["stream"]                    -> ['o'], connection
+      becomes the stream's publisher; subsequent ['D']/['M'] endpoint
+      frames are fanned out verbatim
+    - ['s'] SUBSCRIBE ["stream"]                    -> ['o' scoped-schema],
+      then replayed ['D'] frames, then live frames
+    - ['t'] STATS                                   -> ['o' "name value" lines]
+    - ['e' message] is the error reply to any of the above. *)
+
+open Omf_transport
+module Broker = Omf_backbone.Broker
+module Counters = Omf_util.Counters
+
+let log = Logs.Src.create "omf.relay" ~doc:"TCP event relay"
+
+module Log = (val Logs.src_log log)
+
+type policy = Block | Drop_oldest | Evict_slow
+
+let policy_to_string = function
+  | Block -> "block"
+  | Drop_oldest -> "drop-oldest"
+  | Evict_slow -> "evict-slow-consumer"
+
+let policy_of_string = function
+  | "block" -> Some Block
+  | "drop-oldest" -> Some Drop_oldest
+  | "evict-slow-consumer" | "evict-slow" | "evict" -> Some Evict_slow
+  | _ -> None
+
+(* control / reply frame kinds (lowercase; relayed endpoint frames are
+   the uppercase 'D'/'M' of Omf_transport.Endpoint) *)
+let k_hello = 'h'
+let k_advertise = 'a'
+let k_publish = 'p'
+let k_subscribe = 's'
+let k_stats = 't'
+let k_ok = 'o'
+let k_err = 'e'
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type role =
+  | Pending  (** control commands only, no stream attached yet *)
+  | Publisher of { stream : string; link : Link.t }
+      (** [link] is the broker's fan-out entry for the stream *)
+  | Subscriber of { stream : string; unsubscribe : unit -> unit }
+
+type out_entry = {
+  ebuf : Bytes.t;  (** wire bytes: header + frame *)
+  mutable eoff : int;  (** bytes already written *)
+  droppable : bool;  (** data frame, sheddable under [Drop_oldest] *)
+}
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  decoder : Frame.Decoder.t;
+  outq : out_entry Queue.t;
+  mutable q_data : int;  (** droppable frames currently queued *)
+  mutable creds : (string * string) list;
+  mutable role : role;
+  mutable over_since : float option;
+      (** when the queue first crossed the watermark (Evict_slow) *)
+  mutable doomed : string option;  (** close reason, swept after dispatch *)
+}
+
+type state = Running | Draining | Stopped
+
+type t = {
+  host : string;
+  port : int;
+  policy : policy;
+  max_queue : int;
+  evict_grace : float;
+      (** seconds a subscriber may stay over the watermark before
+          [Evict_slow] dooms it; a consumer that drains back below the
+          watermark in time is spared (momentary bursts are not
+          slowness) *)
+  sndbuf : int option;  (** forced SO_SNDBUF on accepted sockets *)
+  drain_default_s : float;
+  lsock : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  broker : Broker.t;
+  conns : (int, conn) Hashtbl.t;
+  counters : Counters.t;
+  scratch : Bytes.t;
+  mutable next_cid : int;
+  mutable state : state;
+  mutable stop_requested : bool;
+  mutable drain_deadline : float;
+}
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
+    ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(drain_s = 2.0) () : t =
+  let lsock, bound_port = Tcp.listener ~host ~port () in
+  Unix.set_nonblock lsock;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  { host; port = bound_port; policy; max_queue; evict_grace = evict_grace_s
+  ; sndbuf
+  ; drain_default_s = drain_s
+  ; lsock; wake_r; wake_w; broker = Broker.create ()
+  ; conns = Hashtbl.create 64; counters = Counters.create ()
+  ; scratch = Bytes.create 65536; next_cid = 1; state = Running
+  ; stop_requested = false; drain_deadline = infinity }
+
+let port t = t.port
+
+(** The embedded broker — for scope policies and direct inspection
+    ([Broker.set_scope] installs credential-based field scoping exactly
+    as for the in-process broker). *)
+let broker t = t.broker
+
+let stats t : (string * int) list =
+  Counters.dump t.counters
+  @ List.concat_map
+      (fun s ->
+        [ (Printf.sprintf "stream.%s.published" s, Broker.published_count t.broker ~stream:s)
+        ; (Printf.sprintf "stream.%s.subscribers" s, Broker.subscriber_count t.broker ~stream:s) ])
+      (Broker.stream_names t.broker)
+
+let stats_text t =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) (stats t))
+
+(** Ask the loop to drain and stop. Safe from another thread or a signal
+    handler: it only sets a flag and writes the wake pipe. *)
+let request_shutdown (t : t) : unit =
+  t.stop_requested <- true;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Outbound queues and backpressure                                     *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
+  Queue.add { ebuf = Frame.encode frame; eoff = 0; droppable } c.outq;
+  if droppable then c.q_data <- c.q_data + 1
+
+(** Drop the oldest fully-unwritten data frame, if any. *)
+let drop_oldest_droppable (c : conn) : bool =
+  let dropped = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun e ->
+      if (not !dropped) && e.droppable && e.eoff = 0 then dropped := true
+      else Queue.add e keep)
+    c.outq;
+  if !dropped then begin
+    Queue.clear c.outq;
+    Queue.transfer keep c.outq;
+    c.q_data <- c.q_data - 1
+  end;
+  !dropped
+
+(** Doom [c] as a slow consumer (swept after the current dispatch). *)
+let evict_slow (t : t) (c : conn) =
+  c.doomed <- Some "slow consumer evicted";
+  Counters.incr t.counters "subscribers_evicted";
+  Log.info (fun m -> m "conn %d: evicting slow consumer" c.cid)
+
+(** Enqueue a relayed stream frame onto a subscriber, applying the
+    backpressure policy. Raises {!Link.Closed} when the subscriber is
+    (or becomes) dead so the broker skips it. *)
+let enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
+  if c.doomed <> None then raise Link.Closed;
+  let droppable =
+    not
+      (Bytes.length frame > 0
+      && Char.equal (Bytes.get frame 0) Endpoint.frame_descriptor)
+  in
+  if droppable && c.q_data >= t.max_queue then begin
+    match t.policy with
+    | Block ->
+      (* over the high-watermark: the loop pauses the stream's
+         publishers until this queue drains; nothing is lost *)
+      ()
+    | Drop_oldest ->
+      if drop_oldest_droppable c then
+        Counters.incr t.counters "frames_dropped"
+    | Evict_slow -> (
+      (* over the watermark: start (or check) the grace clock rather
+         than evicting outright — an actively draining consumer that
+         is merely behind for a moment must not be killed.  The queue
+         may grow past the watermark during the grace window; it is
+         bounded by grace x publish rate. *)
+      let now = Unix.gettimeofday () in
+      match c.over_since with
+      | None -> c.over_since <- Some now
+      | Some t0 when now -. t0 >= t.evict_grace ->
+        evict_slow t c;
+        raise Link.Closed
+      | Some _ -> ())
+  end;
+  enqueue_entry c ~droppable frame;
+  Counters.incr t.counters "frames_out"
+
+let reply (t : t) (c : conn) kind (body : string) =
+  let b = Bytes.create (1 + String.length body) in
+  Bytes.set b 0 kind;
+  Bytes.blit_string body 0 b 1 (String.length body);
+  enqueue_entry c ~droppable:false b;
+  ignore t
+
+let reply_ok t c body = reply t c k_ok body
+let reply_err t c msg =
+  Counters.incr t.counters "errors";
+  reply t c k_err msg
+
+(** Under [Block]: is some subscriber of [stream] over the watermark? *)
+let stream_congested (t : t) (stream : string) : bool =
+  t.policy = Block
+  && Hashtbl.fold
+       (fun _ c acc ->
+         acc
+         || match c.role with
+            | Subscriber s ->
+              String.equal s.stream stream
+              && c.doomed = None && c.q_data >= t.max_queue
+            | _ -> false)
+       t.conns false
+
+(* ------------------------------------------------------------------ *)
+(* Frame dispatch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_creds (s : string) : (string * string) list =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.index_opt line '=' with
+         | None -> None
+         | Some i ->
+           Some
+             ( String.sub line 0 i
+             , String.sub line (i + 1) (String.length line - i - 1) ))
+
+let handle_control (t : t) (c : conn) kind (body : string) =
+  if Char.equal kind k_hello then begin
+    c.creds <- parse_creds body;
+    reply_ok t c "omf-relay 1"
+  end
+  else if Char.equal kind k_stats then reply_ok t c (stats_text t)
+  else if Char.equal kind k_advertise then begin
+    match String.index_opt body '\n' with
+    | None -> reply_err t c "advertise: want \"stream\\nschema\""
+    | Some i -> (
+      let stream = String.sub body 0 i in
+      let schema = String.sub body (i + 1) (String.length body - i - 1) in
+      match Broker.advertise t.broker ~stream ~schema with
+      | () ->
+        Counters.incr t.counters "advertisements";
+        reply_ok t c ""
+      | exception Omf_xschema.Schema.Schema_error m ->
+        reply_err t c (Printf.sprintf "advertise %s: %s" stream m))
+  end
+  else if Char.equal kind k_publish then begin
+    match c.role with
+    | Publisher _ | Subscriber _ ->
+      reply_err t c "publish: connection already has a role"
+    | Pending -> (
+      match Broker.publisher_link t.broker ~stream:body with
+      | link ->
+        c.role <- Publisher { stream = body; link };
+        Counters.incr t.counters "publishers";
+        reply_ok t c ""
+      | exception Broker.Unknown_stream s ->
+        reply_err t c (Printf.sprintf "publish: unknown stream %s" s))
+  end
+  else if Char.equal kind k_subscribe then begin
+    match c.role with
+    | Publisher _ | Subscriber _ ->
+      reply_err t c "subscribe: connection already has a role"
+    | Pending -> (
+      match Broker.metadata_for t.broker ~stream:body c.creds with
+      | schema ->
+        (* reply first so the scoped schema precedes replayed frames *)
+        reply_ok t c schema;
+        let link =
+          { Link.send = (fun frame -> enqueue_relayed t c frame)
+          ; recv = (fun () -> None)
+          ; close = (fun () -> ()) }
+        in
+        let unsubscribe =
+          Broker.subscribe t.broker ~stream:body ~creds:c.creds link
+        in
+        c.role <- Subscriber { stream = body; unsubscribe };
+        Counters.incr t.counters "subscriptions"
+      | exception Broker.Unknown_stream s ->
+        reply_err t c (Printf.sprintf "subscribe: unknown stream %s" s)
+      | exception Broker.Access_denied m ->
+        reply_err t c (Printf.sprintf "subscribe: access denied: %s" m))
+  end
+  else begin
+    reply_err t c (Printf.sprintf "unknown command %C" kind);
+    c.doomed <- Some "protocol error"
+  end
+
+let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
+  Counters.incr t.counters "frames_in";
+  if Bytes.length frame = 0 then begin
+    reply_err t c "empty frame";
+    c.doomed <- Some "protocol error"
+  end
+  else
+    let kind = Bytes.get frame 0 in
+    let is_stream_frame =
+      Char.equal kind Endpoint.frame_descriptor
+      || Char.equal kind Endpoint.frame_message
+    in
+    if is_stream_frame then
+      match c.role with
+      | Publisher p ->
+        if Char.equal kind Endpoint.frame_message then
+          Counters.incr t.counters "events_relayed";
+        Link.send p.link frame
+      | Pending ->
+        reply_err t c "stream frame before PUBLISH";
+        c.doomed <- Some "protocol error"
+      | Subscriber _ ->
+        reply_err t c "subscriber connections are receive-only";
+        c.doomed <- Some "protocol error"
+    else
+      match c.role with
+      | Publisher _ | Pending ->
+        handle_control t c kind
+          (Bytes.sub_string frame 1 (Bytes.length frame - 1))
+      | Subscriber _ ->
+        (* replies would interleave with relayed frames: refuse *)
+        reply_err t c "subscriber connections are receive-only";
+        c.doomed <- Some "protocol error"
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let accept_ready (t : t) =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.lsock with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      (match t.sndbuf with
+      | Some n -> (
+        try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+        with Unix.Unix_error _ -> ())
+      | None -> ());
+      let cid = t.next_cid in
+      t.next_cid <- cid + 1;
+      Hashtbl.replace t.conns cid
+        { cid; fd; decoder = Frame.Decoder.create (); outq = Queue.create ()
+        ; q_data = 0; creds = []; role = Pending; over_since = None
+        ; doomed = None };
+      Counters.incr t.counters "connections";
+      Log.debug (fun m -> m "conn %d accepted" cid)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let read_ready (t : t) (c : conn) =
+  match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> c.doomed <- Some "peer closed"
+  | n -> (
+    Counters.incr t.counters ~by:n "bytes_in";
+    Frame.Decoder.feed c.decoder t.scratch 0 n;
+    try
+      let rec drain () =
+        if c.doomed = None then
+          match Frame.Decoder.pop c.decoder with
+          | Some frame ->
+            handle_frame t c frame;
+            drain ()
+          | None -> ()
+      in
+      drain ()
+    with
+    | Frame.Frame_error m | Broker.Unknown_stream m ->
+      c.doomed <- Some m
+    | Link.Closed -> ()
+    (* subscriber died mid-fanout; its own doom is already set *))
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> c.doomed <- Some "read error"
+
+let write_ready (t : t) (c : conn) =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.outq) do
+    let e = Queue.peek c.outq in
+    match Unix.write c.fd e.ebuf e.eoff (Bytes.length e.ebuf - e.eoff) with
+    | n ->
+      Counters.incr t.counters ~by:n "bytes_out";
+      e.eoff <- e.eoff + n;
+      if e.eoff = Bytes.length e.ebuf then begin
+        ignore (Queue.pop c.outq);
+        if e.droppable then begin
+          c.q_data <- c.q_data - 1;
+          (* drained back below the watermark: the consumer recovered,
+             so stop the eviction grace clock *)
+          if c.q_data < t.max_queue then c.over_since <- None
+        end
+      end
+      else continue := false
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ ->
+      c.doomed <- Some "write error";
+      continue := false
+  done
+
+let close_conn (t : t) (c : conn) =
+  (* best-effort flush first: a conn doomed for a protocol error has
+     its 'e' reply still queued, and the peer should learn why it was
+     dropped — push whatever the socket will take without blocking *)
+  write_ready t c;
+  (match c.role with
+  | Subscriber s -> s.unsubscribe ()
+  | Publisher _ | Pending -> ());
+  Hashtbl.remove t.conns c.cid;
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  Log.debug (fun m ->
+      m "conn %d closed (%s)" c.cid
+        (Option.value ~default:"normal" c.doomed))
+
+let sweep_doomed (t : t) =
+  let doomed =
+    Hashtbl.fold
+      (fun _ c acc -> if c.doomed <> None then c :: acc else acc)
+      t.conns []
+  in
+  List.iter (close_conn t) doomed
+
+(** Sweep grace deadlines: a subscriber that stayed over the watermark
+    for the whole grace window is evicted even if no new frame arrives
+    to trigger the check in {!enqueue_relayed}. *)
+let check_evictions (t : t) =
+  if t.policy = Evict_slow then
+    let now = Unix.gettimeofday () in
+    Hashtbl.iter
+      (fun _ c ->
+        match c.over_since with
+        | Some t0 when c.doomed = None && now -. t0 >= t.evict_grace ->
+          evict_slow t c
+        | _ -> ())
+      t.conns
+
+let drain_wake_pipe (t : t) =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let conn_wants_read (t : t) (c : conn) : bool =
+  c.doomed = None
+  && t.state = Running
+  &&
+  match c.role with
+  | Publisher p -> not (stream_congested t p.stream)
+  | Pending | Subscriber _ -> true
+
+(** Run the loop until {!request_shutdown} (then drain) completes. *)
+let run (t : t) : unit =
+  Log.info (fun m ->
+      m "listening on %s:%d (policy %s, max queue %d)" t.host t.port
+        (policy_to_string t.policy) t.max_queue);
+  while t.state <> Stopped do
+    (* enter drain on request *)
+    if t.stop_requested && t.state = Running then begin
+      t.state <- Draining;
+      t.drain_deadline <- Unix.gettimeofday () +. t.drain_default_s;
+      (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+      Log.info (fun m ->
+          m "draining %d connections" (Hashtbl.length t.conns))
+    end;
+    if t.state = Draining then begin
+      let pending =
+        Hashtbl.fold
+          (fun _ c acc -> acc + Queue.length c.outq)
+          t.conns 0
+      in
+      if pending = 0 || Unix.gettimeofday () > t.drain_deadline then begin
+        Hashtbl.iter (fun _ c -> c.doomed <- Some "shutdown") t.conns;
+        sweep_doomed t;
+        (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+        (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+        t.state <- Stopped;
+        Log.info (fun m -> m "stopped")
+      end
+    end;
+    if t.state <> Stopped then begin
+      let reads =
+        t.wake_r
+        :: (if t.state = Running then [ t.lsock ] else [])
+        @ Hashtbl.fold
+            (fun _ c acc -> if conn_wants_read t c then c.fd :: acc else acc)
+            t.conns []
+      in
+      let writes =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if c.doomed = None && not (Queue.is_empty c.outq) then
+              c.fd :: acc
+            else acc)
+          t.conns []
+      in
+      let timeout = if t.state = Draining then 0.05 else 0.5 in
+      match Unix.select reads writes [] timeout with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (EBADF, _, _) ->
+        (* a fd closed under us (e.g. listener on shutdown) — next
+           iteration rebuilds the sets from live connections *)
+        ()
+      | rs, ws, _ ->
+        if List.memq t.wake_r rs then drain_wake_pipe t;
+        if t.state = Running && List.memq t.lsock rs then accept_ready t;
+        Hashtbl.iter
+          (fun _ c ->
+            if c.doomed = None && List.memq c.fd ws then write_ready t c)
+          t.conns;
+        Hashtbl.iter
+          (fun _ c ->
+            if c.doomed = None && List.memq c.fd rs then read_ready t c)
+          t.conns;
+        check_evictions t;
+        sweep_doomed t
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hosted convenience                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type handle = { relay : t; thread : Thread.t }
+
+(** [start ()] runs a relay loop in a background thread (ephemeral port
+    by default) — the embedding used by tests and benchmarks. *)
+let start ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?drain_s () :
+    handle =
+  let relay =
+    create ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?drain_s ()
+  in
+  { relay; thread = Thread.create run relay }
+
+let relay (h : handle) : t = h.relay
+
+(** [stop h] requests a graceful drain and waits for the loop to end. *)
+let stop (h : handle) : unit =
+  request_shutdown h.relay;
+  Thread.join h.thread
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Blocking client for the relay protocol. One connection carries one
+    role: after {!Client.publish} the link is an
+    {!Omf_transport.Endpoint.Sender} channel, after {!Client.subscribe}
+    it is receive-only. *)
+module Client = struct
+  exception Error of string
+
+  type t = { link : Link.t }
+
+  let ctrl kind (body : string) : Bytes.t =
+    let b = Bytes.create (1 + String.length body) in
+    Bytes.set b 0 kind;
+    Bytes.blit_string body 0 b 1 (String.length body);
+    b
+
+  let rpc (t : t) kind body : string =
+    Link.send t.link (ctrl kind body);
+    match Link.recv t.link with
+    | None -> raise (Error "relay closed the connection")
+    | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_ok ->
+      Bytes.sub_string r 1 (Bytes.length r - 1)
+    | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_err ->
+      raise (Error (Bytes.sub_string r 1 (Bytes.length r - 1)))
+    | Some _ -> raise (Error "malformed reply")
+
+  let creds_text creds =
+    String.concat "\n" (List.map (fun (k, v) -> k ^ "=" ^ v) creds)
+
+  let connect ?(host = "127.0.0.1") ~port ?(creds = []) () : t =
+    let link = Tcp.connect ~host ~port () in
+    let t = { link } in
+    ignore (rpc t k_hello (creds_text creds));
+    t
+
+  let advertise (t : t) ~(stream : string) ~(schema : string) : unit =
+    ignore (rpc t k_advertise (stream ^ "\n" ^ schema))
+
+  let stats (t : t) : (string * int) list =
+    Counters.of_text (rpc t k_stats "")
+
+  (** [publish t ~stream] switches the connection into publisher mode
+      and returns the raw link: drive it with
+      {!Omf_transport.Endpoint.Sender}. *)
+  let publish (t : t) ~(stream : string) : Link.t =
+    ignore (rpc t k_publish stream);
+    t.link
+
+  (** [subscribe t ~stream] returns the (credential-scoped) stream
+      schema and the raw link now carrying descriptor/message frames. *)
+  let subscribe (t : t) ~(stream : string) : string * Link.t =
+    let schema = rpc t k_subscribe stream in
+    (schema, t.link)
+
+  let close (t : t) = Link.close t.link
+end
+
+(* ------------------------------------------------------------------ *)
+(* A fully wired remote consumer (mirror of Broker.attach_consumer)     *)
+(* ------------------------------------------------------------------ *)
+
+module Catalog = Omf_xml2wire.Catalog
+
+type consumer = {
+  client : Client.t;
+  catalog : Catalog.t;
+  endpoint : Endpoint.Receiver.t;
+  schema : string;  (** the scoped schema the relay served *)
+}
+
+(** [attach_consumer ~port ~stream abi] connects, subscribes, registers
+    the served (scoped) schema in a fresh catalog for [abi] and wraps
+    the link in an endpoint receiver. *)
+let attach_consumer ?host ~port ?creds ~(stream : string)
+    (abi : Omf_machine.Abi.t) : consumer =
+  let client = Client.connect ?host ~port ?creds () in
+  let schema, link = Client.subscribe client ~stream in
+  let catalog = Catalog.create abi in
+  ignore
+    (Omf_xml2wire.Xml2wire.register_schema ~source:("relay:" ^ stream) catalog
+       schema);
+  let endpoint =
+    Endpoint.Receiver.create link
+      (Catalog.registry catalog)
+      (Omf_machine.Memory.create abi)
+  in
+  { client; catalog; endpoint; schema }
+
+(** Blocking receive of the next decoded event ([None] = relay closed
+    the stream). *)
+let recv (c : consumer) : (Omf_pbio.Format.t * Omf_pbio.Value.t) option =
+  Endpoint.Receiver.recv_value c.endpoint
+
+let close_consumer (c : consumer) : unit = Client.close c.client

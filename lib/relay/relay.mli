@@ -1,0 +1,137 @@
+(** The networked event relay: the {!Omf_backbone.Broker} served over
+    real TCP by a single-threaded, [Unix.select]-driven event loop.
+
+    The deployable form of the paper's event backbone (Figures 1/3):
+    capture points and subscribers are separate processes; the relay
+    hosts the broker — stream advertisement, per-stream descriptor
+    caching with replay for late joiners, credential-scoped metadata —
+    behind a small control protocol on the same length-prefixed framing
+    as the {!Omf_transport.Endpoint} frames it relays verbatim.
+
+    Control protocol (1-byte kind + body per frame; PROTOCOLS.md §11):
+    ['h'] HELLO, ['a'] ADVERTISE, ['p'] PUBLISH, ['s'] SUBSCRIBE,
+    ['t'] STATS; replies ['o' body] / ['e' message]. After PUBLISH a
+    connection's ['D']/['M'] endpoint frames are fanned out; after
+    SUBSCRIBE the connection is receive-only. *)
+
+(** What happens to a subscriber whose bounded outbound queue is full:
+
+    - [Block]: stop reading from the stream's publishers until the
+      queue drains — loss-free, TCP pushes back to the capture point;
+    - [Drop_oldest]: shed the oldest queued data frame (descriptor
+      frames are never shed, so the stream stays decodable);
+    - [Evict_slow]: disconnect the laggard; others are unaffected. *)
+type policy = Block | Drop_oldest | Evict_slow
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?policy:policy ->
+  ?max_queue:int ->
+  ?evict_grace_s:float ->
+  ?sndbuf:int ->
+  ?drain_s:float ->
+  unit ->
+  t
+(** Bind the listening socket (ephemeral port when [?port] is 0, the
+    default). [max_queue] bounds each subscriber's queued data frames
+    (default 256); [evict_grace_s] (default 1.0) is how long a
+    subscriber may stay continuously over that watermark before
+    {!Evict_slow} disconnects it — a consumer that drains back below
+    the watermark in time is spared, so momentary bursts never evict
+    an actively reading subscriber; [sndbuf] forces a small
+    [SO_SNDBUF] on accepted
+    sockets (tests use this to provoke backpressure quickly);
+    [drain_s] is the graceful-shutdown flush deadline (default 2s). *)
+
+val port : t -> int
+
+val broker : t -> Omf_backbone.Broker.t
+(** The embedded broker — e.g. for [Broker.set_scope] policies. *)
+
+val stats : t -> (string * int) list
+(** Counters (frames/bytes in/out, events, drops, evictions, …) plus
+    per-stream published/subscriber gauges — the STATS reply body. *)
+
+val run : t -> unit
+(** Run the event loop in the calling thread until a requested
+    shutdown completes its drain. *)
+
+val request_shutdown : t -> unit
+(** Ask the loop to drain and stop. Safe from another thread or a
+    signal handler (sets a flag, writes a wake pipe). *)
+
+(** {2 Hosted convenience} *)
+
+type handle
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?policy:policy ->
+  ?max_queue:int ->
+  ?evict_grace_s:float ->
+  ?sndbuf:int ->
+  ?drain_s:float ->
+  unit ->
+  handle
+(** Run a relay loop in a background thread. *)
+
+val relay : handle -> t
+val stop : handle -> unit
+(** Graceful drain, then join the loop thread. *)
+
+(** {2 Client} *)
+
+(** Blocking client. One connection carries one role: after
+    {!Client.publish} the link is an {!Omf_transport.Endpoint.Sender}
+    channel; after {!Client.subscribe} it is receive-only. *)
+module Client : sig
+  exception Error of string
+  (** An ['e'] reply from the relay, or a malformed exchange. *)
+
+  type t
+
+  val connect :
+    ?host:string -> port:int -> ?creds:(string * string) list -> unit -> t
+  (** Connect and HELLO with [creds] (the broker's scoping input). *)
+
+  val advertise : t -> stream:string -> schema:string -> unit
+  val publish : t -> stream:string -> Omf_transport.Link.t
+  val subscribe : t -> stream:string -> string * Omf_transport.Link.t
+  (** The (credential-scoped) stream schema, and the raw link now
+      carrying descriptor/message frames. *)
+
+  val stats : t -> (string * int) list
+  val close : t -> unit
+end
+
+(** {2 A fully wired remote consumer} *)
+
+type consumer = {
+  client : Client.t;
+  catalog : Omf_xml2wire.Catalog.t;
+  endpoint : Omf_transport.Endpoint.Receiver.t;
+  schema : string;  (** the scoped schema the relay served *)
+}
+
+val attach_consumer :
+  ?host:string ->
+  port:int ->
+  ?creds:(string * string) list ->
+  stream:string ->
+  Omf_machine.Abi.t ->
+  consumer
+(** Connect, subscribe, register the served (scoped) schema in a fresh
+    catalog for the ABI, and wrap the link in an endpoint receiver —
+    the remote mirror of [Broker.attach_consumer]. *)
+
+val recv : consumer -> (Omf_pbio.Format.t * Omf_pbio.Value.t) option
+(** Blocking receive of the next decoded event ([None] = stream end). *)
+
+val close_consumer : consumer -> unit

@@ -1,0 +1,41 @@
+(** Length-prefixed frame codec with incremental reassembly.
+
+    The TCP framing (PROTOCOLS.md section 5) is a 4-byte big-endian
+    length followed by the frame body. {!Tcp} reads it with blocking
+    reads; an event-loop server ({!Omf_relay}) gets arbitrary chunks
+    from non-blocking sockets and reassembles frames across partial
+    reads with {!Decoder}. *)
+
+exception Frame_error of string
+
+val header_length : int
+(** 4 — the big-endian length prefix. *)
+
+val default_max_frame : int
+(** Frames longer than this (1 GiB) are treated as corruption. *)
+
+val write_header : Bytes.t -> int -> int -> unit
+(** [write_header buf off len] writes the 4-byte prefix at [off]. *)
+
+val read_header : Bytes.t -> int -> int
+(** [read_header buf off] reads the 4-byte prefix at [off]. *)
+
+val encode : Bytes.t -> Bytes.t
+(** [encode body] is header + body in one buffer (one socket write). *)
+
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t chunk off len] appends raw socket bytes. *)
+
+  val pop : t -> Bytes.t option
+  (** The next complete frame body, if one has fully arrived. Raises
+      {!Frame_error} on an over-long or negative length header
+      (protocol corruption — the connection is unrecoverable). *)
+
+  val pending_bytes : t -> int
+  (** Buffered bytes not yet returned as frames. *)
+end

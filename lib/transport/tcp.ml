@@ -30,24 +30,19 @@ let link_of_fd (fd : Unix.file_descr) : Link.t =
   let closed = ref false in
   let send msg =
     if !closed then raise Link.Closed;
-    let len = Bytes.length msg in
-    let hdr = Bytes.create 4 in
-    Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xFF));
-    Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xFF));
-    Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xFF));
-    Bytes.set hdr 3 (Char.chr (len land 0xFF));
-    really_write fd hdr 0 4;
-    really_write fd msg 0 len
+    (* header + body in one buffer, one write: no Nagle interaction *)
+    let b = Frame.encode msg in
+    really_write fd b 0 (Bytes.length b)
   in
   let recv () =
     if !closed then None
     else
       match
-        let hdr = Bytes.create 4 in
-        really_read fd hdr 0 4;
-        let b i = Char.code (Bytes.get hdr i) in
-        let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-        if len < 0 || len > 1 lsl 30 then tcp_error "bad frame length %d" len;
+        let hdr = Bytes.create Frame.header_length in
+        really_read fd hdr 0 Frame.header_length;
+        let len = Frame.read_header hdr 0 in
+        if len < 0 || len > Frame.default_max_frame then
+          tcp_error "bad frame length %d" len;
         let msg = Bytes.create len in
         really_read fd msg 0 len;
         msg
@@ -64,20 +59,29 @@ let link_of_fd (fd : Unix.file_descr) : Link.t =
   in
   { Link.send; recv; close }
 
-(** [listen ~port handler] accepts connections forever, spawning a thread
-    per connection. Returns the listening socket (close it to stop) and
-    the actually bound port (useful with [~port:0]). *)
-let listen ?(host = "127.0.0.1") ~port (handler : Link.t -> unit) :
+(** [listener ~port ()] binds and listens without spawning any thread —
+    for callers running their own accept/event loop ({!Omf_relay}).
+    Returns the listening socket and the actually bound port (useful
+    with [~port:0]). *)
+let listener ?(host = "127.0.0.1") ?(backlog = 64) ~port () :
     Unix.file_descr * int =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen sock 16;
+  Unix.listen sock backlog;
   let bound_port =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
+  (sock, bound_port)
+
+(** [listen ~port handler] accepts connections forever, spawning a thread
+    per connection. Returns the listening socket (close it to stop) and
+    the actually bound port. *)
+let listen ?(host = "127.0.0.1") ~port (handler : Link.t -> unit) :
+    Unix.file_descr * int =
+  let sock, bound_port = listener ~host ~backlog:16 ~port () in
   let accept_loop () =
     try
       while true do

@@ -6,6 +6,12 @@ exception Tcp_error of string
 
 val link_of_fd : Unix.file_descr -> Link.t
 
+val listener :
+  ?host:string -> ?backlog:int -> port:int -> unit -> Unix.file_descr * int
+(** Bind and listen without spawning any thread — for callers running
+    their own accept/event loop ({!Omf_relay}). Returns the listening
+    socket and the actually bound port (useful with [~port:0]). *)
+
 val listen :
   ?host:string -> port:int -> (Link.t -> unit) -> Unix.file_descr * int
 (** Accept connections forever, one thread per connection. Returns the

@@ -1,0 +1,41 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let cell (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t name r;
+    r
+
+let incr t ?(by = 1) name =
+  let r = cell t name in
+  r := !r + by
+
+let set t name v = cell t name := v
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let dump t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_text t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    (dump t);
+  Buffer.contents b
+
+let of_text s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.index_opt line ' ' with
+         | None -> None
+         | Some i ->
+           let name = String.sub line 0 i in
+           let v = String.sub line (i + 1) (String.length line - i - 1) in
+           (match int_of_string_opt (String.trim v) with
+           | Some v when name <> "" -> Some (name, v)
+           | _ -> None))

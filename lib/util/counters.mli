@@ -1,0 +1,25 @@
+(** Named monotonic counters: the cheap observability substrate used by
+    long-running servers (the relay daemon's STATS reply, the load
+    generator's report). Single-threaded by design — callers serialise
+    access (the relay's event loop already does). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** [incr t name] adds [by] (default 1) to [name], creating it at 0. *)
+
+val set : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for counters never touched. *)
+
+val dump : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val to_text : t -> string
+(** One ["name value\n"] line per counter, sorted — the STATS wire body. *)
+
+val of_text : string -> (string * int) list
+(** Parse {!to_text} output (unparseable lines are skipped). *)

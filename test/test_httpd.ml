@@ -18,14 +18,14 @@ let with_server table f =
 let test_get_roundtrip () =
   with_server [ ("/flight.xsd", Fx.schema_a); ("/hello", "hi") ] (fun server ->
       check str "document body" Fx.schema_a
-        (Http.get ~port:server.Http.port ~path:"/flight.xsd" ());
+        (Http.get ~port:(Http.port server) ~path:"/flight.xsd" ());
       check str "second path" "hi"
-        (Http.get ~port:server.Http.port ~path:"/hello" ()))
+        (Http.get ~port:(Http.port server) ~path:"/hello" ()))
 
 let test_404 () =
   with_server [] (fun server ->
       try
-        ignore (Http.get ~port:server.Http.port ~path:"/nope" ());
+        ignore (Http.get ~port:(Http.port server) ~path:"/nope" ());
         Alcotest.fail "expected Http_error"
       with Http.Http_error _ -> ())
 
@@ -55,7 +55,7 @@ let test_concurrent_requests () =
         List.init 8 (fun i ->
             Thread.create
               (fun i ->
-                results.(i) <- Http.get ~port:server.Http.port ~path:"/d.xsd" ())
+                results.(i) <- Http.get ~port:(Http.port server) ~path:"/d.xsd" ())
               i)
       in
       List.iter Thread.join threads;
@@ -79,14 +79,14 @@ let test_serve_directory () =
         ~finally:(fun () -> Http.shutdown server)
         (fun () ->
           check str "served from directory" Fx.schema_a
-            (Http.get ~port:server.Http.port ~path:"/flight.xsd" ());
+            (Http.get ~port:(Http.port server) ~path:"/flight.xsd" ());
           (* traversal and non-xsd requests rejected *)
           (try
-             ignore (Http.get ~port:server.Http.port ~path:"/flight.txt" ());
+             ignore (Http.get ~port:(Http.port server) ~path:"/flight.txt" ());
              Alcotest.fail "expected 404 for non-xsd"
            with Http.Http_error _ -> ());
           try
-            ignore (Http.get ~port:server.Http.port ~path:"/../etc/passwd" ());
+            ignore (Http.get ~port:(Http.port server) ~path:"/../etc/passwd" ());
             Alcotest.fail "expected 404 for traversal"
           with Http.Http_error _ -> ()))
 
@@ -100,7 +100,7 @@ let test_discovery_over_http () =
       let outcome =
         Discovery.discover catalog
           [ Discovery.from_fetcher ~label:"http://127.0.0.1/flight.xsd"
-              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ]
+              (Http.fetcher ~port:(Http.port server) ~path:"/flight.xsd" ()) ]
       in
       check int "one format from HTTP" 1 (List.length outcome.Discovery.formats);
       check bool "registered" true (Catalog.mem catalog "ASDOffEvent"))
@@ -132,7 +132,7 @@ let test_metadata_change_via_http () =
       let w =
         Discovery.watch catalog
           [ Discovery.from_fetcher ~label:"http"
-              (Http.fetcher ~port:server.Http.port ~path:"/flight.xsd" ()) ]
+              (Http.fetcher ~port:(Http.port server) ~path:"/flight.xsd" ()) ]
       in
       check bool "initial discovery" true (Catalog.mem catalog "ASDOffEvent");
       check bool "no spurious refresh" true (Discovery.refresh w = None);

@@ -38,7 +38,7 @@ let test_airline_system () =
       let outcome =
         Discovery.discover catalog
           [ Discovery.from_fetcher ~label:"http"
-              (Http.fetcher ~port:server.Http.port ~path:"/flights.xsd" ())
+              (Http.fetcher ~port:(Http.port server) ~path:"/flights.xsd" ())
           ; Discovery.compiled [ Fx.decl_a ] ]
       in
       check str "metadata came from HTTP" "http" outcome.Discovery.source;
@@ -100,7 +100,7 @@ let test_upgrade_mid_stream () =
       let watch =
         Discovery.watch catalog
           [ Discovery.from_fetcher ~label:"http"
-              (Http.fetcher ~port:server.Http.port ~path:"/f.xsd" ()) ]
+              (Http.fetcher ~port:(Http.port server) ~path:"/f.xsd" ()) ]
       in
       Broker.advertise broker ~stream:"flights" ~schema:Fx.schema_a;
       let link = Broker.publisher_link broker ~stream:"flights" in

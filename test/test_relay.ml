@@ -1,0 +1,413 @@
+(** Tests for the networked event relay: frame reassembly from partial
+    reads (property-tested), subscribe/replay and credential scoping
+    over real TCP, zero-loss fan-out to 64 concurrent subscribers under
+    the [Block] policy, slow-consumer shedding and eviction, and
+    graceful drain-and-shutdown. *)
+
+open Omf_machine
+open Omf_pbio.Pbio
+open Omf_transport
+module Relay = Omf_relay.Relay
+module Broker = Omf_backbone.Broker
+module Fx = Omf_fixtures.Paper_structs
+module Catalog = Omf_xml2wire.Catalog
+module X2W = Omf_xml2wire.Xml2wire
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* random frame sequences, split at random byte boundaries (the partial
+   reads a non-blocking socket delivers), must round-trip exactly *)
+let prop_frame_reassembly =
+  QCheck.Test.make ~name:"frame reassembly across arbitrary splits"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 16) (string_of_size Gen.(0 -- 400)))
+        int)
+    (fun (frames, seed) ->
+      let wire = Buffer.create 1024 in
+      List.iter
+        (fun f -> Buffer.add_bytes wire (Frame.encode (Bytes.of_string f)))
+        frames;
+      let wire = Buffer.to_bytes wire in
+      let rng = Omf_util.Prng.create ~seed:(Int64.of_int seed) () in
+      let dec = Frame.Decoder.create () in
+      let out = ref [] in
+      let off = ref 0 in
+      while !off < Bytes.length wire do
+        let n = min (1 + Omf_util.Prng.int rng 7) (Bytes.length wire - !off) in
+        Frame.Decoder.feed dec wire !off n;
+        off := !off + n;
+        let rec drain () =
+          match Frame.Decoder.pop dec with
+          | Some f -> out := Bytes.to_string f :: !out; drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      List.rev !out = frames && Frame.Decoder.pending_bytes dec = 0)
+
+let test_frame_max_length () =
+  let dec = Frame.Decoder.create ~max_frame:100 () in
+  let b = Bytes.create 4 in
+  Frame.write_header b 0 1000;
+  Frame.Decoder.feed dec b 0 4;
+  try
+    ignore (Frame.Decoder.pop dec);
+    Alcotest.fail "expected Frame_error"
+  with Frame.Frame_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let event ?(pad = 0) seq =
+  match Fx.value_a with
+  | Value.Record fields ->
+    Value.Record
+      (List.map
+         (fun (k, v) ->
+           match k with
+           | "fltNum" -> (k, Value.Int (Int64.of_int seq))
+           | "equip" when pad > 0 -> (k, Value.String (String.make pad 'x'))
+           | _ -> (k, v))
+         fields)
+  | _ -> assert false
+
+let seq_of v =
+  match Value.field_exn v "fltNum" with
+  | Value.Int i -> Int64.to_int i
+  | _ -> -1
+
+(* an advertised stream plus a ready publisher endpoint *)
+let make_publisher ~port ~stream =
+  let client = Relay.Client.connect ~port () in
+  Relay.Client.advertise client ~stream ~schema:Fx.schema_a;
+  let link = Relay.Client.publish client ~stream in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema catalog Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  let sender = Endpoint.Sender.create link (Memory.create Abi.x86_64) in
+  (client, sender, fmt)
+
+let publish sender fmt ?pad seq =
+  Endpoint.Sender.send_value sender fmt (event ?pad seq)
+
+(* poll the relay's stats (via a fresh control connection) until [key]
+   reaches [target] — makes async milestones deterministic *)
+let wait_stat ~port key target =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let c = Relay.Client.connect ~port () in
+    let v = Option.value ~default:0 (List.assoc_opt key (Relay.Client.stats c)) in
+    Relay.Client.close c;
+    if v >= target then v
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timeout waiting for %s >= %d (at %d)" key target v
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Pub/sub over real TCP                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pubsub_and_descriptor_replay () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  (* publish before anyone subscribes: the descriptor frame is cached *)
+  publish sender fmt 0;
+  ignore (wait_stat ~port "events_relayed" 1);
+  let late = Relay.attach_consumer ~port ~stream:"flights" Abi.sparc_32 in
+  publish sender fmt 1;
+  (* the late joiner missed event 0 but decodes event 1, because the
+     relay replayed the cached format descriptor on subscribe *)
+  (match Relay.recv late with
+  | Some (f, v) ->
+    check Alcotest.string "format" "ASDOffEvent" f.Format.name;
+    check int "replayed descriptor decodes the live event" 1 (seq_of v)
+  | None -> Alcotest.fail "no event");
+  Relay.close_consumer late;
+  Relay.Client.close pub
+
+let test_scoped_credentials_over_tcp () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  Broker.set_scope (Relay.broker (Relay.relay h)) ~stream:"flights"
+    (fun creds ->
+      match List.assoc_opt "role" creds with
+      | Some "display" | None -> None
+      | Some _ -> Some [ "fltNum"; "org"; "dest" ]);
+  let display =
+    Relay.attach_consumer ~port ~creds:[ ("role", "display") ]
+      ~stream:"flights" Abi.sparc_32
+  in
+  let handheld =
+    Relay.attach_consumer ~port ~creds:[ ("role", "handheld") ]
+      ~stream:"flights" Abi.arm_32
+  in
+  publish sender fmt 7;
+  let _, full = Option.get (Relay.recv display) in
+  let _, scoped = Option.get (Relay.recv handheld) in
+  check bool "display sees cntrID" true (Value.field full "cntrID" <> None);
+  check bool "handheld does not see cntrID" true
+    (Value.field scoped "cntrID" = None);
+  check int "handheld sees the sequence" 7 (seq_of scoped);
+  (* the scoped schema the relay served is itself reduced *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check bool "scoped schema omits cntrID" false
+    (contains handheld.Relay.schema "cntrID");
+  Relay.close_consumer display;
+  Relay.close_consumer handheld;
+  Relay.Client.close pub
+
+let test_unknown_stream_and_role_errors () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  (try
+     ignore (Relay.attach_consumer ~port ~stream:"nope" Abi.x86_64);
+     Alcotest.fail "expected Client.Error"
+   with Relay.Client.Error _ -> ());
+  let pub, _sender, _fmt = make_publisher ~port ~stream:"flights" in
+  (* a publisher connection cannot also subscribe *)
+  (try
+     ignore (Relay.Client.subscribe pub ~stream:"flights");
+     Alcotest.fail "expected Client.Error"
+   with Relay.Client.Error _ -> ());
+  Relay.Client.close pub
+
+let test_stats_protocol () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let consumer = Relay.attach_consumer ~port ~stream:"flights" Abi.x86_64 in
+  publish sender fmt 0;
+  ignore (Relay.recv consumer);
+  let c = Relay.Client.connect ~port () in
+  let stats = Relay.Client.stats c in
+  let get k = Option.value ~default:0 (List.assoc_opt k stats) in
+  check bool "connections counted" true (get "connections" >= 3);
+  check int "events relayed" 1 (get "events_relayed");
+  check int "stream gauge: published (descriptor + event)" 2
+    (get "stream.flights.published");
+  check int "stream gauge: subscribers" 1 (get "stream.flights.subscribers");
+  Relay.Client.close c;
+  Relay.close_consumer consumer;
+  Relay.Client.close pub
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: 64 concurrent TCP subscribers, zero loss, in order       *)
+(* ------------------------------------------------------------------ *)
+
+let test_64_subscribers_zero_loss_in_order () =
+  let nsubs = 64 and nevents = 50 in
+  (* a tight queue bound forces the Block policy to pause and resume
+     the publisher repeatedly while subscribers drain *)
+  let h = Relay.start ~policy:Relay.Block ~max_queue:4 () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let received = Array.make nsubs 0 in
+  let ordered = Array.make nsubs true in
+  let threads =
+    Array.init nsubs (fun i ->
+        Thread.create
+          (fun () ->
+            let abi = List.nth Abi.all (i mod List.length Abi.all) in
+            let consumer = Relay.attach_consumer ~port ~stream:"flights" abi in
+            let rec go prev =
+              if prev < nevents - 1 then
+                match Relay.recv consumer with
+                | None -> ()
+                | Some (_, v) ->
+                  let seq = seq_of v in
+                  received.(i) <- received.(i) + 1;
+                  if seq <> prev + 1 then ordered.(i) <- false;
+                  go seq
+            in
+            go (-1);
+            Relay.close_consumer consumer)
+          ())
+  in
+  ignore (wait_stat ~port "stream.flights.subscribers" nsubs);
+  for seq = 0 to nevents - 1 do
+    publish sender fmt seq
+  done;
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i n -> check int (Printf.sprintf "subscriber %d event count" i) nevents n)
+    received;
+  check bool "every subscriber saw 0..49 strictly in order" true
+    (Array.for_all Fun.id ordered);
+  let c = Relay.Client.connect ~port () in
+  let stats = Relay.Client.stats c in
+  check int "no drops under block" 0
+    (Option.value ~default:0 (List.assoc_opt "frames_dropped" stats));
+  check int "no evictions under block" 0
+    (Option.value ~default:0 (List.assoc_opt "subscribers_evicted" stats));
+  Relay.Client.close c;
+  Relay.Client.close pub
+
+(* ------------------------------------------------------------------ *)
+(* Slow consumers: eviction and shedding                                *)
+(* ------------------------------------------------------------------ *)
+
+(* a subscriber that never reads; ~64 KiB events overwhelm the socket
+   buffers (SO_SNDBUF forced small) and then the bounded queue *)
+let test_evict_slow_consumer () =
+  let h =
+    Relay.start ~policy:Relay.Evict_slow ~max_queue:8 ~evict_grace_s:0.25
+      ~sndbuf:8192 ()
+  in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let stalled = Relay.Client.connect ~port () in
+  ignore (Relay.Client.subscribe stalled ~stream:"flights");
+  let nevents = 80 in
+  let healthy_done = ref false in
+  let healthy_count = ref 0 in
+  let healthy =
+    Thread.create
+      (fun () ->
+        let consumer = Relay.attach_consumer ~port ~stream:"flights" Abi.x86_64 in
+        let rec go prev =
+          if prev < nevents - 1 then
+            match Relay.recv consumer with
+            | None -> ()
+            | Some (_, v) ->
+              incr healthy_count;
+              go (seq_of v)
+        in
+        go (-1);
+        healthy_done := true;
+        Relay.close_consumer consumer)
+      ()
+  in
+  ignore (wait_stat ~port "stream.flights.subscribers" 2);
+  for seq = 0 to nevents - 1 do
+    publish sender fmt ~pad:65536 seq;
+    (* pace the burst so the reading consumer's transient backlog
+       stays well inside the eviction grace window; the stalled one
+       (whose socket buffers fill no matter what) stays over the
+       watermark for the whole window and is evicted *)
+    Thread.delay 0.002
+  done;
+  Thread.join healthy;
+  ignore (wait_stat ~port "subscribers_evicted" 1);
+  check bool "healthy subscriber unaffected" true !healthy_done;
+  check int "healthy subscriber got every event" nevents !healthy_count;
+  check int "stalled subscriber evicted" 1
+    (wait_stat ~port "subscribers_evicted" 1);
+  Relay.Client.close stalled;
+  Relay.Client.close pub
+
+let test_drop_oldest_keeps_stream_decodable () =
+  let h = Relay.start ~policy:Relay.Drop_oldest ~max_queue:8 ~sndbuf:8192 () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let lagging = Relay.attach_consumer ~port ~stream:"flights" Abi.sparc_32 in
+  ignore (wait_stat ~port "stream.flights.subscribers" 1);
+  let nevents = 80 in
+  for seq = 0 to nevents - 1 do
+    publish sender fmt ~pad:65536 seq
+  done;
+  ignore (wait_stat ~port "events_relayed" nevents);
+  ignore (wait_stat ~port "frames_dropped" 1);
+  (* now start reading: dropped frames leave gaps but the descriptor
+     was never shed, so everything that survived still decodes, in
+     order, and the newest event is among them *)
+  let seen = ref [] in
+  let rec go () =
+    match Relay.recv lagging with
+    | None -> ()
+    | Some (_, v) ->
+      seen := seq_of v :: !seen;
+      if seq_of v < nevents - 1 then go ()
+  in
+  go ();
+  let seen = List.rev !seen in
+  check bool "some events shed" true (List.length seen < nevents);
+  check bool "survivors decode in order" true
+    (List.sort compare seen = seen);
+  check bool "newest event survived" true
+    (List.mem (nevents - 1) seen);
+  Relay.close_consumer lagging;
+  Relay.Client.close pub
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain-and-shutdown                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_graceful_drain_on_shutdown () =
+  let h = Relay.start ~sndbuf:8192 ~drain_s:10.0 () in
+  let port = Relay.port (Relay.relay h) in
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let consumer = Relay.attach_consumer ~port ~stream:"flights" Abi.x86_64 in
+  let nevents = 100 in
+  for seq = 0 to nevents - 1 do
+    publish sender fmt ~pad:4096 seq
+  done;
+  (* wait until the relay has ingested everything, then shut down while
+     most frames are still queued for the (unread) subscriber *)
+  ignore (wait_stat ~port "events_relayed" nevents);
+  let stopper = Thread.create (fun () -> Relay.stop h) () in
+  let count = ref 0 in
+  let rec go () =
+    match Relay.recv consumer with
+    | Some _ ->
+      incr count;
+      go ()
+    | None -> ()
+  in
+  go ();
+  Thread.join stopper;
+  check int "drain delivered every queued event before closing" nevents !count;
+  Relay.close_consumer consumer;
+  (try Relay.Client.close pub with _ -> ())
+
+let () =
+  Alcotest.run "relay"
+    [ ( "frames",
+        [ QCheck_alcotest.to_alcotest prop_frame_reassembly
+        ; Alcotest.test_case "oversized frame rejected" `Quick
+            test_frame_max_length ] )
+    ; ( "pubsub",
+        [ Alcotest.test_case "publish/subscribe + descriptor replay" `Quick
+            test_pubsub_and_descriptor_replay
+        ; Alcotest.test_case "credential scoping over TCP" `Quick
+            test_scoped_credentials_over_tcp
+        ; Alcotest.test_case "unknown stream / role errors" `Quick
+            test_unknown_stream_and_role_errors
+        ; Alcotest.test_case "stats protocol" `Quick test_stats_protocol ] )
+    ; ( "scale",
+        [ Alcotest.test_case "64 TCP subscribers, zero loss, in order" `Quick
+            test_64_subscribers_zero_loss_in_order ] )
+    ; ( "backpressure",
+        [ Alcotest.test_case "evict-slow-consumer" `Quick
+            test_evict_slow_consumer
+        ; Alcotest.test_case "drop-oldest keeps stream decodable" `Quick
+            test_drop_oldest_keeps_stream_decodable ] )
+    ; ( "shutdown",
+        [ Alcotest.test_case "graceful drain" `Quick
+            test_graceful_drain_on_shutdown ] ) ]
