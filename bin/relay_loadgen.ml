@@ -34,9 +34,9 @@ type sub_report = {
   mutable closed_early : bool;
 }
 
-let subscriber_thread ~host ~port ~stream ~last_seq (abi : Abi.t)
+let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
     (report : sub_report) () =
-  let consumer = Relay.attach_consumer ~host ~port ~stream abi in
+  let consumer = Relay.attach_consumer ~host ~port ?auth ~stream abi in
   let rec go prev =
     match Relay.recv consumer with
     | None -> report.closed_early <- true
@@ -52,15 +52,20 @@ let subscriber_thread ~host ~port ~stream ~last_seq (abi : Abi.t)
   (try go (-1) with _ -> report.closed_early <- true);
   Relay.close_consumer consumer
 
-let run serve host port policy max_queue subscribers events pad stream =
+let run serve host port policy max_queue auth subscribers events pad stream =
   let handle =
-    if serve then Some (Relay.start ~host ~policy ~max_queue ()) else None
+    if serve then
+      Some
+        (Relay.start ~host ~policy ~max_queue
+           ?auth_keys:(Option.map (fun kp -> [ kp ]) auth)
+           ())
+    else None
   in
   let port =
     match handle with Some h -> Relay.port (Relay.relay h) | None -> port
   in
   (* advertise, then bring up the publisher endpoint *)
-  let admin = Relay.Client.connect ~host ~port () in
+  let admin = Relay.Client.connect ~host ~port ?auth () in
   Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
   let pub_link = Relay.Client.publish admin ~stream in
   let catalog = Catalog.create Abi.x86_64 in
@@ -79,8 +84,8 @@ let run serve host port policy max_queue subscribers events pad stream =
       (fun i report ->
         let abi = List.nth Abi.all (i mod List.length Abi.all) in
         Thread.create
-          (subscriber_thread ~host ~port ~stream ~last_seq:(events - 1) abi
-             report)
+          (subscriber_thread ~host ~port ?auth ~stream ~last_seq:(events - 1)
+             abi report)
           ())
       reports
   in
@@ -166,6 +171,24 @@ let max_queue_arg =
     value & opt int 256
     & info [ "max-queue" ] ~docv:"FRAMES" ~doc:"Self-hosted relay queue bound.")
 
+let keypair_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Error (`Msg (Printf.sprintf "want KEYID=SECRET, got %s" s))
+  in
+  Arg.conv (parse, fun ppf (id, _) -> Fmt.pf ppf "%s=..." id)
+
+let auth_arg =
+  Arg.(
+    value
+    & opt (some keypair_conv) None
+    & info [ "auth" ] ~docv:"KEYID=SECRET"
+        ~doc:
+          "Negotiate HMAC-authenticated framing on every connection (and \
+           accept that key on the self-hosted relay with $(b,--serve)).")
+
 let subscribers_arg =
   Arg.(
     value & opt int 8
@@ -196,5 +219,5 @@ let () =
           Term.(
             ret
               (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
-             $ max_queue_arg $ subscribers_arg $ events_arg $ pad_arg
-             $ stream_arg))))
+             $ max_queue_arg $ auth_arg $ subscribers_arg $ events_arg
+             $ pad_arg $ stream_arg))))

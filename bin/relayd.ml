@@ -67,21 +67,54 @@ let drain_arg =
     & info [ "drain" ] ~docv:"SECONDS"
         ~doc:"Graceful-shutdown flush deadline.")
 
+let keypair_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+      Ok
+        ( String.sub s 0 i
+        , String.sub s (i + 1) (String.length s - i - 1) )
+    | _ -> Error (`Msg (Printf.sprintf "want KEYID=SECRET, got %s" s))
+  in
+  Arg.conv (parse, fun ppf (id, _) -> Fmt.pf ppf "%s=..." id)
+
+let auth_keys_arg =
+  Arg.(
+    value
+    & opt_all keypair_conv []
+    & info [ "auth-key" ] ~docv:"KEYID=SECRET"
+        ~doc:
+          "Accept HMAC-authenticated framing under this key (repeatable). \
+           Clients opting in at HELLO get every subsequent frame sealed \
+           and verified in both directions; with no $(b,--auth-key) the \
+           mode is refused.")
+
+let mac_reject_limit_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "mac-reject-limit" ] ~docv:"N"
+        ~doc:
+          "Disconnect an authenticated client after $(docv) frames fail \
+           verification.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
-let run port host policy max_queue evict_grace drain verbose =
+let run port host policy max_queue evict_grace auth_keys mac_reject_limit
+    drain verbose =
   setup_logs verbose;
   match
     Omf_relay.Relay.create ~host ~port ~policy ~max_queue
-      ~evict_grace_s:evict_grace ~drain_s:drain ()
+      ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit ~drain_s:drain
+      ()
   with
   | relay ->
-    Printf.printf "relayd: listening on %s:%d (policy %s, max queue %d)\n%!"
+    Printf.printf
+      "relayd: listening on %s:%d (policy %s, max queue %d, auth keys %d)\n%!"
       host
       (Omf_relay.Relay.port relay)
       (Omf_relay.Relay.policy_to_string policy)
-      max_queue;
+      max_queue (List.length auth_keys);
     let stop _ = Omf_relay.Relay.request_shutdown relay in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -105,4 +138,5 @@ let () =
           Term.(
             ret
               (const run $ port_arg $ host_arg $ policy_arg $ max_queue_arg
-             $ evict_grace_arg $ drain_arg $ verbose_arg))))
+             $ evict_grace_arg $ auth_keys_arg $ mac_reject_limit_arg
+             $ drain_arg $ verbose_arg))))

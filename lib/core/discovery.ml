@@ -71,26 +71,106 @@ let register_compiled catalog ~label (decls : Ftype.t list) : outcome =
   in
   { formats; source = label; document = None }
 
+(* ------------------------------------------------------------------ *)
+(* Bounded fetching                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [fetch] under a wall-clock deadline: the fetch runs in a worker
+    thread and the caller polls for its result. On expiry the source is
+    declared down and the chain moves on — the worker may linger until
+    its own I/O fails, but it can no longer win (first writer takes the
+    slot) and the chain is not blocked on it. This matters for fetchers
+    with no native deadline: a TCP connect to a silently dropping host
+    can hang for minutes, far longer than falling back to compiled-in
+    metadata should take. *)
+let fetch_bounded ~(timeout_s : float option) (fetch : unit -> string) :
+    (string, string) result =
+  match timeout_s with
+  | None -> ( try Ok (fetch ()) with e -> Error (Printexc.to_string e))
+  | Some dt ->
+    let result = ref None in
+    let lock = Mutex.create () in
+    let put r =
+      Mutex.lock lock;
+      (match !result with None -> result := Some r | Some _ -> ());
+      Mutex.unlock lock
+    in
+    ignore
+      (Thread.create
+         (fun () ->
+           put (try Ok (fetch ()) with e -> Error (Printexc.to_string e)))
+         ());
+    let deadline = Unix.gettimeofday () +. dt in
+    let rec wait () =
+      Mutex.lock lock;
+      let r = !result in
+      Mutex.unlock lock;
+      match r with
+      | Some r -> r
+      | None ->
+        if Unix.gettimeofday () >= deadline then begin
+          let timeout = Error (Printf.sprintf "timeout after %.3gs" dt) in
+          put timeout;
+          timeout
+        end
+        else begin
+          Thread.delay 0.002;
+          wait ()
+        end
+    in
+    wait ()
+
+let probe_document ~attempts ~timeout_s ~label (fetch : unit -> string) :
+    (string, string) result =
+  let rec go attempt last =
+    if attempt > attempts then Error last
+    else
+      match fetch_bounded ~timeout_s fetch with
+      | Ok text -> Ok text
+      | Error reason ->
+        Log.warn (fun m ->
+            m "source %s attempt %d/%d failed: %s" label attempt attempts
+              reason);
+        go (attempt + 1) reason
+  in
+  go 1 "no attempts"
+
 (** [discover catalog sources] tries each source in order and registers
     every format the first working source defines. Raises
-    {!Discovery_failed} when all sources fail. *)
-let discover (catalog : Catalog.t) (sources : source list) : outcome =
+    {!Discovery_failed} when all sources fail.
+
+    [timeout_s] puts a wall-clock deadline on each [Document] fetch (a
+    hung metadata server becomes a fallback, not a hang) and
+    [attempts] retries a failing source that many times before the
+    chain falls through to the next one — transient loss of the
+    primary source should not flip a system onto degraded metadata.
+    The defaults (one attempt, no deadline) preserve plain blocking
+    behaviour. *)
+let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
+    (sources : source list) : outcome =
   if sources = [] then invalid_arg "Discovery.discover: no sources";
+  if attempts < 1 then invalid_arg "Discovery.discover: attempts < 1";
   let rec go failures = function
     | [] -> raise (Discovery_failed (List.rev failures))
     | source :: rest -> (
       let label = source_label source in
       match
         match source with
-        | Document { fetch; _ } -> register_document catalog ~label (fetch ())
-        | Compiled { decls; _ } -> register_compiled catalog ~label decls
+        | Document { fetch; _ } -> (
+          match probe_document ~attempts ~timeout_s ~label fetch with
+          | Ok text -> Ok (register_document catalog ~label text)
+          | Error reason -> Error reason)
+        | Compiled { decls; _ } ->
+          Ok (register_compiled catalog ~label decls)
       with
-      | outcome ->
+      | Ok outcome ->
         Log.info (fun m ->
             m "discovered %d format(s) from %s"
               (List.length outcome.formats) label);
         outcome
+      | Error reason -> go ((label, reason) :: failures) rest
       | exception e ->
+        (* a fetched document that fails schema parsing / registration *)
         let reason = Printexc.to_string e in
         Log.warn (fun m -> m "source %s failed: %s" label reason);
         go ((label, reason) :: failures) rest)
@@ -108,15 +188,20 @@ let discover (catalog : Catalog.t) (sources : source list) : outcome =
 type watched = {
   catalog : Catalog.t;
   sources : source list;
+  attempts : int;
+  timeout_s : float option;
   mutable last : outcome;
 }
 
-let watch (catalog : Catalog.t) (sources : source list) : watched =
-  { catalog; sources; last = discover catalog sources }
+let watch ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
+    (sources : source list) : watched =
+  { catalog; sources; attempts; timeout_s
+  ; last = discover ~attempts ?timeout_s catalog sources }
 
 let current (w : watched) = w.last
 
-(** [refresh w] re-runs discovery; returns [Some outcome] if the metadata
+(** [refresh w] re-runs discovery (under the watch's per-source attempt
+    and deadline bounds); returns [Some outcome] if the metadata
     changed (and was re-registered), [None] if it is unchanged. A refresh
     whose sources all fail raises {!Discovery_failed} and leaves the
     previous registration in force. *)
@@ -127,10 +212,12 @@ let refresh (w : watched) : outcome option =
       let label = source_label source in
       match source with
       | Document { fetch; _ } -> (
-        match fetch () with
-        | text -> `Document (label, text)
-        | exception e ->
-          probe ((label, Printexc.to_string e) :: failures) rest)
+        match
+          probe_document ~attempts:w.attempts ~timeout_s:w.timeout_s ~label
+            fetch
+        with
+        | Ok text -> `Document (label, text)
+        | Error reason -> probe ((label, reason) :: failures) rest)
       | Compiled { decls; _ } -> `Compiled (label, decls))
   in
   match probe [] w.sources with

@@ -29,9 +29,17 @@ type outcome = {
 val register_document : Catalog.t -> label:string -> string -> outcome
 val register_compiled : Catalog.t -> label:string -> Ftype.t list -> outcome
 
-val discover : Catalog.t -> source list -> outcome
+val discover :
+  ?attempts:int -> ?timeout_s:float -> Catalog.t -> source list -> outcome
 (** Try each source in order; register every format the first working
-    source defines. Raises {!Discovery_failed} when all fail. *)
+    source defines. Raises {!Discovery_failed} when all fail.
+
+    [timeout_s] puts a wall-clock deadline on each [Document] fetch (a
+    hung metadata server becomes a fallback, not a hang); [attempts]
+    (default 1) retries a failing source before falling through to the
+    next one, so transient loss of the primary source does not flip the
+    system onto degraded metadata. Defaults preserve plain blocking
+    behaviour. *)
 
 (** {1 Change tracking} *)
 
@@ -39,7 +47,11 @@ type watched
 (** A discovery whose winning document is remembered so that metadata
     changes can be detected and re-registered at run time. *)
 
-val watch : Catalog.t -> source list -> watched
+val watch :
+  ?attempts:int -> ?timeout_s:float -> Catalog.t -> source list -> watched
+(** As {!discover}; the attempt/deadline bounds also govern every later
+    {!refresh}. *)
+
 val current : watched -> outcome
 
 val refresh : watched -> outcome option

@@ -185,50 +185,101 @@ let serve_directory ?host ~port (dir : string) : server =
 (** [get ~host ~port ~path] performs a blocking GET and returns the body.
     Raises {!Http_error} on connection failure or non-200 status — which
     is exactly what a {!Omf_xml2wire.Discovery} source should do so the
-    fallback chain can take over. *)
-let get ?(host = "127.0.0.1") ~port ~path () : string =
+    fallback chain can take over. [timeout_s] bounds connection
+    establishment and each read/write: a server that accepts but never
+    answers surfaces as [Http_error "...: timeout..."] instead of a
+    hang. *)
+let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     http_error "connect %s:%d: %s" host port (Unix.error_message e));
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        raise (Http_error s))
+      fmt
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (match timeout_s with
+  | None -> (
+    try Unix.connect sock addr
+    with Unix.Unix_error (e, _, _) ->
+      fail "connect %s:%d: %s" host port (Unix.error_message e))
+  | Some dt -> (
+    (try
+       Unix.setsockopt_float sock Unix.SO_RCVTIMEO dt;
+       Unix.setsockopt_float sock Unix.SO_SNDTIMEO dt
+     with Unix.Unix_error _ -> ());
+    Unix.set_nonblock sock;
+    (match Unix.connect sock addr with
+    | () -> ()
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+      -> (
+      match Unix.select [] [ sock ] [] dt with
+      | _, [ _ ], _ -> (
+        match Unix.getsockopt_error sock with
+        | None -> ()
+        | Some e -> fail "connect %s:%d: %s" host port (Unix.error_message e))
+      | _ -> fail "connect %s:%d: timeout after %.3gs" host port dt)
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "connect %s:%d: %s" host port (Unix.error_message e));
+    Unix.clear_nonblock sock));
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
-      let ic = Unix.in_channel_of_descr sock in
-      let oc = Unix.out_channel_of_descr sock in
-      output_string oc
-        (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
-      flush oc;
-      let status_line = read_line_crlf ic in
-      let headers = read_headers ic in
-      let status =
-        match String.split_on_char ' ' status_line with
-        | _ :: code :: _ -> (
-          match int_of_string_opt code with
-          | Some c -> c
-          | None -> http_error "bad status line %S" status_line)
-        | _ -> http_error "bad status line %S" status_line
-      in
-      let body =
-        match List.assoc_opt "content-length" headers with
-        | Some n -> (
-          match int_of_string_opt n with
-          | Some n when n >= 0 -> really_input_string ic n
-          | _ -> http_error "bad content-length %S" n)
-        | None ->
-          (* HTTP/1.0: read to EOF *)
-          let b = Buffer.create 1024 in
-          (try
-             while true do
-               Buffer.add_channel b ic 1
-             done
-           with End_of_file -> ());
-          Buffer.contents b
-      in
-      if status <> 200 then http_error "GET %s: HTTP %d" path status;
-      body)
+      (* SO_RCVTIMEO expiry surfaces as EAGAIN (Sys_error/Sys_blocked_io
+         through the channel layer): translate to a readable Http_error *)
+      try
+        let ic = Unix.in_channel_of_descr sock in
+        let oc = Unix.out_channel_of_descr sock in
+        output_string oc
+          (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
+        flush oc;
+        let status_line = read_line_crlf ic in
+        let headers = read_headers ic in
+        let status =
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> http_error "bad status line %S" status_line)
+          | _ -> http_error "bad status line %S" status_line
+        in
+        let body =
+          match List.assoc_opt "content-length" headers with
+          | Some n -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> really_input_string ic n
+            | _ -> http_error "bad content-length %S" n)
+          | None ->
+            (* HTTP/1.0: read to EOF *)
+            let b = Buffer.create 1024 in
+            (try
+               while true do
+                 Buffer.add_channel b ic 1
+               done
+             with End_of_file -> ());
+            Buffer.contents b
+        in
+        if status <> 200 then http_error "GET %s: HTTP %d" path status;
+        body
+      with
+      | End_of_file ->
+        http_error "GET %s:%d%s: unexpected end of stream" host port path
+      | (Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) | Sys_blocked_io)
+        when timeout_s <> None ->
+        http_error "GET %s:%d%s: timeout after %.3gs" host port path
+          (Option.value ~default:0.0 timeout_s)
+      | Sys_error m when timeout_s <> None ->
+        (* channel layer turns the EAGAIN into Sys_error
+           "Resource temporarily unavailable" *)
+        if
+          String.length m >= 11
+          && String.sub m (String.length m - 11) 11 = "unavailable"
+        then
+          http_error "GET %s:%d%s: timeout after %.3gs" host port path
+            (Option.value ~default:0.0 timeout_s)
+        else http_error "GET %s:%d%s: %s" host port path m)
 
 (** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)
-let fetcher ?(host = "127.0.0.1") ~port ~path () : unit -> string =
-  fun () -> get ~host ~port ~path ()
+let fetcher ?(host = "127.0.0.1") ~port ~path ?timeout_s () : unit -> string =
+  fun () -> get ~host ~port ~path ?timeout_s ()

@@ -38,10 +38,20 @@ val serve_directory : ?host:string -> port:int -> string -> server
 
 (** {1 Client} *)
 
-val get : ?host:string -> port:int -> path:string -> unit -> string
+val get :
+  ?host:string -> port:int -> path:string -> ?timeout_s:float -> unit -> string
 (** Blocking GET; returns the body. Raises {!Http_error} on connection
     failure or non-200 — exactly what a discovery source should do so
-    the fallback chain can take over. *)
+    the fallback chain can take over. [timeout_s] bounds connection
+    establishment and each read/write, so a server that accepts but
+    never answers becomes an {!Http_error} instead of a hang. *)
 
-val fetcher : ?host:string -> port:int -> path:string -> unit -> unit -> string
+val fetcher :
+  ?host:string ->
+  port:int ->
+  path:string ->
+  ?timeout_s:float ->
+  unit ->
+  unit ->
+  string
 (** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)

@@ -100,6 +100,10 @@ type conn = {
   mutable role : role;
   mutable over_since : float option;
       (** when the queue first crossed the watermark (Evict_slow) *)
+  mutable mac : Macframe.state option;
+      (** HMAC frame mode, negotiated at HELLO; sealing starts with the
+          frame after the HELLO exchange in each direction *)
+  mutable mac_rejects : int;  (** frames that failed authentication *)
   mutable doomed : string option;  (** close reason, swept after dispatch *)
 }
 
@@ -116,6 +120,11 @@ type t = {
           watermark in time is spared (momentary bursts are not
           slowness) *)
   sndbuf : int option;  (** forced SO_SNDBUF on accepted sockets *)
+  auth_keys : (string * string) list;
+      (** [key-id -> secret] table for HMAC frame negotiation; empty =
+          authenticated mode unavailable *)
+  mac_reject_limit : int;
+      (** close a connection after this many unauthenticated frames *)
   drain_default_s : float;
   lsock : Unix.file_descr;
   wake_r : Unix.file_descr;
@@ -131,14 +140,15 @@ type t = {
 }
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
-    ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(drain_s = 2.0) () : t =
+    ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
+    ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
   let lsock, bound_port = Tcp.listener ~host ~port () in
   Unix.set_nonblock lsock;
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
   { host; port = bound_port; policy; max_queue; evict_grace = evict_grace_s
-  ; sndbuf
+  ; sndbuf; auth_keys; mac_reject_limit
   ; drain_default_s = drain_s
   ; lsock; wake_r; wake_w; broker = Broker.create ()
   ; conns = Hashtbl.create 64; counters = Counters.create ()
@@ -176,6 +186,11 @@ let request_shutdown (t : t) : unit =
 (* ------------------------------------------------------------------ *)
 
 let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
+  (* under negotiated HMAC mode every outbound frame is sealed; sealing
+     happens at enqueue time so nonces follow queue order exactly *)
+  let frame =
+    match c.mac with None -> frame | Some st -> Macframe.seal_next st frame
+  in
   Queue.add { ebuf = Frame.encode frame; eoff = 0; droppable } c.outq;
   if droppable then c.q_data <- c.q_data + 1
 
@@ -276,11 +291,51 @@ let parse_creds (s : string) : (string * string) list =
              ( String.sub line 0 i
              , String.sub line (i + 1) (String.length line - i - 1) ))
 
+(** Reject a connection at the protocol level: count it, reply, doom. *)
+let protocol_reject (t : t) (c : conn) (msg : string) =
+  Counters.incr t.counters "frames_rejected";
+  Log.warn (fun m -> m "conn %d: %s" c.cid msg);
+  reply_err t c msg;
+  c.doomed <- Some "protocol error"
+
+(** HELLO: record credentials and negotiate the frame mode. With
+    [auth=hmac] + a known [key-id], the ['o'] reply is sent in the
+    clear and every subsequent frame in both directions is sealed
+    ({!Macframe}); an unknown key or unsupported mode is refused and
+    the connection dropped. A client that reconnects after an outage
+    marks itself with an [omf-reconnect] credential so operators can
+    see churn in STATS. *)
+let handle_hello (t : t) (c : conn) (body : string) =
+  c.creds <- parse_creds body;
+  if List.mem_assoc "omf-reconnect" c.creds then
+    Counters.incr t.counters "reconnects_accepted";
+  match List.assoc_opt "auth" c.creds with
+  | None -> reply_ok t c "omf-relay 1"
+  | Some "hmac" -> (
+    match List.assoc_opt "key-id" c.creds with
+    | None ->
+      Counters.incr t.counters "auth_denied";
+      reply_err t c "hello: auth=hmac requires key-id";
+      c.doomed <- Some "auth denied"
+    | Some id -> (
+      match List.assoc_opt id t.auth_keys with
+      | None ->
+        Counters.incr t.counters "auth_denied";
+        reply_err t c (Printf.sprintf "hello: unknown key-id %s" id);
+        c.doomed <- Some "auth denied"
+      | Some key ->
+        Counters.incr t.counters "auth_sessions";
+        reply_ok t c "omf-relay 1 mac";
+        (* armed after the reply: the reply itself is plaintext, the
+           next outbound frame is the first sealed one *)
+        c.mac <- Some (Macframe.state ~key)))
+  | Some other ->
+    Counters.incr t.counters "auth_denied";
+    reply_err t c (Printf.sprintf "hello: unsupported auth mode %s" other);
+    c.doomed <- Some "auth denied"
+
 let handle_control (t : t) (c : conn) kind (body : string) =
-  if Char.equal kind k_hello then begin
-    c.creds <- parse_creds body;
-    reply_ok t c "omf-relay 1"
-  end
+  if Char.equal kind k_hello then handle_hello t c body
   else if Char.equal kind k_stats then reply_ok t c (stats_text t)
   else if Char.equal kind k_advertise then begin
     match String.index_opt body '\n' with
@@ -332,17 +387,11 @@ let handle_control (t : t) (c : conn) kind (body : string) =
       | exception Broker.Access_denied m ->
         reply_err t c (Printf.sprintf "subscribe: access denied: %s" m))
   end
-  else begin
-    reply_err t c (Printf.sprintf "unknown command %C" kind);
-    c.doomed <- Some "protocol error"
-  end
+  else protocol_reject t c (Printf.sprintf "unknown command %C" kind)
 
 let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
   Counters.incr t.counters "frames_in";
-  if Bytes.length frame = 0 then begin
-    reply_err t c "empty frame";
-    c.doomed <- Some "protocol error"
-  end
+  if Bytes.length frame = 0 then protocol_reject t c "empty frame"
   else
     let kind = Bytes.get frame 0 in
     let is_stream_frame =
@@ -355,12 +404,9 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
         if Char.equal kind Endpoint.frame_message then
           Counters.incr t.counters "events_relayed";
         Link.send p.link frame
-      | Pending ->
-        reply_err t c "stream frame before PUBLISH";
-        c.doomed <- Some "protocol error"
+      | Pending -> protocol_reject t c "stream frame before PUBLISH"
       | Subscriber _ ->
-        reply_err t c "subscriber connections are receive-only";
-        c.doomed <- Some "protocol error"
+        protocol_reject t c "subscriber connections are receive-only"
     else
       match c.role with
       | Publisher _ | Pending ->
@@ -368,8 +414,26 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
           (Bytes.sub_string frame 1 (Bytes.length frame - 1))
       | Subscriber _ ->
         (* replies would interleave with relayed frames: refuse *)
-        reply_err t c "subscriber connections are receive-only";
-        c.doomed <- Some "protocol error"
+        protocol_reject t c "subscriber connections are receive-only"
+
+(** Unseal an inbound frame on an authenticated connection. A frame
+    that fails authentication is counted and skipped; once the reject
+    limit is reached the connection is doomed. [None] = drop frame. *)
+let unseal (t : t) (c : conn) (frame : Bytes.t) : Bytes.t option =
+  match c.mac with
+  | None -> Some frame
+  | Some st -> (
+    match Macframe.open_next st frame with
+    | payload -> Some payload
+    | exception Macframe.Auth_error msg ->
+      Counters.incr t.counters "frames_rejected";
+      c.mac_rejects <- c.mac_rejects + 1;
+      Log.warn (fun m ->
+          m "conn %d: rejected frame (%d/%d): %s" c.cid c.mac_rejects
+            t.mac_reject_limit msg);
+      if c.mac_rejects >= t.mac_reject_limit then
+        c.doomed <- Some "authentication failures";
+      None)
 
 (* ------------------------------------------------------------------ *)
 (* The event loop                                                       *)
@@ -393,7 +457,7 @@ let accept_ready (t : t) =
       Hashtbl.replace t.conns cid
         { cid; fd; decoder = Frame.Decoder.create (); outq = Queue.create ()
         ; q_data = 0; creds = []; role = Pending; over_since = None
-        ; doomed = None };
+        ; mac = None; mac_rejects = 0; doomed = None };
       Counters.incr t.counters "connections";
       Log.debug (fun m -> m "conn %d accepted" cid)
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
@@ -412,13 +476,18 @@ let read_ready (t : t) (c : conn) =
         if c.doomed = None then
           match Frame.Decoder.pop c.decoder with
           | Some frame ->
-            handle_frame t c frame;
+            (match unseal t c frame with
+            | Some frame -> handle_frame t c frame
+            | None -> ());
             drain ()
           | None -> ()
       in
       drain ()
     with
     | Frame.Frame_error m | Broker.Unknown_stream m ->
+      (* length-framing corruption (or a stream error) is unrecoverable:
+         count the malformed-frame disconnect alongside MAC rejects *)
+      Counters.incr t.counters "frames_rejected";
       c.doomed <- Some m
     | Link.Closed -> ()
     (* subscriber died mid-fanout; its own doom is already set *))
@@ -581,10 +650,11 @@ type handle = { relay : t; thread : Thread.t }
 
 (** [start ()] runs a relay loop in a background thread (ephemeral port
     by default) — the embedding used by tests and benchmarks. *)
-let start ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?drain_s () :
-    handle =
+let start ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
+    ?mac_reject_limit ?drain_s () : handle =
   let relay =
-    create ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?drain_s ()
+    create ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
+      ?mac_reject_limit ?drain_s ()
   in
   { relay; thread = Thread.create run relay }
 
@@ -614,24 +684,68 @@ module Client = struct
     Bytes.blit_string body 0 b 1 (String.length body);
     b
 
+  (* every transport-level failure surfaces as Client.Error with a
+     readable message; raw Unix_error / Tcp_error never escape *)
+  let reraise (context : string) = function
+    | Error m -> raise (Error m)
+    | Link.Closed -> raise (Error (context ^ ": connection closed"))
+    | Link.Timeout -> raise (Error (context ^ ": timeout"))
+    | Tcp.Tcp_error m | Frame.Frame_error m ->
+      raise (Error (context ^ ": " ^ m))
+    | Macframe.Auth_error m ->
+      raise (Error (context ^ ": authentication: " ^ m))
+    | End_of_file -> raise (Error (context ^ ": connection closed"))
+    | Unix.Unix_error (e, fn, _) ->
+      raise (Error (Printf.sprintf "%s: %s: %s" context fn (Unix.error_message e)))
+    | e -> raise e
+
   let rpc (t : t) kind body : string =
-    Link.send t.link (ctrl kind body);
-    match Link.recv t.link with
+    match
+      Link.send t.link (ctrl kind body);
+      Link.recv t.link
+    with
     | None -> raise (Error "relay closed the connection")
     | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_ok ->
       Bytes.sub_string r 1 (Bytes.length r - 1)
     | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_err ->
       raise (Error (Bytes.sub_string r 1 (Bytes.length r - 1)))
     | Some _ -> raise (Error "malformed reply")
+    | exception e -> reraise "relay rpc" e
 
   let creds_text creds =
     String.concat "\n" (List.map (fun (k, v) -> k ^ "=" ^ v) creds)
 
-  let connect ?(host = "127.0.0.1") ~port ?(creds = []) () : t =
-    let link = Tcp.connect ~host ~port () in
-    let t = { link } in
-    ignore (rpc t k_hello (creds_text creds));
-    t
+  (** [connect ~port ()] dials and HELLOs. With [?auth:(key_id, key)]
+      the HELLO requests HMAC frame mode; the handshake itself is
+      plaintext and every later frame is sealed. Failures — unreachable
+      port, handshake timeout, an ['e'] reply — raise {!Error} with the
+      reason, and the socket is closed on every error path. *)
+  let connect ?(host = "127.0.0.1") ~port ?(creds = []) ?auth
+      ?connect_timeout_s ?io_timeout_s () : t =
+    let link =
+      try Tcp.connect ~host ~port ?connect_timeout_s ?io_timeout_s ()
+      with e -> reraise (Printf.sprintf "relay connect %s:%d" host port) e
+    in
+    try
+      let hello_creds =
+        match auth with
+        | None -> creds
+        | Some (key_id, _) ->
+          creds @ [ ("auth", "hmac"); ("key-id", key_id) ]
+      in
+      let banner = rpc { link } k_hello (creds_text hello_creds) in
+      match auth with
+      | None -> { link }
+      | Some (_, key) ->
+        (* the relay must have granted the mode we asked for *)
+        if not (String.length banner >= 3
+                && String.sub banner (String.length banner - 3) 3 = "mac")
+        then raise (Error "relay did not negotiate authenticated framing");
+        { link = Macframe.wrap (Macframe.state ~key) link }
+    with e ->
+      (* no fd leak on handshake failure *)
+      (try Link.close link with _ -> ());
+      reraise "relay handshake" e
 
   let advertise (t : t) ~(stream : string) ~(schema : string) : unit =
     ignore (rpc t k_advertise (stream ^ "\n" ^ schema))
@@ -652,7 +766,7 @@ module Client = struct
     let schema = rpc t k_subscribe stream in
     (schema, t.link)
 
-  let close (t : t) = Link.close t.link
+  let close (t : t) = try Link.close t.link with _ -> ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -671,10 +785,15 @@ type consumer = {
 (** [attach_consumer ~port ~stream abi] connects, subscribes, registers
     the served (scoped) schema in a fresh catalog for [abi] and wraps
     the link in an endpoint receiver. *)
-let attach_consumer ?host ~port ?creds ~(stream : string)
+let attach_consumer ?host ~port ?creds ?auth ~(stream : string)
     (abi : Omf_machine.Abi.t) : consumer =
-  let client = Client.connect ?host ~port ?creds () in
-  let schema, link = Client.subscribe client ~stream in
+  let client = Client.connect ?host ~port ?creds ?auth () in
+  let schema, link =
+    try Client.subscribe client ~stream
+    with e ->
+      Client.close client;
+      raise e
+  in
   let catalog = Catalog.create abi in
   ignore
     (Omf_xml2wire.Xml2wire.register_schema ~source:("relay:" ^ stream) catalog
@@ -692,3 +811,383 @@ let recv (c : consumer) : (Omf_pbio.Format.t * Omf_pbio.Value.t) option =
   Endpoint.Receiver.recv_value c.endpoint
 
 let close_consumer (c : consumer) : unit = Client.close c.client
+
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant sessions                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Pbio = Omf_pbio.Pbio
+module Format = Omf_pbio.Format
+module Value = Omf_pbio.Value
+module Prng = Omf_util.Prng
+module Sha256 = Omf_util.Sha256
+
+(** Fault-tolerant relay sessions: {!Client} plus automatic
+    reconnect/replay, mirroring the metadata layer's fallback-chain
+    philosophy at the transport layer — a dropped TCP connection
+    degrades to a retry loop instead of killing the consumer.
+
+    A {e subscriber session} detects a broken link (close, reset, MAC
+    failure, deadline), reconnects under a retry budget with
+    exponential backoff + jitter, replays its HELLO/SUBSCRIBE state,
+    and relies on the relay's cached descriptor replay to stay
+    decodable; descriptor frames already learned are deduplicated by
+    content digest, so a relayd restart cannot corrupt or re-register
+    formats.
+
+    A {e publisher session} replays HELLO/ADVERTISE/PUBLISH on
+    reconnect, re-announces format descriptors on the fresh connection
+    (the relay restarts empty), and buffers data frames that could not
+    be written — up to a bounded in-flight window; past the window,
+    {!Overflow} is raised rather than silently dropping or blocking
+    forever. *)
+module Session = struct
+  exception Gave_up of string
+  (** The reconnect budget for one outage was exhausted. *)
+
+  exception Overflow of string
+  (** The publisher's bounded in-flight window is full while the relay
+      is unreachable. *)
+
+  type config = {
+    host : string;
+    port : int;
+    creds : (string * string) list;
+    auth : (string * string) option;  (** [(key-id, secret)] *)
+    max_attempts : int;  (** reconnect attempts per outage *)
+    base_delay_s : float;  (** first backoff step *)
+    max_delay_s : float;  (** backoff cap *)
+    connect_timeout_s : float option;
+    io_timeout_s : float option;
+    jitter_seed : int64;  (** deterministic jitter (tests) *)
+  }
+
+  let config ?(host = "127.0.0.1") ?(creds = []) ?auth ?(max_attempts = 10)
+      ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
+      ?(connect_timeout_s = 5.0) ?io_timeout_s ?(jitter_seed = 1L) ~port () :
+      config =
+    { host; port; creds; auth; max_attempts; base_delay_s; max_delay_s
+    ; connect_timeout_s = Some connect_timeout_s; io_timeout_s; jitter_seed }
+
+  (* attempt k (0-based) sleeps min(cap, base * 2^k) scaled into
+     [0.5, 1.0) — full-jitter halves thundering-herd resubscription
+     after a relayd restart while keeping tests deterministic via the
+     seeded PRNG *)
+  let backoff_delay (cfg : config) rng attempt =
+    let d = cfg.base_delay_s *. (2.0 ** float_of_int attempt) in
+    Float.min cfg.max_delay_s d *. (0.5 +. (0.5 *. Prng.float rng))
+
+  let connect_client ?(reconnect = false) (cfg : config) : Client.t =
+    let creds =
+      if reconnect then cfg.creds @ [ ("omf-reconnect", "1") ] else cfg.creds
+    in
+    Client.connect ~host:cfg.host ~port:cfg.port ~creds ?auth:cfg.auth
+      ?connect_timeout_s:cfg.connect_timeout_s ?io_timeout_s:cfg.io_timeout_s
+      ()
+
+  let transient = function
+    | Client.Error _ | Link.Closed | Link.Timeout | End_of_file
+    | Tcp.Tcp_error _ | Frame.Frame_error _ | Macframe.Auth_error _
+    | Unix.Unix_error _ ->
+      true
+    | _ -> false
+
+  (** Reconnect and replay session state: dial a fresh connection and
+      run [f] (which re-issues SUBSCRIBE or ADVERTISE/PUBLISH) against
+      it, retrying transient failures under the budget. *)
+  let with_retries (cfg : config) rng ~(what : string) (f : Client.t -> 'a) :
+      'a =
+    let rec go attempt =
+      if attempt >= cfg.max_attempts then
+        raise
+          (Gave_up
+             (Printf.sprintf "%s: gave up after %d reconnect attempts" what
+                cfg.max_attempts));
+      Thread.delay (backoff_delay cfg rng attempt);
+      match
+        let client = connect_client ~reconnect:true cfg in
+        match f client with
+        | v -> Ok v
+        | exception e ->
+          Client.close client;
+          Error e
+      with
+      | Ok v -> v
+      | Error e | exception e ->
+        if transient e then begin
+          Log.debug (fun m ->
+              m "%s: reconnect attempt %d failed: %s" what (attempt + 1)
+                (Printexc.to_string e));
+          go (attempt + 1)
+        end
+        else raise e
+    in
+    go 0
+
+  (* ---------------------------------------------------------------- *)
+  (* Subscriber sessions                                                *)
+  (* ---------------------------------------------------------------- *)
+
+  type subscriber = {
+    s_cfg : config;
+    s_stream : string;
+    s_catalog : Catalog.t;
+    s_pbio : Pbio.Receiver.t;
+    s_seen : (string, unit) Hashtbl.t;
+        (** digests of descriptor blobs already learned — replayed
+            descriptors after a reconnect are skipped, not re-registered *)
+    s_rng : Prng.t;
+    mutable s_client : Client.t option;
+    mutable s_link : Link.t option;
+    mutable s_schema : string;
+    mutable s_reconnects : int;
+    mutable s_closed : bool;
+  }
+
+  (** [subscribe cfg ~stream abi] connects and subscribes; failures on
+      this {e first} attempt raise immediately (an unknown stream at
+      session start is a configuration error, not an outage). *)
+  let subscribe (cfg : config) ~(stream : string) (abi : Omf_machine.Abi.t) :
+      subscriber =
+    let client = connect_client cfg in
+    match Client.subscribe client ~stream with
+    | schema, link ->
+      let catalog = Catalog.create abi in
+      ignore
+        (Omf_xml2wire.Xml2wire.register_schema ~source:("relay:" ^ stream)
+           catalog schema);
+      let pbio =
+        Pbio.Receiver.create
+          (Catalog.registry catalog)
+          (Omf_machine.Memory.create abi)
+      in
+      { s_cfg = cfg; s_stream = stream; s_catalog = catalog; s_pbio = pbio
+      ; s_seen = Hashtbl.create 8
+      ; s_rng = Prng.create ~seed:cfg.jitter_seed ()
+      ; s_client = Some client; s_link = Some link; s_schema = schema
+      ; s_reconnects = 0; s_closed = false }
+    | exception e ->
+      Client.close client;
+      raise e
+
+  let drop_subscriber_link (s : subscriber) =
+    (match s.s_client with Some c -> Client.close c | None -> ());
+    s.s_client <- None;
+    s.s_link <- None
+
+  let resubscribe (s : subscriber) : unit =
+    with_retries s.s_cfg s.s_rng
+      ~what:(Printf.sprintf "subscriber %s" s.s_stream)
+      (fun client ->
+        let schema, link = Client.subscribe client ~stream:s.s_stream in
+        s.s_client <- Some client;
+        s.s_link <- Some link;
+        s.s_schema <- schema;
+        s.s_reconnects <- s.s_reconnects + 1;
+        Log.info (fun m ->
+            m "subscriber %s: resubscribed (reconnect %d)" s.s_stream
+              s.s_reconnects))
+
+  (** Blocking receive of the next decoded event, reconnecting across
+      outages. [None] only after {!close_subscriber}; a hopeless outage
+      raises {!Gave_up}. *)
+  let rec recv_subscriber (s : subscriber) :
+      (Format.t * Value.t) option =
+    if s.s_closed then None
+    else
+      match s.s_link with
+      | None ->
+        resubscribe s;
+        recv_subscriber s
+      | Some link -> (
+        match Link.recv link with
+        | Some frame
+          when Bytes.length frame > 0
+               && Char.equal (Bytes.get frame 0) Endpoint.frame_descriptor ->
+          let blob = Bytes.sub_string frame 1 (Bytes.length frame - 1) in
+          let digest = Sha256.digest blob in
+          if not (Hashtbl.mem s.s_seen digest) then begin
+            Hashtbl.replace s.s_seen digest ();
+            ignore (Pbio.Receiver.learn s.s_pbio blob)
+          end;
+          recv_subscriber s
+        | Some frame
+          when Bytes.length frame > 0
+               && Char.equal (Bytes.get frame 0) Endpoint.frame_message ->
+          Some
+            (Pbio.Receiver.receive_value s.s_pbio
+               (Bytes.sub frame 1 (Bytes.length frame - 1)))
+        | Some _ | None ->
+          (* graceful close or garbage: either way, this link is done *)
+          if s.s_closed then None
+          else begin
+            drop_subscriber_link s;
+            recv_subscriber s
+          end
+        | exception e ->
+          if s.s_closed then None
+          else if transient e then begin
+            drop_subscriber_link s;
+            recv_subscriber s
+          end
+          else raise e)
+
+  let subscriber_schema (s : subscriber) = s.s_schema
+  let subscriber_reconnects (s : subscriber) = s.s_reconnects
+  let subscriber_catalog (s : subscriber) = s.s_catalog
+
+  let subscriber_stats (s : subscriber) : Pbio.Receiver.stats =
+    Pbio.Receiver.stats s.s_pbio
+
+  let close_subscriber (s : subscriber) : unit =
+    s.s_closed <- true;
+    drop_subscriber_link s
+
+  (* ---------------------------------------------------------------- *)
+  (* Publisher sessions                                                 *)
+  (* ---------------------------------------------------------------- *)
+
+  type pending = { p_fmt : Format.t; p_frame : Bytes.t }
+
+  type publisher = {
+    b_cfg : config;
+    b_stream : string;
+    b_schema : string;
+    b_window : int;
+    b_catalog : Catalog.t;
+    b_mem : Omf_machine.Memory.t;
+    b_rng : Prng.t;
+    b_buf : pending Queue.t;
+        (** marshalled data frames not yet written to a live link *)
+    b_announced : (int, unit) Hashtbl.t;
+        (** format ids announced on the {e current} connection *)
+    mutable b_client : Client.t option;
+    mutable b_link : Link.t option;
+    mutable b_reconnects : int;
+    mutable b_closed : bool;
+  }
+
+  let stream_frame kind (body : Bytes.t) : Bytes.t =
+    let b = Bytes.create (1 + Bytes.length body) in
+    Bytes.set b 0 kind;
+    Bytes.blit body 0 b 1 (Bytes.length body);
+    b
+
+  (** [publisher cfg ~stream ~schema abi] connects, advertises and
+      enters publisher mode. First-attempt failures raise immediately,
+      as for {!subscribe}. [window] bounds buffered data frames during
+      an outage (default 1024). *)
+  let publisher ?(window = 1024) (cfg : config) ~(stream : string)
+      ~(schema : string) (abi : Omf_machine.Abi.t) : publisher =
+    let client = connect_client cfg in
+    match
+      Client.advertise client ~stream ~schema;
+      Client.publish client ~stream
+    with
+    | link ->
+      let catalog = Catalog.create abi in
+      ignore (Omf_xml2wire.Xml2wire.register_schema catalog schema);
+      { b_cfg = cfg; b_stream = stream; b_schema = schema; b_window = window
+      ; b_catalog = catalog; b_mem = Omf_machine.Memory.create abi
+      ; b_rng = Prng.create ~seed:cfg.jitter_seed ()
+      ; b_buf = Queue.create (); b_announced = Hashtbl.create 4
+      ; b_client = Some client; b_link = Some link; b_reconnects = 0
+      ; b_closed = false }
+    | exception e ->
+      Client.close client;
+      raise e
+
+  let publisher_format (p : publisher) (name : string) : Format.t option =
+    Catalog.find_format p.b_catalog name
+
+  let publisher_reconnects (p : publisher) = p.b_reconnects
+  let publisher_buffered (p : publisher) = Queue.length p.b_buf
+
+  let drop_publisher_link (p : publisher) =
+    (match p.b_client with Some c -> Client.close c | None -> ());
+    p.b_client <- None;
+    p.b_link <- None
+
+  (** Write every buffered frame to the live link, announcing each
+      format's descriptor first if this connection has not seen it.
+      [false] = the link broke (the unwritten tail stays buffered). *)
+  let try_flush (p : publisher) : bool =
+    match p.b_link with
+    | None -> false
+    | Some link -> (
+      try
+        while not (Queue.is_empty p.b_buf) do
+          let e = Queue.peek p.b_buf in
+          if not (Hashtbl.mem p.b_announced e.p_fmt.Format.id) then begin
+            Link.send link
+              (stream_frame Endpoint.frame_descriptor
+                 (Bytes.of_string (Omf_pbio.Format_codec.encode e.p_fmt)));
+            Hashtbl.replace p.b_announced e.p_fmt.Format.id ()
+          end;
+          Link.send link e.p_frame;
+          ignore (Queue.pop p.b_buf)
+        done;
+        true
+      with e ->
+        if transient e then begin
+          drop_publisher_link p;
+          false
+        end
+        else raise e)
+
+  (** Bounded reconnect: replay ADVERTISE (the relay may have restarted
+      with no streams) and PUBLISH, and forget per-connection descriptor
+      announcements. [false] = budget exhausted; buffered frames are
+      kept for the next attempt. *)
+  let reconnect_publisher (p : publisher) : bool =
+    p.b_cfg.max_attempts > 0
+    && match
+         with_retries p.b_cfg p.b_rng
+           ~what:(Printf.sprintf "publisher %s" p.b_stream)
+           (fun client ->
+             Client.advertise client ~stream:p.b_stream ~schema:p.b_schema;
+             let link = Client.publish client ~stream:p.b_stream in
+             p.b_client <- Some client;
+             p.b_link <- Some link;
+             Hashtbl.reset p.b_announced;
+             p.b_reconnects <- p.b_reconnects + 1;
+             Log.info (fun m ->
+                 m "publisher %s: reconnected (reconnect %d, %d frames \
+                    buffered)"
+                   p.b_stream p.b_reconnects (Queue.length p.b_buf)))
+       with
+       | () -> true
+       | exception Gave_up _ -> false
+
+  (** [publish_value p fmt v] marshals and ships one event. During an
+      outage the frame is buffered and reconnection attempted under the
+      budget; a full window raises {!Overflow} (the event is {e not}
+      enqueued), and an exhausted budget returns with the frame
+      buffered for the next call. *)
+  let publish_value (p : publisher) (fmt : Format.t) (v : Value.t) : unit =
+    if p.b_closed then raise (Client.Error "publisher session closed");
+    if Queue.length p.b_buf >= p.b_window then
+      raise
+        (Overflow
+           (Printf.sprintf
+              "publisher %s: in-flight window (%d frames) full while relay \
+               unreachable"
+              p.b_stream p.b_window));
+    (* marshal now: the value is captured even if the relay is down *)
+    Omf_machine.Memory.reset p.b_mem;
+    let addr = Omf_pbio.Native.store p.b_mem fmt v in
+    let frame =
+      stream_frame Endpoint.frame_message (Pbio.message p.b_mem fmt addr)
+    in
+    Queue.add { p_fmt = fmt; p_frame = frame } p.b_buf;
+    if not (try_flush p) then
+      if reconnect_publisher p then ignore (try_flush p)
+
+  (** Close, flushing buffered frames best-effort (no reconnect). *)
+  let close_publisher (p : publisher) : unit =
+    if not p.b_closed then begin
+      p.b_closed <- true;
+      ignore (try try_flush p with _ -> false);
+      drop_publisher_link p
+    end
+end

@@ -35,6 +35,8 @@ val create :
   ?max_queue:int ->
   ?evict_grace_s:float ->
   ?sndbuf:int ->
+  ?auth_keys:(string * string) list ->
+  ?mac_reject_limit:int ->
   ?drain_s:float ->
   unit ->
   t
@@ -47,6 +49,10 @@ val create :
     an actively reading subscriber; [sndbuf] forces a small
     [SO_SNDBUF] on accepted
     sockets (tests use this to provoke backpressure quickly);
+    [auth_keys] is the [key-id -> secret] table for HMAC-authenticated
+    framing (PROTOCOLS.md §12; empty = the mode is refused);
+    [mac_reject_limit] (default 3) closes a connection after that many
+    frames fail authentication;
     [drain_s] is the graceful-shutdown flush deadline (default 2s). *)
 
 val port : t -> int
@@ -77,6 +83,8 @@ val start :
   ?max_queue:int ->
   ?evict_grace_s:float ->
   ?sndbuf:int ->
+  ?auth_keys:(string * string) list ->
+  ?mac_reject_limit:int ->
   ?drain_s:float ->
   unit ->
   handle
@@ -98,8 +106,23 @@ module Client : sig
   type t
 
   val connect :
-    ?host:string -> port:int -> ?creds:(string * string) list -> unit -> t
-  (** Connect and HELLO with [creds] (the broker's scoping input). *)
+    ?host:string ->
+    port:int ->
+    ?creds:(string * string) list ->
+    ?auth:string * string ->
+    ?connect_timeout_s:float ->
+    ?io_timeout_s:float ->
+    unit ->
+    t
+  (** Connect and HELLO with [creds] (the broker's scoping input).
+      [?auth:(key_id, secret)] negotiates HMAC-authenticated framing
+      (PROTOCOLS.md §12): the HELLO exchange is plaintext, every later
+      frame in both directions is sealed; {!Error} if the relay refuses.
+      [connect_timeout_s] bounds connection establishment and
+      [io_timeout_s] arms per-operation send/receive deadlines. Every
+      failure — unreachable port, handshake timeout, an ['e'] reply —
+      raises {!Error} with a readable reason (never a raw
+      [Unix.Unix_error]) and closes the socket. *)
 
   val advertise : t -> stream:string -> schema:string -> unit
   val publish : t -> stream:string -> Omf_transport.Link.t
@@ -124,6 +147,7 @@ val attach_consumer :
   ?host:string ->
   port:int ->
   ?creds:(string * string) list ->
+  ?auth:string * string ->
   stream:string ->
   Omf_machine.Abi.t ->
   consumer
@@ -135,3 +159,104 @@ val recv : consumer -> (Omf_pbio.Format.t * Omf_pbio.Value.t) option
 (** Blocking receive of the next decoded event ([None] = stream end). *)
 
 val close_consumer : consumer -> unit
+
+(** {2 Fault-tolerant sessions} *)
+
+(** {!Client} plus automatic reconnect/replay: a dropped TCP connection
+    degrades to a bounded retry loop (exponential backoff + jitter)
+    instead of killing the endpoint. Subscribers replay SUBSCRIBE and
+    dedupe the relay's descriptor replay by content digest; publishers
+    replay ADVERTISE/PUBLISH, re-announce descriptors per connection,
+    and buffer a bounded in-flight window of data frames during the
+    outage. *)
+module Session : sig
+  exception Gave_up of string
+  (** The reconnect budget for one outage was exhausted. *)
+
+  exception Overflow of string
+  (** The publisher's bounded in-flight window is full while the relay
+      is unreachable (the offending event is {e not} enqueued). *)
+
+  type config
+
+  val config :
+    ?host:string ->
+    ?creds:(string * string) list ->
+    ?auth:string * string ->
+    ?max_attempts:int ->
+    ?base_delay_s:float ->
+    ?max_delay_s:float ->
+    ?connect_timeout_s:float ->
+    ?io_timeout_s:float ->
+    ?jitter_seed:int64 ->
+    port:int ->
+    unit ->
+    config
+  (** [max_attempts] (default 10) bounds reconnect attempts per outage;
+      attempt [k] sleeps [min(max_delay_s, base_delay_s * 2^k)] scaled
+      by full jitter into [[0.5, 1.0)] of itself (defaults 0.05s/2.0s,
+      deterministic under [jitter_seed]). [auth], [connect_timeout_s]
+      (default 5s) and [io_timeout_s] as for {!Client.connect};
+      reconnect HELLOs carry an extra [omf-reconnect] credential so
+      relay STATS expose churn ([reconnects_accepted]). *)
+
+  (** {3 Subscriber sessions} *)
+
+  type subscriber
+
+  val subscribe : config -> stream:string -> Omf_machine.Abi.t -> subscriber
+  (** Connect and subscribe. Failures on this first attempt raise
+      immediately (an unknown stream at session start is a
+      configuration error, not an outage). *)
+
+  val recv_subscriber :
+    subscriber -> (Omf_pbio.Format.t * Omf_pbio.Value.t) option
+  (** Blocking receive of the next decoded event, transparently
+      reconnecting and resubscribing across outages — replayed
+      descriptor frames already learned are skipped, so a relay
+      restart delivers no duplicate registrations. [None] only after
+      {!close_subscriber}; raises {!Gave_up} when an outage outlives
+      the budget. *)
+
+  val subscriber_schema : subscriber -> string
+  (** The (scoped) schema from the most recent successful SUBSCRIBE. *)
+
+  val subscriber_reconnects : subscriber -> int
+  val subscriber_catalog : subscriber -> Omf_xml2wire.Catalog.t
+  val subscriber_stats : subscriber -> Omf_pbio.Pbio.Receiver.stats
+  val close_subscriber : subscriber -> unit
+
+  (** {3 Publisher sessions} *)
+
+  type publisher
+
+  val publisher :
+    ?window:int ->
+    config ->
+    stream:string ->
+    schema:string ->
+    Omf_machine.Abi.t ->
+    publisher
+  (** Connect, ADVERTISE and enter publisher mode; first-attempt
+      failures raise immediately. [window] (default 1024) bounds data
+      frames buffered while the relay is unreachable. *)
+
+  val publisher_format : publisher -> string -> Omf_pbio.Format.t option
+  (** Look up a format from the advertised schema by name. *)
+
+  val publish_value :
+    publisher -> Omf_pbio.Format.t -> Omf_pbio.Value.t -> unit
+  (** Marshal and ship one event. During an outage the frame is
+      buffered and reconnection attempted under the budget (descriptors
+      are re-announced on the fresh connection); a full window raises
+      {!Overflow}, an exhausted budget returns with the frame buffered
+      for the next call. With [max_attempts = 0] the session never
+      reconnects — frames accumulate until {!Overflow}. *)
+
+  val publisher_reconnects : publisher -> int
+  val publisher_buffered : publisher -> int
+  (** Frames currently buffered awaiting a live connection. *)
+
+  val close_publisher : publisher -> unit
+  (** Flush buffered frames best-effort (no reconnect), then close. *)
+end

@@ -1,0 +1,35 @@
+(** Authenticated frames: HMAC-SHA256 sealing of length-prefixed frame
+    bodies (PROTOCOLS.md section 12). A sealed body is
+    [nonce(8, u64 BE) || tag(32) || payload] where the tag is
+    HMAC-SHA256 over [nonce || u32_be(|payload|) || payload]; the
+    sequential per-direction nonce and the MAC'd length defeat replay,
+    reordering, truncation, and splicing. *)
+
+exception Auth_error of string
+
+val overhead : int
+(** Bytes a sealed frame adds: 8 (nonce) + 32 (tag) = 40. *)
+
+val seal : key:string -> nonce:int64 -> Bytes.t -> Bytes.t
+
+val verify : key:string -> expected_nonce:int64 -> Bytes.t -> Bytes.t
+(** Authenticate a sealed frame and return its payload. Raises
+    {!Auth_error} on a short frame, a MAC mismatch, or a nonce other
+    than the expected next value. *)
+
+(** {1 Per-connection state} *)
+
+type state
+(** Independent send/receive nonce counters over one shared key; both
+    directions start at 1 when the mode is negotiated. *)
+
+val state : key:string -> state
+val seal_next : state -> Bytes.t -> Bytes.t
+
+val open_next : state -> Bytes.t -> Bytes.t
+(** Verify against the expected receive nonce, then advance it. A
+    failed frame does not advance the counter. Raises {!Auth_error}. *)
+
+val wrap : state -> Link.t -> Link.t
+(** A link that seals on send and verifies on receive; receive raises
+    {!Auth_error} on forged traffic — close the link when it does. *)

@@ -7,10 +7,23 @@ exception Tcp_error of string
 
 let tcp_error fmt = Printf.ksprintf (fun s -> raise (Tcp_error s)) fmt
 
+(* a write to a peer that vanished must surface as EPIPE (an exception
+   our reconnect/doom paths handle), not kill the whole process — the
+   default SIGPIPE disposition would. Set once, at first use of TCP. *)
+let () =
+  if not Sys.win32 then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN/EWOULDBLOCK from a
+   blocking read/write — translate it to Link.Timeout *)
 let really_read fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let n = Unix.read fd buf off len in
+      let n =
+        try Unix.read fd buf off len
+        with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          raise Link.Timeout
+      in
       if n = 0 then raise End_of_file;
       go (off + n) (len - n)
     end
@@ -20,13 +33,27 @@ let really_read fd buf off len =
 let really_write fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let n = Unix.write fd buf off len in
+      let n =
+        try Unix.write fd buf off len
+        with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          raise Link.Timeout
+      in
       go (off + n) (len - n)
     end
   in
   go off len
 
-let link_of_fd (fd : Unix.file_descr) : Link.t =
+(** [link_of_fd fd] wraps a connected socket. [io_timeout_s] arms
+    [SO_RCVTIMEO]/[SO_SNDTIMEO]: a receive or send that stalls past the
+    deadline raises {!Link.Timeout} instead of blocking forever. *)
+let link_of_fd ?io_timeout_s (fd : Unix.file_descr) : Link.t =
+  (match io_timeout_s with
+  | Some t when t > 0.0 -> (
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+    with Unix.Unix_error _ -> ())
+  | _ -> ());
   let closed = ref false in
   let send msg =
     if !closed then raise Link.Closed;
@@ -98,11 +125,40 @@ let listen ?(host = "127.0.0.1") ~port (handler : Link.t -> unit) :
   ignore (Thread.create accept_loop ());
   (sock, bound_port)
 
-(** [connect ~host ~port] opens a client link. *)
-let connect ?(host = "127.0.0.1") ~port () : Link.t =
+(** [connect ~host ~port] opens a client link. [connect_timeout_s]
+    bounds connection establishment (non-blocking connect + select);
+    [io_timeout_s] arms per-operation send/receive deadlines on the
+    resulting link ({!Link.Timeout}). *)
+let connect ?(host = "127.0.0.1") ~port ?connect_timeout_s ?io_timeout_s () :
+    Link.t =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     tcp_error "connect %s:%d: %s" host port (Unix.error_message e));
-  link_of_fd sock
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        raise (Tcp_error s))
+      fmt
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (match connect_timeout_s with
+  | None -> (
+    try Unix.connect sock addr
+    with Unix.Unix_error (e, _, _) ->
+      fail "connect %s:%d: %s" host port (Unix.error_message e))
+  | Some dt -> (
+    Unix.set_nonblock sock;
+    (match Unix.connect sock addr with
+    | () -> ()
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+      -> (
+      (* wait for writability up to the deadline, then check SO_ERROR *)
+      match Unix.select [] [ sock ] [] dt with
+      | _, [ _ ], _ -> (
+        match Unix.getsockopt_error sock with
+        | None -> ()
+        | Some e -> fail "connect %s:%d: %s" host port (Unix.error_message e))
+      | _ -> fail "connect %s:%d: timeout after %.3gs" host port dt)
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "connect %s:%d: %s" host port (Unix.error_message e));
+    Unix.clear_nonblock sock));
+  link_of_fd ?io_timeout_s sock

@@ -4,7 +4,11 @@
 
 exception Tcp_error of string
 
-val link_of_fd : Unix.file_descr -> Link.t
+val link_of_fd : ?io_timeout_s:float -> Unix.file_descr -> Link.t
+(** Wrap a connected socket. [io_timeout_s] arms per-operation
+    send/receive deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]): an operation
+    that stalls past the deadline raises {!Link.Timeout} and the link
+    should be treated as broken. *)
 
 val listener :
   ?host:string -> ?backlog:int -> port:int -> unit -> Unix.file_descr * int
@@ -18,5 +22,12 @@ val listen :
     listening socket (close it to stop) and the bound port (useful with
     [~port:0]). *)
 
-val connect : ?host:string -> port:int -> unit -> Link.t
-(** Raises {!Tcp_error} on failure. *)
+val connect :
+  ?host:string ->
+  port:int ->
+  ?connect_timeout_s:float ->
+  ?io_timeout_s:float ->
+  unit ->
+  Link.t
+(** Raises {!Tcp_error} on failure (including a connect that exceeds
+    [connect_timeout_s]). [io_timeout_s] as in {!link_of_fd}. *)

@@ -1,0 +1,171 @@
+(** SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104), pure OCaml.
+
+    Small and dependency-free on purpose: the relay's authenticated
+    frame mode needs a keyed MAC and the container ships no crypto
+    library. Throughput is a few hundred MB/s on the int32 path — far
+    above what the frame sizes here require. Not constant-time in the
+    digest itself (inputs are not secret); MAC comparison should use
+    {!equal_constant_time}. *)
+
+(* round constants: first 32 bits of the fractional parts of the cube
+   roots of the first 64 primes *)
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl
+   ; 0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l
+   ; 0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l
+   ; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl
+   ; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l
+   ; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l
+   ; 0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl
+   ; 0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l
+   ; 0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l
+   ; 0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l
+   ; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl
+   ; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l
+   ; 0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+
+type ctx = {
+  h : int32 array;  (** running hash state, 8 words *)
+  block : Bytes.t;  (** 64-byte working block *)
+  mutable fill : int;  (** bytes currently in [block] *)
+  mutable total : int64;  (** message length so far, bytes *)
+  w : int32 array;  (** message schedule scratch, 64 words *)
+}
+
+let init () : ctx =
+  { h =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl
+       ; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+  ; block = Bytes.create 64; fill = 0; total = 0L; w = Array.make 64 0l }
+
+let compress (c : ctx) (blk : Bytes.t) (off : int) : unit =
+  let w = c.w in
+  for i = 0 to 15 do
+    w.(i) <- Bytes.get_int32_be blk (off + (4 * i))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18
+             ^% Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19
+             ^% Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref c.h.(0) and b = ref c.h.(1) and cc = ref c.h.(2)
+  and d = ref c.h.(3) and e = ref c.h.(4) and f = ref c.h.(5)
+  and g = ref c.h.(6) and h = ref c.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (Int32.lognot !e &% !g) in
+    let t1 = !h +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !cc) ^% (!b &% !cc) in
+    let t2 = s0 +% maj in
+    h := !g; g := !f; f := !e; e := !d +% t1;
+    d := !cc; cc := !b; b := !a; a := t1 +% t2
+  done;
+  c.h.(0) <- c.h.(0) +% !a; c.h.(1) <- c.h.(1) +% !b;
+  c.h.(2) <- c.h.(2) +% !cc; c.h.(3) <- c.h.(3) +% !d;
+  c.h.(4) <- c.h.(4) +% !e; c.h.(5) <- c.h.(5) +% !f;
+  c.h.(6) <- c.h.(6) +% !g; c.h.(7) <- c.h.(7) +% !h
+
+let feed_bytes (c : ctx) (data : Bytes.t) (off : int) (len : int) : unit =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Sha256.feed";
+  c.total <- Int64.add c.total (Int64.of_int len);
+  let off = ref off and len = ref len in
+  (* top up a partial block first *)
+  if c.fill > 0 then begin
+    let take = min !len (64 - c.fill) in
+    Bytes.blit data !off c.block c.fill take;
+    c.fill <- c.fill + take;
+    off := !off + take;
+    len := !len - take;
+    if c.fill = 64 then begin
+      compress c c.block 0;
+      c.fill <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress c data !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit data !off c.block c.fill !len;
+    c.fill <- c.fill + !len
+  end
+
+let feed (c : ctx) (s : string) : unit =
+  feed_bytes c (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finish (c : ctx) : string =
+  let bitlen = Int64.mul c.total 8L in
+  (* pad: 0x80, zeros to 56 mod 64, then the 64-bit bit length *)
+  Bytes.set c.block c.fill '\x80';
+  c.fill <- c.fill + 1;
+  if c.fill > 56 then begin
+    Bytes.fill c.block c.fill (64 - c.fill) '\x00';
+    compress c c.block 0;
+    c.fill <- 0
+  end;
+  Bytes.fill c.block c.fill (56 - c.fill) '\x00';
+  Bytes.set_int64_be c.block 56 bitlen;
+  compress c c.block 0;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    Bytes.set_int32_be out (4 * i) c.h.(i)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest (s : string) : string =
+  let c = init () in
+  feed c s;
+  finish c
+
+let digest_bytes (b : Bytes.t) (off : int) (len : int) : string =
+  let c = init () in
+  feed_bytes c b off len;
+  finish c
+
+let hex (s : string) : string =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun ch -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch))) s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* HMAC (RFC 2104)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let block_size = 64
+
+let hmac ~(key : string) (msg : string) : string =
+  let key = if String.length key > block_size then digest key else key in
+  let pad fill =
+    let b = Bytes.make block_size fill in
+    String.iteri
+      (fun i ch -> Bytes.set b i (Char.chr (Char.code ch lxor Char.code fill)))
+      key;
+    Bytes.unsafe_to_string b
+  in
+  let inner = init () in
+  feed inner (pad '\x36');
+  feed inner msg;
+  let c = init () in
+  feed c (pad '\x5c');
+  feed c (finish inner);
+  finish c
+
+(** Timing-safe equality for MAC comparison. *)
+let equal_constant_time (a : string) (b : string) : bool =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri
+    (fun i ch -> acc := !acc lor (Char.code ch lxor Char.code b.[i]))
+    a;
+  !acc = 0

@@ -1,0 +1,472 @@
+(** Fault-injection suite: what the relay stack does when the network
+    misbehaves. Exercises {!Omf_relay.Relay.Session} reconnect/replay
+    across a relayd kill+restart and across severed links (via the
+    {!Omf_testkit.Chaos} proxy), HMAC frame authentication under forged
+    and corrupted traffic, the publisher's bounded in-flight window,
+    and {!Discovery.discover}'s deadline-bounded fallback when a
+    metadata server accepts connections but never answers.
+
+    Run via [dune build @faults]; the smoke alias runs it with
+    [OMF_FAULTS_QUICK=1] (reduced event counts). *)
+
+open Omf_machine
+open Omf_transport
+module Relay = Omf_relay.Relay
+module Session = Relay.Session
+module Chaos = Omf_testkit.Chaos
+module Http = Omf_httpd.Http
+module Catalog = Omf_xml2wire.Catalog
+module Discovery = Omf_xml2wire.Discovery
+module Fx = Omf_fixtures.Paper_structs
+module Value = Omf_pbio.Value
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let quick = Sys.getenv_opt "OMF_FAULTS_QUICK" <> None
+let scale n = if quick then max 4 (n / 4) else n
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let event seq =
+  match Fx.value_a with
+  | Value.Record fields ->
+    Value.Record
+      (List.map
+         (fun (k, v) ->
+           if String.equal k "fltNum" then (k, Value.Int (Int64.of_int seq))
+           else (k, v))
+         fields)
+  | _ -> assert false
+
+let seq_of v =
+  match Value.field_exn v "fltNum" with
+  | Value.Int i -> Int64.to_int i
+  | _ -> -1
+
+let keys = [ ("capture-1", "a long shared secret for the capture point") ]
+
+(* a session config tuned for tests: fast, generous budget *)
+let cfg ?auth ?(max_attempts = 80) ~port () =
+  Session.config ~port ?auth ~max_attempts ~base_delay_s:0.01
+    ~max_delay_s:0.15 ~connect_timeout_s:2.0 ()
+
+let poll ?(deadline_s = 15.0) ~what (cond : unit -> bool) =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timeout waiting for %s" what
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let relay_stat ~port key =
+  match Relay.Client.connect ~port () with
+  | c ->
+    let v = Option.value ~default:0 (List.assoc_opt key (Relay.Client.stats c)) in
+    Relay.Client.close c;
+    v
+  | exception Relay.Client.Error _ -> 0
+
+(* a TCP port that nothing listens on (bound ephemeral, then closed) *)
+let dead_port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close sock;
+  port
+
+(* collect decoded events off a subscriber session in a thread *)
+type collector = {
+  seqs : int list ref;  (** newest first; read under [lock] *)
+  lock : Mutex.t;
+  thread : Thread.t;
+}
+
+let collect (sub : Session.subscriber) : collector =
+  let seqs = ref [] and lock = Mutex.create () in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Session.recv_subscriber sub with
+          | Some (_, v) ->
+            Mutex.lock lock;
+            seqs := seq_of v :: !seqs;
+            Mutex.unlock lock;
+            go ()
+          | None -> ()
+          | exception Session.Gave_up _ -> ()
+        in
+        go ())
+      ()
+  in
+  { seqs; lock; thread }
+
+let collected (c : collector) : int list =
+  Mutex.lock c.lock;
+  let l = List.rev !(c.seqs) in
+  Mutex.unlock c.lock;
+  l
+
+let count (c : collector) : int =
+  Mutex.lock c.lock;
+  let n = List.length !(c.seqs) in
+  Mutex.unlock c.lock;
+  n
+
+let strictly_increasing l =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a < b && go rest
+    | _ -> true
+  in
+  go l
+
+let contains_range l lo hi =
+  let rec go n = n > hi || (List.mem n l && go (n + 1)) in
+  go lo
+
+(* ------------------------------------------------------------------ *)
+(* Clear client errors (no raw Unix_error, no fd leak)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_connect_refused_is_client_error () =
+  let port = dead_port () in
+  match Relay.Client.connect ~port ~connect_timeout_s:2.0 () with
+  | _ -> Alcotest.fail "connect to dead port succeeded"
+  | exception Relay.Client.Error m ->
+    check bool "message names the address" true
+      (Omf_testkit.Strings.contains m (string_of_int port))
+  | exception e ->
+    Alcotest.failf "expected Client.Error, got %s" (Printexc.to_string e)
+
+let test_handshake_failure_closes_socket () =
+  (* an 'e' HELLO reply (auth refused) must not leak the socket: open
+     many failing connections; if fds leaked, this would exhaust the
+     default soft limit quickly under the faults alias's repetitions *)
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  for _ = 1 to 100 do
+    match Relay.Client.connect ~port ~auth:("nope", "k") () with
+    | _ -> Alcotest.fail "auth against keyless relay succeeded"
+    | exception Relay.Client.Error _ -> ()
+  done;
+  check bool "relay still healthy" true (relay_stat ~port "connections" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-authenticated framing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_auth_pubsub_end_to_end () =
+  let h = Relay.start ~auth_keys:keys () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let auth = List.hd keys in
+  let pub =
+    Session.publisher (cfg ~auth ~port ()) ~stream:"flights"
+      ~schema:Fx.schema_a Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let consumer =
+    Relay.attach_consumer ~port ~auth ~stream:"flights" Abi.sparc_32
+  in
+  let n = scale 16 in
+  for seq = 0 to n - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  let got = ref [] in
+  for _ = 1 to n do
+    match Relay.recv consumer with
+    | Some (_, v) -> got := seq_of v :: !got
+    | None -> Alcotest.fail "stream closed early"
+  done;
+  check bool "all events decode through sealed frames" true
+    (List.rev !got = List.init n Fun.id);
+  check bool "two authenticated sessions" true
+    (relay_stat ~port "auth_sessions" >= 2);
+  check int "nothing rejected" 0 (relay_stat ~port "frames_rejected");
+  Relay.close_consumer consumer;
+  Session.close_publisher pub
+
+let test_forged_frames_counted_then_closed () =
+  let h = Relay.start ~auth_keys:keys ~mac_reject_limit:3 () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  (* speak the handshake honestly, then send frames sealed with the
+     wrong key: every one must be rejected and counted, and the third
+     must close the connection *)
+  let link = Tcp.connect ~port ~io_timeout_s:5.0 () in
+  let hello = "hauth=hmac\nkey-id=capture-1" in
+  Link.send link (Bytes.of_string hello);
+  (match Link.recv link with
+  | Some r ->
+    check bool "mac granted" true
+      (Omf_testkit.Strings.contains (Bytes.to_string r) "mac")
+  | None -> Alcotest.fail "no HELLO reply");
+  let forged = Macframe.state ~key:"not the real secret" in
+  for _ = 1 to 3 do
+    Link.send link (Macframe.seal_next forged (Bytes.of_string "tflood"))
+  done;
+  (* the relay drops us after the third reject: EOF (its error replies
+     are sealed with the true key and fail *our* verify — also fine) *)
+  (try
+     let rec drain () =
+       match Link.recv link with Some _ -> drain () | None -> ()
+     in
+     drain ()
+   with Macframe.Auth_error _ | Link.Closed | Link.Timeout -> ());
+  Link.close link;
+  check int "every forged frame counted" 3
+    (relay_stat ~port "frames_rejected");
+  check bool "honest clients unaffected" true
+    (relay_stat ~port "auth_sessions" >= 1)
+
+let test_corrupted_handshake_counted_via_chaos () =
+  (* chaos flips a bit in the first length header: the relay sees a
+     nonsense frame length, counts the malformed-frame disconnect, and
+     the client gets a clear error, not a hang *)
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let chaos = Chaos.start ~upstream_port:port () in
+  Fun.protect ~finally:(fun () -> Chaos.stop chaos) @@ fun () ->
+  Chaos.set_fault chaos ~dir:Chaos.Up (Chaos.Corrupt_at 0);
+  (match
+     Relay.Client.connect ~port:(Chaos.port chaos) ~connect_timeout_s:2.0
+       ~io_timeout_s:2.0 ()
+   with
+  | c ->
+    (* the relay may instead read a huge length and wait for it: our
+       io deadline turns that into an error too *)
+    Relay.Client.close c
+  | exception Relay.Client.Error _ -> ());
+  poll ~what:"malformed frame counted" (fun () ->
+      relay_stat ~port "frames_rejected" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Session survives a relayd kill + restart                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_survives_relayd_restart () =
+  let h1 = Relay.start ~auth_keys:keys () in
+  let port = Relay.port (Relay.relay h1) in
+  let auth = List.hd keys in
+  let pub =
+    Session.publisher (cfg ~auth ~port ()) ~stream:"flights"
+      ~schema:Fx.schema_a Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let sub = Session.subscribe (cfg ~auth ~port ()) ~stream:"flights" Abi.arm_32 in
+  let col = collect sub in
+  let first = scale 20 in
+  for seq = 0 to first - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"first half delivered" (fun () -> count col >= first);
+  (* kill and restart relayd on the same port: all streams, descriptor
+     caches and connections are gone *)
+  Relay.stop h1;
+  let h2 = Relay.start ~port ~auth_keys:keys () in
+  Fun.protect
+    ~finally:(fun () -> Relay.stop h2)
+    (fun () ->
+      (* probe publishes force the publisher to notice the dead link,
+         reconnect and re-advertise; the subscriber's resubscribe can
+         only succeed after that, so these two may race it and be
+         missed — everything after the resubscribe must not be *)
+      Session.publish_value pub fmt (event first);
+      Thread.delay 0.05;
+      Session.publish_value pub fmt (event (first + 1));
+      poll ~what:"subscriber resubscribed" (fun () ->
+          Session.subscriber_reconnects sub >= 1);
+      let second_lo = first + 2 in
+      let second_hi = first + scale 20 + 1 in
+      for seq = second_lo to second_hi do
+        Session.publish_value pub fmt (event seq)
+      done;
+      poll ~what:"second half delivered" (fun () ->
+          List.mem second_hi (collected col));
+      Session.close_subscriber sub;
+      Thread.join col.thread;
+      let seqs = collected col in
+      check bool "no duplicates, in order" true (strictly_increasing seqs);
+      check bool "nothing lost before the outage" true
+        (contains_range seqs 0 (first - 1));
+      check bool "nothing lost after resubscribe" true
+        (contains_range seqs second_lo second_hi);
+      check bool "publisher reconnected" true
+        (Session.publisher_reconnects pub >= 1);
+      (* descriptor replay after restart was deduped: the format was
+         learned exactly once, not re-registered per reconnect *)
+      check int "format learned once across restart" 1
+        (Session.subscriber_stats sub).formats_learned;
+      check bool "relay counted the reconnects" true
+        (relay_stat ~port "reconnects_accepted" >= 2);
+      Session.close_publisher pub)
+
+(* ------------------------------------------------------------------ *)
+(* Session survives severed links (chaos proxy outage)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_survives_severed_link () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let chaos = Chaos.start ~upstream_port:port () in
+  Fun.protect ~finally:(fun () -> Chaos.stop chaos) @@ fun () ->
+  (* publisher talks to the relay directly; the subscriber's bytes all
+     flow through the chaos proxy *)
+  let pub =
+    Session.publisher (cfg ~port ()) ~stream:"flights" ~schema:Fx.schema_a
+      Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let sub =
+    Session.subscribe (cfg ~port:(Chaos.port chaos) ()) ~stream:"flights"
+      Abi.sparc_32
+  in
+  let col = collect sub in
+  let half = scale 8 in
+  for seq = 0 to half - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"pre-outage events" (fun () -> count col >= half);
+  Chaos.sever_all chaos;
+  poll ~what:"resubscribe through chaos" (fun () ->
+      Session.subscriber_reconnects sub >= 1);
+  for seq = half to (2 * half) - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"post-outage events" (fun () -> count col >= 2 * half);
+  Session.close_subscriber sub;
+  Thread.join col.thread;
+  check bool "zero loss, no duplicates, in order" true
+    (collected col = List.init (2 * half) Fun.id);
+  check bool "the proxy saw a second connection" true
+    (Chaos.accepted chaos >= 2);
+  check int "one format registration" 1
+    (Session.subscriber_stats sub).formats_learned;
+  Session.close_publisher pub
+
+(* ------------------------------------------------------------------ *)
+(* Publisher window overflow is explicit                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_publisher_overflow_is_explicit () =
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  (* max_attempts = 0: never reconnect, so frames accumulate *)
+  let pub =
+    Session.publisher ~window:3
+      (cfg ~max_attempts:0 ~port ())
+      ~stream:"flights" ~schema:Fx.schema_a Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  Session.publish_value pub fmt (event 0);
+  Relay.stop h;
+  (* early sends may still land in dead socket buffers; once the broken
+     link is detected, frames buffer up to the window, then Overflow *)
+  let overflowed = ref false in
+  (try
+     for seq = 1 to 50 do
+       Session.publish_value pub fmt (event seq)
+     done
+   with Session.Overflow _ -> overflowed := true);
+  check bool "overflow surfaced" true !overflowed;
+  check int "window intact (nothing silently dropped)" 3
+    (Session.publisher_buffered pub);
+  Session.close_publisher pub
+
+(* ------------------------------------------------------------------ *)
+(* Discovery under a hung (not dead) metadata server                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_discovery_falls_back_within_deadline () =
+  (* a server that accepts and never answers — the failure mode a
+     connection-refused test never exercises. Without a deadline the
+     fetch would hang forever; with one, the chain must reach the
+     compiled-in fallback promptly. *)
+  let server = Http.serve_table ~port:0 [ ("/flight.xsd", Fx.schema_a) ] in
+  Fun.protect ~finally:(fun () -> Http.shutdown server) @@ fun () ->
+  let chaos = Chaos.start ~upstream_port:(Http.port server) () in
+  Fun.protect ~finally:(fun () -> Chaos.stop chaos) @@ fun () ->
+  Chaos.set_fault chaos ~dir:Chaos.Down Chaos.Blackhole;
+  (* Http.get's own socket deadline also fires cleanly *)
+  (match
+     Http.get ~port:(Chaos.port chaos) ~path:"/flight.xsd" ~timeout_s:0.2 ()
+   with
+  | _ -> Alcotest.fail "blackholed GET returned"
+  | exception Http.Http_error m ->
+    check bool "timeout named" true (Omf_testkit.Strings.contains m "timeout"));
+  let catalog = Catalog.create Abi.x86_64 in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Discovery.discover ~attempts:2 ~timeout_s:0.3 catalog
+      [ Discovery.from_fetcher ~label:"http://hung-metaserver/flight.xsd"
+          (Http.fetcher ~port:(Chaos.port chaos) ~path:"/flight.xsd" ())
+      ; Discovery.compiled ~label:"compiled-in" [ Fx.decl_a ] ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.string "fell back to compiled metadata" "compiled-in"
+    outcome.Discovery.source;
+  check bool "still functional" true (Catalog.mem catalog "ASDOffEvent");
+  check bool "within the deadline budget (2 attempts x 0.3s + slack)" true
+    (elapsed < 5.0)
+
+let test_discovery_retries_before_falling_through () =
+  (* the primary source fails once then recovers: attempts=2 keeps the
+     system on its primary metadata instead of flipping to degraded *)
+  let calls = ref 0 in
+  let flaky () =
+    incr calls;
+    if !calls = 1 then failwith "transient"
+    else Fx.schema_a
+  in
+  let catalog = Catalog.create Abi.x86_64 in
+  let outcome =
+    Discovery.discover ~attempts:2 catalog
+      [ Discovery.from_fetcher ~label:"flaky-primary" flaky
+      ; Discovery.compiled ~label:"compiled-in" [ Fx.decl_a ] ]
+  in
+  check Alcotest.string "primary retained after retry" "flaky-primary"
+    outcome.Discovery.source;
+  check int "exactly two fetch attempts" 2 !calls
+
+let () =
+  Alcotest.run "faults"
+    [ ( "client-errors",
+        [ Alcotest.test_case "connect refused -> Client.Error" `Quick
+            test_connect_refused_is_client_error
+        ; Alcotest.test_case "handshake failure closes socket" `Quick
+            test_handshake_failure_closes_socket ] )
+    ; ( "hmac",
+        [ Alcotest.test_case "authenticated pub/sub end-to-end" `Quick
+            test_auth_pubsub_end_to_end
+        ; Alcotest.test_case "forged frames counted, then closed" `Quick
+            test_forged_frames_counted_then_closed
+        ; Alcotest.test_case "corrupted handshake counted (chaos)" `Quick
+            test_corrupted_handshake_counted_via_chaos ] )
+    ; ( "sessions",
+        [ Alcotest.test_case "survives relayd kill+restart" `Quick
+            test_session_survives_relayd_restart
+        ; Alcotest.test_case "survives severed links (chaos)" `Quick
+            test_session_survives_severed_link
+        ; Alcotest.test_case "publisher overflow is explicit" `Quick
+            test_publisher_overflow_is_explicit ] )
+    ; ( "discovery",
+        [ Alcotest.test_case "falls back within deadline (blackhole)" `Quick
+            test_discovery_falls_back_within_deadline
+        ; Alcotest.test_case "retries before falling through" `Quick
+            test_discovery_retries_before_falling_through ] ) ]

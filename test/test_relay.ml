@@ -63,6 +63,72 @@ let test_frame_max_length () =
     Alcotest.fail "expected Frame_error"
   with Frame.Frame_error _ -> ()
 
+(* sealed (HMAC) frames: a sequence survives the frame codec across
+   arbitrary read boundaries and verifies in order; flipping any single
+   bit of any sealed frame — header nonce, tag, or payload — is
+   rejected, and the receive nonce does not advance past the damage *)
+let prop_macframe_roundtrip_and_tamper =
+  QCheck.Test.make ~name:"sealed frames round-trip; any bit flip rejected"
+    ~count:300
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 8) (string_of_size Gen.(0 -- 300))) int)
+    (fun (payloads, seed) ->
+      let key = "a shared capture-point secret" in
+      let rng = Omf_util.Prng.create ~seed:(Int64.of_int seed) () in
+      let tx = Macframe.state ~key in
+      let sealed =
+        List.map (fun p -> Macframe.seal_next tx (Bytes.of_string p)) payloads
+      in
+      (* wire = framed sealed bodies, fed to the decoder in ragged chunks *)
+      let wire = Buffer.create 1024 in
+      List.iter (fun f -> Buffer.add_bytes wire (Frame.encode f)) sealed;
+      let wire = Buffer.to_bytes wire in
+      let dec = Frame.Decoder.create () in
+      let rx = Macframe.state ~key in
+      let out = ref [] in
+      let off = ref 0 in
+      while !off < Bytes.length wire do
+        let n = min (1 + Omf_util.Prng.int rng 9) (Bytes.length wire - !off) in
+        Frame.Decoder.feed dec wire !off n;
+        off := !off + n;
+        let rec drain () =
+          match Frame.Decoder.pop dec with
+          | Some f ->
+            out := Bytes.to_string (Macframe.open_next rx f) :: !out;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      let roundtrips = List.rev !out = payloads in
+      (* tamper: pick a frame, flip one random bit anywhere in it *)
+      let victim_ix = Omf_util.Prng.int rng (List.length sealed) in
+      let rx2 = Macframe.state ~key in
+      let rejected = ref false in
+      List.iteri
+        (fun i f ->
+          if i < victim_ix then ignore (Macframe.open_next rx2 f)
+          else if i = victim_ix then begin
+            let f = Bytes.copy f in
+            let byte = Omf_util.Prng.int rng (Bytes.length f) in
+            let bit = Omf_util.Prng.int rng 8 in
+            Bytes.set f byte
+              (Char.chr (Char.code (Bytes.get f byte) lxor (1 lsl bit)));
+            (match Macframe.open_next rx2 f with
+            | _ -> ()
+            | exception Macframe.Auth_error _ -> rejected := true);
+            (* the chain stays broken: even the genuine next frame is
+               now refused (no silent deletion of the damaged one) *)
+            match List.nth_opt sealed (i + 1) with
+            | None -> ()
+            | Some next -> (
+              match Macframe.open_next rx2 next with
+              | _ -> rejected := false
+              | exception Macframe.Auth_error _ -> ())
+          end)
+        sealed;
+      roundtrips && !rejected)
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -391,7 +457,8 @@ let () =
     [ ( "frames",
         [ QCheck_alcotest.to_alcotest prop_frame_reassembly
         ; Alcotest.test_case "oversized frame rejected" `Quick
-            test_frame_max_length ] )
+            test_frame_max_length
+        ; QCheck_alcotest.to_alcotest prop_macframe_roundtrip_and_tamper ] )
     ; ( "pubsub",
         [ Alcotest.test_case "publish/subscribe + descriptor replay" `Quick
             test_pubsub_and_descriptor_replay

@@ -1,9 +1,10 @@
-(** Tests for the utility modules: hexdump, the deterministic PRNG, and
-    the coarse timing helpers. *)
+(** Tests for the utility modules: hexdump, the deterministic PRNG, the
+    coarse timing helpers, and the SHA-256/HMAC primitives. *)
 
 module Hexdump = Omf_util.Hexdump
 module Prng = Omf_util.Prng
 module Clock = Omf_util.Clock
+module Sha256 = Omf_util.Sha256
 
 let check = Alcotest.check
 let str = Alcotest.string
@@ -102,6 +103,60 @@ let test_clock_measures_something () =
   let per = Clock.repeat_ns 10 (fun () -> Sys.opaque_identity (List.init 100 Fun.id)) in
   check bool "repeat gives a finite mean" true (Float.is_finite per && per >= 0.0)
 
+(* FIPS 180-4 / NIST CAVP and RFC 4231 vectors *)
+let test_sha256_vectors () =
+  check str "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex (Sha256.digest ""));
+  check str "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex (Sha256.digest "abc"));
+  check str "448-bit two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex
+       (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check str "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha256_incremental_matches_oneshot () =
+  let r = Prng.create ~seed:99L () in
+  for _ = 1 to 50 do
+    let s = Prng.string r (Prng.int r 300) in
+    let c = Sha256.init () in
+    (* feed in ragged pieces *)
+    let off = ref 0 in
+    while !off < String.length s do
+      let n = min (1 + Prng.int r 17) (String.length s - !off) in
+      Sha256.feed c (String.sub s !off n);
+      off := !off + n
+    done;
+    check str "ragged = one-shot" (Sha256.hex (Sha256.digest s))
+      (Sha256.hex (Sha256.finish c))
+  done
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 1 *)
+  check str "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hex (Sha256.hmac ~key:(String.make 20 '\x0b') "Hi There"));
+  (* RFC 4231 test case 2: key and data shorter than the block *)
+  check str "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hex (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  (* RFC 4231 test case 6: key longer than the block (hashed first) *)
+  check str "rfc4231 tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.hex
+       (Sha256.hmac
+          ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_constant_time_equal () =
+  check bool "equal" true (Sha256.equal_constant_time "abcd" "abcd");
+  check bool "different content" false (Sha256.equal_constant_time "abcd" "abce");
+  check bool "different length" false (Sha256.equal_constant_time "abc" "abcd")
+
 let test_strings_replace () =
   check str "basic" "a-Y-c" (Omf_testkit.Strings.replace ~sub:"b" ~by:"Y" "a-b-c");
   check str "multiple" "xx" (Omf_testkit.Strings.replace ~sub:"ab" ~by:"x" "abab");
@@ -124,5 +179,12 @@ let () =
             test_prng_distribution_rough ] )
     ; ( "clock",
         [ Alcotest.test_case "measures" `Quick test_clock_measures_something ] )
+    ; ( "sha256",
+        [ Alcotest.test_case "digest vectors" `Quick test_sha256_vectors
+        ; Alcotest.test_case "incremental feed" `Quick
+            test_sha256_incremental_matches_oneshot
+        ; Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors
+        ; Alcotest.test_case "constant-time compare" `Quick
+            test_constant_time_equal ] )
     ; ( "strings",
         [ Alcotest.test_case "replace" `Quick test_strings_replace ] ) ]

@@ -1,0 +1,202 @@
+(** A fault-injecting TCP proxy: sits between a client and an upstream
+    server and misbehaves on command — delaying, corrupting, truncating,
+    splicing bytes into, or severing the proxied streams. Built for the
+    fault-tolerance suite: a relay client pointed at a chaos port
+    experiences realistic network failures while the relay itself stays
+    healthy, and an HTTP fetcher pointed at a [Blackhole] sees the
+    accept-then-hang behaviour of a dying metadata server (the timeout
+    path, which a closed port's connection-refused never exercises).
+
+    One listener, thread-per-connection, two pump threads per proxied
+    connection. Faults are directional ([Up] = client-to-server bytes,
+    [Down] = server-to-client) and consulted per chunk, so a fault
+    installed mid-connection applies to the next bytes through. Byte
+    offsets are counted per connection per direction from 0. *)
+
+type direction = Up | Down
+
+type fault =
+  | Passthrough
+  | Delay of float  (** sleep this long before forwarding each chunk *)
+  | Corrupt_at of int  (** flip one bit of stream byte [n], then pass *)
+  | Truncate_at of int
+      (** silently drop every byte past offset [n] (stream stays open —
+          the victim sees a stall, not a close) *)
+  | Splice_at of int  (** inject 16 alien bytes at offset [n] *)
+  | Sever_at of int  (** forward [n] bytes, then kill the connection *)
+  | Blackhole  (** swallow everything; never forward a byte *)
+
+type conn = {
+  c_client : Unix.file_descr;
+  c_server : Unix.file_descr;
+  mutable c_alive : bool;
+}
+
+type t = {
+  lsock : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable up_fault : fault;
+  mutable down_fault : fault;
+  mutable conns : conn list;
+  mutable accepted : int;
+  mutable stopping : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let close_quiet fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let kill_conn (cn : conn) =
+  if cn.c_alive then begin
+    cn.c_alive <- false;
+    close_quiet cn.c_client;
+    close_quiet cn.c_server
+  end
+
+let fault_for (t : t) = function Up -> t.up_fault | Down -> t.down_fault
+
+let set_fault (t : t) ~(dir : direction) (f : fault) : unit =
+  Mutex.lock t.lock;
+  (match dir with Up -> t.up_fault <- f | Down -> t.down_fault <- f);
+  Mutex.unlock t.lock
+
+(** Cut every live proxied connection (an outage; the listener keeps
+    accepting, so reconnects succeed unless a fault says otherwise). *)
+let sever_all (t : t) : unit =
+  Mutex.lock t.lock;
+  let cs = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.lock;
+  List.iter kill_conn cs
+
+let accepted (t : t) : int = t.accepted
+let port (t : t) : int = t.port
+
+let write_all fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* forward one direction, consulting the installed fault per chunk *)
+let pump (t : t) (cn : conn) (dir : direction) ~src ~dst : unit =
+  let buf = Bytes.create 4096 in
+  let seen = ref 0 in
+  let hold = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       let n = Unix.read src buf 0 (Bytes.length buf) in
+       if n = 0 then begin
+         (* a blackholed direction swallows the close too: the victim
+            must keep hanging, not see a tidy EOF *)
+         Mutex.lock t.lock;
+         if fault_for t dir = Blackhole then hold := true;
+         Mutex.unlock t.lock;
+         continue := false
+       end
+       else begin
+         Mutex.lock t.lock;
+         let fault = fault_for t dir in
+         Mutex.unlock t.lock;
+         (match fault with
+         | Passthrough -> write_all dst buf 0 n
+         | Delay d ->
+           Thread.delay d;
+           write_all dst buf 0 n
+         | Blackhole -> ()
+         | Corrupt_at k ->
+           (* the high bit, so corrupting a length header always yields
+              an impossible frame length rather than a large legal one *)
+           if k >= !seen && k < !seen + n then
+             Bytes.set buf (k - !seen)
+               (Char.chr (Char.code (Bytes.get buf (k - !seen)) lxor 0x80));
+           write_all dst buf 0 n
+         | Truncate_at k ->
+           let keep = max 0 (min n (k - !seen)) in
+           if keep > 0 then write_all dst buf 0 keep
+         | Splice_at k ->
+           if k >= !seen && k < !seen + n then begin
+             let cut = k - !seen in
+             write_all dst buf 0 cut;
+             write_all dst (Bytes.make 16 '\xA5') 0 16;
+             write_all dst buf cut (n - cut)
+           end
+           else write_all dst buf 0 n
+         | Sever_at k ->
+           let keep = max 0 (min n (k - !seen)) in
+           if keep > 0 then write_all dst buf 0 keep;
+           if !seen + n >= k then continue := false);
+         seen := !seen + n
+       end
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  if not !hold then kill_conn cn
+
+(** [start ~upstream_port ()] listens on an ephemeral port and proxies
+    every accepted connection to the upstream address, faults applied. *)
+let start ?(host = "127.0.0.1") ?(upstream_host = "127.0.0.1")
+    ~(upstream_port : int) () : t =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string host, 0));
+  Unix.listen lsock 16;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    { lsock; port; lock = Mutex.create (); up_fault = Passthrough
+    ; down_fault = Passthrough; conns = []; accepted = 0; stopping = false
+    ; acceptor = None }
+  in
+  let accept_loop () =
+    try
+      while not t.stopping do
+        let client, _ = Unix.accept t.lsock in
+        if t.stopping then close_quiet client
+        else begin
+          match
+            let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            (try
+               Unix.connect server
+                 (Unix.ADDR_INET
+                    (Unix.inet_addr_of_string upstream_host, upstream_port))
+             with e ->
+               close_quiet server;
+               raise e);
+            server
+          with
+          | server ->
+            let cn = { c_client = client; c_server = server; c_alive = true } in
+            Mutex.lock t.lock;
+            t.conns <- cn :: List.filter (fun c -> c.c_alive) t.conns;
+            t.accepted <- t.accepted + 1;
+            Mutex.unlock t.lock;
+            ignore
+              (Thread.create (fun () -> pump t cn Up ~src:client ~dst:server) ());
+            ignore
+              (Thread.create (fun () -> pump t cn Down ~src:server ~dst:client)
+                 ())
+          | exception _ ->
+            (* upstream down: refuse by closing — the client sees a
+               reset, which is exactly the outage being simulated *)
+            close_quiet client
+        end
+      done
+    with Unix.Unix_error _ -> ()
+  in
+  t.acceptor <- Some (Thread.create accept_loop ());
+  t
+
+let stop (t : t) : unit =
+  t.stopping <- true;
+  close_quiet t.lsock;
+  sever_all t;
+  match t.acceptor with None -> () | Some th -> Thread.join th

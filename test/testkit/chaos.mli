@@ -1,0 +1,45 @@
+(** A fault-injecting TCP proxy for the fault-tolerance suite: a relay
+    client pointed at a chaos port experiences delay, corruption,
+    truncation, splicing, or a severed link while the relay itself stays
+    healthy; an HTTP fetcher pointed at a {!Blackhole} sees a server
+    that accepts and then never answers — the timeout path that a closed
+    port's connection-refused never exercises. *)
+
+type direction =
+  | Up  (** client-to-server bytes *)
+  | Down  (** server-to-client bytes *)
+
+type fault =
+  | Passthrough
+  | Delay of float  (** sleep this long before forwarding each chunk *)
+  | Corrupt_at of int  (** flip one bit of stream byte [n], then pass *)
+  | Truncate_at of int
+      (** silently drop every byte past offset [n] (stream stays open —
+          the victim sees a stall, not a close) *)
+  | Splice_at of int  (** inject 16 alien bytes at offset [n] *)
+  | Sever_at of int  (** forward [n] bytes, then kill the connection *)
+  | Blackhole  (** swallow everything; never forward a byte *)
+
+type t
+
+val start :
+  ?host:string -> ?upstream_host:string -> upstream_port:int -> unit -> t
+(** Listen on an ephemeral port ({!port}) and proxy every accepted
+    connection to the upstream address. When the upstream is down the
+    accepted client socket is closed immediately (a reset — the outage
+    being simulated). *)
+
+val port : t -> int
+
+val set_fault : t -> dir:direction -> fault -> unit
+(** Install a fault for one direction; consulted per forwarded chunk,
+    so it applies to the next bytes through live connections too. Byte
+    offsets count per connection per direction from 0. *)
+
+val sever_all : t -> unit
+(** Cut every live proxied connection; the listener keeps accepting. *)
+
+val accepted : t -> int
+(** Connections accepted so far (reconnect visibility). *)
+
+val stop : t -> unit

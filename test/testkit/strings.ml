@@ -19,3 +19,11 @@ let replace ~sub ~by s =
   in
   go 0;
   Buffer.contents b
+
+(** [contains s sub] is true when [sub] occurs literally in [s]. *)
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1))
+  in
+  n = 0 || go 0
