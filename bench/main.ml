@@ -9,6 +9,7 @@
     - E2: heterogeneous receive: compiled plans vs interpretation (DCG)
     - E3: server scalability with subscriber count (section 1)
     - E3-tcp: relay fan-out over real TCP sockets (relayd pipeline)
+    - E5-shards: sharded relay fan-out across N event loops
     - A1: discovery-method ablation (orthogonality, section 3.3)
 
     Absolute numbers reflect this simulator on today's hardware; the
@@ -617,6 +618,159 @@ let e4_faults () =
     (Relay.Session.publisher_reconnects pub)
 
 (* ------------------------------------------------------------------ *)
+(* E5-shards: relay fan-out scaling across sharded event loops          *)
+(* ------------------------------------------------------------------ *)
+
+let e5_shards () =
+  section "E5-shards. Sharded relay: fan-out across N event loops";
+  note
+    "relayd --shards N: one acceptor deals connections round-robin over N\n\
+     reactor loops (one domain each); streams pin to shards, so mis-dealt\n\
+     connections migrate before taking a role. 4 streams, one publisher\n\
+     each, subscribers split evenly; block policy (zero loss, in-order).\n\
+     Latency = wall clock from just before the publisher's send to the\n\
+     subscriber's receive of that event's 'M' frame.\n";
+  let streams = [| "shard-a"; "shard-b"; "shard-c"; "shard-d" |] in
+  let nstreams = Array.length streams in
+  let events = if quick then 150 else 2_000 in
+  let sub_counts = if quick then [ 8; 16 ] else [ 64; 128; 256 ] in
+  let shard_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let event seq =
+    match Fx.value_a with
+    | Value.Record fields ->
+      Value.Record
+        (List.map
+           (fun (k, v) ->
+             if String.equal k "fltNum" then (k, Value.Int (Int64.of_int seq))
+             else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema catalog Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  let run_combo ~subs ~shards =
+    let cluster = Relay.Cluster.start ~shards ~policy:Relay.Block () in
+    Fun.protect ~finally:(fun () -> Relay.Cluster.stop cluster) @@ fun () ->
+    let port = Relay.Cluster.port cluster in
+    (* per-(stream, seq) pre-send timestamps; written by the publisher
+       thread just before the send, read by subscriber threads after the
+       relayed frame arrives (all systhreads on this domain) *)
+    let t_send = Array.init nstreams (fun _ -> Array.make events 0.0) in
+    (* publishers connect and advertise first so the streams exist (and
+       are pinned) before subscribers arrive *)
+    let pubs =
+      Array.map
+        (fun stream ->
+          let c = Relay.Client.connect ~port () in
+          Relay.Client.advertise c ~stream ~schema:Fx.schema_a;
+          c)
+        streams
+    in
+    let ready = ref 0 in
+    let ready_mu = Mutex.create () in
+    let results = Array.make subs [||] in
+    let sub_threads =
+      List.init subs (fun i ->
+          let si = i mod nstreams in
+          Thread.create
+            (fun () ->
+              let c = Relay.Client.connect ~port () in
+              let _schema, link =
+                Relay.Client.subscribe c ~stream:streams.(si)
+              in
+              Mutex.lock ready_mu;
+              incr ready;
+              Mutex.unlock ready_mu;
+              let lat = Array.make events 0.0 in
+              let got = ref 0 in
+              while !got < events do
+                match Omf_transport.Link.recv link with
+                | None -> failwith "e5-shards: subscriber link closed early"
+                | Some b ->
+                  if Bytes.length b > 0 && Char.equal (Bytes.get b 0) 'M'
+                  then begin
+                    lat.(!got) <-
+                      Unix.gettimeofday () -. t_send.(si).(!got);
+                    incr got
+                  end
+              done;
+              results.(i) <- lat;
+              Relay.Client.close c)
+            ())
+    in
+    let rec wait_ready () =
+      Mutex.lock ready_mu;
+      let r = !ready in
+      Mutex.unlock ready_mu;
+      if r < subs then begin
+        Thread.delay 0.002;
+        wait_ready ()
+      end
+    in
+    wait_ready ();
+    let t0 = Unix.gettimeofday () in
+    let pub_threads =
+      Array.to_list
+        (Array.mapi
+           (fun si c ->
+             Thread.create
+               (fun () ->
+                 let link = Relay.Client.publish c ~stream:streams.(si) in
+                 let sender =
+                   Omf_transport.Endpoint.Sender.create link
+                     (Memory.create Abi.x86_64)
+                 in
+                 for seq = 0 to events - 1 do
+                   t_send.(si).(seq) <- Unix.gettimeofday ();
+                   Omf_transport.Endpoint.Sender.send_value sender fmt
+                     (event seq)
+                 done)
+               ())
+           pubs)
+    in
+    List.iter Thread.join pub_threads;
+    List.iter Thread.join sub_threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iter Relay.Client.close pubs;
+    let stats = Relay.Cluster.stats cluster in
+    let handoffs =
+      Option.value ~default:0 (List.assoc_opt "shard_handoffs" stats)
+    in
+    (* every subscriber received exactly [events] 'M' frames in order:
+       zero loss by construction of the loop above; make it explicit *)
+    Array.iter
+      (fun lat ->
+        if Array.length lat <> events then
+          failwith "e5-shards: delivery count mismatch")
+      results;
+    let all = Array.concat (Array.to_list results) in
+    Array.sort compare all;
+    let p99 = all.(max 0 (int_of_float (ceil (0.99 *. float_of_int (Array.length all))) - 1)) in
+    let deliveries = float_of_int (subs * events) in
+    [ string_of_int subs
+    ; string_of_int shards
+    ; Printf.sprintf "%.3f" dt
+    ; Printf.sprintf "%.0f" (deliveries /. dt)
+    ; Printf.sprintf "%.2f" (p99 *. 1e3)
+    ; string_of_int handoffs ]
+  in
+  let rows =
+    List.concat_map
+      (fun subs ->
+        List.map (fun shards -> run_combo ~subs ~shards) shard_counts)
+      sub_counts
+  in
+  table
+    [ "Subscribers"; "Shards"; "wall s"; "deliveries/s"; "p99 ms"; "handoffs" ]
+    rows;
+  note
+    "%d events per stream (4 streams), block policy: every subscriber\n\
+     received every event of its stream, in order. Handoffs = connections\n\
+     migrated to their stream's pinned shard by the round-robin acceptor.\n"
+    events
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,6 +882,7 @@ let () =
   e3 ();
   e3_tcp ();
   e4_faults ();
+  e5_shards ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

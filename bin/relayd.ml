@@ -3,7 +3,10 @@
     per-subscriber queues and a configurable backpressure policy.
 
     [relayd --port 9117 --policy block] runs until SIGINT/SIGTERM, then
-    drains subscriber queues gracefully and prints final stats. *)
+    drains subscriber queues gracefully and prints final stats.
+    [--shards N] spreads connections over N event loops (one domain
+    each, streams pinned to shards); [--metrics-port P] serves
+    Prometheus counters on [GET /metrics]. *)
 
 open Cmdliner
 
@@ -97,37 +100,72 @@ let mac_reject_limit_arg =
           "Disconnect an authenticated client after $(docv) frames fail \
            verification.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) event loops (one domain each) behind one acceptor. \
+           Streams are pinned to shards, preserving per-stream delivery \
+           order.")
+
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Also serve relay counters in Prometheus text format on \
+           $(b,GET /metrics) at this port.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let run port host policy max_queue evict_grace auth_keys mac_reject_limit
-    drain verbose =
+    drain shards metrics_port verbose =
   setup_logs verbose;
-  match
-    Omf_relay.Relay.create ~host ~port ~policy ~max_queue
-      ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit ~drain_s:drain
-      ()
-  with
-  | relay ->
-    Printf.printf
-      "relayd: listening on %s:%d (policy %s, max queue %d, auth keys %d)\n%!"
-      host
-      (Omf_relay.Relay.port relay)
-      (Omf_relay.Relay.policy_to_string policy)
-      max_queue (List.length auth_keys);
-    let stop _ = Omf_relay.Relay.request_shutdown relay in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    Omf_relay.Relay.run relay;
-    Printf.printf "relayd: final stats\n";
-    List.iter
-      (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
-      (Omf_relay.Relay.stats relay);
-    `Ok ()
-  | exception Unix.Unix_error (e, _, _) ->
-    `Error
-      (false, Printf.sprintf "bind %s:%d: %s" host port (Unix.error_message e))
+  if shards < 1 then `Error (false, "--shards must be >= 1")
+  else
+    match
+      Omf_relay.Relay.Cluster.start ~host ~port ~shards ~policy ~max_queue
+        ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit
+        ~drain_s:drain ()
+    with
+    | cluster ->
+      Printf.printf
+        "relayd: listening on %s:%d (policy %s, max queue %d, shards %d, \
+         auth keys %d)\n\
+         %!"
+        host
+        (Omf_relay.Relay.Cluster.port cluster)
+        (Omf_relay.Relay.policy_to_string policy)
+        max_queue shards (List.length auth_keys);
+      let metrics =
+        Option.map
+          (fun p ->
+            let srv =
+              Omf_httpd.Http.serve_metrics ~host ~port:p
+                [ ("relay", fun () -> Omf_relay.Relay.Cluster.stats cluster) ]
+            in
+            Printf.printf "relayd: metrics on http://%s:%d/metrics\n%!" host
+              (Omf_httpd.Http.port srv);
+            srv)
+          metrics_port
+      in
+      let stop _ = Omf_relay.Relay.Cluster.request_shutdown cluster in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Omf_relay.Relay.Cluster.wait cluster;
+      Option.iter Omf_httpd.Http.shutdown metrics;
+      Printf.printf "relayd: final stats\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+        (Omf_relay.Relay.Cluster.stats cluster);
+      `Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      `Error
+        (false, Printf.sprintf "bind %s:%d: %s" host port (Unix.error_message e))
 
 let () =
   let doc = "networked event-relay daemon (NDR pub/sub over TCP)" in
@@ -139,4 +177,4 @@ let () =
             ret
               (const run $ port_arg $ host_arg $ policy_arg $ max_queue_arg
              $ evict_grace_arg $ auth_keys_arg $ mac_reject_limit_arg
-             $ drain_arg $ verbose_arg))))
+             $ drain_arg $ shards_arg $ metrics_port_arg $ verbose_arg))))

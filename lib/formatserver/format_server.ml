@@ -40,30 +40,46 @@ let u32_of_bytes b off =
 (* ------------------------------------------------------------------ *)
 
 module Server = struct
+  module Reactor = Omf_reactor.Reactor
+  module Conn = Omf_reactor.Conn
+  module Counters = Omf_util.Counters
+
   type t = {
     socket : Unix.file_descr;
     port : int;
-    mutex : Mutex.t;
+    mutex : Mutex.t;  (** guards the registry: {!register}/{!lookup}/{!size}
+                          are also called directly by embedding threads *)
     by_blob : (string, int) Hashtbl.t;
     by_id : (int, string) Hashtbl.t;
     mutable next_id : int;
+    counters : Counters.t;
+    loop : Reactor.t;
+    mutable loop_thread : Thread.t;
+    conns : (int, Conn.t) Hashtbl.t;  (** loop-thread only *)
+    mutable next_conn : int;
+    mutable metrics : Omf_httpd.Http.server option;
+    mutable stopped : bool;
   }
 
   let register t (blob : string) : int =
     Mutex.lock t.mutex;
     let id =
       match Hashtbl.find_opt t.by_blob blob with
-      | Some id -> id
+      | Some id ->
+        Counters.incr t.counters "registration_hits";
+        id
       | None ->
         (* reject blobs that do not decode: the server never serves junk *)
         (try ignore (Omf_pbio.Format_codec.decode blob)
          with Omf_pbio.Format_codec.Codec_error m ->
            Mutex.unlock t.mutex;
+           Counters.incr t.counters "registration_rejects";
            proto_error "refusing malformed descriptor: %s" m);
         let id = t.next_id in
         t.next_id <- id + 1;
         Hashtbl.replace t.by_blob blob id;
         Hashtbl.replace t.by_id id blob;
+        Counters.incr t.counters "registrations";
         Log.info (fun m -> m "registered format id %d (%d bytes)" id (String.length blob));
         id
     in
@@ -74,55 +90,99 @@ module Server = struct
     Mutex.lock t.mutex;
     let r = Hashtbl.find_opt t.by_id id in
     Mutex.unlock t.mutex;
+    Counters.incr t.counters
+      (match r with Some _ -> "lookup_hits" | None -> "lookup_misses");
     r
 
-  let handle t (link : Omf_transport.Link.t) =
-    let rec loop () =
-      match Omf_transport.Link.recv link with
-      | None -> ()
-      | Some frame ->
-        if Bytes.length frame < 1 then proto_error "empty frame";
-        (match Bytes.get frame 0 with
-        | 'R' ->
-          let blob = Bytes.sub_string frame 1 (Bytes.length frame - 1) in
-          (match register t blob with
-          | id ->
-            Omf_transport.Link.send link
-              (Bytes.cat (Bytes.of_string "I") (u32_to_bytes id))
-          | exception Protocol_error _ ->
-            Omf_transport.Link.send link (Bytes.of_string "N"))
-        | 'G' ->
-          if Bytes.length frame < 5 then proto_error "short lookup frame";
-          let id = u32_of_bytes frame 1 in
-          (match lookup t id with
-          | Some blob ->
-            Omf_transport.Link.send link
-              (Bytes.cat (Bytes.of_string "D") (Bytes.of_string blob))
-          | None -> Omf_transport.Link.send link (Bytes.of_string "N"))
-        | k -> proto_error "unknown request kind %C" k);
-        loop ()
-    in
-    (try loop () with _ -> ());
-    Omf_transport.Link.close link
+  (** One registry request, one reply frame — runs on the reactor
+      thread; the registry mutex is held only across the table access. *)
+  let handle_frame t (conn : Conn.t) (frame : Bytes.t) =
+    Counters.incr t.counters "frames_in";
+    if Bytes.length frame < 1 then Conn.doom conn "empty frame"
+    else
+      match Bytes.get frame 0 with
+      | 'R' -> (
+        let blob = Bytes.sub_string frame 1 (Bytes.length frame - 1) in
+        match register t blob with
+        | id -> Conn.send conn (Bytes.cat (Bytes.of_string "I") (u32_to_bytes id))
+        | exception Protocol_error _ -> Conn.send conn (Bytes.of_string "N"))
+      | 'G' when Bytes.length frame >= 5 -> (
+        let id = u32_of_bytes frame 1 in
+        match lookup t id with
+        | Some blob ->
+          Conn.send conn (Bytes.cat (Bytes.of_string "D") (Bytes.of_string blob))
+        | None -> Conn.send conn (Bytes.of_string "N"))
+      | 'G' -> Conn.doom conn "short lookup frame"
+      | k -> Conn.doom conn (Printf.sprintf "unknown request kind %C" k)
 
-  (** [start ?host ~port ()] runs a format server (ephemeral port with
-      [~port:0]); stop it with {!shutdown}. *)
-  let start ?(host = "127.0.0.1") ~port () : t =
-    (* create the table first so the accept handler can close over it *)
-    let rec t =
-      lazy
-        (let socket, bound_port =
-           Omf_transport.Tcp.listen ~host ~port (fun link ->
-               handle (Lazy.force t) link)
-         in
-         { socket; port = bound_port; mutex = Mutex.create ()
-         ; by_blob = Hashtbl.create 32; by_id = Hashtbl.create 32
-         ; next_id = 1 })
+  let accept_connection t fd =
+    let id = t.next_conn in
+    t.next_conn <- id + 1;
+    Counters.incr t.counters "connections";
+    let conn =
+      Conn.attach t.loop fd
+        ~on_frame:(fun conn frame -> handle_frame t conn frame)
+        ~on_close:(fun _ _ -> Hashtbl.remove t.conns id)
+        ()
     in
-    Lazy.force t
+    Hashtbl.replace t.conns id conn
 
+  (** [start ?host ~port ()] runs a format server on its own reactor
+      thread (ephemeral port with [~port:0]); stop it with {!shutdown}.
+      [?metrics_port] additionally mounts a Prometheus [GET /metrics]
+      endpoint rendering the server's counters. *)
+  let start ?(host = "127.0.0.1") ~port ?metrics_port () : t =
+    let socket, bound_port = Omf_transport.Tcp.listener ~host ~port () in
+    Unix.set_nonblock socket;
+    let t =
+      { socket; port = bound_port; mutex = Mutex.create ()
+      ; by_blob = Hashtbl.create 32; by_id = Hashtbl.create 32; next_id = 1
+      ; counters = Counters.create (); loop = Reactor.create ()
+      ; loop_thread = Thread.self (); conns = Hashtbl.create 16
+      ; next_conn = 0; metrics = None; stopped = false }
+    in
+    let rec accept_all () =
+      match Unix.accept ~cloexec:true socket with
+      | fd, _ ->
+        accept_connection t fd;
+        accept_all ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    ignore
+      (Reactor.register t.loop socket ~on_readable:accept_all
+         ~on_writable:ignore);
+    t.loop_thread <- Thread.create Reactor.run t.loop;
+    (match metrics_port with
+    | None -> ()
+    | Some p ->
+      t.metrics <-
+        Some
+          (Omf_httpd.Http.serve_metrics ~host ~port:p
+             [ ("formatserver", fun () -> Counters.dump t.counters) ]));
+    t
+
+  (** The actually bound metrics port, if metrics were requested. *)
+  let metrics_port t = Option.map Omf_httpd.Http.port t.metrics
+
+  let stats t = Counters.dump t.counters
+
+  (** Stop accepting, close client connections, join the loop thread
+      (and the metrics endpoint, if any). Idempotent. *)
   let shutdown t =
-    try Unix.close t.socket with Unix.Unix_error _ -> ()
+    if not t.stopped then begin
+      t.stopped <- true;
+      Reactor.inject t.loop (fun () ->
+          (try Unix.shutdown t.socket Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+          let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+          List.iter (fun c -> Conn.doom c "server shutdown") live;
+          Reactor.stop t.loop);
+      Thread.join t.loop_thread;
+      (try Unix.close t.socket with Unix.Unix_error _ -> ());
+      Reactor.dispose t.loop;
+      Option.iter Omf_httpd.Http.shutdown t.metrics
+    end
 
   (** Number of distinct formats registered so far. *)
   let size t =

@@ -15,12 +15,29 @@ module Server : sig
     by_blob : (string, int) Hashtbl.t;
     by_id : (int, string) Hashtbl.t;
     mutable next_id : int;
+    counters : Omf_util.Counters.t;
+    loop : Omf_reactor.Reactor.t;
+    mutable loop_thread : Thread.t;
+    conns : (int, Omf_reactor.Conn.t) Hashtbl.t;
+    mutable next_conn : int;
+    mutable metrics : Omf_httpd.Http.server option;
+    mutable stopped : bool;
   }
 
-  val start : ?host:string -> port:int -> unit -> t
-  (** [~port:0] binds an ephemeral port. *)
+  val start : ?host:string -> port:int -> ?metrics_port:int -> unit -> t
+  (** Serve the registry on one reactor thread ([~port:0] binds an
+      ephemeral port). [?metrics_port] additionally mounts a Prometheus
+      [GET /metrics] endpoint rendering the server's counters. *)
+
+  val metrics_port : t -> int option
+  (** The actually bound metrics port, if metrics were requested. *)
+
+  val stats : t -> (string * int) list
+  (** Counter snapshot (registrations, lookups, connections, ...). *)
 
   val shutdown : t -> unit
+  (** Stop accepting, close client connections, join the loop thread
+      (and the metrics endpoint, if any). Idempotent. *)
 
   val size : t -> int
   (** Distinct formats registered so far. *)

@@ -78,77 +78,168 @@ let read_headers ic : (string * string) list =
 
 type handler = path:string -> headers:(string * string) list -> response
 
-let write_response oc (r : response) =
-  output_string oc
-    (Printf.sprintf
-       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-       r.status r.reason r.content_type (String.length r.body));
-  output_string oc r.body;
-  flush oc
+module Reactor = Omf_reactor.Reactor
+module Conn = Omf_reactor.Conn
 
-let handle_connection (handler : handler) fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let request_line = read_line_crlf ic in
-     let headers = read_headers ic in
-     match String.split_on_char ' ' request_line with
-     | [ "GET"; path; _ ] | [ "GET"; path ] ->
-       let resp =
-         try handler ~path ~headers
-         with e -> server_error (Printexc.to_string e)
-       in
-       Log.info (fun m -> m "GET %s -> %d" path resp.status);
-       write_response oc resp
-     | _ ->
-       write_response oc
-         { status = 400; reason = "Bad Request"; content_type = "text/plain"
-         ; body = "only GET is supported\n" }
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+(** Every request must complete (headers in, response flushed) within
+    this window or the connection is dropped — a client that connects
+    and goes silent cannot pin server state. *)
+let request_deadline_s = 10.0
+
+(** Request headers larger than this are rejected with 400. *)
+let max_request_bytes = 65536
+
+let render (r : response) : Bytes.t =
+  Bytes.of_string
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       r.status r.reason r.content_type (String.length r.body) r.body)
+
+let bad_request msg =
+  { status = 400; reason = "Bad Request"; content_type = "text/plain"
+  ; body = msg ^ "\n" }
+
+let parse_header_lines (lines : string list) : (string * string) list =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None (* tolerate junk header lines *)
+      | Some i ->
+        let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+        let v =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        Some (k, v))
+    lines
+
+let split_crlf (s : string) : string list =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+
+(** Index one past the ["\r\n\r\n"] header terminator, scanning from
+    [from]. *)
+let find_headers_end (b : Buffer.t) (from : int) : int option =
+  let len = Buffer.length b in
+  let rec go i =
+    if i + 4 > len then None
+    else if
+      Buffer.nth b i = '\r'
+      && Buffer.nth b (i + 1) = '\n'
+      && Buffer.nth b (i + 2) = '\r'
+      && Buffer.nth b (i + 3) = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go (max 0 from)
 
 type server = {
   socket : Unix.file_descr;
   port : int;
-  stopping : bool ref;
-  acceptor : Thread.t;  (** joined by {!shutdown}: no leaked listener *)
+  loop : Reactor.t;
+  mutable loop_thread : Thread.t;
+  conns : (int, Conn.t) Hashtbl.t;  (** loop-thread only *)
+  mutable next_id : int;
+  mutable stopped : bool;
 }
 
-(** [serve ?host ~port handler] starts an accept loop in a thread.
+let respond (conn : Conn.t) (r : response) =
+  Conn.send_raw conn (render r);
+  Conn.flush_close conn
+
+let handle_request (handler : handler) (conn : Conn.t) (head : string) =
+  match split_crlf head with
+  | [] -> respond conn (bad_request "empty request")
+  | request_line :: header_lines -> (
+    let headers = parse_header_lines header_lines in
+    match String.split_on_char ' ' request_line with
+    | [ "GET"; path; _ ] | [ "GET"; path ] ->
+      let resp =
+        try handler ~path ~headers
+        with e -> server_error (Printexc.to_string e)
+      in
+      Log.info (fun m -> m "GET %s -> %d" path resp.status);
+      respond conn resp
+    | _ -> respond conn (bad_request "only GET is supported"))
+
+let accept_connection (s : server) (handler : handler) fd =
+  let id = s.next_id in
+  s.next_id <- s.next_id + 1;
+  let buf = Buffer.create 256 in
+  let done_ = ref false in
+  let conn =
+    Conn.attach s.loop fd ~mode:Chunks
+      ~on_frame:(fun conn chunk ->
+        if not !done_ then begin
+          let scan_from = Buffer.length buf - 3 in
+          Buffer.add_bytes buf chunk;
+          if Buffer.length buf > max_request_bytes then begin
+            done_ := true;
+            respond conn (bad_request "request too large")
+          end
+          else
+            match find_headers_end buf scan_from with
+            | None -> ()
+            | Some stop ->
+              done_ := true;
+              (* head excludes the blank line; bodies are ignored (GET) *)
+              handle_request handler conn (Buffer.sub buf 0 (stop - 4))
+        end)
+      ~on_close:(fun _ _ -> Hashtbl.remove s.conns id)
+      ()
+  in
+  Conn.set_deadline conn ~reason:"request timeout" (Some request_deadline_s);
+  Hashtbl.replace s.conns id conn
+
+(** [serve ?host ~port handler] hosts the accept loop and every
+    connection on one reactor thread — no thread per connection.
     [~port:0] binds an ephemeral port; read it from the result. *)
 let serve ?(host = "127.0.0.1") ~port (handler : handler) : server =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen sock 32;
+  Unix.set_nonblock sock;
   let bound_port =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  let stopping = ref false in
-  let accept_loop () =
-    try
-      while not !stopping do
-        let fd, _ = Unix.accept sock in
-        if !stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-        else ignore (Thread.create (handle_connection handler) fd)
-      done
-    with Unix.Unix_error _ -> ()
+  let loop = Reactor.create () in
+  let s =
+    { socket = sock; port = bound_port; loop; loop_thread = Thread.self ()
+    ; conns = Hashtbl.create 16; next_id = 0; stopped = false }
   in
-  { socket = sock; port = bound_port; stopping
-  ; acceptor = Thread.create accept_loop () }
+  let rec accept_all () =
+    match Unix.accept ~cloexec:true sock with
+    | fd, _ ->
+      accept_connection s handler fd;
+      accept_all ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  ignore (Reactor.register loop sock ~on_readable:accept_all ~on_writable:ignore);
+  s.loop_thread <- Thread.create Reactor.run loop;
+  s
 
 let port (s : server) = s.port
 
-(** Stop accepting and join the acceptor thread (in-flight request
-    handlers finish on their own). *)
+(** Stop accepting, close in-flight connections, and join the loop
+    thread. Idempotent. *)
 let shutdown (s : server) =
-  s.stopping := true;
-  (* shutdown() wakes a blocked accept(2); close alone may not *)
-  (try Unix.shutdown s.socket Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close s.socket with Unix.Unix_error _ -> ());
-  Thread.join s.acceptor
+  if not s.stopped then begin
+    s.stopped <- true;
+    Reactor.inject s.loop (fun () ->
+        (try Unix.shutdown s.socket Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        let live = Hashtbl.fold (fun _ c acc -> c :: acc) s.conns [] in
+        List.iter (fun c -> Conn.doom c "server shutdown") live;
+        Reactor.stop s.loop);
+    Thread.join s.loop_thread;
+    (try Unix.close s.socket with Unix.Unix_error _ -> ());
+    Reactor.dispose s.loop
+  end
 
 (** Serve a fixed table of [path -> document]. *)
 let serve_table ?host ~port (table : (string * string) list) : server =
@@ -283,3 +374,29 @@ let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
 (** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)
 let fetcher ?(host = "127.0.0.1") ~port ~path ?timeout_s () : unit -> string =
   fun () -> get ~host ~port ~path ?timeout_s ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [metrics_handler sources] answers [GET /metrics] with a
+    Prometheus-text rendering of each [(component, snapshot)] source —
+    snapshots are taken per request, so mounting a relay's merged
+    per-shard counters here gives live scrape data. Everything else is
+    404. *)
+let metrics_handler (sources : (string * (unit -> (string * int) list)) list) :
+    handler =
+ fun ~path ~headers:_ ->
+  if String.equal path "/metrics" then
+    ok
+      ~content_type:"text/plain; version=0.0.4"
+      (String.concat ""
+         (List.map
+            (fun (component, snapshot) ->
+              Omf_util.Counters.prometheus ~component (snapshot ()))
+            sources))
+  else not_found path
+
+(** Mount [metrics_handler] on its own ephemeral-or-fixed port. *)
+let serve_metrics ?host ~port sources : server =
+  serve ?host ~port (metrics_handler sources)

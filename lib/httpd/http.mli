@@ -25,16 +25,35 @@ val port : server -> int
 (** The actually bound port (useful with [~port:0]). *)
 
 val serve : ?host:string -> port:int -> handler -> server
-(** Accept loop in a background thread; [~port:0] binds an ephemeral
+(** Host the accept loop and every connection on one reactor thread —
+    no thread per connection. Each request must complete within a 10 s
+    deadline or its connection is dropped. [~port:0] binds an ephemeral
     port (read it from the result). *)
 
 val shutdown : server -> unit
+(** Stop accepting, close in-flight connections, join the loop thread.
+    Idempotent. *)
 
 val serve_table : ?host:string -> port:int -> (string * string) list -> server
 (** Serve a fixed [path -> document] table. *)
 
 val serve_directory : ?host:string -> port:int -> string -> server
 (** Serve the [*.xsd] files of a directory; traversal-safe. *)
+
+val metrics_handler :
+  (string * (unit -> (string * int) list)) list -> handler
+(** [metrics_handler sources] answers [GET /metrics] with each
+    [(component, snapshot)] rendered as Prometheus text
+    ([omf_<component>_<name> <value>] lines); snapshots are taken per
+    request. Everything else is 404. *)
+
+val serve_metrics :
+  ?host:string ->
+  port:int ->
+  (string * (unit -> (string * int) list)) list ->
+  server
+(** Mount {!metrics_handler} on its own port (relayd [--metrics-port],
+    format server [?metrics_port]). *)
 
 (** {1 Client} *)
 

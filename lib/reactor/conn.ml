@@ -1,0 +1,310 @@
+(** Generic buffered connection driver for reactor-hosted servers.
+
+    A [Conn.t] owns one non-blocking socket on one {!Reactor.t} and
+    factors out the plumbing every server used to hand-roll: read
+    reassembly (length-prefixed frames via {!Frame.Decoder}, or raw
+    chunks for line protocols like HTTP), a bounded write queue with
+    partial-write tracking and droppable entries (backpressure
+    shedding), graceful close (best-effort flush of queued replies),
+    per-connection deadlines on the reactor's timer wheel, and
+    {!detach}/{!adopt} to migrate a live connection between reactors
+    (relay shard handoff).
+
+    Protocol logic stays in callbacks; the driver never interprets
+    frame contents. *)
+
+let log = Logs.Src.create "omf.reactor.conn" ~doc:"buffered connection driver"
+
+module Log = (val Logs.src_log log)
+
+type mode =
+  | Frames  (** 4-byte big-endian length prefix, reassembled frames *)
+  | Chunks  (** raw reads delivered as-is (HTTP and friends) *)
+
+type entry = {
+  ebuf : Bytes.t;  (** wire bytes *)
+  mutable eoff : int;  (** bytes already written *)
+  droppable : bool;  (** sheddable data frame *)
+}
+
+type state =
+  | Alive
+  | Closing  (** flush the queue, then close *)
+  | Doomed of string  (** one best-effort flush, close after dispatch *)
+  | Closed of string
+
+type t = {
+  fd : Unix.file_descr;
+  mode : mode;
+  decoder : Frame.Decoder.t;
+  outq : entry Queue.t;
+  mutable q_droppable : int;
+  mutable loop : Reactor.t option;  (** [None] while detached *)
+  mutable reg : Reactor.registration option;
+  mutable on_input : t -> Bytes.t -> unit;
+  mutable on_close : t -> string -> unit;
+  mutable on_progress : t -> unit;
+  mutable on_decode_error : t -> string -> unit;
+  mutable on_bytes : t -> [ `In | `Out ] -> int -> unit;
+  mutable deadline : Reactor.timer option;
+  mutable state : state;
+  mutable reading : bool;  (** caller's read intent (publisher pause) *)
+}
+
+exception Write_failed of string
+
+let fd (c : t) = c.fd
+let alive (c : t) = c.state = Alive
+let queued (c : t) = Queue.length c.outq
+let queued_droppable (c : t) = c.q_droppable
+let pending_input (c : t) = Frame.Decoder.pending_bytes c.decoder
+
+let sync_interest (c : t) =
+  match c.reg with
+  | None -> ()
+  | Some r ->
+    Reactor.set_read r (c.reading && c.state = Alive);
+    Reactor.set_write r
+      (not (Queue.is_empty c.outq)
+      &&
+      match c.state with Alive | Closing -> true | Doomed _ | Closed _ -> false)
+
+let clear_deadline (c : t) =
+  match (c.deadline, c.loop) with
+  | Some tm, Some loop ->
+    Reactor.cancel loop tm;
+    c.deadline <- None
+  | _ -> c.deadline <- None
+
+let close_now (c : t) (reason : string) =
+  match c.state with
+  | Closed _ -> ()
+  | _ ->
+    c.state <- Closed reason;
+    clear_deadline c;
+    (match (c.reg, c.loop) with
+    | Some r, Some loop -> Reactor.deregister loop r
+    | _ -> ());
+    c.reg <- None;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    c.on_close c reason
+
+(** Write as much of the queue as the socket accepts right now.
+    Raises {!Write_failed} on a hard socket error. *)
+let flush_step (c : t) : bool =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.outq) do
+    let e = Queue.peek c.outq in
+    match Unix.write c.fd e.ebuf e.eoff (Bytes.length e.ebuf - e.eoff) with
+    | n ->
+      progressed := true;
+      c.on_bytes c `Out n;
+      e.eoff <- e.eoff + n;
+      if e.eoff = Bytes.length e.ebuf then begin
+        ignore (Queue.pop c.outq);
+        if e.droppable then c.q_droppable <- c.q_droppable - 1
+      end
+      else continue := false
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Write_failed (Unix.error_message e))
+  done;
+  !progressed
+
+(** Stop reading, try one opportunistic flush (small replies — an error
+    frame, say — usually fit the socket buffer), close after the current
+    dispatch round. Idempotent; the first reason wins. *)
+let doom (c : t) (reason : string) =
+  match c.state with
+  | Doomed _ | Closed _ -> ()
+  | Alive | Closing ->
+    c.state <- Doomed reason;
+    (try ignore (flush_step c) with Write_failed _ -> ());
+    sync_interest c;
+    (match c.loop with
+    | Some loop -> Reactor.defer loop (fun () -> close_now c reason)
+    | None -> close_now c reason)
+
+(** Flush everything queued, then close ("graceful": HTTP responses). *)
+let flush_close (c : t) =
+  match c.state with
+  | Doomed _ | Closed _ | Closing -> ()
+  | Alive ->
+    if Queue.is_empty c.outq then
+      match c.loop with
+      | Some loop -> Reactor.defer loop (fun () -> close_now c "done")
+      | None -> close_now c "done"
+    else begin
+      c.state <- Closing;
+      c.reading <- false;
+      sync_interest c
+    end
+
+let writable (c : t) =
+  match flush_step c with
+  | progressed ->
+    if Queue.is_empty c.outq then begin
+      match c.state with
+      | Closing -> close_now c "done"
+      | _ -> sync_interest c
+    end
+    else sync_interest c;
+    if progressed && c.state = Alive then c.on_progress c
+  | exception Write_failed msg -> doom c ("write error: " ^ msg)
+
+(** Deliver every complete frame buffered in the decoder. Stops if the
+    connection leaves [Alive] or is detached mid-loop (shard handoff
+    re-dispatches the rest on the adopting reactor). *)
+let rec drain_frames (c : t) =
+  if c.state = Alive && c.reg <> None then
+    match Frame.Decoder.pop c.decoder with
+    | None -> ()
+    | Some frame ->
+      (try c.on_input c frame
+       with e ->
+         Log.err (fun m ->
+             m "on_frame raised %s; closing connection" (Printexc.to_string e));
+         doom c (Printexc.to_string e));
+      drain_frames c
+    | exception Frame.Frame_error msg ->
+      c.on_decode_error c msg;
+      doom c msg
+
+let readable (c : t) =
+  match c.loop with
+  | None -> ()
+  | Some loop -> (
+    let scratch = Reactor.scratch loop in
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> doom c "peer closed"
+    | n -> (
+      c.on_bytes c `In n;
+      match c.mode with
+      | Chunks -> if c.state = Alive then c.on_input c (Bytes.sub scratch 0 n)
+      | Frames ->
+        Frame.Decoder.feed c.decoder scratch 0 n;
+        drain_frames c)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      doom c ("read error: " ^ Unix.error_message e))
+
+let default_on_bytes _ _ _ = ()
+let default_on_progress _ = ()
+let default_on_decode_error _ _ = ()
+
+let attach (loop : Reactor.t) (fd : Unix.file_descr) ?(mode = Frames)
+    ?max_frame ~(on_frame : t -> Bytes.t -> unit)
+    ~(on_close : t -> string -> unit) ?(on_progress = default_on_progress)
+    ?(on_decode_error = default_on_decode_error)
+    ?(on_bytes = default_on_bytes) () : t =
+  Unix.set_nonblock fd;
+  let c =
+    { fd; mode; decoder = Frame.Decoder.create ?max_frame ()
+    ; outq = Queue.create (); q_droppable = 0; loop = Some loop; reg = None
+    ; on_input = on_frame; on_close; on_progress; on_decode_error; on_bytes
+    ; deadline = None; state = Alive; reading = true }
+  in
+  let r =
+    Reactor.register loop fd
+      ~on_readable:(fun () -> readable c)
+      ~on_writable:(fun () -> writable c)
+  in
+  c.reg <- Some r;
+  sync_interest c;
+  c
+
+let enqueue (c : t) ~droppable (wire : Bytes.t) =
+  match c.state with
+  | Alive ->
+    Queue.add { ebuf = wire; eoff = 0; droppable } c.outq;
+    if droppable then c.q_droppable <- c.q_droppable + 1;
+    sync_interest c
+  | Closing | Doomed _ | Closed _ -> ()
+
+(** Queue a length-prefixed frame (Frames mode). *)
+let send (c : t) ?(droppable = false) (body : Bytes.t) =
+  enqueue c ~droppable (Frame.encode body)
+
+(** Queue raw bytes verbatim (Chunks mode / HTTP responses). Takes
+    ownership of [wire]. *)
+let send_raw (c : t) ?(droppable = false) (wire : Bytes.t) =
+  enqueue c ~droppable wire
+
+(** Drop the oldest fully-unwritten droppable entry, if any
+    ([Drop_oldest] backpressure). *)
+let drop_oldest_droppable (c : t) : bool =
+  let dropped = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun e ->
+      if (not !dropped) && e.droppable && e.eoff = 0 then dropped := true
+      else Queue.add e keep)
+    c.outq;
+  if !dropped then begin
+    Queue.clear c.outq;
+    Queue.transfer keep c.outq;
+    c.q_droppable <- c.q_droppable - 1
+  end;
+  !dropped
+
+(** Pause/resume delivering reads (the relay pauses publishers while a
+    subscriber is over its watermark under [Block]). *)
+let set_read_intent (c : t) (b : bool) =
+  c.reading <- b;
+  sync_interest c
+
+(** Arm (or clear) an inactivity deadline: the connection is doomed with
+    [reason] if the timer fires. Re-arming cancels the previous timer.
+    Deadlines do not survive {!detach}. *)
+let set_deadline (c : t) ?(reason = "deadline exceeded") = function
+  | None -> clear_deadline c
+  | Some delay_s -> (
+    clear_deadline c;
+    match c.loop with
+    | None -> invalid_arg "Conn.set_deadline: detached"
+    | Some loop ->
+      c.deadline <- Some (Reactor.after loop delay_s (fun () -> doom c reason)))
+
+(** Unhook from the current reactor, keeping fd, decoder backlog, write
+    queue, and callbacks intact. Loop-thread only; the conn is inert
+    until {!adopt}. *)
+let detach (c : t) =
+  (match c.state with
+  | Alive -> ()
+  | _ -> invalid_arg "Conn.detach: connection not alive");
+  clear_deadline c;
+  (match (c.reg, c.loop) with
+  | Some r, Some loop -> Reactor.deregister loop r
+  | _ -> ());
+  c.reg <- None;
+  c.loop <- None
+
+(** Re-register a detached conn on [loop] (called on [loop]'s thread,
+    typically from an {!Reactor.inject} thunk). Any frames already
+    buffered in the decoder are re-dispatched after the current round. *)
+let adopt (loop : Reactor.t) (c : t) =
+  if c.reg <> None || c.loop <> None then
+    invalid_arg "Conn.adopt: connection still attached";
+  (match c.state with
+  | Alive -> ()
+  | _ -> invalid_arg "Conn.adopt: connection not alive");
+  c.loop <- Some loop;
+  let r =
+    Reactor.register loop c.fd
+      ~on_readable:(fun () -> readable c)
+      ~on_writable:(fun () -> writable c)
+  in
+  c.reg <- Some r;
+  sync_interest c;
+  Reactor.defer loop (fun () -> drain_frames c)
+
+(** Replace the protocol callbacks (a server adopting a foreign conn). *)
+let set_callbacks (c : t) ?on_frame ?on_close ?on_progress ?on_decode_error
+    ?on_bytes () =
+  Option.iter (fun f -> c.on_input <- f) on_frame;
+  Option.iter (fun f -> c.on_close <- f) on_close;
+  Option.iter (fun f -> c.on_progress <- f) on_progress;
+  Option.iter (fun f -> c.on_decode_error <- f) on_decode_error;
+  Option.iter (fun f -> c.on_bytes <- f) on_bytes

@@ -1,0 +1,377 @@
+(** A single-threaded readiness engine shared by every server stack in
+    this repository (relay shards, the embedded httpd, the format
+    server, [Tcp.serve]).
+
+    One reactor owns one [Unix.select] loop. Everything else is built
+    on three primitives:
+
+    - {b interest sets}: file descriptors register read/write callbacks
+      and toggle interest without re-registering ({!register},
+      {!set_read}, {!set_write});
+    - {b a timer wheel}: a binary min-heap of (deadline, seq) pairs with
+      lazy cancellation ({!Wheel}, surfaced as {!after} / {!cancel}),
+      driving per-connection deadlines and drain timeouts;
+    - {b a self-pipe}: {!inject} enqueues a thunk from any thread (or
+      any domain) and wakes the loop, which is how accepted sockets are
+      handed to relay shards and how shutdown is requested from signal
+      handlers and foreign threads.
+
+    The loop itself never spawns threads; blocking work belongs to the
+    caller's threads, which communicate with the loop via {!inject}. *)
+
+let log = Logs.Src.create "omf.reactor" ~doc:"shared readiness engine"
+
+module Log = (val Logs.src_log log)
+
+(** Wall-clock seconds ([Unix.gettimeofday]). [Sys.time] measures CPU
+    time and stalls while the loop sleeps in select, so deadlines use
+    the wall clock; a clock step therefore shifts pending deadlines,
+    which is acceptable for the sub-minute timeouts used here. *)
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Wheel = struct
+  (** Binary min-heap ordered by (deadline, insertion seq). The seq
+      tie-break makes firing order deterministic: two timers due at the
+      same instant fire in the order they were scheduled — the property
+      [test_reactor.ml] checks against a sorted model. Cancellation is
+      lazy: the entry stays in the heap and is skipped when it
+      surfaces. *)
+
+  type timer = {
+    deadline : float;
+    seq : int;
+    action : unit -> unit;
+    mutable live : bool;
+  }
+
+  type t = {
+    mutable heap : timer array;  (** [heap.(0)] is the minimum *)
+    mutable size : int;
+    mutable next_seq : int;
+    mutable live_count : int;
+  }
+
+  let dummy =
+    { deadline = 0.0; seq = -1; action = ignore; live = false }
+
+  let create () = { heap = Array.make 16 dummy; size = 0; next_seq = 0
+                  ; live_count = 0 }
+
+  let before a b =
+    a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+
+  let swap h i j =
+    let tmp = h.heap.(i) in
+    h.heap.(i) <- h.heap.(j);
+    h.heap.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before h.heap.(i) h.heap.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && before h.heap.(l) h.heap.(!smallest) then smallest := l;
+    if r < h.size && before h.heap.(r) h.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let schedule (h : t) ~(at : float) (action : unit -> unit) : timer =
+    let t = { deadline = at; seq = h.next_seq; action; live = true } in
+    h.next_seq <- h.next_seq + 1;
+    if h.size = Array.length h.heap then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.heap 0 bigger 0 h.size;
+      h.heap <- bigger
+    end;
+    h.heap.(h.size) <- t;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1);
+    h.live_count <- h.live_count + 1;
+    t
+
+  let cancel (t : timer) : unit = t.live <- false
+  (* live_count is corrected lazily when the dead entry surfaces *)
+
+  let pop_min h =
+    let min = h.heap.(0) in
+    h.size <- h.size - 1;
+    h.heap.(0) <- h.heap.(h.size);
+    h.heap.(h.size) <- dummy;
+    if h.size > 0 then sift_down h 0;
+    min
+
+  (** Drop cancelled entries off the top so [next_deadline] reflects a
+      live timer. *)
+  let rec prune h =
+    if h.size > 0 && not h.heap.(0).live then begin
+      ignore (pop_min h);
+      prune h
+    end
+
+  let next_deadline (h : t) : float option =
+    prune h;
+    if h.size = 0 then None else Some h.heap.(0).deadline
+
+  (** Live (scheduled, not yet fired or cancelled) timer count. *)
+  let pending (h : t) : int =
+    prune h;
+    let n = ref 0 in
+    for i = 0 to h.size - 1 do
+      if h.heap.(i).live then incr n
+    done;
+    !n
+
+  (** [fire h ~now] runs every live timer with [deadline <= now], in
+      (deadline, seq) order, and returns how many fired. Actions run
+      after the timer is removed, so an action rescheduling itself is
+      fine. *)
+  let fire (h : t) ~(now : float) : int =
+    let fired = ref 0 in
+    let rec go () =
+      prune h;
+      if h.size > 0 && h.heap.(0).deadline <= now then begin
+        let t = pop_min h in
+        t.live <- false;
+        incr fired;
+        t.action ();
+        go ()
+      end
+    in
+    go ();
+    !fired
+end
+
+type timer = Wheel.timer
+
+(* ------------------------------------------------------------------ *)
+(* Registrations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type registration = {
+  r_fd : Unix.file_descr;
+  mutable r_read : bool;
+  mutable r_write : bool;
+  mutable r_on_readable : unit -> unit;
+  mutable r_on_writable : unit -> unit;
+  mutable r_active : bool;
+}
+
+type t = {
+  wheel : Wheel.t;
+  regs : (Unix.file_descr, registration) Hashtbl.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mu : Mutex.t;  (** guards [injected] and [stop_requested] writes *)
+  injected : (unit -> unit) Queue.t;
+  deferred : (unit -> unit) Queue.t;  (** loop-thread only *)
+  scratch : Bytes.t;  (** shared read buffer for this loop's conns *)
+  mutable on_tick : unit -> unit;
+      (** runs once at the top of every loop iteration — for embeddings
+          that must poll a plain flag set from a signal handler, where
+          {!inject}'s mutex is off-limits *)
+  mutable stop_requested : bool;
+  mutable running : bool;
+}
+
+let create () : t =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  { wheel = Wheel.create ()
+  ; regs = Hashtbl.create 64
+  ; wake_r
+  ; wake_w
+  ; mu = Mutex.create ()
+  ; injected = Queue.create ()
+  ; deferred = Queue.create ()
+  ; scratch = Bytes.create 65536
+  ; on_tick = ignore
+  ; stop_requested = false
+  ; running = false }
+
+let scratch t = t.scratch
+
+let register (t : t) (fd : Unix.file_descr) ~(on_readable : unit -> unit)
+    ~(on_writable : unit -> unit) : registration =
+  if Hashtbl.mem t.regs fd then
+    invalid_arg "Reactor.register: fd already registered";
+  let r =
+    { r_fd = fd; r_read = true; r_write = false
+    ; r_on_readable = on_readable; r_on_writable = on_writable
+    ; r_active = true }
+  in
+  Hashtbl.replace t.regs fd r;
+  r
+
+let set_read (r : registration) (b : bool) = r.r_read <- b
+let set_write (r : registration) (b : bool) = r.r_write <- b
+
+let set_handlers (r : registration) ~(on_readable : unit -> unit)
+    ~(on_writable : unit -> unit) =
+  r.r_on_readable <- on_readable;
+  r.r_on_writable <- on_writable
+
+let deregister (t : t) (r : registration) =
+  if r.r_active then begin
+    r.r_active <- false;
+    Hashtbl.remove t.regs r.r_fd
+  end
+
+let fd_count (t : t) = Hashtbl.length t.regs
+
+(** Install a per-iteration hook (see the [on_tick] field). Set it
+    before {!run}; only signal-handler-safe flag polling belongs here. *)
+let set_on_tick (t : t) (fn : unit -> unit) = t.on_tick <- fn
+
+let after (t : t) (delay_s : float) (action : unit -> unit) : timer =
+  Wheel.schedule t.wheel ~at:(now () +. delay_s) action
+
+let cancel (_t : t) (tm : timer) = Wheel.cancel tm
+
+let pending_timers (t : t) = Wheel.pending t.wheel
+
+(** Run [fn] on the loop thread after the current dispatch round —
+    loop-thread callers only (used for close sweeps that must not
+    invalidate state mid-dispatch). *)
+let defer (t : t) (fn : unit -> unit) = Queue.add fn t.deferred
+
+let wake (t : t) =
+  (* best-effort single byte; a full pipe already guarantees a wakeup *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EPIPE | EBADF), _, _)
+  -> ()
+
+(** Thread-safe (and domain-safe): enqueue [fn] to run on the loop
+    thread and wake the loop. *)
+let inject (t : t) (fn : unit -> unit) =
+  Mutex.lock t.mu;
+  Queue.add fn t.injected;
+  Mutex.unlock t.mu;
+  wake t
+
+(** Thread-safe: ask the loop to exit after the current round. *)
+let stop (t : t) =
+  Mutex.lock t.mu;
+  t.stop_requested <- true;
+  Mutex.unlock t.mu;
+  wake t
+
+let drain_wake_pipe (t : t) =
+  let junk = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r junk 0 (Bytes.length junk) with
+    | n when n = Bytes.length junk -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+let run_injected (t : t) =
+  let pending = Queue.create () in
+  Mutex.lock t.mu;
+  Queue.transfer t.injected pending;
+  Mutex.unlock t.mu;
+  Queue.iter (fun fn -> fn ()) pending
+
+let run_deferred (t : t) =
+  while not (Queue.is_empty t.deferred) do
+    (Queue.pop t.deferred) ()
+  done
+
+(** A closed fd slipped into the interest set (a bug in the caller, or
+    a race with an external close): deactivate it so select can make
+    progress, rather than spinning on EBADF. *)
+let prune_bad_fds (t : t) =
+  let bad =
+    Hashtbl.fold
+      (fun fd r acc ->
+        match Unix.fstat fd with
+        | _ -> acc
+        | exception Unix.Unix_error (EBADF, _, _) -> r :: acc)
+      t.regs []
+  in
+  List.iter
+    (fun r ->
+      Log.warn (fun m -> m "dropping registration for closed fd");
+      deregister t r)
+    bad
+
+let select_timeout (t : t) =
+  match Wheel.next_deadline t.wheel with
+  | None -> 0.5
+  | Some d -> Float.max 0.0 (Float.min (d -. now ()) 0.5)
+
+(** The loop: fire due timers, run injected thunks, select on the
+    interest sets, dispatch writes then reads, then run deferred
+    cleanups — until {!stop}. Returns with all injected/deferred work
+    drained; registered fds are {e not} closed (owners do that). *)
+let run (t : t) =
+  if t.running then invalid_arg "Reactor.run: already running";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      while not t.stop_requested do
+        ignore (Wheel.fire t.wheel ~now:(now ()));
+        run_injected t;
+        t.on_tick ();
+        run_deferred t;
+        if not t.stop_requested then begin
+          let timeout = select_timeout t in
+          let reads =
+            Hashtbl.fold
+              (fun fd r acc -> if r.r_active && r.r_read then fd :: acc else acc)
+              t.regs [ t.wake_r ]
+          in
+          let writes =
+            Hashtbl.fold
+              (fun fd r acc ->
+                if r.r_active && r.r_write then fd :: acc else acc)
+              t.regs []
+          in
+          match Unix.select reads writes [] timeout with
+          | exception Unix.Unix_error (EINTR, _, _) -> ()
+          | exception Unix.Unix_error (EBADF, _, _) -> prune_bad_fds t
+          | readable, writable, _ ->
+            if List.memq t.wake_r readable then begin
+              drain_wake_pipe t;
+              run_injected t
+            end;
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt t.regs fd with
+                | Some r when r.r_active && r.r_write -> r.r_on_writable ()
+                | _ -> ())
+              writable;
+            List.iter
+              (fun fd ->
+                if fd != t.wake_r then
+                  match Hashtbl.find_opt t.regs fd with
+                  | Some r when r.r_active && r.r_read -> r.r_on_readable ()
+                  | _ -> ())
+              readable;
+            run_deferred t
+        end
+      done;
+      (* final sweep so close/cleanup thunks queued by the last round
+         (or by stop itself) still run *)
+      run_injected t;
+      run_deferred t)
+
+(** Release the wake pipe. Call only after {!run} has returned. *)
+let dispose (t : t) =
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -1,5 +1,5 @@
 (** The networked event relay: the {!Omf_backbone.Broker} served over
-    real TCP by a single-threaded, [Unix.select]-driven event loop.
+    real TCP by {!Omf_reactor.Reactor} event loops.
 
     This is the deployable form of the paper's event backbone (Figures 1
     and 3): capture points and subscribers are separate processes on
@@ -11,10 +11,13 @@
 
     Design points:
 
-    - {b Single-threaded.} One [select] loop owns every socket;
-      non-blocking reads are reassembled into frames by
-      {!Omf_transport.Frame.Decoder}, writes are queued per connection
-      and flushed on writability. No locks, deterministic fan-out order.
+    - {b Single-threaded per shard.} One reactor loop owns every socket
+      of its shard; non-blocking reads are reassembled into frames by
+      {!Omf_reactor.Conn}, writes are queued per connection and flushed
+      on writability. No locks on the hot path, deterministic fan-out
+      order. {!Cluster} runs N such loops (one domain each) behind one
+      acceptor, pinning each stream to a shard so per-stream ordering
+      is preserved.
     - {b Bounded queues + backpressure.} Each subscriber has a bounded
       outbound queue of data frames. When a subscriber falls behind, the
       configured {!policy} decides: [Block] stops reading from the
@@ -74,9 +77,13 @@ let k_stats = 't'
 let k_ok = 'o'
 let k_err = 'e'
 
+
 (* ------------------------------------------------------------------ *)
-(* Connections                                                          *)
+(* Connections and shards                                               *)
 (* ------------------------------------------------------------------ *)
+
+module Reactor = Omf_reactor.Reactor
+module Rconn = Omf_reactor.Conn
 
 type role =
   | Pending  (** control commands only, no stream attached yet *)
@@ -84,32 +91,37 @@ type role =
       (** [link] is the broker's fan-out entry for the stream *)
   | Subscriber of { stream : string; unsubscribe : unit -> unit }
 
-type out_entry = {
-  ebuf : Bytes.t;  (** wire bytes: header + frame *)
-  mutable eoff : int;  (** bytes already written *)
-  droppable : bool;  (** data frame, sheddable under [Drop_oldest] *)
-}
+type state = Running | Draining | Stopped
 
 type conn = {
-  cid : int;
-  fd : Unix.file_descr;
-  decoder : Frame.Decoder.t;
-  outq : out_entry Queue.t;
-  mutable q_data : int;  (** droppable frames currently queued *)
+  cid : int;  (** unique across the cluster: strided by shard count *)
+  io : Rconn.t;  (** the reactor-side buffered connection driver *)
   mutable creds : (string * string) list;
   mutable role : role;
   mutable over_since : float option;
       (** when the queue first crossed the watermark (Evict_slow) *)
+  mutable grace_timer : Reactor.timer option;
+      (** pending eviction deadline on the shard's timer wheel *)
+  mutable congesting : bool;
+      (** this subscriber currently pauses its stream's publishers *)
   mutable mac : Macframe.state option;
       (** HMAC frame mode, negotiated at HELLO; sealing starts with the
           frame after the HELLO exchange in each direction *)
   mutable mac_rejects : int;  (** frames that failed authentication *)
-  mutable doomed : string option;  (** close reason, swept after dispatch *)
+  mutable home : t;  (** the shard whose loop owns this connection *)
 }
 
-type state = Running | Draining | Stopped
+(** Cluster-wide state: which shard owns which stream, and every shard
+    (for merged stats). The pins table is the only cross-shard mutable
+    structure on the request path; it is mutex-guarded and touched once
+    per ADVERTISE/PUBLISH/SUBSCRIBE. *)
+and shared = {
+  pins_mu : Mutex.t;
+  pins : (string, int) Hashtbl.t;  (** stream -> owning shard id *)
+  mutable peers : t array;  (** every shard, indexed by shard id *)
+}
 
-type t = {
+and t = {
   host : string;
   port : int;
   policy : policy;
@@ -126,34 +138,21 @@ type t = {
   mac_reject_limit : int;
       (** close a connection after this many unauthenticated frames *)
   drain_default_s : float;
-  lsock : Unix.file_descr;
-  wake_r : Unix.file_descr;
-  wake_w : Unix.file_descr;
+  mutable lsock : Unix.file_descr option;
+      (** shards in a cluster have no listener of their own *)
+  mutable lreg : Reactor.registration option;
+  reactor : Reactor.t;
   broker : Broker.t;
-  conns : (int, conn) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;  (** loop-thread only *)
   counters : Counters.t;
-  scratch : Bytes.t;
+  shard_id : int;
+  cid_stride : int;
+  shared : shared option;  (** [None] for a standalone relay *)
   mutable next_cid : int;
   mutable state : state;
-  mutable stop_requested : bool;
-  mutable drain_deadline : float;
+  mutable drain_timer : Reactor.timer option;
+  mutable stop_flag : bool;  (** set by {!request_shutdown} *)
 }
-
-let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
-    ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
-    ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
-  let lsock, bound_port = Tcp.listener ~host ~port () in
-  Unix.set_nonblock lsock;
-  let wake_r, wake_w = Unix.pipe () in
-  Unix.set_nonblock wake_r;
-  Unix.set_nonblock wake_w;
-  { host; port = bound_port; policy; max_queue; evict_grace = evict_grace_s
-  ; sndbuf; auth_keys; mac_reject_limit
-  ; drain_default_s = drain_s
-  ; lsock; wake_r; wake_w; broker = Broker.create ()
-  ; conns = Hashtbl.create 64; counters = Counters.create ()
-  ; scratch = Bytes.create 65536; next_cid = 1; state = Running
-  ; stop_requested = false; drain_deadline = infinity }
 
 let port t = t.port
 
@@ -162,8 +161,17 @@ let port t = t.port
     as for the in-process broker). *)
 let broker t = t.broker
 
+(** One counter snapshot: cluster-wide (summed over every shard) when
+    sharded, so a STATS reply from any shard reports whole-relay
+    traffic; just this relay's counters when standalone. *)
+let counter_snapshot (t : t) : (string * int) list =
+  match t.shared with
+  | Some sh when Array.length sh.peers > 0 ->
+    Counters.merged (Array.to_list (Array.map (fun s -> s.counters) sh.peers))
+  | _ -> Counters.dump t.counters
+
 let stats t : (string * int) list =
-  Counters.dump t.counters
+  counter_snapshot t
   @ List.concat_map
       (fun s ->
         [ (Printf.sprintf "stream.%s.published" s, Broker.published_count t.broker ~stream:s)
@@ -175,11 +183,59 @@ let stats_text t =
     (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) (stats t))
 
 (** Ask the loop to drain and stop. Safe from another thread or a signal
-    handler: it only sets a flag and writes the wake pipe. *)
+    handler: it only sets a flag and writes the wake pipe (the loop's
+    per-iteration tick polls the flag — no mutex on this path). *)
 let request_shutdown (t : t) : unit =
-  t.stop_requested <- true;
-  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
-  with Unix.Unix_error _ -> ()
+  t.stop_flag <- true;
+  Reactor.wake t.reactor
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let total_queued (t : t) : int =
+  Hashtbl.fold (fun _ c acc -> acc + Rconn.queued c.io) t.conns 0
+
+(** Flush deadline reached (or everything flushed): doom what is left
+    and stop the loop. *)
+let finish_drain (t : t) =
+  if t.state <> Stopped then begin
+    t.state <- Stopped;
+    (match t.drain_timer with
+    | Some tm ->
+      Reactor.cancel t.reactor tm;
+      t.drain_timer <- None
+    | None -> ());
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    List.iter (fun c -> Rconn.doom c.io "shutdown") live;
+    Reactor.stop t.reactor;
+    Log.info (fun m -> m "shard %d stopped" t.shard_id)
+  end
+
+let check_drain_done (t : t) =
+  if t.state = Draining && total_queued t = 0 then finish_drain t
+
+(** Stop accepting and reading, keep flushing subscriber queues until
+    they empty or the drain deadline fires. Loop-thread only. *)
+let begin_drain (t : t) =
+  if t.state = Running then begin
+    t.state <- Draining;
+    (match t.lreg with
+    | Some r ->
+      Reactor.deregister t.reactor r;
+      t.lreg <- None
+    | None -> ());
+    (match t.lsock with
+    | Some s ->
+      (try Unix.close s with Unix.Unix_error _ -> ());
+      t.lsock <- None
+    | None -> ());
+    Hashtbl.iter (fun _ c -> Rconn.set_read_intent c.io false) t.conns;
+    t.drain_timer <-
+      Some (Reactor.after t.reactor t.drain_default_s (fun () -> finish_drain t));
+    Log.info (fun m -> m "draining %d connections" (Hashtbl.length t.conns));
+    check_drain_done t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Outbound queues and backpressure                                     *)
@@ -191,78 +247,19 @@ let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
   let frame =
     match c.mac with None -> frame | Some st -> Macframe.seal_next st frame
   in
-  Queue.add { ebuf = Frame.encode frame; eoff = 0; droppable } c.outq;
-  if droppable then c.q_data <- c.q_data + 1
+  Rconn.send c.io ~droppable frame
 
-(** Drop the oldest fully-unwritten data frame, if any. *)
-let drop_oldest_droppable (c : conn) : bool =
-  let dropped = ref false in
-  let keep = Queue.create () in
-  Queue.iter
-    (fun e ->
-      if (not !dropped) && e.droppable && e.eoff = 0 then dropped := true
-      else Queue.add e keep)
-    c.outq;
-  if !dropped then begin
-    Queue.clear c.outq;
-    Queue.transfer keep c.outq;
-    c.q_data <- c.q_data - 1
-  end;
-  !dropped
-
-(** Doom [c] as a slow consumer (swept after the current dispatch). *)
-let evict_slow (t : t) (c : conn) =
-  c.doomed <- Some "slow consumer evicted";
-  Counters.incr t.counters "subscribers_evicted";
-  Log.info (fun m -> m "conn %d: evicting slow consumer" c.cid)
-
-(** Enqueue a relayed stream frame onto a subscriber, applying the
-    backpressure policy. Raises {!Link.Closed} when the subscriber is
-    (or becomes) dead so the broker skips it. *)
-let enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
-  if c.doomed <> None then raise Link.Closed;
-  let droppable =
-    not
-      (Bytes.length frame > 0
-      && Char.equal (Bytes.get frame 0) Endpoint.frame_descriptor)
-  in
-  if droppable && c.q_data >= t.max_queue then begin
-    match t.policy with
-    | Block ->
-      (* over the high-watermark: the loop pauses the stream's
-         publishers until this queue drains; nothing is lost *)
-      ()
-    | Drop_oldest ->
-      if drop_oldest_droppable c then
-        Counters.incr t.counters "frames_dropped"
-    | Evict_slow -> (
-      (* over the watermark: start (or check) the grace clock rather
-         than evicting outright — an actively draining consumer that
-         is merely behind for a moment must not be killed.  The queue
-         may grow past the watermark during the grace window; it is
-         bounded by grace x publish rate. *)
-      let now = Unix.gettimeofday () in
-      match c.over_since with
-      | None -> c.over_since <- Some now
-      | Some t0 when now -. t0 >= t.evict_grace ->
-        evict_slow t c;
-        raise Link.Closed
-      | Some _ -> ())
-  end;
-  enqueue_entry c ~droppable frame;
-  Counters.incr t.counters "frames_out"
-
-let reply (t : t) (c : conn) kind (body : string) =
+let reply (c : conn) kind (body : string) =
   let b = Bytes.create (1 + String.length body) in
   Bytes.set b 0 kind;
   Bytes.blit_string body 0 b 1 (String.length body);
-  enqueue_entry c ~droppable:false b;
-  ignore t
+  enqueue_entry c ~droppable:false b
 
-let reply_ok t c body = reply t c k_ok body
-let reply_err t c msg =
+let reply_ok c body = reply c k_ok body
+
+let reply_err (t : t) c msg =
   Counters.incr t.counters "errors";
-  reply t c k_err msg
+  reply c k_err msg
 
 (** Under [Block]: is some subscriber of [stream] over the watermark? *)
 let stream_congested (t : t) (stream : string) : bool =
@@ -273,9 +270,91 @@ let stream_congested (t : t) (stream : string) : bool =
          || match c.role with
             | Subscriber s ->
               String.equal s.stream stream
-              && c.doomed = None && c.q_data >= t.max_queue
+              && Rconn.alive c.io
+              && Rconn.queued_droppable c.io >= t.max_queue
             | _ -> false)
        t.conns false
+
+let set_publishers_reading (t : t) (stream : string) (b : bool) =
+  Hashtbl.iter
+    (fun _ c ->
+      match c.role with
+      | Publisher p when String.equal p.stream stream ->
+        Rconn.set_read_intent c.io (b && t.state = Running)
+      | _ -> ())
+    t.conns
+
+let maybe_resume_stream (t : t) (stream : string) =
+  if t.policy = Block && t.state = Running && not (stream_congested t stream)
+  then set_publishers_reading t stream true
+
+let clear_grace (c : conn) =
+  c.over_since <- None;
+  match c.grace_timer with
+  | Some tm ->
+    Reactor.cancel c.home.reactor tm;
+    c.grace_timer <- None
+  | None -> ()
+
+(** Doom [c] as a slow consumer. *)
+let evict_slow (t : t) (c : conn) =
+  Counters.incr t.counters "subscribers_evicted";
+  Log.info (fun m -> m "conn %d: evicting slow consumer" c.cid);
+  Rconn.doom c.io "slow consumer evicted"
+
+(** Start the eviction grace clock: if the subscriber is still over the
+    watermark when the timer fires, it is evicted — an actively
+    draining consumer that recovers in time is spared ({!conn_progress}
+    cancels the timer). *)
+let arm_grace (t : t) (c : conn) =
+  match c.grace_timer with
+  | Some _ -> ()
+  | None ->
+    c.grace_timer <-
+      Some
+        (Reactor.after t.reactor t.evict_grace (fun () ->
+             c.grace_timer <- None;
+             match c.over_since with
+             | Some _ when Rconn.alive c.io -> evict_slow t c
+             | _ -> ()))
+
+(** Enqueue a relayed stream frame onto a subscriber, applying the
+    backpressure policy. Raises {!Link.Closed} when the subscriber is
+    dead so the broker skips it. *)
+let enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
+  if not (Rconn.alive c.io) then raise Link.Closed;
+  let droppable =
+    not
+      (Bytes.length frame > 0
+      && Char.equal (Bytes.get frame 0) Endpoint.frame_descriptor)
+  in
+  if droppable && Rconn.queued_droppable c.io >= t.max_queue then begin
+    match t.policy with
+    | Block ->
+      (* over the high-watermark: pause the stream's publishers until
+         this queue drains ({!conn_progress} resumes them); nothing is
+         lost — TCP pushes back to the capture point *)
+      if not c.congesting then begin
+        c.congesting <- true;
+        match c.role with
+        | Subscriber s -> set_publishers_reading t s.stream false
+        | Publisher _ | Pending -> ()
+      end
+    | Drop_oldest ->
+      if Rconn.drop_oldest_droppable c.io then
+        Counters.incr t.counters "frames_dropped"
+    | Evict_slow -> (
+      (* over the watermark: start the grace clock rather than evicting
+         outright.  The queue may grow past the watermark during the
+         grace window; it is bounded by grace x publish rate. *)
+      match c.over_since with
+      | None ->
+        c.over_since <- Some (Reactor.now ());
+        arm_grace t c
+      | Some _ -> ())
+  end;
+  enqueue_entry c ~droppable frame;
+  Counters.incr t.counters "frames_out"
 
 (* ------------------------------------------------------------------ *)
 (* Frame dispatch                                                       *)
@@ -291,12 +370,13 @@ let parse_creds (s : string) : (string * string) list =
              ( String.sub line 0 i
              , String.sub line (i + 1) (String.length line - i - 1) ))
 
-(** Reject a connection at the protocol level: count it, reply, doom. *)
+(** Reject a connection at the protocol level: count it, reply, doom
+    (the doom's opportunistic flush usually gets the ['e'] out). *)
 let protocol_reject (t : t) (c : conn) (msg : string) =
   Counters.incr t.counters "frames_rejected";
   Log.warn (fun m -> m "conn %d: %s" c.cid msg);
   reply_err t c msg;
-  c.doomed <- Some "protocol error"
+  Rconn.doom c.io "protocol error"
 
 (** HELLO: record credentials and negotiate the frame mode. With
     [auth=hmac] + a known [key-id], the ['o'] reply is sent in the
@@ -310,84 +390,142 @@ let handle_hello (t : t) (c : conn) (body : string) =
   if List.mem_assoc "omf-reconnect" c.creds then
     Counters.incr t.counters "reconnects_accepted";
   match List.assoc_opt "auth" c.creds with
-  | None -> reply_ok t c "omf-relay 1"
+  | None -> reply_ok c "omf-relay 1"
   | Some "hmac" -> (
     match List.assoc_opt "key-id" c.creds with
     | None ->
       Counters.incr t.counters "auth_denied";
       reply_err t c "hello: auth=hmac requires key-id";
-      c.doomed <- Some "auth denied"
+      Rconn.doom c.io "auth denied"
     | Some id -> (
       match List.assoc_opt id t.auth_keys with
       | None ->
         Counters.incr t.counters "auth_denied";
         reply_err t c (Printf.sprintf "hello: unknown key-id %s" id);
-        c.doomed <- Some "auth denied"
+        Rconn.doom c.io "auth denied"
       | Some key ->
         Counters.incr t.counters "auth_sessions";
-        reply_ok t c "omf-relay 1 mac";
+        reply_ok c "omf-relay 1 mac";
         (* armed after the reply: the reply itself is plaintext, the
            next outbound frame is the first sealed one *)
         c.mac <- Some (Macframe.state ~key)))
   | Some other ->
     Counters.incr t.counters "auth_denied";
     reply_err t c (Printf.sprintf "hello: unsupported auth mode %s" other);
-    c.doomed <- Some "auth denied"
+    Rconn.doom c.io "auth denied"
 
-let handle_control (t : t) (c : conn) kind (body : string) =
+(** Which shard owns [stream]? First toucher pins it (standalone relays
+    always own everything). Thread-safe; called from any shard loop. *)
+let stream_owner (t : t) (stream : string) : t =
+  match t.shared with
+  | None -> t
+  | Some sh ->
+    Mutex.lock sh.pins_mu;
+    let owner =
+      match Hashtbl.find_opt sh.pins stream with
+      | Some id -> sh.peers.(id)
+      | None ->
+        Hashtbl.replace sh.pins stream t.shard_id;
+        t
+    in
+    Mutex.unlock sh.pins_mu;
+    owner
+
+let rec handle_control (t : t) (c : conn) kind (body : string) =
   if Char.equal kind k_hello then handle_hello t c body
-  else if Char.equal kind k_stats then reply_ok t c (stats_text t)
+  else if Char.equal kind k_stats then reply_ok c (stats_text t)
   else if Char.equal kind k_advertise then begin
     match String.index_opt body '\n' with
     | None -> reply_err t c "advertise: want \"stream\\nschema\""
     | Some i -> (
       let stream = String.sub body 0 i in
-      let schema = String.sub body (i + 1) (String.length body - i - 1) in
-      match Broker.advertise t.broker ~stream ~schema with
-      | () ->
-        Counters.incr t.counters "advertisements";
-        reply_ok t c ""
-      | exception Omf_xschema.Schema.Schema_error m ->
-        reply_err t c (Printf.sprintf "advertise %s: %s" stream m))
+      let owner = stream_owner t stream in
+      if owner != t then route t owner c kind body stream
+      else
+        let schema = String.sub body (i + 1) (String.length body - i - 1) in
+        match Broker.advertise t.broker ~stream ~schema with
+        | () ->
+          Counters.incr t.counters "advertisements";
+          reply_ok c ""
+        | exception Omf_xschema.Schema.Schema_error m ->
+          reply_err t c (Printf.sprintf "advertise %s: %s" stream m))
   end
   else if Char.equal kind k_publish then begin
     match c.role with
     | Publisher _ | Subscriber _ ->
       reply_err t c "publish: connection already has a role"
     | Pending -> (
-      match Broker.publisher_link t.broker ~stream:body with
-      | link ->
-        c.role <- Publisher { stream = body; link };
-        Counters.incr t.counters "publishers";
-        reply_ok t c ""
-      | exception Broker.Unknown_stream s ->
-        reply_err t c (Printf.sprintf "publish: unknown stream %s" s))
+      let owner = stream_owner t body in
+      if owner != t then route t owner c kind body body
+      else
+        match Broker.publisher_link t.broker ~stream:body with
+        | link ->
+          c.role <- Publisher { stream = body; link };
+          Counters.incr t.counters "publishers";
+          (* joining a stream that is already congested: start paused *)
+          if stream_congested t body then Rconn.set_read_intent c.io false;
+          reply_ok c ""
+        | exception Broker.Unknown_stream s ->
+          reply_err t c (Printf.sprintf "publish: unknown stream %s" s))
   end
   else if Char.equal kind k_subscribe then begin
     match c.role with
     | Publisher _ | Subscriber _ ->
       reply_err t c "subscribe: connection already has a role"
     | Pending -> (
-      match Broker.metadata_for t.broker ~stream:body c.creds with
-      | schema ->
-        (* reply first so the scoped schema precedes replayed frames *)
-        reply_ok t c schema;
-        let link =
-          { Link.send = (fun frame -> enqueue_relayed t c frame)
-          ; recv = (fun () -> None)
-          ; close = (fun () -> ()) }
-        in
-        let unsubscribe =
-          Broker.subscribe t.broker ~stream:body ~creds:c.creds link
-        in
-        c.role <- Subscriber { stream = body; unsubscribe };
-        Counters.incr t.counters "subscriptions"
-      | exception Broker.Unknown_stream s ->
-        reply_err t c (Printf.sprintf "subscribe: unknown stream %s" s)
-      | exception Broker.Access_denied m ->
-        reply_err t c (Printf.sprintf "subscribe: access denied: %s" m))
+      let owner = stream_owner t body in
+      if owner != t then route t owner c kind body body
+      else
+        match Broker.metadata_for t.broker ~stream:body c.creds with
+        | schema ->
+          (* reply first so the scoped schema precedes replayed frames *)
+          reply_ok c schema;
+          let link =
+            { Link.send = (fun frame -> enqueue_relayed t c frame)
+            ; recv = (fun () -> None)
+            ; close = (fun () -> ()) }
+          in
+          let unsubscribe =
+            Broker.subscribe t.broker ~stream:body ~creds:c.creds link
+          in
+          c.role <- Subscriber { stream = body; unsubscribe };
+          Counters.incr t.counters "subscriptions"
+        | exception Broker.Unknown_stream s ->
+          reply_err t c (Printf.sprintf "subscribe: unknown stream %s" s)
+        | exception Broker.Access_denied m ->
+          reply_err t c (Printf.sprintf "subscribe: access denied: %s" m))
   end
   else protocol_reject t c (Printf.sprintf "unknown command %C" kind)
+
+(** The stream named by this command lives on another shard. A
+    still-roleless connection migrates there (fd, decoder backlog, write
+    queue and MAC state travel; the command re-dispatches on the target
+    loop, then any buffered frames — per-connection order preserved). A
+    connection that already has a role is wedded to its shard's broker,
+    so the command is refused instead. *)
+and route (src : t) (target : t) (c : conn) kind (body : string)
+    (stream : string) =
+  match c.role with
+  | Publisher _ | Subscriber _ ->
+    reply_err src c
+      (Printf.sprintf "%s: stream %s is pinned to another shard"
+         (match kind with
+         | 'a' -> "advertise"
+         | 'p' -> "publish"
+         | _ -> "subscribe")
+         stream)
+  | Pending ->
+    Counters.incr src.counters "shard_handoffs";
+    Hashtbl.remove src.conns c.cid;
+    Rconn.detach c.io;
+    Reactor.inject target.reactor (fun () ->
+        if target.state = Running && Rconn.alive c.io then begin
+          c.home <- target;
+          Hashtbl.replace target.conns c.cid c;
+          Rconn.adopt target.reactor c.io;
+          handle_control target c kind body
+        end
+        else Rconn.doom c.io "shard draining")
 
 let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
   Counters.incr t.counters "frames_in";
@@ -432,215 +570,255 @@ let unseal (t : t) (c : conn) (frame : Bytes.t) : Bytes.t option =
           m "conn %d: rejected frame (%d/%d): %s" c.cid c.mac_rejects
             t.mac_reject_limit msg);
       if c.mac_rejects >= t.mac_reject_limit then
-        c.doomed <- Some "authentication failures";
+        Rconn.doom c.io "authentication failures";
       None)
 
 (* ------------------------------------------------------------------ *)
-(* The event loop                                                       *)
+(* Reactor callbacks                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let accept_ready (t : t) =
-  let continue = ref true in
-  while !continue do
-    match Unix.accept t.lsock with
-    | fd, _ ->
-      Unix.set_nonblock fd;
-      (try Unix.setsockopt fd Unix.TCP_NODELAY true
-       with Unix.Unix_error _ -> ());
-      (match t.sndbuf with
-      | Some n -> (
-        try Unix.setsockopt_int fd Unix.SO_SNDBUF n
-        with Unix.Unix_error _ -> ())
-      | None -> ());
-      let cid = t.next_cid in
-      t.next_cid <- cid + 1;
-      Hashtbl.replace t.conns cid
-        { cid; fd; decoder = Frame.Decoder.create (); outq = Queue.create ()
-        ; q_data = 0; creds = []; role = Pending; over_since = None
-        ; mac = None; mac_rejects = 0; doomed = None };
-      Counters.incr t.counters "connections";
-      Log.debug (fun m -> m "conn %d accepted" cid)
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-      continue := false
-    | exception Unix.Unix_error _ -> continue := false
-  done
-
-let read_ready (t : t) (c : conn) =
-  match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
-  | 0 -> c.doomed <- Some "peer closed"
-  | n -> (
-    Counters.incr t.counters ~by:n "bytes_in";
-    Frame.Decoder.feed c.decoder t.scratch 0 n;
-    try
-      let rec drain () =
-        if c.doomed = None then
-          match Frame.Decoder.pop c.decoder with
-          | Some frame ->
-            (match unseal t c frame with
-            | Some frame -> handle_frame t c frame
-            | None -> ());
-            drain ()
-          | None -> ()
-      in
-      drain ()
-    with
+(** One complete inbound frame. The callbacks consult [c.home] rather
+    than a captured shard so a handed-off connection dispatches on its
+    adopting shard. *)
+let conn_frame (c : conn) (frame : Bytes.t) =
+  let t = c.home in
+  match unseal t c frame with
+  | None -> ()
+  | Some frame -> (
+    try handle_frame t c frame with
     | Frame.Frame_error m | Broker.Unknown_stream m ->
-      (* length-framing corruption (or a stream error) is unrecoverable:
-         count the malformed-frame disconnect alongside MAC rejects *)
       Counters.incr t.counters "frames_rejected";
-      c.doomed <- Some m
+      Rconn.doom c.io m
     | Link.Closed -> ()
     (* subscriber died mid-fanout; its own doom is already set *))
-  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-  | exception Unix.Unix_error _ -> c.doomed <- Some "read error"
 
-let write_ready (t : t) (c : conn) =
-  let continue = ref true in
-  while !continue && not (Queue.is_empty c.outq) do
-    let e = Queue.peek c.outq in
-    match Unix.write c.fd e.ebuf e.eoff (Bytes.length e.ebuf - e.eoff) with
-    | n ->
-      Counters.incr t.counters ~by:n "bytes_out";
-      e.eoff <- e.eoff + n;
-      if e.eoff = Bytes.length e.ebuf then begin
-        ignore (Queue.pop c.outq);
-        if e.droppable then begin
-          c.q_data <- c.q_data - 1;
-          (* drained back below the watermark: the consumer recovered,
-             so stop the eviction grace clock *)
-          if c.q_data < t.max_queue then c.over_since <- None
-        end
-      end
-      else continue := false
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-      continue := false
-    | exception Unix.Unix_error _ ->
-      c.doomed <- Some "write error";
-      continue := false
-  done
-
-let close_conn (t : t) (c : conn) =
-  (* best-effort flush first: a conn doomed for a protocol error has
-     its 'e' reply still queued, and the peer should learn why it was
-     dropped — push whatever the socket will take without blocking *)
-  write_ready t c;
-  (match c.role with
-  | Subscriber s -> s.unsubscribe ()
-  | Publisher _ | Pending -> ());
+let conn_closed (c : conn) (reason : string) =
+  let t = c.home in
+  clear_grace c;
   Hashtbl.remove t.conns c.cid;
-  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close c.fd with Unix.Unix_error _ -> ());
-  Log.debug (fun m ->
-      m "conn %d closed (%s)" c.cid
-        (Option.value ~default:"normal" c.doomed))
+  (match c.role with
+  | Subscriber s ->
+    s.unsubscribe ();
+    maybe_resume_stream t s.stream
+  | Publisher _ | Pending -> ());
+  if t.state = Draining then check_drain_done t;
+  Log.debug (fun m -> m "conn %d closed (%s)" c.cid reason)
 
-let sweep_doomed (t : t) =
-  let doomed =
-    Hashtbl.fold
-      (fun _ c acc -> if c.doomed <> None then c :: acc else acc)
-      t.conns []
-  in
-  List.iter (close_conn t) doomed
+(** The write queue moved: a recovered consumer stops its eviction
+    clock and lifts any [Block] pause; during a drain, an emptied queue
+    may complete it. *)
+let conn_progress (c : conn) =
+  let t = c.home in
+  if Rconn.queued_droppable c.io < t.max_queue then begin
+    clear_grace c;
+    if c.congesting then begin
+      c.congesting <- false;
+      match c.role with
+      | Subscriber s -> maybe_resume_stream t s.stream
+      | Publisher _ | Pending -> ()
+    end
+  end;
+  if t.state = Draining && Rconn.queued c.io = 0 then check_drain_done t
 
-(** Sweep grace deadlines: a subscriber that stayed over the watermark
-    for the whole grace window is evicted even if no new frame arrives
-    to trigger the check in {!enqueue_relayed}. *)
-let check_evictions (t : t) =
-  if t.policy = Evict_slow then
-    let now = Unix.gettimeofday () in
-    Hashtbl.iter
-      (fun _ c ->
-        match c.over_since with
-        | Some t0 when c.doomed = None && now -. t0 >= t.evict_grace ->
-          evict_slow t c
-        | _ -> ())
-      t.conns
+(** Wire an accepted socket into shard [t] (loop-thread only; the
+    cluster acceptor reaches this through {!Reactor.inject}). *)
+let adopt_fd (t : t) (fd : Unix.file_descr) =
+  if t.state <> Running then (
+    try Unix.close fd with Unix.Unix_error _ -> ())
+  else begin
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    (match t.sndbuf with
+    | Some n -> (
+      try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+      with Unix.Unix_error _ -> ())
+    | None -> ());
+    let cid = t.next_cid in
+    t.next_cid <- cid + t.cid_stride;
+    let cell = ref None in
+    let the_conn () = Option.get !cell in
+    let io =
+      Rconn.attach t.reactor fd
+        ~on_frame:(fun _ frame -> conn_frame (the_conn ()) frame)
+        ~on_close:(fun _ reason -> conn_closed (the_conn ()) reason)
+        ~on_progress:(fun _ -> conn_progress (the_conn ()))
+        ~on_decode_error:(fun _ msg ->
+          (* length-framing corruption is unrecoverable: count the
+             malformed-frame disconnect alongside MAC rejects *)
+          let c = the_conn () in
+          Counters.incr c.home.counters "frames_rejected";
+          Log.warn (fun m -> m "conn %d: %s" c.cid msg))
+        ~on_bytes:(fun _ dir n ->
+          let c = the_conn () in
+          Counters.incr c.home.counters ~by:n
+            (match dir with `In -> "bytes_in" | `Out -> "bytes_out"))
+        ()
+    in
+    let c =
+      { cid; io; creds = []; role = Pending; over_since = None
+      ; grace_timer = None; congesting = false; mac = None; mac_rejects = 0
+      ; home = t }
+    in
+    cell := Some c;
+    Hashtbl.replace t.conns cid c;
+    Counters.incr t.counters "connections";
+    Log.debug (fun m -> m "conn %d accepted (shard %d)" cid t.shard_id)
+  end
 
-let drain_wake_pipe (t : t) =
-  let b = Bytes.create 64 in
-  let rec go () =
-    match Unix.read t.wake_r b 0 64 with
-    | 0 -> ()
-    | _ -> go ()
+(* ------------------------------------------------------------------ *)
+(* Construction and the loop                                            *)
+(* ------------------------------------------------------------------ *)
+
+let create_shard ~host ~port ~policy ~max_queue ~evict_grace ~sndbuf
+    ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride ~shared () : t
+    =
+  { host; port; policy; max_queue; evict_grace; sndbuf; auth_keys
+  ; mac_reject_limit; drain_default_s = drain_s; lsock = None; lreg = None
+  ; reactor = Reactor.create (); broker = Broker.create ()
+  ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
+  ; cid_stride; shared; next_cid = shard_id + 1; state = Running
+  ; drain_timer = None; stop_flag = false }
+
+let install_listener (t : t) (lsock : Unix.file_descr) =
+  Unix.set_nonblock lsock;
+  t.lsock <- Some lsock;
+  let rec accept_all () =
+    match Unix.accept ~cloexec:true lsock with
+    | fd, _ ->
+      adopt_fd t fd;
+      accept_all ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   in
-  go ()
+  t.lreg <-
+    Some
+      (Reactor.register t.reactor lsock ~on_readable:accept_all
+         ~on_writable:ignore)
 
-let conn_wants_read (t : t) (c : conn) : bool =
-  c.doomed = None
-  && t.state = Running
-  &&
-  match c.role with
-  | Publisher p -> not (stream_congested t p.stream)
-  | Pending | Subscriber _ -> true
+let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
+    ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
+    ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
+  let lsock, bound_port = Tcp.listener ~host ~port () in
+  let t =
+    create_shard ~host ~port:bound_port ~policy ~max_queue
+      ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
+      ~drain_s ~shard_id:0 ~cid_stride:1 ~shared:None ()
+  in
+  install_listener t lsock;
+  t
 
 (** Run the loop until {!request_shutdown} (then drain) completes. *)
 let run (t : t) : unit =
-  Log.info (fun m ->
-      m "listening on %s:%d (policy %s, max queue %d)" t.host t.port
-        (policy_to_string t.policy) t.max_queue);
-  while t.state <> Stopped do
-    (* enter drain on request *)
-    if t.stop_requested && t.state = Running then begin
-      t.state <- Draining;
-      t.drain_deadline <- Unix.gettimeofday () +. t.drain_default_s;
-      (try Unix.close t.lsock with Unix.Unix_error _ -> ());
-      Log.info (fun m ->
-          m "draining %d connections" (Hashtbl.length t.conns))
-    end;
-    if t.state = Draining then begin
-      let pending =
-        Hashtbl.fold
-          (fun _ c acc -> acc + Queue.length c.outq)
-          t.conns 0
-      in
-      if pending = 0 || Unix.gettimeofday () > t.drain_deadline then begin
-        Hashtbl.iter (fun _ c -> c.doomed <- Some "shutdown") t.conns;
-        sweep_doomed t;
-        (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
-        (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
-        t.state <- Stopped;
-        Log.info (fun m -> m "stopped")
-      end
-    end;
-    if t.state <> Stopped then begin
-      let reads =
-        t.wake_r
-        :: (if t.state = Running then [ t.lsock ] else [])
-        @ Hashtbl.fold
-            (fun _ c acc -> if conn_wants_read t c then c.fd :: acc else acc)
-            t.conns []
-      in
-      let writes =
-        Hashtbl.fold
-          (fun _ c acc ->
-            if c.doomed = None && not (Queue.is_empty c.outq) then
-              c.fd :: acc
-            else acc)
-          t.conns []
-      in
-      let timeout = if t.state = Draining then 0.05 else 0.5 in
-      match Unix.select reads writes [] timeout with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | exception Unix.Unix_error (EBADF, _, _) ->
-        (* a fd closed under us (e.g. listener on shutdown) — next
-           iteration rebuilds the sets from live connections *)
-        ()
-      | rs, ws, _ ->
-        if List.memq t.wake_r rs then drain_wake_pipe t;
-        if t.state = Running && List.memq t.lsock rs then accept_ready t;
-        Hashtbl.iter
-          (fun _ c ->
-            if c.doomed = None && List.memq c.fd ws then write_ready t c)
-          t.conns;
-        Hashtbl.iter
-          (fun _ c ->
-            if c.doomed = None && List.memq c.fd rs then read_ready t c)
-          t.conns;
-        check_evictions t;
-        sweep_doomed t
+  (match t.lsock with
+  | Some _ ->
+    Log.info (fun m ->
+        m "listening on %s:%d (policy %s, max queue %d)" t.host t.port
+          (policy_to_string t.policy) t.max_queue)
+  | None -> Log.debug (fun m -> m "shard %d loop running" t.shard_id));
+  Reactor.set_on_tick t.reactor (fun () ->
+      if t.stop_flag && t.state = Running then begin_drain t);
+  Reactor.run t.reactor;
+  Reactor.dispose t.reactor
+
+(* ------------------------------------------------------------------ *)
+(* Sharded cluster                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** N relay shards — one reactor loop per domain — behind a single
+    blocking acceptor thread that deals accepted sockets out
+    round-robin. The first ADVERTISE/PUBLISH/SUBSCRIBE naming a stream
+    pins it to the shard that received it; a connection landing on the
+    wrong shard migrates there before taking a role, so every frame of
+    a stream flows through exactly one loop and per-stream order is
+    what a standalone relay gives. *)
+module Cluster = struct
+  type relay = t
+
+  type t = {
+    lsock : Unix.file_descr;
+    cport : int;
+    shards : relay array;
+    mutable acceptor : Thread.t option;
+    mutable domains : unit Domain.t array;
+    mutable stopped : bool;
+    mutable joined : bool;
+  }
+
+  let start ?(host = "127.0.0.1") ?(port = 0) ?(shards = 1)
+      ?(policy = Block) ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf
+      ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
+    if shards < 1 then invalid_arg "Cluster.start: shards must be >= 1";
+    let lsock, bound_port = Tcp.listener ~host ~port () in
+    let shared =
+      { pins_mu = Mutex.create (); pins = Hashtbl.create 32; peers = [||] }
+    in
+    let arr =
+      Array.init shards (fun i ->
+          create_shard ~host ~port:bound_port ~policy ~max_queue
+            ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
+            ~drain_s ~shard_id:i ~cid_stride:shards ~shared:(Some shared) ())
+    in
+    shared.peers <- arr;
+    let cl =
+      { lsock; cport = bound_port; shards = arr; acceptor = None
+      ; domains = [||]; stopped = false; joined = false }
+    in
+    cl.domains <- Array.map (fun s -> Domain.spawn (fun () -> run s)) arr;
+    let acceptor () =
+      let next = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Unix.accept ~cloexec:true lsock with
+        | fd, _ ->
+          let shard = arr.(!next mod shards) in
+          incr next;
+          Reactor.inject shard.reactor (fun () -> adopt_fd shard fd)
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+          (* listener shut down (or died): stop dealing *)
+          continue := false
+      done
+    in
+    cl.acceptor <- Some (Thread.create acceptor ());
+    Log.info (fun m ->
+        m "cluster listening on %s:%d (%d shard%s, policy %s)" host
+          bound_port shards
+          (if shards = 1 then "" else "s")
+          (policy_to_string policy));
+    cl
+
+  let port (cl : t) = cl.cport
+  let shard_count (cl : t) = Array.length cl.shards
+
+  (** Cluster-wide counter totals (per-shard counters summed). Broker
+      gauges are per-shard state and are only reported over the wire
+      (STATS is answered by the shard that owns the connection). *)
+  let stats (cl : t) : (string * int) list =
+    Counters.merged
+      (Array.to_list (Array.map (fun s -> s.counters) cl.shards))
+
+  (** Signal-handler safe: unblock the acceptor and ask every shard to
+      drain. *)
+  let request_shutdown (cl : t) =
+    cl.stopped <- true;
+    (try Unix.shutdown cl.lsock Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Array.iter request_shutdown cl.shards
+
+  (** Join the acceptor and every shard domain (call after
+      {!request_shutdown}). *)
+  let wait (cl : t) =
+    if not cl.joined then begin
+      cl.joined <- true;
+      Option.iter Thread.join cl.acceptor;
+      Array.iter Domain.join cl.domains;
+      try Unix.close cl.lsock with Unix.Unix_error _ -> ()
     end
-  done
+
+  let stop (cl : t) =
+    request_shutdown cl;
+    wait cl
+end
 
 (* ------------------------------------------------------------------ *)
 (* Hosted convenience                                                   *)
@@ -664,7 +842,6 @@ let relay (h : handle) : t = h.relay
 let stop (h : handle) : unit =
   request_shutdown h.relay;
   Thread.join h.thread
-
 (* ------------------------------------------------------------------ *)
 (* Client                                                               *)
 (* ------------------------------------------------------------------ *)

@@ -1,5 +1,6 @@
 (** The networked event relay: the {!Omf_backbone.Broker} served over
-    real TCP by a single-threaded, [Unix.select]-driven event loop.
+    real TCP by {!Omf_reactor.Reactor} event loops (one loop per shard;
+    a standalone relay is a one-shard special case).
 
     The deployable form of the paper's event backbone (Figures 1/3):
     capture points and subscribers are separate processes; the relay
@@ -71,6 +72,53 @@ val run : t -> unit
 val request_shutdown : t -> unit
 (** Ask the loop to drain and stop. Safe from another thread or a
     signal handler (sets a flag, writes a wake pipe). *)
+
+(** {2 Sharded cluster}
+
+    N relay shards — one {!Omf_reactor.Reactor} loop per domain —
+    behind a single acceptor that deals accepted sockets out
+    round-robin. The first ADVERTISE/PUBLISH/SUBSCRIBE naming a stream
+    pins it to the shard that received it; a connection landing on the
+    wrong shard migrates there before taking a role, so every frame of
+    a stream flows through exactly one loop and per-stream delivery
+    order is exactly what a standalone relay gives. *)
+module Cluster : sig
+  type t
+
+  val start :
+    ?host:string ->
+    ?port:int ->
+    ?shards:int ->
+    ?policy:policy ->
+    ?max_queue:int ->
+    ?evict_grace_s:float ->
+    ?sndbuf:int ->
+    ?auth_keys:(string * string) list ->
+    ?mac_reject_limit:int ->
+    ?drain_s:float ->
+    unit ->
+    t
+  (** Bind one listening socket and run [?shards] (default 1) relay
+      loops, each on its own domain. The relay configuration arguments
+      are as for {!create} and apply to every shard. *)
+
+  val port : t -> int
+  val shard_count : t -> int
+
+  val stats : t -> (string * int) list
+  (** Cluster-wide counter totals (per-shard counters summed; includes
+      [shard_handoffs], the connections migrated between loops). *)
+
+  val request_shutdown : t -> unit
+  (** Unblock the acceptor and ask every shard to drain. Safe from a
+      signal handler. *)
+
+  val wait : t -> unit
+  (** Join the acceptor thread and every shard domain. *)
+
+  val stop : t -> unit
+  (** {!request_shutdown} then {!wait}. *)
+end
 
 (** {2 Hosted convenience} *)
 

@@ -1,104 +1,8 @@
-(** Length-prefixed frame codec with incremental reassembly.
+(** Length-prefixed frame codec — re-exported from {!Omf_reactor.Frame}.
 
-    The TCP framing (PROTOCOLS.md section 5) is a 4-byte big-endian
-    length followed by the frame body. {!Tcp} reads it with blocking
-    [really_read]; an event-loop server ({!Omf_relay}) instead gets
-    arbitrary chunks from non-blocking sockets and must reassemble
-    frames across partial reads — that is {!Decoder}'s job. The encoder
-    side is shared by both. *)
+    The codec moved into the reactor library so its buffered-connection
+    driver can reassemble frames without depending on the transport
+    layer; transport users keep their historical [Omf_transport.Frame]
+    name (including the [Frame_error] exception identity). *)
 
-exception Frame_error of string
-
-let frame_error fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
-
-let header_length = 4
-
-(** Frames longer than this are treated as protocol corruption. *)
-let default_max_frame = 1 lsl 30
-
-let write_header (buf : Bytes.t) (off : int) (len : int) : unit =
-  Bytes.set buf off (Char.chr ((len lsr 24) land 0xFF));
-  Bytes.set buf (off + 1) (Char.chr ((len lsr 16) land 0xFF));
-  Bytes.set buf (off + 2) (Char.chr ((len lsr 8) land 0xFF));
-  Bytes.set buf (off + 3) (Char.chr (len land 0xFF))
-
-let read_header (buf : Bytes.t) (off : int) : int =
-  let b i = Char.code (Bytes.get buf (off + i)) in
-  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
-
-(** [encode body] is the on-the-wire bytes: header + body, one buffer
-    (so one [write] on the socket). *)
-let encode (body : Bytes.t) : Bytes.t =
-  let len = Bytes.length body in
-  let b = Bytes.create (header_length + len) in
-  write_header b 0 len;
-  Bytes.blit body 0 b header_length len;
-  b
-
-(* ------------------------------------------------------------------ *)
-(* Incremental decoder                                                  *)
-(* ------------------------------------------------------------------ *)
-
-module Decoder = struct
-  type t = {
-    mutable buf : Bytes.t;  (** accumulated unconsumed bytes *)
-    mutable start : int;  (** first live byte in [buf] *)
-    mutable stop : int;  (** one past the last live byte *)
-    max_frame : int;
-  }
-
-  let create ?(max_frame = default_max_frame) () : t =
-    { buf = Bytes.create 4096; start = 0; stop = 0; max_frame }
-
-  let pending_bytes t = t.stop - t.start
-
-  let ensure_room t extra =
-    let live = pending_bytes t in
-    if Bytes.length t.buf - t.stop < extra then
-      if Bytes.length t.buf - live >= extra && t.start > 0 then begin
-        (* compact in place *)
-        Bytes.blit t.buf t.start t.buf 0 live;
-        t.start <- 0;
-        t.stop <- live
-      end
-      else begin
-        let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
-        while !cap < live + extra do
-          cap := !cap * 2
-        done;
-        let nb = Bytes.create !cap in
-        Bytes.blit t.buf t.start nb 0 live;
-        t.buf <- nb;
-        t.start <- 0;
-        t.stop <- live
-      end
-
-  (** [feed t chunk off len] appends raw socket bytes. *)
-  let feed (t : t) (chunk : Bytes.t) (off : int) (len : int) : unit =
-    if len < 0 || off < 0 || off + len > Bytes.length chunk then
-      invalid_arg "Frame.Decoder.feed";
-    ensure_room t len;
-    Bytes.blit chunk off t.buf t.stop len;
-    t.stop <- t.stop + len
-
-  (** [pop t] is the next complete frame body, if one has fully
-      arrived. Raises {!Frame_error} on an over-long or negative length
-      header (protocol corruption — the connection is unrecoverable). *)
-  let pop (t : t) : Bytes.t option =
-    if pending_bytes t < header_length then None
-    else begin
-      let len = read_header t.buf t.start in
-      if len < 0 || len > t.max_frame then
-        frame_error "bad frame length %d (max %d)" len t.max_frame;
-      if pending_bytes t < header_length + len then None
-      else begin
-        let body = Bytes.sub t.buf (t.start + header_length) len in
-        t.start <- t.start + header_length + len;
-        if t.start = t.stop then begin
-          t.start <- 0;
-          t.stop <- 0
-        end;
-        Some body
-      end
-    end
-end
+include Omf_reactor.Frame

@@ -16,11 +16,23 @@ val listener :
     their own accept/event loop ({!Omf_relay}). Returns the listening
     socket and the actually bound port (useful with [~port:0]). *)
 
-val listen :
-  ?host:string -> port:int -> (Link.t -> unit) -> Unix.file_descr * int
-(** Accept connections forever, one thread per connection. Returns the
-    listening socket (close it to stop) and the bound port (useful with
-    [~port:0]). *)
+type server
+(** A running {!serve} instance with a proper stop handle (the old
+    [listen] leaked its acceptor and per-connection threads). *)
+
+val serve :
+  ?host:string -> ?backlog:int -> port:int -> (Link.t -> unit) -> server
+(** Accept connections until {!shutdown}, running the handler with a
+    blocking {!Link.t} in a thread per connection; the link is closed
+    when the handler returns. The acceptor is a reactor loop, not a
+    blocking thread. [~port:0] binds an ephemeral port — read it with
+    {!server_port}. *)
+
+val server_port : server -> int
+
+val shutdown : server -> unit
+(** Stop accepting, join the acceptor and every in-flight handler
+    thread (a handler that never returns will block this). Idempotent. *)
 
 val connect :
   ?host:string ->

@@ -1,24 +1,55 @@
-type t = (string, int ref) Hashtbl.t
+type t = {
+  mu : Mutex.t;
+  tbl : (string, int ref) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 16
+let create () : t = { mu = Mutex.create (); tbl = Hashtbl.create 16 }
 
-let cell (t : t) name =
-  match Hashtbl.find_opt t name with
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let cell t name =
+  match Hashtbl.find_opt t.tbl name with
   | Some r -> r
   | None ->
     let r = ref 0 in
-    Hashtbl.replace t name r;
+    Hashtbl.replace t.tbl name r;
     r
 
 let incr t ?(by = 1) name =
-  let r = cell t name in
-  r := !r + by
+  locked t (fun () ->
+      let r = cell t name in
+      r := !r + by)
 
-let set t name v = cell t name := v
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let set t name v = locked t (fun () -> cell t name := v)
+
+let get t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0)
 
 let dump t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  locked t (fun () -> Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merged (ts : t list) : (string * int) list =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt acc name with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.replace acc name (ref v))
+        (dump t))
+    ts;
+  Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let to_text t =
@@ -39,3 +70,20 @@ let of_text s =
            (match int_of_string_opt (String.trim v) with
            | Some v when name <> "" -> Some (name, v)
            | _ -> None))
+
+let metric_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+  | _ -> '_'
+
+let prometheus ~component (snapshot : (string * int) list) : string =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b "omf_";
+      Buffer.add_string b (String.map metric_char component);
+      Buffer.add_char b '_';
+      Buffer.add_string b (String.map metric_char name);
+      Buffer.add_string b (Printf.sprintf " %d\n" v))
+    snapshot;
+  Buffer.contents b

@@ -1,7 +1,9 @@
 (** Named monotonic counters: the cheap observability substrate used by
     long-running servers (the relay daemon's STATS reply, the load
-    generator's report). Single-threaded by design — callers serialise
-    access (the relay's event loop already does). *)
+    generator's report, the `/metrics` endpoint). Thread-safe: each
+    table carries a mutex so relay shards running on separate domains
+    can be snapshotted ({!dump}, {!merged}) from any thread while their
+    loops keep counting. *)
 
 type t
 
@@ -18,8 +20,17 @@ val get : t -> string -> int
 val dump : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val merged : t list -> (string * int) list
+(** Sum same-named counters across tables (per-shard totals into one
+    view), sorted by name. *)
+
 val to_text : t -> string
 (** One ["name value\n"] line per counter, sorted — the STATS wire body. *)
 
 val of_text : string -> (string * int) list
 (** Parse {!to_text} output (unparseable lines are skipped). *)
+
+val prometheus : component:string -> (string * int) list -> string
+(** Render a snapshot in Prometheus text exposition format, one
+    [omf_<component>_<name> <value>] line per counter; characters
+    outside [[a-zA-Z0-9_]] in [component] or names become ['_']. *)

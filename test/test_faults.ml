@@ -390,6 +390,110 @@ let test_publisher_overflow_is_explicit () =
   Session.close_publisher pub
 
 (* ------------------------------------------------------------------ *)
+(* Sharded cluster: pinned streams, handoffs, zero loss                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Three streams on a two-shard cluster: the round-robin acceptor is
+   guaranteed to land some connections on the shard that does not own
+   their stream, so this exercises the detach/adopt handoff path —
+   under HMAC framing, whose per-direction nonces must survive the
+   migration. *)
+let test_cluster_pubsub_across_shards () =
+  let cl = Relay.Cluster.start ~shards:2 ~auth_keys:keys () in
+  Fun.protect ~finally:(fun () -> Relay.Cluster.stop cl) @@ fun () ->
+  let port = Relay.Cluster.port cl in
+  let auth = List.hd keys in
+  let streams = [ "flights-a"; "flights-b"; "flights-c" ] in
+  let pubs =
+    List.map
+      (fun stream ->
+        let p =
+          Session.publisher (cfg ~auth ~port ()) ~stream ~schema:Fx.schema_a
+            Abi.x86_64
+        in
+        (p, Option.get (Session.publisher_format p "ASDOffEvent")))
+      streams
+  in
+  let subs =
+    List.map
+      (fun stream ->
+        let s = Session.subscribe (cfg ~auth ~port ()) ~stream Abi.arm_32 in
+        (s, collect s))
+      streams
+  in
+  let n = scale 40 in
+  for seq = 0 to n - 1 do
+    List.iter (fun (p, fmt) -> Session.publish_value p fmt (event seq)) pubs
+  done;
+  List.iteri
+    (fun i (_, col) ->
+      poll
+        ~what:(Printf.sprintf "stream %d delivered" i)
+        (fun () -> count col >= n))
+    subs;
+  List.iter
+    (fun (s, col) ->
+      Session.close_subscriber s;
+      Thread.join col.thread)
+    subs;
+  List.iter (fun (p, _) -> Session.close_publisher p) pubs;
+  List.iter
+    (fun (_, col) ->
+      check bool "zero loss, in order, across shards" true
+        (collected col = List.init n Fun.id))
+    subs;
+  let stats = Relay.Cluster.stats cl in
+  let stat k = Option.value ~default:0 (List.assoc_opt k stats) in
+  check bool "wrong-shard connections migrated" true
+    (stat "shard_handoffs" >= 1);
+  check bool "merged stats count every connection" true
+    (stat "connections" >= 6);
+  check int "every event relayed exactly once" (3 * n)
+    (stat "events_relayed")
+
+(* The chaos-proxy outage scenario against a 2-shard cluster: the
+   resubscribing connection lands on whichever shard the round-robin
+   points at and must migrate to the stream's pinned shard before the
+   descriptor replay — a relay restartless version of severed-link
+   recovery. *)
+let test_cluster_survives_severed_link () =
+  let cl = Relay.Cluster.start ~shards:2 () in
+  Fun.protect ~finally:(fun () -> Relay.Cluster.stop cl) @@ fun () ->
+  let port = Relay.Cluster.port cl in
+  let chaos = Chaos.start ~upstream_port:port () in
+  Fun.protect ~finally:(fun () -> Chaos.stop chaos) @@ fun () ->
+  let pub =
+    Session.publisher (cfg ~port ()) ~stream:"flights" ~schema:Fx.schema_a
+      Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let sub =
+    Session.subscribe (cfg ~port:(Chaos.port chaos) ()) ~stream:"flights"
+      Abi.sparc_32
+  in
+  let col = collect sub in
+  let half = scale 8 in
+  for seq = 0 to half - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"pre-outage events (cluster)" (fun () -> count col >= half);
+  Chaos.sever_all chaos;
+  poll ~what:"resubscribe through chaos (cluster)" (fun () ->
+      Session.subscriber_reconnects sub >= 1);
+  for seq = half to (2 * half) - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"post-outage events (cluster)" (fun () ->
+      count col >= 2 * half);
+  Session.close_subscriber sub;
+  Thread.join col.thread;
+  check bool "zero loss through a 2-shard relay" true
+    (collected col = List.init (2 * half) Fun.id);
+  check int "one format registration across the outage" 1
+    (Session.subscriber_stats sub).formats_learned;
+  Session.close_publisher pub
+
+(* ------------------------------------------------------------------ *)
 (* Discovery under a hung (not dead) metadata server                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -465,6 +569,11 @@ let () =
             test_session_survives_severed_link
         ; Alcotest.test_case "publisher overflow is explicit" `Quick
             test_publisher_overflow_is_explicit ] )
+    ; ( "cluster",
+        [ Alcotest.test_case "2 shards: handoffs, zero loss, HMAC" `Quick
+            test_cluster_pubsub_across_shards
+        ; Alcotest.test_case "2 shards survive severed links (chaos)" `Quick
+            test_cluster_survives_severed_link ] )
     ; ( "discovery",
         [ Alcotest.test_case "falls back within deadline (blackhole)" `Quick
             test_discovery_falls_back_within_deadline

@@ -61,6 +61,29 @@ let test_concurrent_requests () =
       List.iter Thread.join threads;
       Array.iter (fun r -> check str "every thread got the document" Fx.schema_b r) results)
 
+let test_metrics_endpoint () =
+  let counters = Omf_util.Counters.create () in
+  Omf_util.Counters.incr counters ~by:42 "frames_in";
+  Omf_util.Counters.incr counters "weird.name-x";
+  let server =
+    Http.serve_metrics ~port:0
+      [ ("relay", fun () -> Omf_util.Counters.dump counters) ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Http.shutdown server)
+    (fun () ->
+      let body = Http.get ~port:(Http.port server) ~path:"/metrics" () in
+      let lines = String.split_on_char '\n' body in
+      check bool "prometheus counter line" true
+        (List.mem "omf_relay_frames_in 42" lines);
+      check bool "names sanitized to [a-zA-Z0-9_]" true
+        (List.mem "omf_relay_weird_name_x 1" lines);
+      (* non-metrics paths 404 *)
+      (try
+         ignore (Http.get ~port:(Http.port server) ~path:"/other" ());
+         Alcotest.fail "expected Http_error"
+       with Http.Http_error _ -> ()))
+
 let test_serve_directory () =
   let dir = Filename.temp_file "omf" ".d" in
   Sys.remove dir;
@@ -156,7 +179,8 @@ let () =
         ; Alcotest.test_case "404" `Quick test_404
         ; Alcotest.test_case "connection refused" `Quick test_connection_refused
         ; Alcotest.test_case "concurrent requests" `Quick test_concurrent_requests
-        ; Alcotest.test_case "directory serving" `Quick test_serve_directory ] )
+        ; Alcotest.test_case "directory serving" `Quick test_serve_directory
+        ; Alcotest.test_case "prometheus /metrics" `Quick test_metrics_endpoint ] )
     ; ( "discovery",
         [ Alcotest.test_case "discover over HTTP" `Quick test_discovery_over_http
         ; Alcotest.test_case "HTTP down -> compiled fallback" `Quick

@@ -254,8 +254,8 @@ let test_total_infrastructure_failure () =
 let test_duplex_tcp_exchange () =
   let server_got = ref None and done_flag = ref false in
   let mu = Mutex.create () and cond = Condition.create () in
-  let sock, port =
-    Omf_transport.Tcp.listen ~port:0 (fun link ->
+  let server =
+    Omf_transport.Tcp.serve ~port:0 (fun link ->
         (* server side: its own catalog, receives then replies *)
         let catalog = Catalog.create Abi.power_64 in
         ignore (X2W.register_schema catalog Fx.schema_a);
@@ -279,8 +279,9 @@ let test_duplex_tcp_exchange () =
         Condition.signal cond;
         Mutex.unlock mu)
   in
+  let port = Omf_transport.Tcp.server_port server in
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> Omf_transport.Tcp.shutdown server)
     (fun () ->
       let link = Omf_transport.Tcp.connect ~port () in
       let catalog = Catalog.create Abi.x86_32 in

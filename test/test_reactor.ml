@@ -1,0 +1,265 @@
+(** Tests for the shared readiness engine: the timer wheel's firing
+    order against a sorted model (property-tested under random
+    insert/cancel), fd churn through the buffered connection driver
+    without leaking registrations, cross-thread [inject] under load,
+    and per-connection deadlines. *)
+
+module Reactor = Omf_reactor.Reactor
+module Conn = Omf_reactor.Conn
+module Wheel = Omf_reactor.Reactor.Wheel
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random schedule/cancel sequences: firing must visit exactly the
+   still-live timers with deadline <= cut, in (deadline, insertion)
+   order — i.e. the order of the sorted model. Deadlines are drawn from
+   a small integer range so ties (the interesting case for the seq
+   tie-break) are common. *)
+let prop_wheel_order =
+  QCheck.Test.make ~name:"timer wheel fires in (deadline, seq) order"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 40) (int_range 0 9))
+        (list_of_size Gen.(0 -- 20) small_nat))
+    (fun (deadlines, cancels) ->
+      let h = Wheel.create () in
+      let fired = ref [] in
+      (* model: (deadline, seq) for every scheduled timer *)
+      let timers =
+        List.mapi
+          (fun seq d ->
+            let tm =
+              Wheel.schedule h ~at:(float_of_int d) (fun () ->
+                  fired := (d, seq) :: !fired)
+            in
+            (d, seq, tm))
+          deadlines
+      in
+      let cancelled =
+        List.filter_map
+          (fun i ->
+            match List.nth_opt timers (i mod max 1 (List.length timers)) with
+            | Some (d, seq, tm) when List.length timers > 0 ->
+              Wheel.cancel tm;
+              Some (d, seq)
+            | _ -> None)
+          cancels
+      in
+      let live (d, seq) = not (List.mem (d, seq) cancelled) in
+      (* fire in two stages to exercise partial cuts *)
+      ignore (Wheel.fire h ~now:4.5);
+      let mid = List.rev !fired in
+      ignore (Wheel.fire h ~now:100.0);
+      let all = List.rev !fired in
+      let model = List.map (fun (d, seq, _) -> (d, seq)) timers in
+      let expect_mid =
+        List.filter (fun (d, _) -> d <= 4) (List.filter live model)
+      in
+      let expect_all = List.filter live model in
+      (* the model is already in (deadline-stable, seq) order only if
+         sorted; insertion order is seq order, so sort by deadline
+         keeping seq order (stable sort) *)
+      let sorted l =
+        List.stable_sort (fun (d1, _) (d2, _) -> compare d1 d2) l
+      in
+      mid = sorted expect_mid && all = sorted expect_all)
+
+let test_wheel_reschedule () =
+  let h = Wheel.create () in
+  let hits = ref 0 in
+  (* an action that re-arms itself must be safe (it runs after removal) *)
+  let rec arm at =
+    ignore
+      (Wheel.schedule h ~at (fun () ->
+           incr hits;
+           if !hits < 3 then arm (at +. 1.0)))
+  in
+  arm 1.0;
+  ignore (Wheel.fire h ~now:10.0);
+  (* the re-armed timers are due within the same cut and fire too *)
+  check int "chained re-arms all fired" 3 !hits;
+  check int "wheel drained" 0 (Wheel.pending h)
+
+let test_wheel_cancel_counts () =
+  let h = Wheel.create () in
+  let t1 = Wheel.schedule h ~at:1.0 ignore in
+  let _t2 = Wheel.schedule h ~at:2.0 ignore in
+  check int "two pending" 2 (Wheel.pending h);
+  Wheel.cancel t1;
+  check int "one live after cancel" 1 (Wheel.pending h);
+  check bool "next deadline skips the cancelled head" true
+    (Wheel.next_deadline h = Some 2.0);
+  check int "only the live timer fires" 1 (Wheel.fire h ~now:5.0)
+
+(* ------------------------------------------------------------------ *)
+(* A reactor on a thread, with helpers                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_loop fn =
+  let loop = Reactor.create () in
+  let thread = Thread.create Reactor.run loop in
+  Fun.protect
+    ~finally:(fun () ->
+      Reactor.stop loop;
+      Thread.join thread;
+      Reactor.dispose loop)
+    (fun () -> fn loop)
+
+(* run [fn] on the loop thread and wait for its result *)
+let on_loop loop fn =
+  let mu = Mutex.create () and cond = Condition.create () in
+  let result = ref None in
+  Reactor.inject loop (fun () ->
+      let r = fn () in
+      Mutex.lock mu;
+      result := Some r;
+      Condition.signal cond;
+      Mutex.unlock mu);
+  Mutex.lock mu;
+  while !result = None do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Conn: fd churn without leaks                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Attach an echoing Conn over one end of a socketpair, talk to it from
+   this thread, close, repeat. Registrations must not accumulate. *)
+let test_fd_churn () =
+  with_loop (fun loop ->
+      let baseline = on_loop loop (fun () -> Reactor.fd_count loop) in
+      for round = 1 to 25 do
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let closed = ref false in
+        ignore
+          (on_loop loop (fun () ->
+               Conn.attach loop b
+                 ~on_frame:(fun c frame -> Conn.send c frame)
+                 ~on_close:(fun _ _ -> closed := true)
+                 ()));
+        let msg = Bytes.of_string (Printf.sprintf "ping %d" round) in
+        let wire = Omf_reactor.Frame.encode msg in
+        let n = Unix.write a wire 0 (Bytes.length wire) in
+        check int "request written" (Bytes.length wire) n;
+        (* blocking read of the echoed frame *)
+        let hdr = Bytes.create 4 in
+        let rec really_read buf off len =
+          if len > 0 then begin
+            let n = Unix.read a buf off len in
+            if n = 0 then Alcotest.fail "echo peer closed early";
+            really_read buf (off + n) (len - n)
+          end
+        in
+        really_read hdr 0 4;
+        let body_len = Omf_reactor.Frame.read_header hdr 0 in
+        let body = Bytes.create body_len in
+        really_read body 0 body_len;
+        check bool "echoed intact" true (Bytes.equal body msg);
+        Unix.close a;
+        (* wait for the loop to notice the close and deregister *)
+        let rec settle tries =
+          if on_loop loop (fun () -> Reactor.fd_count loop) > baseline then
+            if tries = 0 then Alcotest.fail "conn registration leaked"
+            else begin
+              Thread.delay 0.01;
+              settle (tries - 1)
+            end
+        in
+        settle 200;
+        check bool "on_close fired" true !closed
+      done;
+      let final = on_loop loop (fun () -> Reactor.fd_count loop) in
+      check int "no registrations leaked over 25 churns" baseline final)
+
+(* ------------------------------------------------------------------ *)
+(* Wakeup under cross-thread load                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_inject_under_load () =
+  with_loop (fun loop ->
+      let total = 4 * 250 in
+      let hits = ref 0 in
+      (* many threads hammering inject concurrently; every thunk must
+         run exactly once, on the loop thread *)
+      let loop_thread_ok = ref true in
+      let loop_tid = on_loop loop (fun () -> Thread.id (Thread.self ())) in
+      let senders =
+        List.init 4 (fun _ ->
+            Thread.create
+              (fun () ->
+                for _ = 1 to 250 do
+                  Reactor.inject loop (fun () ->
+                      if Thread.id (Thread.self ()) <> loop_tid then
+                        loop_thread_ok := false;
+                      incr hits)
+                done)
+              ())
+      in
+      List.iter Thread.join senders;
+      (* one more injection as a barrier: the queue is FIFO *)
+      ignore (on_loop loop (fun () -> ()));
+      check int "every injected thunk ran" total !hits;
+      check bool "thunks ran on the loop thread" true !loop_thread_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Conn deadlines                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_conn_deadline () =
+  with_loop (fun loop ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let mu = Mutex.create () in
+      let reason = ref None in
+      ignore
+        (on_loop loop (fun () ->
+             let c =
+               Conn.attach loop b
+                 ~on_frame:(fun _ _ -> ())
+                 ~on_close:(fun _ r ->
+                   Mutex.lock mu;
+                   reason := Some r;
+                   Mutex.unlock mu)
+                 ()
+             in
+             Conn.set_deadline c ~reason:"idle timeout" (Some 0.05)));
+      (* never write: the deadline must doom the conn *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        Mutex.lock mu;
+        let r = !reason in
+        Mutex.unlock mu;
+        if r = None && Unix.gettimeofday () < deadline then begin
+          Thread.delay 0.01;
+          wait ()
+        end
+      in
+      wait ();
+      check bool "deadline closed the conn" true
+        (!reason = Some "idle timeout");
+      Unix.close a)
+
+let () =
+  Alcotest.run "reactor"
+    [ ( "wheel"
+      , [ QCheck_alcotest.to_alcotest prop_wheel_order
+        ; Alcotest.test_case "re-arming actions" `Quick test_wheel_reschedule
+        ; Alcotest.test_case "lazy cancellation" `Quick
+            test_wheel_cancel_counts ] )
+    ; ( "conn"
+      , [ Alcotest.test_case "fd churn leaks nothing" `Quick test_fd_churn
+        ; Alcotest.test_case "deadline dooms idle conn" `Quick
+            test_conn_deadline ] )
+    ; ( "wakeup"
+      , [ Alcotest.test_case "inject under cross-thread load" `Quick
+            test_inject_under_load ] )
+    ]

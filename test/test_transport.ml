@@ -222,8 +222,8 @@ let test_tcp_roundtrip () =
   let received = ref None in
   let done_flag = ref false in
   let mu = Mutex.create () and cond = Condition.create () in
-  let server_sock, port =
-    Tcp.listen ~port:0 (fun link ->
+  let server =
+    Tcp.serve ~port:0 (fun link ->
         let rreg = Registry.create Abi.sparc_32 in
         ignore (Registry.register rreg Fx.decl_a);
         let receiver =
@@ -236,8 +236,9 @@ let test_tcp_roundtrip () =
         Condition.signal cond;
         Mutex.unlock mu)
   in
+  let port = Tcp.server_port server in
   Fun.protect
-    ~finally:(fun () -> try Unix.close server_sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> Tcp.shutdown server)
     (fun () ->
       let link = Tcp.connect ~port () in
       let sreg = Registry.create Abi.x86_64 in
