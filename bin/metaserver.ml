@@ -4,7 +4,9 @@
     (section 7).
 
     [metaserver DIR] serves every [*.xsd] in DIR, validating each on
-    startup so clients never fetch a broken document. *)
+    startup so clients never fetch a broken document.
+    [--metrics-port P] additionally serves request counters in
+    Prometheus text format on [GET /metrics]. *)
 
 open Cmdliner
 
@@ -29,10 +31,19 @@ let host_arg =
     & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Also serve request counters in Prometheus text format on \
+           $(b,GET /metrics) at this port.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every request.")
 
-let run dir port host verbose =
+let run dir port host metrics_port verbose =
   setup_logs verbose;
   let docs = Sys.readdir dir in
   let xsds =
@@ -68,9 +79,30 @@ let run dir port host verbose =
     match broken with
     | (f, m) :: _ -> `Error (false, Printf.sprintf "%s: %s" f m)
     | [] ->
-      let server = Omf_httpd.Http.serve_directory ~host ~port dir in
+      (* count every request through the directory handler so the
+         server's traffic shows up on /metrics and in logs *)
+      let counters = Omf_util.Counters.create () in
+      let dir_handler = Omf_httpd.Http.directory_handler dir in
+      let handler ~path ~headers =
+        Omf_util.Counters.incr counters "requests";
+        let resp = dir_handler ~path ~headers in
+        (if resp.Omf_httpd.Http.status = 200 then
+           Omf_util.Counters.incr counters "documents_served"
+         else Omf_util.Counters.incr counters "not_found");
+        resp
+      in
+      let server = Omf_httpd.Http.serve ~host ~port handler in
       Printf.printf "metaserver: serving %d document(s) from %s on http://%s:%d/\n%!"
         (List.length xsds) dir host (Omf_httpd.Http.port server);
+      Option.iter
+        (fun p ->
+          let srv =
+            Omf_httpd.Http.serve_metrics ~host ~port:p
+              [ ("metaserver", fun () -> Omf_util.Counters.dump counters) ]
+          in
+          Printf.printf "metaserver: metrics on http://%s:%d/metrics\n%!" host
+            (Omf_httpd.Http.port srv))
+        metrics_port;
       (* serve until interrupted *)
       let rec forever () =
         Thread.delay 3600.0;
@@ -85,4 +117,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(ret (const run $ dir_arg $ port_arg $ host_arg $ verbose_arg))))
+          Term.(
+            ret
+              (const run $ dir_arg $ port_arg $ host_arg $ metrics_port_arg
+             $ verbose_arg))))

@@ -118,28 +118,100 @@ let metrics_port_arg =
           "Also serve relay counters in Prometheus text format on \
            $(b,GET /metrics) at this port.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persist every stream to a segmented append-only log under \
+           $(docv) (doc/STORE.md): publishers can request durability \
+           acks, subscribers can replay stored offsets, and a restarted \
+           relayd recovers all streams from disk.")
+
+let fsync_conv =
+  let parse s =
+    match Omf_relay.Relay.Store.fsync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf p ->
+      Fmt.string ppf (Omf_relay.Relay.Store.fsync_policy_to_string p))
+
+let store_fsync_arg =
+  Arg.(
+    value
+    & opt fsync_conv (Omf_relay.Relay.Store.Interval 0.1)
+    & info [ "store-fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Durability policy: $(b,never) (page cache only), $(b,every=N) \
+           (fsync once per N appends), or $(b,interval=SECS) (fsync on a \
+           timer; the default, interval=0.1).")
+
+let store_segment_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "store-segment-mb" ] ~docv:"MB"
+        ~doc:"Roll to a new segment file past $(docv) MiB.")
+
+let store_retain_segments_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "store-retain-segments" ] ~docv:"N"
+        ~doc:"Keep at most $(docv) segment files per stream (0 = all).")
+
+let store_retain_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "store-retain-mb" ] ~docv:"MB"
+        ~doc:"Cap each stream's segments at $(docv) MiB (0 = unlimited).")
+
+let store_retain_age_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "store-retain-age-s" ] ~docv:"SECONDS"
+        ~doc:"Drop sealed segments older than $(docv) seconds (0 = never).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let run port host policy max_queue evict_grace auth_keys mac_reject_limit
-    drain shards metrics_port verbose =
+    drain shards metrics_port store_dir store_fsync store_segment_mb
+    store_retain_segments store_retain_mb store_retain_age verbose =
   setup_logs verbose;
+  let store =
+    Option.map
+      (fun root ->
+        { (Omf_relay.Relay.Store.default_config ~root) with
+          segment_bytes = store_segment_mb * 1024 * 1024
+        ; fsync = store_fsync
+        ; retain_segments = store_retain_segments
+        ; retain_bytes = store_retain_mb * 1024 * 1024
+        ; retain_age = store_retain_age })
+      store_dir
+  in
   if shards < 1 then `Error (false, "--shards must be >= 1")
   else
     match
       Omf_relay.Relay.Cluster.start ~host ~port ~shards ~policy ~max_queue
         ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit
-        ~drain_s:drain ()
+        ~drain_s:drain ?store ()
     with
     | cluster ->
       Printf.printf
         "relayd: listening on %s:%d (policy %s, max queue %d, shards %d, \
-         auth keys %d)\n\
+         auth keys %d%s)\n\
          %!"
         host
         (Omf_relay.Relay.Cluster.port cluster)
         (Omf_relay.Relay.policy_to_string policy)
-        max_queue shards (List.length auth_keys);
+        max_queue shards (List.length auth_keys)
+        (match store with
+        | None -> ""
+        | Some s ->
+          Printf.sprintf ", store %s fsync %s" s.root
+            (Omf_relay.Relay.Store.fsync_policy_to_string s.fsync));
       let metrics =
         Option.map
           (fun p ->
@@ -166,6 +238,8 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     | exception Unix.Unix_error (e, _, _) ->
       `Error
         (false, Printf.sprintf "bind %s:%d: %s" host port (Unix.error_message e))
+    | exception Omf_relay.Relay.Store.Store_error m ->
+      `Error (false, Printf.sprintf "store: %s" m)
 
 let () =
   let doc = "networked event-relay daemon (NDR pub/sub over TCP)" in
@@ -177,4 +251,7 @@ let () =
             ret
               (const run $ port_arg $ host_arg $ policy_arg $ max_queue_arg
              $ evict_grace_arg $ auth_keys_arg $ mac_reject_limit_arg
-             $ drain_arg $ shards_arg $ metrics_port_arg $ verbose_arg))))
+             $ drain_arg $ shards_arg $ metrics_port_arg $ store_arg
+             $ store_fsync_arg $ store_segment_mb_arg
+             $ store_retain_segments_arg $ store_retain_mb_arg
+             $ store_retain_age_arg $ verbose_arg))))

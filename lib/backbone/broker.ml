@@ -97,7 +97,13 @@ let publisher_link (t : t) ~(stream : string) : Omf_transport.Link.t =
           Bytes.length frame > 0
           && Char.equal (Bytes.get frame 0)
                Omf_transport.Endpoint.frame_descriptor
-        then s.pending_frames <- s.pending_frames @ [ Bytes.copy frame ];
+        then begin
+          (* dedupe by content: a publisher that reconnects (or a store
+             recovery replay) re-announces the same descriptors; caching
+             them twice would replay duplicates to every late joiner *)
+          if not (List.exists (Bytes.equal frame) s.pending_frames) then
+            s.pending_frames <- s.pending_frames @ [ Bytes.copy frame ]
+        end;
         s.published <- s.published + 1;
         List.iter
           (fun sub ->

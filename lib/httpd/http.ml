@@ -248,26 +248,32 @@ let serve_table ?host ~port (table : (string * string) list) : server =
       | Some body -> ok body
       | None -> not_found path)
 
-(** Serve [*.xsd] files from a directory: [/name.xsd -> dir/name.xsd]. *)
+(** The [*.xsd]-from-a-directory handler behind {!serve_directory}:
+    [/name.xsd -> dir/name.xsd], traversal-safe. Exposed so callers
+    (the metaserver) can wrap it — counting requests, mounting it next
+    to other routes — before handing it to {!serve}. *)
+let directory_handler (dir : string) : handler =
+ fun ~path ~headers:_ ->
+  let name = Filename.basename path in
+  if
+    String.equal name "" || String.contains name '/'
+    || not (Filename.check_suffix name ".xsd")
+  then not_found path
+  else
+    let file = Filename.concat dir name in
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let body =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      ok body
+    end
+    else not_found path
+
 let serve_directory ?host ~port (dir : string) : server =
-  serve ?host ~port (fun ~path ~headers:_ ->
-      let name = Filename.basename path in
-      if
-        String.equal name "" || String.contains name '/'
-        || not (Filename.check_suffix name ".xsd")
-      then not_found path
-      else
-        let file = Filename.concat dir name in
-        if Sys.file_exists file then begin
-          let ic = open_in_bin file in
-          let body =
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic))
-          in
-          ok body
-        end
-        else not_found path)
+  serve ?host ~port (directory_handler dir)
 
 (* ------------------------------------------------------------------ *)
 (* Client                                                               *)

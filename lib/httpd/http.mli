@@ -37,6 +37,12 @@ val shutdown : server -> unit
 val serve_table : ?host:string -> port:int -> (string * string) list -> server
 (** Serve a fixed [path -> document] table. *)
 
+val directory_handler : string -> handler
+(** The handler behind {!serve_directory}: [/name.xsd ->
+    dir/name.xsd], traversal-safe, 404 for anything else. Exposed so
+    callers can wrap it (request counting, extra routes) before
+    {!serve}. *)
+
 val serve_directory : ?host:string -> port:int -> string -> server
 (** Serve the [*.xsd] files of a directory; traversal-safe. *)
 

@@ -110,33 +110,66 @@ module Reader = struct
       close_in_noerr ic;
       raise e
 
-  let read_u32 ic =
-    let b = really_input_string ic 4 in
-    (Char.code b.[0] lsl 24) lor (Char.code b.[1] lsl 16)
-    lor (Char.code b.[2] lsl 8) lor Char.code b.[3]
+  (* A length prefix that stops short is a torn tail, not a clean end:
+     only 0 bytes before EOF counts as end-of-journal. Every failure
+     reports the byte offset of the record it was parsing so a torn or
+     corrupt file points at its own damage. *)
+  let read_u32_opt ic ~at =
+    match input_char ic with
+    | exception End_of_file -> None
+    | c0 ->
+      let rest =
+        try really_input_string ic 3
+        with End_of_file ->
+          journal_error
+            "journal truncated in record length prefix at byte %d" at
+      in
+      Some
+        ((Char.code c0 lsl 24)
+        lor (Char.code rest.[0] lsl 16)
+        lor (Char.code rest.[1] lsl 8)
+        lor Char.code rest.[2])
 
   (** [next t] returns the next message as [(format, address)] in the
       reader's memory, ingesting descriptor records transparently.
-      [None] at a clean end of file; raises {!Journal_error} on a
-      truncated or corrupt journal. *)
+      [None] at a clean end of file; raises {!Journal_error} (naming
+      the byte offset of the offending record) on a truncated or
+      corrupt journal. *)
   let rec next (t : t) : (Format.t * int) option =
-    match read_u32 t.ic with
-    | exception End_of_file -> None
-    | len ->
-      if len < 1 || len > 1 lsl 30 then journal_error "bad record length %d" len;
+    let at = pos_in t.ic in
+    match read_u32_opt t.ic ~at with
+    | None -> None
+    | Some len ->
+      if len < 1 || len > 1 lsl 30 then
+        journal_error "bad record length %d at byte %d" len at;
       let body =
         try really_input_string t.ic len
-        with End_of_file -> journal_error "journal truncated mid-record"
+        with End_of_file ->
+          journal_error
+            "journal truncated mid-record at byte %d (need %d body bytes, \
+             have %d)"
+            at len
+            (pos_in t.ic - at - 4)
       in
       let kind = body.[0] in
       let payload = String.sub body 1 (len - 1) in
       if Char.equal kind kind_descriptor then begin
-        ignore (Pbio.Receiver.learn t.receiver payload);
+        (try ignore (Pbio.Receiver.learn t.receiver payload)
+         with
+        | Journal_error _ as e -> raise e
+        | e ->
+          journal_error "corrupt descriptor record at byte %d: %s" at
+            (Printexc.to_string e));
         next t
       end
       else if Char.equal kind kind_message then
-        Some (Pbio.Receiver.receive t.receiver (Bytes.of_string payload))
-      else journal_error "unknown record kind %C" kind
+        try Some (Pbio.Receiver.receive t.receiver (Bytes.of_string payload))
+        with
+        | Journal_error _ as e -> raise e
+        | e ->
+          journal_error "corrupt message record at byte %d: %s" at
+            (Printexc.to_string e)
+      else journal_error "unknown record kind %C at byte %d" kind at
 
   let next_value (t : t) : (Format.t * Value.t) option =
     match next t with

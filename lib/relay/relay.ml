@@ -49,6 +49,7 @@
 open Omf_transport
 module Broker = Omf_backbone.Broker
 module Counters = Omf_util.Counters
+module Store = Omf_store.Store
 
 let log = Logs.Src.create "omf.relay" ~doc:"TCP event relay"
 
@@ -77,6 +78,10 @@ let k_stats = 't'
 let k_ok = 'o'
 let k_err = 'e'
 
+let k_ack = 'k'
+(** durability acknowledgement to an [acks=1] publisher: body is the
+    decimal cumulative durable offset of its stream's store *)
+
 
 (* ------------------------------------------------------------------ *)
 (* Connections and shards                                               *)
@@ -87,9 +92,28 @@ module Rconn = Omf_reactor.Conn
 
 type role =
   | Pending  (** control commands only, no stream attached yet *)
-  | Publisher of { stream : string; link : Link.t }
-      (** [link] is the broker's fan-out entry for the stream *)
-  | Subscriber of { stream : string; unsubscribe : unit -> unit }
+  | Publisher of {
+      stream : string;
+      link : Link.t;  (** the broker's fan-out entry for the stream *)
+      acks : bool;
+          (** [acks=1] was requested at PUBLISH on a store-backed
+              stream: send ['k' durable] frames as appends harden *)
+      mutable skip_dup : int;
+          (** store-backed resume: this many leading ['M'] frames are
+              re-sends of offsets the store already holds ([tail -
+              durable] at PUBLISH time) — swallow them instead of
+              appending and fanning out duplicates *)
+      mutable acked : int;  (** last durable offset sent as an ack *)
+    }
+  | Subscriber of {
+      stream : string;
+      unsubscribe : unit -> unit;
+      skip_until : int;
+          (** store-backed [from=] subscription: drop live ['M'] frames
+              whose store offset is below this (they are re-appends the
+              subscriber already received before a relay crash); [-1]
+              disables the filter *)
+    }
 
 type state = Running | Draining | Stopped
 
@@ -148,6 +172,20 @@ and t = {
   shard_id : int;
   cid_stride : int;
   shared : shared option;  (** [None] for a standalone relay *)
+  store_cfg : Store.config option;
+      (** durable stream store; [None] = memory-only relay *)
+  stores : (string, Store.t) Hashtbl.t;
+      (** per-shard store handles, loop-thread only — the cluster path
+          stays lock-free because a stream is pinned to one shard *)
+  mutable fanout_offset : int;
+      (** store offset of the ['M'] frame currently being fanned out
+          ([-1] outside store-backed fan-out); lets the subscriber-side
+          [skip_until] filter see the offset without reframing *)
+  pending_acks : (string, unit) Hashtbl.t;
+      (** streams with an appender awaiting a durability ack *)
+  mutable ack_flush_scheduled : bool;
+  mutable store_timer : Reactor.timer option;
+  mutable gauge_timer : Reactor.timer option;
   mutable next_cid : int;
   mutable state : state;
   mutable drain_timer : Reactor.timer option;
@@ -177,6 +215,14 @@ let stats t : (string * int) list =
         [ (Printf.sprintf "stream.%s.published" s, Broker.published_count t.broker ~stream:s)
         ; (Printf.sprintf "stream.%s.subscribers" s, Broker.subscriber_count t.broker ~stream:s) ])
       (Broker.stream_names t.broker)
+  @ Hashtbl.fold
+      (fun s st acc ->
+        (Printf.sprintf "store.%s.tail" s, Store.tail st)
+        :: (Printf.sprintf "store.%s.durable" s, Store.durable st)
+        :: (Printf.sprintf "store.%s.segments" s, Store.segments st)
+        :: (Printf.sprintf "store.%s.bytes" s, Store.bytes st)
+        :: acc)
+      t.stores []
 
 let stats_text t =
   String.concat ""
@@ -208,6 +254,23 @@ let finish_drain (t : t) =
     | None -> ());
     let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
     List.iter (fun c -> Rconn.doom c.io "shutdown") live;
+    (match t.store_timer with
+    | Some tm ->
+      Reactor.cancel t.reactor tm;
+      t.store_timer <- None
+    | None -> ());
+    (match t.gauge_timer with
+    | Some tm ->
+      Reactor.cancel t.reactor tm;
+      t.gauge_timer <- None
+    | None -> ());
+    Hashtbl.iter
+      (fun stream st ->
+        try Store.close st
+        with Store.Store_error msg ->
+          Log.err (fun m -> m "store %s: close: %s" stream msg))
+      t.stores;
+    Hashtbl.reset t.stores;
     Reactor.stop t.reactor;
     Log.info (fun m -> m "shard %d stopped" t.shard_id)
   end
@@ -260,6 +323,114 @@ let reply_ok c body = reply c k_ok body
 let reply_err (t : t) c msg =
   Counters.incr t.counters "errors";
   reply c k_err msg
+
+(* ------------------------------------------------------------------ *)
+(* Durable store plumbing (loop-thread only)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The shard's store handle for [stream], opened (and recovered) on
+    first touch. [None] when the relay runs memory-only. Raises
+    {!Store.Store_error} if the on-disk log is damaged beyond the
+    torn-tail repair. *)
+let store_handle (t : t) (stream : string) : Store.t option =
+  match t.store_cfg with
+  | None -> None
+  | Some cfg -> (
+    match Hashtbl.find_opt t.stores stream with
+    | Some st -> Some st
+    | None ->
+      let st = Store.open_stream cfg stream in
+      Hashtbl.replace t.stores stream st;
+      Some st)
+
+(** Send ['k' durable] to every [acks=1] publisher of the streams
+    marked in [pending_acks] whose durable watermark advanced since the
+    last ack. Coalesced: scheduled at most once per dispatch round. *)
+let flush_acks (t : t) =
+  t.ack_flush_scheduled <- false;
+  if Hashtbl.length t.pending_acks > 0 then begin
+    let streams = Hashtbl.fold (fun s () acc -> s :: acc) t.pending_acks [] in
+    Hashtbl.reset t.pending_acks;
+    List.iter
+      (fun stream ->
+        match Hashtbl.find_opt t.stores stream with
+        | None -> ()
+        | Some st ->
+          let durable = Store.durable st in
+          Hashtbl.iter
+            (fun _ c ->
+              match c.role with
+              | Publisher p
+                when p.acks
+                     && String.equal p.stream stream
+                     && durable > p.acked
+                     && Rconn.alive c.io ->
+                p.acked <- durable;
+                reply c k_ack (string_of_int durable)
+              | _ -> ())
+            t.conns)
+      streams
+  end
+
+let schedule_ack_flush (t : t) (stream : string) =
+  Hashtbl.replace t.pending_acks stream ();
+  if not t.ack_flush_scheduled then begin
+    t.ack_flush_scheduled <- true;
+    Reactor.defer t.reactor (fun () -> flush_acks t)
+  end
+
+(** Periodic store maintenance: fsync dirty logs (this is the whole of
+    the [Interval] policy, and bounds straggler latency for [Every_n]),
+    wake acks whose durable advanced, and enforce age-based retention.
+    Re-arms itself while the shard runs. *)
+let rec store_tick (t : t) (period : float) =
+  Hashtbl.iter
+    (fun stream st ->
+      let before = Store.durable st in
+      (match Store.sync st with
+      | d -> if d > before then schedule_ack_flush t stream
+      | exception Store.Store_error msg ->
+        Counters.incr t.counters "store_errors";
+        Log.err (fun m -> m "store %s: %s" stream msg));
+      ignore (Store.apply_retention st))
+    t.stores;
+  if t.state = Running then
+    t.store_timer <-
+      Some (Reactor.after t.reactor period (fun () -> store_tick t period))
+
+(** Refresh the Prometheus-visible gauges: per-stream subscriber queue
+    depth and per-stream store segments/bytes/tail/durable. Runs every
+    second on the shard's own loop, so no locks are needed; the gauges
+    land in [t.counters] and flow through STATS, [Counters.merged] and
+    [Http.serve_metrics] like any counter. *)
+let rec gauge_tick (t : t) =
+  List.iter
+    (fun stream ->
+      let depth =
+        Hashtbl.fold
+          (fun _ c acc ->
+            match c.role with
+            | Subscriber s when String.equal s.stream stream ->
+              acc + Rconn.queued_droppable c.io
+            | _ -> acc)
+          t.conns 0
+      in
+      Counters.set t.counters
+        (Printf.sprintf "stream.%s.queue_depth" stream)
+        depth)
+    (Broker.stream_names t.broker);
+  Hashtbl.iter
+    (fun stream st ->
+      let g name v =
+        Counters.set t.counters (Printf.sprintf "store.%s.%s" stream name) v
+      in
+      g "segments" (Store.segments st);
+      g "bytes" (Store.bytes st);
+      g "tail" (Store.tail st);
+      g "durable" (Store.durable st))
+    t.stores;
+  if t.state = Running then
+    t.gauge_timer <- Some (Reactor.after t.reactor 1.0 (fun () -> gauge_tick t))
 
 (** Under [Block]: is some subscriber of [stream] over the watermark? *)
 let stream_congested (t : t) (stream : string) : bool =
@@ -321,8 +492,23 @@ let arm_grace (t : t) (c : conn) =
 (** Enqueue a relayed stream frame onto a subscriber, applying the
     backpressure policy. Raises {!Link.Closed} when the subscriber is
     dead so the broker skips it. *)
-let enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
+let rec enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
   if not (Rconn.alive c.io) then raise Link.Closed;
+  (* Store-backed crash recovery: a resuming publisher re-appends
+     offsets a resubscribed consumer already received live before the
+     crash; the subscriber declared its high-water mark at SUBSCRIBE
+     ([skip_until]) and live frames below it are silently elided. *)
+  let skip =
+    t.fanout_offset >= 0
+    &&
+    match c.role with
+    | Subscriber s -> s.skip_until >= 0 && t.fanout_offset < s.skip_until
+    | Publisher _ | Pending -> false
+  in
+  if skip then Counters.incr t.counters "store_fanout_skipped"
+  else enqueue_relayed_frame t c frame
+
+and enqueue_relayed_frame (t : t) (c : conn) (frame : Bytes.t) =
   let droppable =
     not
       (Bytes.length frame > 0
@@ -431,6 +617,18 @@ let stream_owner (t : t) (stream : string) : t =
     Mutex.unlock sh.pins_mu;
     owner
 
+(* PUBLISH and SUBSCRIBE bodies are the stream name, optionally
+   followed by "k=v" option lines (PROTOCOLS.md §13): a publisher sends
+   [acks=1] to request durability acks, a subscriber sends [from=N] to
+   request stored replay. A body with no newline is the bare stream
+   name — the pre-store wire format, still fully supported. *)
+let parse_stream_body (body : string) : string * (string * string) list =
+  match String.index_opt body '\n' with
+  | None -> (body, [])
+  | Some i ->
+    ( String.sub body 0 i,
+      parse_creds (String.sub body (i + 1) (String.length body - i - 1)) )
+
 let rec handle_control (t : t) (c : conn) kind (body : string) =
   if Char.equal kind k_hello then handle_hello t c body
   else if Char.equal kind k_stats then reply_ok c (stats_text t)
@@ -446,6 +644,14 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
         match Broker.advertise t.broker ~stream ~schema with
         | () ->
           Counters.incr t.counters "advertisements";
+          (* persist the schema so a restarted relay can re-advertise
+             the stream before any publisher returns *)
+          (match store_handle t stream with
+          | None -> ()
+          | Some st -> Store.set_schema st schema
+          | exception Store.Store_error msg ->
+            Counters.incr t.counters "store_errors";
+            Log.err (fun m -> m "store %s: %s" stream msg));
           reply_ok c ""
         | exception Omf_xschema.Schema.Schema_error m ->
           reply_err t c (Printf.sprintf "advertise %s: %s" stream m))
@@ -455,16 +661,46 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
     | Publisher _ | Subscriber _ ->
       reply_err t c "publish: connection already has a role"
     | Pending -> (
-      let owner = stream_owner t body in
-      if owner != t then route t owner c kind body body
+      let stream, opts = parse_stream_body body in
+      let owner = stream_owner t stream in
+      if owner != t then route t owner c kind body stream
       else
-        match Broker.publisher_link t.broker ~stream:body with
-        | link ->
-          c.role <- Publisher { stream = body; link };
-          Counters.incr t.counters "publishers";
-          (* joining a stream that is already congested: start paused *)
-          if stream_congested t body then Rconn.set_read_intent c.io false;
-          reply_ok c ""
+        match Broker.publisher_link t.broker ~stream with
+        | link -> (
+          let become ~acks ~skip_dup ~acked reply_body =
+            c.role <- Publisher { stream; link; acks; skip_dup; acked };
+            Counters.incr t.counters "publishers";
+            (* joining a stream that is already congested: start paused *)
+            if stream_congested t stream then
+              Rconn.set_read_intent c.io false;
+            reply_ok c reply_body
+          in
+          match store_handle t stream with
+          | None -> become ~acks:false ~skip_dup:0 ~acked:0 ""
+          | Some st ->
+            (* Store-backed: report the durable watermark. An [acks=1]
+               publisher resumes from it — it resends every buffered
+               frame at or past [durable] and numbers new frames from
+               it, so the watermark must be exact at the handshake:
+               sync first, making [durable = tail]. (Without the sync a
+               fresh publisher racing a dead one's unsynced appends
+               would have its first [tail - durable] frames mistaken
+               for resends.) [skip_dup] stays as a guard should the two
+               ever diverge between the sync and the reply. *)
+            let acks =
+              match List.assoc_opt "acks" opts with
+              | Some "1" -> true
+              | _ -> false
+            in
+            if acks then ignore (Store.sync st);
+            let durable = Store.durable st in
+            let skip_dup = if acks then Store.tail st - durable else 0 in
+            become ~acks ~skip_dup ~acked:durable
+              (Printf.sprintf "durable=%d" durable)
+          | exception Store.Store_error msg ->
+            Counters.incr t.counters "store_errors";
+            reply_err t c (Printf.sprintf "publish %s: store: %s" stream msg)
+          )
         | exception Broker.Unknown_stream s ->
           reply_err t c (Printf.sprintf "publish: unknown stream %s" s))
   end
@@ -473,23 +709,77 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
     | Publisher _ | Subscriber _ ->
       reply_err t c "subscribe: connection already has a role"
     | Pending -> (
-      let owner = stream_owner t body in
-      if owner != t then route t owner c kind body body
+      let stream, opts = parse_stream_body body in
+      let owner = stream_owner t stream in
+      if owner != t then route t owner c kind body stream
       else
-        match Broker.metadata_for t.broker ~stream:body c.creds with
-        | schema ->
-          (* reply first so the scoped schema precedes replayed frames *)
-          reply_ok c schema;
+        match Broker.metadata_for t.broker ~stream c.creds with
+        | schema -> (
           let link =
             { Link.send = (fun frame -> enqueue_relayed t c frame)
             ; recv = (fun () -> None)
             ; close = (fun () -> ()) }
           in
-          let unsubscribe =
-            Broker.subscribe t.broker ~stream:body ~creds:c.creds link
+          let plain () =
+            (* reply first so the scoped schema precedes replayed frames *)
+            reply_ok c schema;
+            let unsubscribe =
+              Broker.subscribe t.broker ~stream ~creds:c.creds link
+            in
+            c.role <- Subscriber { stream; unsubscribe; skip_until = -1 };
+            Counters.incr t.counters "subscriptions"
           in
-          c.role <- Subscriber { stream = body; unsubscribe };
-          Counters.incr t.counters "subscriptions"
+          let from =
+            Option.bind (List.assoc_opt "from" opts) int_of_string_opt
+          in
+          match from with
+          | None -> plain ()
+          | Some from -> (
+            match store_handle t stream with
+            | None ->
+              (* [from=] against a memory-only relay degrades to a live
+                 subscription (the reply carries no offset line, which
+                 tells the session that offsets are not tracked) *)
+              plain ()
+            | Some st ->
+              (* [start] is where delivery begins: the tail for a
+                 live-only subscription (from=-1), otherwise the
+                 requested offset clamped up past retention. When the
+                 subscriber is {e ahead} of the store (it outlived a
+                 crash that lost unsynced appends), [start > tail]:
+                 nothing is replayed and the [skip_until] filter elides
+                 the re-appended offsets below [start]. *)
+              let tail = Store.tail st in
+              let oldest = Store.oldest st in
+              let start = if from < 0 then tail else max from oldest in
+              if from >= 0 && start > from then
+                Counters.incr t.counters "store_replay_clamped";
+              reply_ok c (Printf.sprintf "offset=%d\n%s" start schema);
+              let unsubscribe =
+                Broker.subscribe t.broker ~stream ~creds:c.creds link
+              in
+              c.role <- Subscriber { stream; unsubscribe; skip_until = start };
+              if start < tail then begin
+                Counters.incr t.counters "store_replays";
+                match
+                  Store.iter_from st start (fun _off frame ->
+                      Counters.incr t.counters "store_replay_frames";
+                      enqueue_relayed t c frame)
+                with
+                | () -> ()
+                | exception Link.Closed -> ()
+                | exception Store.Store_error msg ->
+                  (* partial replay would silently gap the stream: kill
+                     the subscription so the client retries *)
+                  Counters.incr t.counters "store_errors";
+                  Log.err (fun m -> m "store %s: replay: %s" stream msg);
+                  Rconn.doom c.io "store replay failed"
+              end;
+              Counters.incr t.counters "subscriptions"
+            | exception Store.Store_error msg ->
+              Counters.incr t.counters "store_errors";
+              reply_err t c
+                (Printf.sprintf "subscribe %s: store: %s" stream msg)))
         | exception Broker.Unknown_stream s ->
           reply_err t c (Printf.sprintf "subscribe: unknown stream %s" s)
         | exception Broker.Access_denied m ->
@@ -539,9 +829,42 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
     if is_stream_frame then
       match c.role with
       | Publisher p ->
-        if Char.equal kind Endpoint.frame_message then
-          Counters.incr t.counters "events_relayed";
-        Link.send p.link frame
+        let is_message = Char.equal kind Endpoint.frame_message in
+        if is_message && p.skip_dup > 0 then begin
+          (* a resuming publisher replaying offsets the store already
+             holds: swallow — they were fanned out before the outage
+             and stored replay serves late joiners *)
+          p.skip_dup <- p.skip_dup - 1;
+          Counters.incr t.counters "store_dup_skipped"
+        end
+        else begin
+          if is_message then Counters.incr t.counters "events_relayed";
+          match Hashtbl.find_opt t.stores p.stream with
+          | Some st when is_message -> (
+            match Store.append st frame with
+            | off ->
+              Counters.incr t.counters "store_appends";
+              if p.acks then schedule_ack_flush t p.stream;
+              (* thread the fresh offset through fan-out so subscriber
+                 [skip_until] filters can see it without reframing *)
+              t.fanout_offset <- off;
+              Fun.protect
+                ~finally:(fun () -> t.fanout_offset <- -1)
+                (fun () -> Link.send p.link frame)
+            | exception Store.Store_error msg ->
+              (* refuse loudly: fanning out an unstored frame would let
+                 the publisher believe it is durable *)
+              Counters.incr t.counters "store_errors";
+              protocol_reject t c
+                (Printf.sprintf "store %s: append: %s" p.stream msg))
+          | Some st ->
+            (try ignore (Store.append_descriptor st frame)
+             with Store.Store_error msg ->
+               Counters.incr t.counters "store_errors";
+               Log.err (fun m -> m "store %s: descriptor: %s" p.stream msg));
+            Link.send p.link frame
+          | None -> Link.send p.link frame
+        end
       | Pending -> protocol_reject t c "stream frame before PUBLISH"
       | Subscriber _ ->
         protocol_reject t c "subscriber connections are receive-only"
@@ -670,13 +993,16 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
 (* ------------------------------------------------------------------ *)
 
 let create_shard ~host ~port ~policy ~max_queue ~evict_grace ~sndbuf
-    ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride ~shared () : t
-    =
+    ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride ~shared
+    ~store () : t =
   { host; port; policy; max_queue; evict_grace; sndbuf; auth_keys
   ; mac_reject_limit; drain_default_s = drain_s; lsock = None; lreg = None
   ; reactor = Reactor.create (); broker = Broker.create ()
   ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
-  ; cid_stride; shared; next_cid = shard_id + 1; state = Running
+  ; cid_stride; shared; store_cfg = store; stores = Hashtbl.create 8
+  ; fanout_offset = -1; pending_acks = Hashtbl.create 8
+  ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
+  ; next_cid = shard_id + 1; state = Running
   ; drain_timer = None; stop_flag = false }
 
 let install_listener (t : t) (lsock : Unix.file_descr) =
@@ -695,16 +1021,54 @@ let install_listener (t : t) (lsock : Unix.file_descr) =
       (Reactor.register t.reactor lsock ~on_readable:accept_all
          ~on_writable:ignore)
 
+(** Reopen every stored stream assigned to this shard: recover the log
+    (torn-tail truncation happens here), re-advertise the persisted
+    schema and replay the stored descriptor frames into the broker's
+    cache, so late joiners can decode history without the original
+    publisher. Runs before the loop (single-threaded). *)
+let recover_streams (t : t) (streams : string list) =
+  List.iter
+    (fun stream ->
+      match store_handle t stream with
+      | None -> ()
+      | Some st ->
+        (match Store.schema st with
+        | None -> ()
+        | Some schema -> (
+          match Broker.advertise t.broker ~stream ~schema with
+          | () -> (
+            match Broker.publisher_link t.broker ~stream with
+            | link ->
+              List.iter (fun d -> Link.send link d) (Store.descriptors st)
+            | exception Broker.Unknown_stream _ -> ())
+          | exception Omf_xschema.Schema.Schema_error msg ->
+            Log.err (fun m ->
+                m "store %s: recovered schema rejected: %s" stream msg)));
+        Counters.incr t.counters "store_streams_recovered";
+        Log.info (fun m ->
+            m "store: recovered stream %s at offset %d (%d segment%s, \
+               durable %d)"
+              stream (Store.tail st) (Store.segments st)
+              (if Store.segments st = 1 then "" else "s")
+              (Store.durable st))
+      | exception Store.Store_error msg ->
+        Counters.incr t.counters "store_errors";
+        Log.err (fun m -> m "store %s: recovery failed: %s" stream msg))
+    streams
+
 let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
     ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
-    ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
+    ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () : t =
   let lsock, bound_port = Tcp.listener ~host ~port () in
   let t =
     create_shard ~host ~port:bound_port ~policy ~max_queue
       ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-      ~drain_s ~shard_id:0 ~cid_stride:1 ~shared:None ()
+      ~drain_s ~shard_id:0 ~cid_stride:1 ~shared:None ~store ()
   in
   install_listener t lsock;
+  (match store with
+  | Some cfg -> recover_streams t (Store.streams cfg)
+  | None -> ());
   t
 
 (** Run the loop until {!request_shutdown} (then drain) completes. *)
@@ -712,9 +1076,22 @@ let run (t : t) : unit =
   (match t.lsock with
   | Some _ ->
     Log.info (fun m ->
-        m "listening on %s:%d (policy %s, max queue %d)" t.host t.port
-          (policy_to_string t.policy) t.max_queue)
+        m "listening on %s:%d (policy %s, max queue %d%s)" t.host t.port
+          (policy_to_string t.policy) t.max_queue
+          (match t.store_cfg with
+          | Some cfg ->
+            Printf.sprintf ", store %s fsync %s" cfg.Store.root
+              (Store.fsync_policy_to_string cfg.Store.fsync)
+          | None -> ""))
   | None -> Log.debug (fun m -> m "shard %d loop running" t.shard_id));
+  (match t.store_cfg with
+  | Some cfg ->
+    let period =
+      match cfg.Store.fsync with Store.Interval s -> s | _ -> 0.1
+    in
+    store_tick t period
+  | None -> ());
+  gauge_tick t;
   Reactor.set_on_tick t.reactor (fun () ->
       if t.stop_flag && t.state = Running then begin_drain t);
   Reactor.run t.reactor;
@@ -746,7 +1123,8 @@ module Cluster = struct
 
   let start ?(host = "127.0.0.1") ?(port = 0) ?(shards = 1)
       ?(policy = Block) ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf
-      ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0) () : t =
+      ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () :
+      t =
     if shards < 1 then invalid_arg "Cluster.start: shards must be >= 1";
     let lsock, bound_port = Tcp.listener ~host ~port () in
     let shared =
@@ -756,13 +1134,29 @@ module Cluster = struct
       Array.init shards (fun i ->
           create_shard ~host ~port:bound_port ~policy ~max_queue
             ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-            ~drain_s ~shard_id:i ~cid_stride:shards ~shared:(Some shared) ())
+            ~drain_s ~shard_id:i ~cid_stride:shards ~shared:(Some shared)
+            ~store ())
     in
     shared.peers <- arr;
     let cl =
       { lsock; cport = bound_port; shards = arr; acceptor = None
       ; domains = [||]; stopped = false; joined = false }
     in
+    (* Recover stored streams before any loop runs: pin each stream to
+       a shard by name hash (a restart reproduces the same pinning, and
+       per-shard store handles stay single-threaded), then let that
+       shard reopen its logs. *)
+    (match store with
+    | Some cfg ->
+      let per_shard = Array.make shards [] in
+      List.iter
+        (fun stream ->
+          let sid = Hashtbl.hash stream mod shards in
+          Hashtbl.replace shared.pins stream sid;
+          per_shard.(sid) <- stream :: per_shard.(sid))
+        (Store.streams cfg);
+      Array.iteri (fun i streams -> recover_streams arr.(i) streams) per_shard
+    | None -> ());
     cl.domains <- Array.map (fun s -> Domain.spawn (fun () -> run s)) arr;
     let acceptor () =
       let next = ref 0 in
@@ -829,10 +1223,10 @@ type handle = { relay : t; thread : Thread.t }
 (** [start ()] runs a relay loop in a background thread (ephemeral port
     by default) — the embedding used by tests and benchmarks. *)
 let start ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
-    ?mac_reject_limit ?drain_s () : handle =
+    ?mac_reject_limit ?drain_s ?store () : handle =
   let relay =
     create ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
-      ?mac_reject_limit ?drain_s ()
+      ?mac_reject_limit ?drain_s ?store ()
   in
   { relay; thread = Thread.create run relay }
 
@@ -942,6 +1336,37 @@ module Client = struct
   let subscribe (t : t) ~(stream : string) : string * Link.t =
     let schema = rpc t k_subscribe stream in
     (schema, t.link)
+
+  (** [publish_acked t ~stream] enters publisher mode requesting
+      durability acks (PROTOCOLS.md §13). Against a store-backed relay
+      the reply carries the stream's durable watermark — returned as
+      [Some durable]; the relay then sends a ['k' durable] frame on
+      this link whenever the watermark advances. [None] means the relay
+      is memory-only and will never ack. *)
+  let publish_acked (t : t) ~(stream : string) : int option * Link.t =
+    let body = rpc t k_publish (stream ^ "\nacks=1") in
+    let durable =
+      if String.length body >= 8 && String.sub body 0 8 = "durable=" then
+        int_of_string_opt (String.sub body 8 (String.length body - 8))
+      else None
+    in
+    (durable, t.link)
+
+  (** [subscribe_from t ~stream ~from] subscribes with stored replay
+      (PROTOCOLS.md §13): delivery starts at offset [from] (clamped up
+      past retention), or at the live tail when [from] is negative.
+      Returns [(Some start, schema, link)] where [start] is the offset
+      of the first message frame the link will carry; [(None, …)] when
+      the relay is memory-only and offsets are not tracked. *)
+  let subscribe_from (t : t) ~(stream : string) ~(from : int) :
+      int option * string * Link.t =
+    let body = rpc t k_subscribe (Printf.sprintf "%s\nfrom=%d" stream from) in
+    match String.index_opt body '\n' with
+    | Some i when String.length body >= 7 && String.sub body 0 7 = "offset=" ->
+      let off = int_of_string_opt (String.sub body 7 (i - 7)) in
+      let schema = String.sub body (i + 1) (String.length body - i - 1) in
+      (off, schema, t.link)
+    | _ -> (None, body, t.link)
 
   let close (t : t) = try Link.close t.link with _ -> ()
 end
@@ -1117,18 +1542,30 @@ module Session = struct
     mutable s_client : Client.t option;
     mutable s_link : Link.t option;
     mutable s_schema : string;
+    mutable s_next : int;
+        (** store offset of the next expected message frame; [-1] when
+            the relay does not track offsets (memory-only) *)
     mutable s_reconnects : int;
     mutable s_closed : bool;
   }
 
   (** [subscribe cfg ~stream abi] connects and subscribes; failures on
       this {e first} attempt raise immediately (an unknown stream at
-      session start is a configuration error, not an outage). *)
-  let subscribe (cfg : config) ~(stream : string) (abi : Omf_machine.Abi.t) :
-      subscriber =
+      session start is a configuration error, not an outage).
+
+      [from] is the store offset to start at against a store-backed
+      relay: [-1] (the default) for the live tail, [0] for the oldest
+      retained event. The session then counts delivered message frames
+      and resubscribes with [from = next-expected-offset], so a relay
+      restart replays exactly the missed suffix — no loss, and the
+      relay's [skip_until] filter guarantees no duplicates. Against a
+      memory-only relay [from] is ignored and resubscribes are
+      tail-only, as before. *)
+  let subscribe ?(from = -1) (cfg : config) ~(stream : string)
+      (abi : Omf_machine.Abi.t) : subscriber =
     let client = connect_client cfg in
-    match Client.subscribe client ~stream with
-    | schema, link ->
+    match Client.subscribe_from client ~stream ~from with
+    | offset, schema, link ->
       let catalog = Catalog.create abi in
       ignore
         (Omf_xml2wire.Xml2wire.register_schema ~source:("relay:" ^ stream)
@@ -1142,6 +1579,7 @@ module Session = struct
       ; s_seen = Hashtbl.create 8
       ; s_rng = Prng.create ~seed:cfg.jitter_seed ()
       ; s_client = Some client; s_link = Some link; s_schema = schema
+      ; s_next = Option.value offset ~default:(-1)
       ; s_reconnects = 0; s_closed = false }
     | exception e ->
       Client.close client;
@@ -1156,14 +1594,20 @@ module Session = struct
     with_retries s.s_cfg s.s_rng
       ~what:(Printf.sprintf "subscriber %s" s.s_stream)
       (fun client ->
-        let schema, link = Client.subscribe client ~stream:s.s_stream in
+        let offset, schema, link =
+          Client.subscribe_from client ~stream:s.s_stream ~from:s.s_next
+        in
         s.s_client <- Some client;
         s.s_link <- Some link;
         s.s_schema <- schema;
+        (* a clamped offset (> the request) means retention outran this
+           subscriber during the outage: the gap is unrecoverable and
+           delivery resumes at the oldest retained event *)
+        s.s_next <- Option.value offset ~default:(-1);
         s.s_reconnects <- s.s_reconnects + 1;
         Log.info (fun m ->
-            m "subscriber %s: resubscribed (reconnect %d)" s.s_stream
-              s.s_reconnects))
+            m "subscriber %s: resubscribed from offset %d (reconnect %d)"
+              s.s_stream s.s_next s.s_reconnects))
 
   (** Blocking receive of the next decoded event, reconnecting across
       outages. [None] only after {!close_subscriber}; a hopeless outage
@@ -1191,6 +1635,7 @@ module Session = struct
         | Some frame
           when Bytes.length frame > 0
                && Char.equal (Bytes.get frame 0) Endpoint.frame_message ->
+          if s.s_next >= 0 then s.s_next <- s.s_next + 1;
           Some
             (Pbio.Receiver.receive_value s.s_pbio
                (Bytes.sub frame 1 (Bytes.length frame - 1)))
@@ -1210,6 +1655,11 @@ module Session = struct
           else raise e)
 
   let subscriber_schema (s : subscriber) = s.s_schema
+
+  let subscriber_offset (s : subscriber) = s.s_next
+  (** Store offset of the next message frame this session expects
+      ([-1] against a memory-only relay). *)
+
   let subscriber_reconnects (s : subscriber) = s.s_reconnects
   let subscriber_catalog (s : subscriber) = s.s_catalog
 
@@ -1224,7 +1674,9 @@ module Session = struct
   (* Publisher sessions                                                 *)
   (* ---------------------------------------------------------------- *)
 
-  type pending = { p_fmt : Format.t; p_frame : Bytes.t }
+  type pending = { p_fmt : Format.t; p_frame : Bytes.t; mutable p_seq : int }
+  (** [p_seq] is the store offset this frame occupies (ack mode only;
+      renumbered when a reconnect learns the store regressed). *)
 
   type publisher = {
     b_cfg : config;
@@ -1235,9 +1687,19 @@ module Session = struct
     b_mem : Omf_machine.Memory.t;
     b_rng : Prng.t;
     b_buf : pending Queue.t;
-        (** marshalled data frames not yet written to a live link *)
+        (** plain mode: marshalled frames not yet written to a live
+            link. Ack mode: every frame not yet acknowledged durable —
+            sent frames stay queued until the relay's ['k'] ack covers
+            them, so a relay crash loses nothing. *)
     b_announced : (int, unit) Hashtbl.t;
         (** format ids announced on the {e current} connection *)
+    mutable b_ack_mode : bool;
+        (** publishing with [acks=1] against a store-backed relay *)
+    mutable b_durable : int;  (** relay's durable watermark (ack mode) *)
+    mutable b_next_seq : int;  (** store offset of the next new frame *)
+    mutable b_sent : int;
+        (** ack mode: length of the queue prefix already written to the
+            current connection (those frames await acks, not resends) *)
     mutable b_client : Client.t option;
     mutable b_link : Link.t option;
     mutable b_reconnects : int;
@@ -1253,23 +1715,36 @@ module Session = struct
   (** [publisher cfg ~stream ~schema abi] connects, advertises and
       enters publisher mode. First-attempt failures raise immediately,
       as for {!subscribe}. [window] bounds buffered data frames during
-      an outage (default 1024). *)
-  let publisher ?(window = 1024) (cfg : config) ~(stream : string)
-      ~(schema : string) (abi : Omf_machine.Abi.t) : publisher =
+      an outage (default 1024).
+
+      With [~acked:true] the session publishes with [acks=1]
+      (PROTOCOLS.md §13): frames stay buffered until the relay reports
+      them durable, so even a relay killed mid-publish loses nothing —
+      the reconnect resends exactly the store's missing suffix, and the
+      relay's resume handshake guarantees no duplicates. The window
+      then bounds {e unacknowledged} frames, and a full window blocks
+      on the ack channel instead of raising. Against a memory-only
+      relay the mode degrades to the plain fire-and-forget session. *)
+  let publisher ?(window = 1024) ?(acked = false) (cfg : config)
+      ~(stream : string) ~(schema : string) (abi : Omf_machine.Abi.t) :
+      publisher =
     let client = connect_client cfg in
     match
       Client.advertise client ~stream ~schema;
-      Client.publish client ~stream
+      if acked then Client.publish_acked client ~stream
+      else (None, Client.publish client ~stream)
     with
-    | link ->
+    | durable, link ->
       let catalog = Catalog.create abi in
       ignore (Omf_xml2wire.Xml2wire.register_schema catalog schema);
+      let d = Option.value durable ~default:0 in
       { b_cfg = cfg; b_stream = stream; b_schema = schema; b_window = window
       ; b_catalog = catalog; b_mem = Omf_machine.Memory.create abi
       ; b_rng = Prng.create ~seed:cfg.jitter_seed ()
       ; b_buf = Queue.create (); b_announced = Hashtbl.create 4
-      ; b_client = Some client; b_link = Some link; b_reconnects = 0
-      ; b_closed = false }
+      ; b_ack_mode = durable <> None; b_durable = d; b_next_seq = d
+      ; b_sent = 0; b_client = Some client; b_link = Some link
+      ; b_reconnects = 0; b_closed = false }
     | exception e ->
       Client.close client;
       raise e
@@ -1278,32 +1753,59 @@ module Session = struct
     Catalog.find_format p.b_catalog name
 
   let publisher_reconnects (p : publisher) = p.b_reconnects
+
   let publisher_buffered (p : publisher) = Queue.length p.b_buf
+  (** Plain mode: frames awaiting a live connection. Ack mode: frames
+      not yet acknowledged durable. *)
+
+  let publisher_acked (p : publisher) = p.b_ack_mode
+
+  let publisher_durable (p : publisher) = p.b_durable
+  (** The relay's durable watermark as of the last ack (ack mode). *)
 
   let drop_publisher_link (p : publisher) =
     (match p.b_client with Some c -> Client.close c | None -> ());
     p.b_client <- None;
-    p.b_link <- None
+    p.b_link <- None;
+    p.b_sent <- 0
 
-  (** Write every buffered frame to the live link, announcing each
-      format's descriptor first if this connection has not seen it.
-      [false] = the link broke (the unwritten tail stays buffered). *)
+  let announce_format (p : publisher) link (fmt : Format.t) =
+    if not (Hashtbl.mem p.b_announced fmt.Format.id) then begin
+      Link.send link
+        (stream_frame Endpoint.frame_descriptor
+           (Bytes.of_string (Omf_pbio.Format_codec.encode fmt)));
+      Hashtbl.replace p.b_announced fmt.Format.id ()
+    end
+
+  (** Write buffered frames to the live link, announcing each format's
+      descriptor first if this connection has not seen it. Plain mode
+      pops each frame once written; ack mode only advances [b_sent] —
+      frames leave the queue when an ack covers them. [false] = the
+      link broke (the unwritten tail stays buffered). *)
   let try_flush (p : publisher) : bool =
     match p.b_link with
     | None -> false
     | Some link -> (
       try
-        while not (Queue.is_empty p.b_buf) do
-          let e = Queue.peek p.b_buf in
-          if not (Hashtbl.mem p.b_announced e.p_fmt.Format.id) then begin
-            Link.send link
-              (stream_frame Endpoint.frame_descriptor
-                 (Bytes.of_string (Omf_pbio.Format_codec.encode e.p_fmt)));
-            Hashtbl.replace p.b_announced e.p_fmt.Format.id ()
-          end;
-          Link.send link e.p_frame;
-          ignore (Queue.pop p.b_buf)
-        done;
+        if p.b_ack_mode then begin
+          let i = ref 0 in
+          Queue.iter
+            (fun e ->
+              if !i >= p.b_sent then begin
+                announce_format p link e.p_fmt;
+                Link.send link e.p_frame;
+                p.b_sent <- p.b_sent + 1
+              end;
+              incr i)
+            p.b_buf
+        end
+        else
+          while not (Queue.is_empty p.b_buf) do
+            let e = Queue.peek p.b_buf in
+            announce_format p link e.p_fmt;
+            Link.send link e.p_frame;
+            ignore (Queue.pop p.b_buf)
+          done;
         true
       with e ->
         if transient e then begin
@@ -1311,6 +1813,86 @@ module Session = struct
           false
         end
         else raise e)
+
+  (** An ack covering offsets below [n] retires the acked queue
+      prefix. *)
+  let process_ack (p : publisher) (n : int) =
+    if n > p.b_durable then p.b_durable <- n;
+    let rec pop () =
+      match Queue.peek_opt p.b_buf with
+      | Some e when e.p_seq < n ->
+        ignore (Queue.pop p.b_buf);
+        if p.b_sent > 0 then p.b_sent <- p.b_sent - 1;
+        pop ()
+      | _ -> ()
+    in
+    pop ()
+
+  (** Blocking read of one frame from the publisher link — ['k'] acks
+      retire buffered frames, ['e'] is a relay-reported error. [false]
+      = the link is gone (dropped here on any transient failure). *)
+  let drain_ack (p : publisher) : bool =
+    match p.b_link with
+    | None -> false
+    | Some link -> (
+      match Link.recv link with
+      | Some frame
+        when Bytes.length frame >= 1 && Char.equal (Bytes.get frame 0) k_ack
+        -> (
+        (match
+           int_of_string_opt
+             (Bytes.sub_string frame 1 (Bytes.length frame - 1))
+         with
+        | Some n -> process_ack p n
+        | None -> ());
+        true)
+      | Some frame
+        when Bytes.length frame >= 1 && Char.equal (Bytes.get frame 0) k_err
+        ->
+        raise
+          (Client.Error (Bytes.sub_string frame 1 (Bytes.length frame - 1)))
+      | Some _ -> true
+      | None ->
+        drop_publisher_link p;
+        false
+      | exception e ->
+        if transient e then begin
+          drop_publisher_link p;
+          false
+        end
+        else raise e)
+
+  (** Align the session with the watermark a resume handshake returned:
+      frames the store already holds durably are retired, the surviving
+      suffix is renumbered consecutively from the watermark (identity
+      in the common case; a wiped store restarts numbering from its
+      fresh tail) and will be resent. [None] means the relay came back
+      without a store — acks will never arrive, so the session degrades
+      to plain fire-and-forget. *)
+  let resync_acked (p : publisher) (durable : int option) =
+    match durable with
+    | None ->
+      p.b_ack_mode <- false;
+      Log.warn (fun m ->
+          m "publisher %s: relay no longer store-backed; acks disabled"
+            p.b_stream)
+    | Some d ->
+      p.b_durable <- d;
+      let rec trim () =
+        match Queue.peek_opt p.b_buf with
+        | Some e when e.p_seq < d ->
+          ignore (Queue.pop p.b_buf);
+          trim ()
+        | _ -> ()
+      in
+      trim ();
+      let i = ref d in
+      Queue.iter
+        (fun e ->
+          e.p_seq <- !i;
+          incr i)
+        p.b_buf;
+      p.b_next_seq <- !i
 
   (** Bounded reconnect: replay ADVERTISE (the relay may have restarted
       with no streams) and PUBLISH, and forget per-connection descriptor
@@ -1323,9 +1905,21 @@ module Session = struct
            ~what:(Printf.sprintf "publisher %s" p.b_stream)
            (fun client ->
              Client.advertise client ~stream:p.b_stream ~schema:p.b_schema;
-             let link = Client.publish client ~stream:p.b_stream in
-             p.b_client <- Some client;
-             p.b_link <- Some link;
+             if p.b_ack_mode then begin
+               let durable, link =
+                 Client.publish_acked client ~stream:p.b_stream
+               in
+               p.b_client <- Some client;
+               p.b_link <- Some link;
+               p.b_sent <- 0;
+               resync_acked p durable
+             end
+             else begin
+               let link = Client.publish client ~stream:p.b_stream in
+               p.b_client <- Some client;
+               p.b_link <- Some link;
+               p.b_sent <- 0
+             end;
              Hashtbl.reset p.b_announced;
              p.b_reconnects <- p.b_reconnects + 1;
              Log.info (fun m ->
@@ -1336,31 +1930,85 @@ module Session = struct
        | () -> true
        | exception Gave_up _ -> false
 
+  (** Ack mode, window full: block on the ack channel until the relay
+      retires a slot, reconnecting (boundedly) when the link breaks.
+      {!Overflow} when the relay stays unreachable. *)
+  let wait_for_window (p : publisher) : unit =
+    let reconnect_rounds = ref 0 in
+    while p.b_ack_mode && Queue.length p.b_buf >= p.b_window do
+      match p.b_link with
+      | Some _ -> ignore (drain_ack p)
+      | None ->
+        if !reconnect_rounds >= 3 || not (reconnect_publisher p) then
+          raise
+            (Overflow
+               (Printf.sprintf
+                  "publisher %s: window full (%d unacknowledged frames) and \
+                   the relay is unreachable"
+                  p.b_stream p.b_window))
+        else begin
+          incr reconnect_rounds;
+          ignore (try_flush p)
+        end
+    done
+
   (** [publish_value p fmt v] marshals and ships one event. During an
       outage the frame is buffered and reconnection attempted under the
       budget; a full window raises {!Overflow} (the event is {e not}
-      enqueued), and an exhausted budget returns with the frame
-      buffered for the next call. *)
+      enqueued) in plain mode and blocks for acks in ack mode; an
+      exhausted budget returns with the frame buffered for the next
+      call. *)
   let publish_value (p : publisher) (fmt : Format.t) (v : Value.t) : unit =
     if p.b_closed then raise (Client.Error "publisher session closed");
-    if Queue.length p.b_buf >= p.b_window then
-      raise
-        (Overflow
-           (Printf.sprintf
-              "publisher %s: in-flight window (%d frames) full while relay \
-               unreachable"
-              p.b_stream p.b_window));
+    if Queue.length p.b_buf >= p.b_window then begin
+      if p.b_ack_mode then wait_for_window p;
+      if Queue.length p.b_buf >= p.b_window then
+        raise
+          (Overflow
+             (Printf.sprintf
+                "publisher %s: in-flight window (%d frames) full while relay \
+                 unreachable"
+                p.b_stream p.b_window))
+    end;
     (* marshal now: the value is captured even if the relay is down *)
     Omf_machine.Memory.reset p.b_mem;
     let addr = Omf_pbio.Native.store p.b_mem fmt v in
     let frame =
       stream_frame Endpoint.frame_message (Pbio.message p.b_mem fmt addr)
     in
-    Queue.add { p_fmt = fmt; p_frame = frame } p.b_buf;
+    let seq = p.b_next_seq in
+    if p.b_ack_mode then p.b_next_seq <- seq + 1;
+    Queue.add { p_fmt = fmt; p_frame = frame; p_seq = seq } p.b_buf;
     if not (try_flush p) then
       if reconnect_publisher p then ignore (try_flush p)
 
-  (** Close, flushing buffered frames best-effort (no reconnect). *)
+  (** Block until every buffered frame is acknowledged durable (ack
+      mode) or written (plain mode), reconnecting under the budget.
+      {!Gave_up} when the relay stays unreachable. *)
+  let flush_acked (p : publisher) : unit =
+    if not p.b_ack_mode then ignore (try_flush p)
+    else begin
+      let reconnect_rounds = ref 0 in
+      while p.b_ack_mode && not (Queue.is_empty p.b_buf) do
+        match p.b_link with
+        | Some _ ->
+          ignore (try_flush p);
+          if p.b_ack_mode && not (Queue.is_empty p.b_buf) then
+            ignore (drain_ack p)
+        | None ->
+          if !reconnect_rounds >= 3 || not (reconnect_publisher p) then
+            raise
+              (Gave_up
+                 (Printf.sprintf
+                    "publisher %s: flush: relay unreachable with %d \
+                     unacknowledged frames"
+                    p.b_stream (Queue.length p.b_buf)))
+          else incr reconnect_rounds
+      done
+    end
+
+  (** Close, flushing buffered frames best-effort (no reconnect; call
+      {!flush_acked} first for a durable handoff). *)
   let close_publisher (p : publisher) : unit =
     if not p.b_closed then begin
       p.b_closed <- true;

@@ -27,6 +27,10 @@ type policy = Block | Drop_oldest | Evict_slow
 val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 
+module Store = Omf_store.Store
+(** Re-export of the durable stream store the [?store] arguments
+    configure (see {!Omf_store.Store} and doc/STORE.md). *)
+
 type t
 
 val create :
@@ -39,6 +43,7 @@ val create :
   ?auth_keys:(string * string) list ->
   ?mac_reject_limit:int ->
   ?drain_s:float ->
+  ?store:Omf_store.Store.config ->
   unit ->
   t
 (** Bind the listening socket (ephemeral port when [?port] is 0, the
@@ -54,7 +59,15 @@ val create :
     framing (PROTOCOLS.md §12; empty = the mode is refused);
     [mac_reject_limit] (default 3) closes a connection after that many
     frames fail authentication;
-    [drain_s] is the graceful-shutdown flush deadline (default 2s). *)
+    [drain_s] is the graceful-shutdown flush deadline (default 2s).
+
+    [store] makes the relay durable (doc/STORE.md): every published
+    message frame is appended to a per-stream segmented log under the
+    configured root before fan-out, [acks=1] publishers receive
+    cumulative durability acks, [from=N] subscribers replay stored
+    offsets, and at startup the relay recovers every stream found on
+    disk — schemas re-advertised, descriptor caches rebuilt — so
+    sessions survive a relay restart with no loss and no duplicates. *)
 
 val port : t -> int
 
@@ -96,11 +109,16 @@ module Cluster : sig
     ?auth_keys:(string * string) list ->
     ?mac_reject_limit:int ->
     ?drain_s:float ->
+    ?store:Omf_store.Store.config ->
     unit ->
     t
   (** Bind one listening socket and run [?shards] (default 1) relay
       loops, each on its own domain. The relay configuration arguments
-      are as for {!create} and apply to every shard. *)
+      are as for {!create} and apply to every shard. With [?store],
+      streams found on disk are recovered before the shards start,
+      each on the shard its name hashes to — the same pinning a fresh
+      cluster would choose, so recovery is deterministic across
+      restarts and every stream's store stays single-loop. *)
 
   val port : t -> int
   val shard_count : t -> int
@@ -134,6 +152,7 @@ val start :
   ?auth_keys:(string * string) list ->
   ?mac_reject_limit:int ->
   ?drain_s:float ->
+  ?store:Omf_store.Store.config ->
   unit ->
   handle
 (** Run a relay loop in a background thread. *)
@@ -177,6 +196,22 @@ module Client : sig
   val subscribe : t -> stream:string -> string * Omf_transport.Link.t
   (** The (credential-scoped) stream schema, and the raw link now
       carrying descriptor/message frames. *)
+
+  val publish_acked : t -> stream:string -> int option * Omf_transport.Link.t
+  (** Publisher mode with durability acks (PROTOCOLS.md §13): against
+      a store-backed relay returns [Some durable] — the stream's
+      durable watermark, which is also the store offset the next
+      message frame sent on the link will occupy — and the relay sends
+      a ['k' durable] frame on the link whenever the watermark
+      advances. [None]: the relay is memory-only and never acks. *)
+
+  val subscribe_from :
+    t -> stream:string -> from:int -> int option * string * Omf_transport.Link.t
+  (** Subscribe with stored replay: delivery starts at store offset
+      [from] (clamped up past retention), or at the live tail when
+      [from] is negative. [Some start] is the offset of the first
+      message frame the link carries; [None] when the relay is
+      memory-only (delivery is live-tail, as {!subscribe}). *)
 
   val stats : t -> (string * int) list
   val close : t -> unit
@@ -252,10 +287,19 @@ module Session : sig
 
   type subscriber
 
-  val subscribe : config -> stream:string -> Omf_machine.Abi.t -> subscriber
+  val subscribe :
+    ?from:int -> config -> stream:string -> Omf_machine.Abi.t -> subscriber
   (** Connect and subscribe. Failures on this first attempt raise
       immediately (an unknown stream at session start is a
-      configuration error, not an outage). *)
+      configuration error, not an outage).
+
+      Against a store-backed relay, [from] is the store offset to
+      start at: [-1] (the default) for the live tail, [0] for the
+      oldest retained event. The session counts delivered message
+      frames and resubscribes with the next expected offset, so a
+      relay restart replays exactly the missed suffix — no event lost,
+      none duplicated. Against a memory-only relay [from] is ignored
+      and resubscribes are tail-only. *)
 
   val recv_subscriber :
     subscriber -> (Omf_pbio.Format.t * Omf_pbio.Value.t) option
@@ -269,6 +313,10 @@ module Session : sig
   val subscriber_schema : subscriber -> string
   (** The (scoped) schema from the most recent successful SUBSCRIBE. *)
 
+  val subscriber_offset : subscriber -> int
+  (** Store offset of the next message frame this session expects;
+      [-1] against a memory-only relay. *)
+
   val subscriber_reconnects : subscriber -> int
   val subscriber_catalog : subscriber -> Omf_xml2wire.Catalog.t
   val subscriber_stats : subscriber -> Omf_pbio.Pbio.Receiver.stats
@@ -280,6 +328,7 @@ module Session : sig
 
   val publisher :
     ?window:int ->
+    ?acked:bool ->
     config ->
     stream:string ->
     schema:string ->
@@ -287,7 +336,16 @@ module Session : sig
     publisher
   (** Connect, ADVERTISE and enter publisher mode; first-attempt
       failures raise immediately. [window] (default 1024) bounds data
-      frames buffered while the relay is unreachable. *)
+      frames buffered while the relay is unreachable.
+
+      With [~acked:true] (and a store-backed relay) frames stay
+      buffered until the relay acknowledges them durable: a relay
+      killed mid-publish loses nothing — the resume handshake tells
+      the session exactly which suffix the store is missing, and it is
+      resent with no duplicates. [window] then bounds
+      {e unacknowledged} frames and a full window blocks on the ack
+      channel rather than raising {!Overflow}. Against a memory-only
+      relay the mode degrades to the plain session. *)
 
   val publisher_format : publisher -> string -> Omf_pbio.Format.t option
   (** Look up a format from the advertised schema by name. *)
@@ -303,8 +361,22 @@ module Session : sig
 
   val publisher_reconnects : publisher -> int
   val publisher_buffered : publisher -> int
-  (** Frames currently buffered awaiting a live connection. *)
+  (** Frames currently buffered: awaiting a live connection (plain
+      mode) or awaiting a durability ack (ack mode). *)
+
+  val publisher_acked : publisher -> bool
+  (** Is the session publishing with durability acks? ([false] after
+      degrading against a memory-only relay.) *)
+
+  val publisher_durable : publisher -> int
+  (** The relay's durable watermark as of the last ack (ack mode). *)
+
+  val flush_acked : publisher -> unit
+  (** Block until every buffered frame is acknowledged durable (ack
+      mode) or written (plain mode), reconnecting under the budget;
+      {!Gave_up} when the relay stays unreachable. *)
 
   val close_publisher : publisher -> unit
-  (** Flush buffered frames best-effort (no reconnect), then close. *)
+  (** Flush buffered frames best-effort (no reconnect), then close —
+      call {!flush_acked} first for a durable handoff. *)
 end

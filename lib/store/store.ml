@@ -1,0 +1,682 @@
+let src = Logs.Src.create "omf.store" ~doc:"Durable stream store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Store_error of string
+
+let store_error fmt = Fmt.kstr (fun s -> raise (Store_error s)) fmt
+
+type fsync_policy = Never | Every_n of int | Interval of float
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "never" -> Ok Never
+  | s when String.length s > 6 && String.sub s 0 6 = "every=" -> (
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some n when n > 0 -> Ok (Every_n n)
+    | _ -> Error "every=N needs a positive integer")
+  | s when String.length s > 9 && String.sub s 0 9 = "interval=" -> (
+    match float_of_string_opt (String.sub s 9 (String.length s - 9)) with
+    | Some f when f > 0. -> Ok (Interval f)
+    | _ -> Error "interval=SECS needs a positive number")
+  | _ -> Error "expected never, every=N or interval=SECS"
+
+let fsync_policy_to_string = function
+  | Never -> "never"
+  | Every_n n -> Printf.sprintf "every=%d" n
+  | Interval s -> Printf.sprintf "interval=%g" s
+
+type config = {
+  root : string;
+  segment_bytes : int;
+  index_every : int;
+  fsync : fsync_policy;
+  retain_segments : int;
+  retain_bytes : int;
+  retain_age : float;
+}
+
+let default_config ~root =
+  {
+    root;
+    segment_bytes = 64 * 1024 * 1024;
+    index_every = 64;
+    fsync = Interval 0.1;
+    retain_segments = 0;
+    retain_bytes = 0;
+    retain_age = 0.;
+  }
+
+(* On-disk framing: magic header, then [u32 len | u32 crc | body]
+   records. Meta bodies start with a kind byte ('S' schema text, 'D'
+   verbatim descriptor frame); segment bodies are verbatim 'M' frames. *)
+
+let seg_magic = "OMFSEG01"
+let meta_magic = "OMFMETA1"
+let magic_len = 8
+let header_len = 8
+let max_record = 1 lsl 26
+
+type seg = {
+  s_base : int; (* offset of first record *)
+  s_path : string;
+  mutable s_count : int;
+  mutable s_size : int; (* file bytes incl. magic *)
+  mutable s_index : (int * int) list; (* sparse (offset, pos), descending *)
+  mutable s_sealed_at : float; (* mtime proxy for age retention *)
+}
+
+type t = {
+  cfg : config;
+  name : string;
+  dir : string;
+  meta_path : string;
+  mutable meta_fd : Unix.file_descr;
+  mutable schema_ : string option;
+  seen_desc : (string, unit) Hashtbl.t;
+  mutable descs_rev : Bytes.t list;
+  mutable segs : seg list; (* ascending base; last is the tail *)
+  mutable tail_fd : Unix.file_descr;
+  mutable tail_off : int; (* next offset *)
+  mutable durable_ : int;
+  mutable unsynced : int;
+  mutable dirty : bool;
+  mutable truncated : int;
+  mutable closed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* small IO helpers *)
+
+let write_all fd b pos len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd b !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let read_exact fd b pos len =
+  (* returns bytes actually read (< len only at EOF) *)
+  let off = ref pos and left = ref len in
+  (try
+     while !left > 0 do
+       let n = Unix.read fd b !off !left in
+       if n = 0 then raise Exit;
+       off := !off + n;
+       left := !left - n
+     done
+   with Exit -> ());
+  len - !left
+
+let put_u32 b pos v =
+  Bytes.set b pos (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (pos + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (pos + 3) (Char.chr (v land 0xFF))
+
+let get_u32 b pos =
+  (Char.code (Bytes.get b pos) lsl 24)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get b (pos + 3))
+
+let fsync_dir path =
+  (* Persist directory entries (segment creation/unlink); best effort —
+     some filesystems reject fsync on directories. *)
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let mkdir_p path =
+  let rec mk p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      mk (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk path
+
+(* Stream names become directory names; escape anything outside a safe
+   alphabet so arbitrary stream names (slashes, dots) cannot traverse. *)
+
+let safe_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if safe_char c then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    name;
+  if Buffer.length b = 0 then "%empty" else Buffer.contents b
+
+let unsanitize dir_name =
+  if dir_name = "%empty" then Some ""
+  else
+    let b = Buffer.create (String.length dir_name) in
+    let n = String.length dir_name in
+    let rec go i =
+      if i >= n then Some (Buffer.contents b)
+      else if dir_name.[i] = '%' then
+        if i + 2 < n then (
+          match int_of_string_opt ("0x" ^ String.sub dir_name (i + 1) 2) with
+          | Some c ->
+            Buffer.add_char b (Char.chr c);
+            go (i + 3)
+          | None -> None)
+        else None
+      else begin
+        Buffer.add_char b dir_name.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+
+let seg_path dir base = Filename.concat dir (Printf.sprintf "%020d.seg" base)
+
+let seg_base_of_name name =
+  if Filename.check_suffix name ".seg" then
+    int_of_string_opt (Filename.chop_suffix name ".seg")
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* record IO *)
+
+let write_record fd body =
+  let len = Bytes.length body in
+  let rec_ = Bytes.create (header_len + len) in
+  put_u32 rec_ 0 len;
+  put_u32 rec_ 4 (Omf_util.Crc32.digest body ~pos:0 ~len);
+  Bytes.blit body 0 rec_ header_len len;
+  write_all fd rec_ 0 (header_len + len);
+  header_len + len
+
+(* Scan one record at [pos]. [`Record (body, next_pos)] on success;
+   [`Eof] when [pos] is exactly the end; [`Bad pos] when the bytes from
+   [pos] on are torn or corrupt (truncation point). *)
+let scan_record fd ~path ~size pos =
+  if pos = size then `Eof
+  else if pos + header_len > size then `Bad pos
+  else begin
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let hdr = Bytes.create header_len in
+    if read_exact fd hdr 0 header_len < header_len then `Bad pos
+    else
+      let len = get_u32 hdr 0 and crc = get_u32 hdr 4 in
+      if len < 1 || len > max_record || pos + header_len + len > size then
+        `Bad pos
+      else
+        let body = Bytes.create len in
+        if read_exact fd body 0 len < len then `Bad pos
+        else if Omf_util.Crc32.digest body ~pos:0 ~len <> crc then `Bad pos
+        else begin
+          ignore path;
+          `Record (body, pos + header_len + len)
+        end
+  end
+
+(* Skip over a record without reading its body (used when seeking to a
+   replay start inside a sealed segment). CRC is not checked here; it
+   is checked when the record is actually delivered. *)
+let skip_record fd ~size pos =
+  if pos + header_len > size then `Bad pos
+  else begin
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let hdr = Bytes.create header_len in
+    if read_exact fd hdr 0 header_len < header_len then `Bad pos
+    else
+      let len = get_u32 hdr 0 in
+      if len < 1 || len > max_record || pos + header_len + len > size then
+        `Bad pos
+      else `Next (pos + header_len + len)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* meta log *)
+
+let load_meta t =
+  if not (Sys.file_exists t.meta_path) then begin
+    let fd =
+      Unix.openfile t.meta_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+    in
+    write_all fd (Bytes.of_string meta_magic) 0 magic_len;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd;
+    fsync_dir t.dir
+  end;
+  let fd = Unix.openfile t.meta_path [ Unix.O_RDONLY ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let bad_magic () =
+    let m = Bytes.create magic_len in
+    read_exact fd m 0 magic_len < magic_len
+    || Bytes.to_string m <> meta_magic
+  in
+  if size < magic_len || bad_magic () then begin
+    Unix.close fd;
+    if size < magic_len then begin
+      (* torn during creation: rewrite *)
+      let wfd =
+        Unix.openfile t.meta_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
+      in
+      write_all wfd (Bytes.of_string meta_magic) 0 magic_len;
+      (try Unix.fsync wfd with Unix.Unix_error _ -> ());
+      Unix.close wfd;
+      t.truncated <- t.truncated + size
+    end
+    else
+      store_error "%s: bad magic (not a store meta log)" t.meta_path
+  end
+  else begin
+    let pos = ref magic_len in
+    let stop = ref false in
+    while not !stop do
+      match scan_record fd ~path:t.meta_path ~size !pos with
+      | `Eof -> stop := true
+      | `Bad p ->
+        Unix.close fd;
+        let wfd = Unix.openfile t.meta_path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate wfd p;
+        (try Unix.fsync wfd with Unix.Unix_error _ -> ());
+        Unix.close wfd;
+        t.truncated <- t.truncated + (size - p);
+        Log.warn (fun m ->
+            m "stream %S: truncated torn meta record at byte %d (%d bytes)"
+              t.name p (size - p));
+        raise Exit
+      | `Record (body, next) ->
+        (match Bytes.get body 0 with
+        | 'S' ->
+          t.schema_ <-
+            Some (Bytes.sub_string body 1 (Bytes.length body - 1))
+        | 'D' ->
+          let digest =
+            Omf_util.Sha256.digest_bytes body 0 (Bytes.length body)
+          in
+          if not (Hashtbl.mem t.seen_desc digest) then begin
+            Hashtbl.replace t.seen_desc digest ();
+            t.descs_rev <- body :: t.descs_rev
+          end
+        | k ->
+          Log.warn (fun m ->
+              m "stream %S: unknown meta record kind %C ignored" t.name k));
+        pos := next
+    done;
+    Unix.close fd
+  end
+
+let open_meta_append t =
+  t.meta_fd <-
+    Unix.openfile t.meta_path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+
+(* ------------------------------------------------------------------ *)
+(* segments *)
+
+let create_segment t base =
+  let path = seg_path t.dir base in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  write_all fd (Bytes.of_string seg_magic) 0 magic_len;
+  fsync_dir t.dir;
+  let seg =
+    {
+      s_base = base;
+      s_path = path;
+      s_count = 0;
+      s_size = magic_len;
+      s_index = [];
+      s_sealed_at = Unix.gettimeofday ();
+    }
+  in
+  (seg, fd)
+
+(* Scan the tail segment: count records, build the sparse index,
+   truncate at the first torn/corrupt record. Returns the record
+   count, or `Torn_header if even the magic is damaged. *)
+let recover_tail t (seg : seg) =
+  let fd = Unix.openfile seg.s_path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let magic_ok =
+    size >= magic_len
+    &&
+    let m = Bytes.create magic_len in
+    read_exact fd m 0 magic_len = magic_len && Bytes.to_string m = seg_magic
+  in
+  if not magic_ok then begin
+    Unix.close fd;
+    `Torn_header size
+  end
+  else begin
+    let pos = ref magic_len and count = ref 0 and stop = ref false in
+    let index = ref [] in
+    while not !stop do
+      match scan_record fd ~path:seg.s_path ~size !pos with
+      | `Eof -> stop := true
+      | `Bad p ->
+        Unix.ftruncate fd p;
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        t.truncated <- t.truncated + (size - p);
+        Log.warn (fun m ->
+            m "stream %S: truncated torn record at %s byte %d (%d bytes)"
+              t.name (Filename.basename seg.s_path) p (size - p));
+        seg.s_size <- p;
+        stop := true
+      | `Record (_, next) ->
+        if !count mod t.cfg.index_every = 0 then
+          index := (seg.s_base + !count, !pos) :: !index;
+        incr count;
+        pos := next;
+        seg.s_size <- next
+    done;
+    Unix.close fd;
+    seg.s_count <- !count;
+    seg.s_index <- !index;
+    `Recovered !count
+  end
+
+let load_segments t =
+  let names =
+    Sys.readdir t.dir |> Array.to_list
+    |> List.filter_map (fun n ->
+           match seg_base_of_name n with Some b -> Some (b, n) | None -> None)
+    |> List.sort compare
+  in
+  match names with
+  | [] ->
+    let seg, fd = create_segment t 0 in
+    t.segs <- [ seg ];
+    t.tail_fd <- fd;
+    t.tail_off <- 0
+  | names ->
+    let arr = Array.of_list names in
+    let n = Array.length arr in
+    let segs = ref [] in
+    for i = n - 1 downto 0 do
+      let base, name = arr.(i) in
+      let path = Filename.concat t.dir name in
+      let st = Unix.stat path in
+      let count =
+        (* sealed: dense offsets make the count pure filename
+           arithmetic; the tail (-1) is scanned by recover_tail *)
+        if i + 1 < n then fst arr.(i + 1) - base else -1
+      in
+      if i + 1 < n && count <= 0 then
+        store_error "%s: segment bases out of order" path;
+      segs :=
+        {
+          s_base = base;
+          s_path = path;
+          s_count = count;
+          s_size = st.Unix.st_size;
+          s_index = [];
+          s_sealed_at = st.Unix.st_mtime;
+        }
+        :: !segs
+    done;
+    let rec split_last = function
+      | [] -> assert false
+      | [ x ] -> ([], x)
+      | x :: rest ->
+        let sealed, last = split_last rest in
+        (x :: sealed, last)
+    in
+    let sealed, tail_seg = split_last !segs in
+    (match recover_tail t tail_seg with
+    | `Recovered count ->
+      t.segs <- sealed @ [ tail_seg ];
+      t.tail_off <- tail_seg.s_base + count;
+      t.tail_fd <-
+        Unix.openfile tail_seg.s_path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+    | `Torn_header sz ->
+      (* The newest segment's header itself is torn (crash during
+         creation): no record in it can be valid, so replace it with a
+         fresh empty segment at the same base. *)
+      Log.warn (fun m ->
+          m "stream %S: dropping segment %s with torn header (%d bytes)"
+            t.name (Filename.basename tail_seg.s_path) sz);
+      t.truncated <- t.truncated + sz;
+      Unix.unlink tail_seg.s_path;
+      let seg, fd = create_segment t tail_seg.s_base in
+      t.segs <- sealed @ [ seg ];
+      t.tail_off <- seg.s_base;
+      t.tail_fd <- fd)
+
+(* ------------------------------------------------------------------ *)
+
+let stream t = t.name
+let tail t = t.tail_off
+let durable t = t.durable_
+let oldest t = match t.segs with [] -> 0 | s :: _ -> s.s_base
+let segments t = List.length t.segs
+let bytes t = List.fold_left (fun a s -> a + s.s_size) 0 t.segs
+let schema t = t.schema_
+let descriptors t = List.rev t.descs_rev
+let truncated_bytes t = t.truncated
+
+let check_open t = if t.closed then store_error "stream %S: closed" t.name
+
+let do_sync t =
+  if t.dirty then begin
+    (try Unix.fsync t.tail_fd
+     with Unix.Unix_error (e, _, _) ->
+       store_error "stream %S: fsync: %s" t.name (Unix.error_message e));
+    t.dirty <- false
+  end;
+  t.unsynced <- 0;
+  t.durable_ <- t.tail_off;
+  t.durable_
+
+let sync t =
+  check_open t;
+  do_sync t
+
+let apply_retention t =
+  let deleted = ref 0 in
+  let now = Unix.gettimeofday () in
+  let excess () =
+    match t.segs with
+    | [] | [ _ ] -> false (* never delete the tail *)
+    | oldest_seg :: _ ->
+      (t.cfg.retain_segments > 0 && List.length t.segs > t.cfg.retain_segments)
+      || (t.cfg.retain_bytes > 0 && bytes t > t.cfg.retain_bytes)
+      || t.cfg.retain_age > 0.
+         && now -. oldest_seg.s_sealed_at > t.cfg.retain_age
+  in
+  while excess () do
+    match t.segs with
+    | old :: rest ->
+      (try Unix.unlink old.s_path with Unix.Unix_error _ -> ());
+      t.segs <- rest;
+      incr deleted;
+      Log.info (fun m ->
+          m "stream %S: retention dropped segment %s (%d records)" t.name
+            (Filename.basename old.s_path) old.s_count)
+    | [] -> assert false
+  done;
+  if !deleted > 0 then fsync_dir t.dir;
+  !deleted
+
+let tail_seg t =
+  match List.rev t.segs with
+  | last :: _ -> last
+  | [] -> store_error "stream %S: no tail segment" t.name
+
+let roll t =
+  (* Seal the current tail: make it durable, then start a new segment. *)
+  (try Unix.fsync t.tail_fd with Unix.Unix_error _ -> ());
+  Unix.close t.tail_fd;
+  t.dirty <- false;
+  t.unsynced <- 0;
+  t.durable_ <- t.tail_off;
+  let sealed = tail_seg t in
+  sealed.s_sealed_at <- Unix.gettimeofday ();
+  let seg, fd = create_segment t t.tail_off in
+  t.segs <- t.segs @ [ seg ];
+  t.tail_fd <- fd;
+  ignore (apply_retention t)
+
+let append t frame =
+  check_open t;
+  if Bytes.length frame = 0 then store_error "stream %S: empty frame" t.name;
+  if Bytes.length frame > max_record then
+    store_error "stream %S: frame of %d bytes exceeds record limit" t.name
+      (Bytes.length frame);
+  if (tail_seg t).s_size >= t.cfg.segment_bytes && (tail_seg t).s_count > 0
+  then roll t;
+  let seg = tail_seg t in
+  if seg.s_count mod t.cfg.index_every = 0 then
+    seg.s_index <- (t.tail_off, seg.s_size) :: seg.s_index;
+  let written = write_record t.tail_fd frame in
+  let off = t.tail_off in
+  seg.s_count <- seg.s_count + 1;
+  seg.s_size <- seg.s_size + written;
+  t.tail_off <- off + 1;
+  t.unsynced <- t.unsynced + 1;
+  t.dirty <- true;
+  (match t.cfg.fsync with
+  | Never ->
+    (* Durable enough for process crashes: the write is in the page
+       cache. Power loss can still lose it; that is the contract. *)
+    t.durable_ <- t.tail_off
+  | Every_n n -> if t.unsynced >= n then ignore (do_sync t)
+  | Interval _ -> ());
+  off
+
+let append_meta t body =
+  let _ = write_record t.meta_fd body in
+  try Unix.fsync t.meta_fd
+  with Unix.Unix_error (e, _, _) ->
+    store_error "stream %S: meta fsync: %s" t.name (Unix.error_message e)
+
+let append_descriptor t frame =
+  check_open t;
+  let digest = Omf_util.Sha256.digest_bytes frame 0 (Bytes.length frame) in
+  if Hashtbl.mem t.seen_desc digest then false
+  else begin
+    Hashtbl.replace t.seen_desc digest ();
+    t.descs_rev <- Bytes.copy frame :: t.descs_rev;
+    append_meta t frame;
+    true
+  end
+
+let set_schema t text =
+  check_open t;
+  if t.schema_ <> Some text then begin
+    t.schema_ <- Some text;
+    let body = Bytes.create (1 + String.length text) in
+    Bytes.set body 0 'S';
+    Bytes.blit_string text 0 body 1 (String.length text);
+    append_meta t body
+  end
+
+(* Reading: per call we open a fresh read-only fd per segment, seek to
+   the nearest sparse-index entry at or below the requested offset, and
+   skip forward. Records actually delivered are CRC-checked. *)
+
+let iter_seg t (seg : seg) ~from f =
+  if from < seg.s_base + seg.s_count then begin
+    let fd = Unix.openfile seg.s_path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = seg.s_size in
+        let start_off, start_pos =
+          (* s_index is descending; find the first entry <= from *)
+          let rec find = function
+            | [] -> (seg.s_base, magic_len)
+            | (o, p) :: rest -> if o <= from then (o, p) else find rest
+          in
+          find seg.s_index
+        in
+        let off = ref start_off and pos = ref start_pos in
+        (* skip to [from] without reading bodies *)
+        while !off < from do
+          match skip_record fd ~size !pos with
+          | `Next p ->
+            pos := p;
+            incr off
+          | `Bad p ->
+            store_error "stream %S: corrupt record at %s byte %d" t.name
+              (Filename.basename seg.s_path) p
+        done;
+        let seg_end = seg.s_base + seg.s_count in
+        while !off < seg_end do
+          match scan_record fd ~path:seg.s_path ~size !pos with
+          | `Record (body, next) ->
+            f !off body;
+            pos := next;
+            incr off
+          | `Eof | `Bad _ ->
+            store_error "stream %S: corrupt record at %s byte %d" t.name
+              (Filename.basename seg.s_path) !pos
+        done)
+  end
+
+let iter_from t from f =
+  check_open t;
+  let from = max from (oldest t) in
+  if from < t.tail_off then
+    List.iter
+      (fun seg ->
+        if seg.s_base + seg.s_count > from then
+          iter_seg t seg ~from:(max from seg.s_base) f)
+      t.segs
+
+let close t =
+  if not t.closed then begin
+    (try ignore (do_sync t) with Store_error _ -> ());
+    (try Unix.close t.tail_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.meta_fd with Unix.Unix_error _ -> ());
+    t.closed <- true
+  end
+
+let open_stream cfg name =
+  let dir = Filename.concat cfg.root (sanitize name) in
+  mkdir_p dir;
+  let t =
+    {
+      cfg;
+      name;
+      dir;
+      meta_path = Filename.concat dir "meta.log";
+      meta_fd = Unix.stdin (* replaced below *);
+      schema_ = None;
+      seen_desc = Hashtbl.create 8;
+      descs_rev = [];
+      segs = [];
+      tail_fd = Unix.stdin;
+      tail_off = 0;
+      durable_ = 0;
+      unsynced = 0;
+      dirty = false;
+      truncated = 0;
+      closed = false;
+    }
+  in
+  (try load_meta t with Exit -> ());
+  open_meta_append t;
+  load_segments t;
+  (* Everything that survived recovery is on disk by definition. *)
+  t.durable_ <- t.tail_off;
+  Log.debug (fun m ->
+      m "stream %S: opened at offset %d (%d segments%s)" t.name t.tail_off
+        (List.length t.segs)
+        (if t.truncated > 0 then
+           Printf.sprintf ", %d torn bytes truncated" t.truncated
+         else ""));
+  t
+
+let streams cfg =
+  if not (Sys.file_exists cfg.root) then []
+  else
+    Sys.readdir cfg.root |> Array.to_list
+    |> List.filter (fun n ->
+           Sys.is_directory (Filename.concat cfg.root n)
+           && Sys.file_exists (Filename.concat (Filename.concat cfg.root n) "meta.log"))
+    |> List.filter_map unsanitize
+    |> List.sort compare

@@ -29,6 +29,7 @@ let incr t ?(by = 1) name =
       r := !r + by)
 
 let set t name v = locked t (fun () -> cell t name := v)
+let remove t name = locked t (fun () -> Hashtbl.remove t.tbl name)
 
 let get t name =
   locked t (fun () ->

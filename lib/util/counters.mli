@@ -13,6 +13,13 @@ val incr : t -> ?by:int -> string -> unit
 (** [incr t name] adds [by] (default 1) to [name], creating it at 0. *)
 
 val set : t -> string -> int -> unit
+(** [set t name v] overwrites [name] with [v] — the gauge primitive
+    (queue depths, store segment/byte totals) next to the monotonic
+    {!incr}. *)
+
+val remove : t -> string -> unit
+(** Drop a gauge whose subject went away (e.g. a stream whose store
+    segments were all retired); no-op if absent. *)
 
 val get : t -> string -> int
 (** 0 for counters never touched. *)

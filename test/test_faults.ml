@@ -361,6 +361,153 @@ let test_session_survives_severed_link () =
   Session.close_publisher pub
 
 (* ------------------------------------------------------------------ *)
+(* Durable store: restart and SIGKILL recovery                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_store_root f =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "omf-faults-store-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  let rec rm path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  Fun.protect ~finally:(fun () -> try rm root with _ -> ()) (fun () -> f root)
+
+let store_cfg root =
+  { (Relay.Store.default_config ~root) with
+    fsync = Relay.Store.Interval 0.02 }
+
+(** A store-backed relay restarted gracefully: the acked publisher's
+    resume handshake resends only what the store is missing (nothing,
+    here) and the subscriber resumes from its next expected offset —
+    unlike the memory-only restart test above, {e nothing} may be
+    missed, not even during the reconnect race. *)
+let test_store_relay_restart_zero_loss () =
+  with_store_root @@ fun root ->
+  let store = store_cfg root in
+  let h1 = Relay.start ~store () in
+  let port = Relay.port (Relay.relay h1) in
+  let pub =
+    Session.publisher ~acked:true (cfg ~port ()) ~stream:"flights"
+      ~schema:Fx.schema_a Abi.x86_64
+  in
+  check bool "session negotiated acks" true (Session.publisher_acked pub);
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let sub =
+    Session.subscribe ~from:0 (cfg ~port ()) ~stream:"flights" Abi.arm_32
+  in
+  let col = collect sub in
+  let first = scale 20 in
+  for seq = 0 to first - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  Session.flush_acked pub;
+  check int "everything acked durable" first (Session.publisher_durable pub);
+  poll ~what:"first half delivered" (fun () -> count col >= first);
+  Relay.stop h1;
+  let h2 = Relay.start ~port ~store () in
+  Fun.protect
+    ~finally:(fun () -> Relay.stop h2)
+    (fun () ->
+      let last = (2 * first) - 1 in
+      for seq = first to last do
+        Session.publish_value pub fmt (event seq)
+      done;
+      Session.flush_acked pub;
+      poll ~what:"second half delivered" (fun () ->
+          List.mem last (collected col));
+      Session.close_subscriber sub;
+      Thread.join col.thread;
+      let seqs = collected col in
+      check bool "in order, no duplicates" true (strictly_increasing seqs);
+      check bool "zero loss across the restart" true
+        (seqs = List.init (last + 1) Fun.id);
+      check int "format learned once across restart" 1
+        (Session.subscriber_stats sub).formats_learned;
+      check bool "publisher reconnected" true
+        (Session.publisher_reconnects pub >= 1);
+      Session.close_publisher pub)
+
+(** The acceptance drill: a separate relayd process killed with SIGKILL
+    mid-stream — no drain, no close, stores recovered from whatever hit
+    the file system — then restarted on the same port and store. The
+    acked publisher and offset-tracking subscriber between them must
+    account for every event exactly once. Requires the relayd binary
+    via [OMF_RELAYD] (set by the dune alias); skipped when absent. *)
+let test_store_survives_sigkill () =
+  match Sys.getenv_opt "OMF_RELAYD" with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+    with_store_root @@ fun root ->
+    let port = dead_port () in
+    let spawn () =
+      let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let pid =
+        Unix.create_process exe
+          [| exe; "--port"; string_of_int port; "--store"; root
+           ; "--store-fsync"; "interval=0.02" |]
+          null null Unix.stderr
+      in
+      Unix.close null;
+      poll ~what:"relayd listening" (fun () ->
+          match Relay.Client.connect ~port ~connect_timeout_s:0.2 () with
+          | c ->
+            Relay.Client.close c;
+            true
+          | exception Relay.Client.Error _ -> false);
+      pid
+    in
+    let pid = ref (spawn ()) in
+    let kill_hard () =
+      Unix.kill !pid Sys.sigkill;
+      ignore (Unix.waitpid [] !pid)
+    in
+    Fun.protect ~finally:(fun () -> try kill_hard () with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let pub =
+      Session.publisher ~acked:true (cfg ~port ()) ~stream:"flights"
+        ~schema:Fx.schema_a Abi.x86_64
+    in
+    let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+    let sub =
+      Session.subscribe ~from:0 (cfg ~port ()) ~stream:"flights" Abi.sparc_32
+    in
+    let col = collect sub in
+    let first = scale 24 in
+    for seq = 0 to first - 1 do
+      Session.publish_value pub fmt (event seq)
+    done;
+    poll ~what:"pre-kill events delivered" (fun () -> count col >= first);
+    (* SIGKILL: no graceful drain, no Store.close — recovery must cope
+       with whatever the page cache flushed, including a torn tail *)
+    kill_hard ();
+    pid := spawn ();
+    let last = (2 * first) - 1 in
+    for seq = first to last do
+      Session.publish_value pub fmt (event seq)
+    done;
+    Session.flush_acked pub;
+    poll ~what:"post-restart events delivered" (fun () ->
+        List.mem last (collected col));
+    Session.close_subscriber sub;
+    Thread.join col.thread;
+    let seqs = collected col in
+    check bool "in order, no duplicates" true (strictly_increasing seqs);
+    check bool "zero loss across SIGKILL + restart" true
+      (seqs = List.init (last + 1) Fun.id);
+    check int "format learned once" 1
+      (Session.subscriber_stats sub).formats_learned;
+    Session.close_publisher pub
+
+(* ------------------------------------------------------------------ *)
 (* Publisher window overflow is explicit                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -569,6 +716,11 @@ let () =
             test_session_survives_severed_link
         ; Alcotest.test_case "publisher overflow is explicit" `Quick
             test_publisher_overflow_is_explicit ] )
+    ; ( "store",
+        [ Alcotest.test_case "store-backed restart: zero loss, zero dup"
+            `Quick test_store_relay_restart_zero_loss
+        ; Alcotest.test_case "relayd SIGKILL + restart: zero loss, zero dup"
+            `Quick test_store_survives_sigkill ] )
     ; ( "cluster",
         [ Alcotest.test_case "2 shards: handoffs, zero loss, HMAC" `Quick
             test_cluster_pubsub_across_shards

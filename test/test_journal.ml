@@ -130,6 +130,80 @@ let test_corruption_detected () =
             Alcotest.fail "expected Journal_error"
           with Journal.Journal_error _ -> ()))
 
+let expect_journal_error ~substring f =
+  try
+    f ();
+    Alcotest.fail "expected Journal_error"
+  with Journal.Journal_error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    check bool (Printf.sprintf "error %S mentions %S" msg substring) true
+      (contains msg substring)
+
+let read_with_decl path =
+  let reg = Registry.create Abi.x86_64 in
+  ignore (Registry.register reg Fx.decl_a);
+  let reader, close = Journal.Reader.of_file path reg (Memory.create Abi.x86_64) in
+  Fun.protect ~finally:close (fun () ->
+      ignore (Journal.Reader.fold reader (fun acc _ -> acc) ()))
+
+let truncate_to path size =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd size;
+  Unix.close fd
+
+let test_torn_length_prefix () =
+  (* A record whose u32 length prefix itself is cut short (a crash
+     between the first and fourth prefix byte) is a torn tail, not a
+     clean EOF: the reader must say so, with the offset. It used to be
+     swallowed as end-of-journal. *)
+  with_tmp (fun path ->
+      write_events path Abi.x86_64 [ ("ASDOffEvent", Fx.value_a) ];
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\x00\x00";
+      close_out oc;
+      expect_journal_error ~substring:"length prefix at byte" (fun () ->
+          read_with_decl path))
+
+let test_truncation_offset_reported () =
+  with_tmp (fun path ->
+      write_events path Abi.x86_64 [ ("ASDOffEvent", Fx.value_a) ];
+      let size = (Unix.stat path).Unix.st_size in
+      truncate_to path (size - 5);
+      expect_journal_error ~substring:"mid-record at byte" (fun () ->
+          read_with_decl path))
+
+let test_unknown_kind_offset () =
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "OMFJRNL1";
+      (* one record: len=3, kind 'X' (unknown), body "ab" *)
+      output_string oc "\x00\x00\x00\x03Xab";
+      close_out oc;
+      expect_journal_error ~substring:"kind 'X' at byte 8" (fun () ->
+          read_with_decl path))
+
+let test_garbage_descriptor_payload () =
+  (* A descriptor record whose payload is noise must surface as a
+     Journal_error naming the offset, not a random decoder exception. *)
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "OMFJRNL1";
+      let payload = "not a descriptor at all \x01\x02\x03" in
+      let len = 1 + String.length payload in
+      output_char oc (Char.chr ((len lsr 24) land 0xFF));
+      output_char oc (Char.chr ((len lsr 16) land 0xFF));
+      output_char oc (Char.chr ((len lsr 8) land 0xFF));
+      output_char oc (Char.chr (len land 0xFF));
+      output_char oc 'D';
+      output_string oc payload;
+      close_out oc;
+      expect_journal_error ~substring:"at byte 8" (fun () ->
+          read_with_decl path))
+
 let test_bad_magic_detected () =
   with_tmp (fun path ->
       let oc = open_out_bin path in
@@ -201,6 +275,14 @@ let () =
         ; Alcotest.test_case "format upgrade mid-file" `Quick
             test_format_upgrade_mid_file
         ; Alcotest.test_case "corruption detected" `Quick test_corruption_detected
+        ; Alcotest.test_case "torn length prefix detected" `Quick
+            test_torn_length_prefix
+        ; Alcotest.test_case "truncation reports byte offset" `Quick
+            test_truncation_offset_reported
+        ; Alcotest.test_case "unknown kind reports byte offset" `Quick
+            test_unknown_kind_offset
+        ; Alcotest.test_case "garbage descriptor wrapped with offset" `Quick
+            test_garbage_descriptor_payload
         ; Alcotest.test_case "bad magic detected" `Quick test_bad_magic_detected
         ; Alcotest.test_case "empty journal" `Quick test_empty_journal
         ; Alcotest.test_case "large journal" `Quick test_large_journal ]

@@ -341,7 +341,10 @@ let test_64_subscribers_zero_loss_in_order () =
    buffers (SO_SNDBUF forced small) and then the bounded queue *)
 let test_evict_slow_consumer () =
   let h =
-    Relay.start ~policy:Relay.Evict_slow ~max_queue:8 ~evict_grace_s:0.25
+    (* the grace window needs slack over the publish pacing below: under
+       a loaded test host the reading consumer's backlog can take a few
+       hundred ms to drain, and it must never be the one evicted *)
+    Relay.start ~policy:Relay.Evict_slow ~max_queue:8 ~evict_grace_s:0.75
       ~sndbuf:8192 ()
   in
   let port = Relay.port (Relay.relay h) in
