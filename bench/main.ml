@@ -963,6 +963,153 @@ let e6_store () =
         (float_of_int frames /. dt))
 
 (* ------------------------------------------------------------------ *)
+(* E7-registry: schema registry — resolve latency, async discovery      *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = Omf_registry.Registry
+
+let e7_registry () =
+  section "E7-registry. Schema registry: resolve latency, async discovery";
+  note
+    "The versioned schema registry (doc/REGISTRY.md). Resolve cost per\n\
+     path — a raw server round-trip, the caching resolver's positive\n\
+     and negative cache hits — and the first-message latency of a\n\
+     subscriber whose schema comes from the registry, with the fetch\n\
+     done synchronously before consuming vs asynchronously overlapping\n\
+     delivery (buffering raw frames until the fetch lands).\n";
+  let reg = Registry.create () in
+  let srv = Registry.Server.start ~port:0 reg in
+  Fun.protect ~finally:(fun () -> Registry.Server.shutdown srv) @@ fun () ->
+  let rc = Registry.Client.connect ~port:(Registry.Server.port srv) () in
+  Fun.protect ~finally:(fun () -> Registry.Client.close rc) @@ fun () ->
+  let nsubjects = if quick then 10 else 50 in
+  for i = 0 to nsubjects - 1 do
+    ignore
+      (Registry.Client.register rc ~subject:(Printf.sprintf "s%03d" i)
+         Fx.schema_a)
+  done;
+
+  (* (a) resolve cost per path *)
+  let n = if quick then 500 else 5_000 in
+  let time_per_op f iters =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to iters - 1 do
+      f i
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  let rpc_us =
+    time_per_op (fun i ->
+        ignore
+          (Registry.Client.get rc
+             ~subject:(Printf.sprintf "s%03d" (i mod nsubjects))
+             `Latest))
+      n
+  in
+  let resolver = Registry.Resolver.create rc in
+  let cold_us =
+    time_per_op
+      (fun i ->
+        ignore
+          (Registry.Resolver.resolve resolver
+             ~subject:(Printf.sprintf "s%03d" (i mod nsubjects))
+             (`N 1)))
+      nsubjects
+  in
+  let hit_us =
+    time_per_op
+      (fun i ->
+        ignore
+          (Registry.Resolver.resolve resolver
+             ~subject:(Printf.sprintf "s%03d" (i mod nsubjects))
+             (`N 1)))
+      n
+  in
+  let neg_us =
+    time_per_op
+      (fun _ ->
+        ignore (Registry.Resolver.resolve resolver ~subject:"absent" `Latest))
+      n
+  in
+  subsection "resolve cost per path";
+  table
+    [ "path"; "resolves"; "us/op" ]
+    [ [ "server round-trip (no cache)"; string_of_int n
+      ; Printf.sprintf "%.1f" rpc_us ]
+    ; [ "resolver, cold (miss + fill)"; string_of_int nsubjects
+      ; Printf.sprintf "%.1f" cold_us ]
+    ; [ "resolver, positive hit"; string_of_int n
+      ; Printf.sprintf "%.3f" hit_us ]
+    ; [ "resolver, negative hit"; string_of_int n
+      ; Printf.sprintf "%.3f" neg_us ] ];
+
+  (* (b) first-message latency: sync vs async discovery. The registry
+     fetch is padded to a fixed service time so the overlap is visible
+     regardless of loopback speed. *)
+  let fetch_delay_s = if quick then 0.02 else 0.05 in
+  let subject = "s000" in
+  let delayed_source label =
+    Discovery.from_fetcher ~label (fun () ->
+        Thread.delay fetch_delay_s;
+        match Registry.Resolver.resolve resolver ~subject `Latest with
+        | Some v -> v.Registry.schema
+        | None -> failwith "subject not registered")
+  in
+  let h = Relay.start () in
+  let port = Relay.port (Relay.relay h) in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let pub = Relay.Client.connect ~port () in
+  Relay.Client.advertise pub ~stream:"flights" ~schema:Fx.schema_a;
+  let pub_link = Relay.Client.publish pub ~stream:"flights" in
+  let pcat = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema pcat Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format pcat "ASDOffEvent") in
+  let sender =
+    Omf_transport.Endpoint.Sender.create pub_link (Memory.create Abi.x86_64)
+  in
+  let first_message link =
+    let rec go () =
+      match Omf_transport.Link.recv link with
+      | None -> failwith "e7-registry: stream closed"
+      | Some b when Bytes.length b > 0 && Char.equal (Bytes.get b 0) 'M' -> b
+      | Some _ -> go ()
+    in
+    go ()
+  in
+  (* sync: fetch the schema, then start consuming *)
+  let sub = Relay.Client.connect ~port () in
+  let _schema, link = Relay.Client.subscribe sub ~stream:"flights" in
+  Omf_transport.Endpoint.Sender.send_value sender fmt Fx.value_a;
+  let t0 = Unix.gettimeofday () in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (Discovery.discover catalog [ delayed_source "registry:sync" ]);
+  ignore (first_message link);
+  let sync_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Relay.Client.close sub;
+  (* async: buffer the first raw frame while the fetch is in flight *)
+  let sub = Relay.Client.connect ~port () in
+  let _schema, link = Relay.Client.subscribe sub ~stream:"flights" in
+  Omf_transport.Endpoint.Sender.send_value sender fmt Fx.value_a;
+  let t0 = Unix.gettimeofday () in
+  let catalog = Catalog.create Abi.x86_64 in
+  let async = Discovery.discover_async catalog [ delayed_source "registry:async" ] in
+  ignore (first_message link);
+  let first_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  ignore (Discovery.await async);
+  let decodable_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Relay.Client.close sub;
+  Relay.Client.close pub;
+  subsection
+    (Printf.sprintf "first-message latency, %.0f ms registry fetch"
+       (fetch_delay_s *. 1e3));
+  table
+    [ "discovery"; "first msg in hand (ms)"; "decodable (ms)" ]
+    [ [ "sync (fetch, then consume)"; Printf.sprintf "%.1f" sync_ms
+      ; Printf.sprintf "%.1f" sync_ms ]
+    ; [ "async (fetch overlaps delivery)"; Printf.sprintf "%.1f" first_ms
+      ; Printf.sprintf "%.1f" decodable_ms ] ]
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1076,6 +1223,7 @@ let () =
   e4_faults ();
   e5_shards ();
   e6_store ();
+  e7_registry ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

@@ -26,6 +26,30 @@ let source_label = function
   | Document { label; _ } -> label
   | Compiled { label; _ } -> label
 
+(** Provenance kind of a winning label: the prefix before [':'] when it
+    is one we mint ourselves ([file:], [http:], [registry:]...),
+    ["inline"] for inline text, ["compiled"] for compiled-in
+    declarations, ["document"] otherwise. *)
+let origin_of_label (label : string) : string =
+  match String.index_opt label ':' with
+  | Some i -> (
+    match String.sub label 0 i with
+    | ("file" | "http" | "https" | "registry") as kind -> kind
+    | _ -> "document")
+  | None -> if String.equal label "inline" then "inline" else "document"
+
+let origin_of_source = function
+  | Compiled _ -> "compiled"
+  | Document { label; _ } -> origin_of_label label
+
+(** Process-wide discovery observability: which source kinds win, and
+    how often a fallback had to ("fallback_wins") — so a system quietly
+    running on degraded compiled-in metadata shows up on /metrics
+    instead of staying silent. *)
+let counters = Omf_util.Counters.create ()
+
+let stats () = Omf_util.Counters.dump counters
+
 (** Convenience constructors. *)
 
 let from_string ?(label = "inline") text =
@@ -50,6 +74,7 @@ exception Discovery_failed of (string * string) list
 type outcome = {
   formats : Format.t list;  (** in registration order *)
   source : string;  (** which source won *)
+  origin : string;  (** its provenance kind, {!origin_of_label} *)
   document : string option;  (** the schema text, for [Document] sources *)
 }
 
@@ -63,13 +88,14 @@ let register_document catalog ~label (text : string) : outcome =
         Catalog.register catalog ~source:label decl)
       schema.Omf_xschema.Schema.types
   in
-  { formats; source = label; document = Some text }
+  { formats; source = label; origin = origin_of_label label
+  ; document = Some text }
 
 let register_compiled catalog ~label (decls : Ftype.t list) : outcome =
   let formats =
     List.map (fun d -> Catalog.register catalog ~source:label d) decls
   in
-  { formats; source = label; document = None }
+  { formats; source = label; origin = "compiled"; document = None }
 
 (* ------------------------------------------------------------------ *)
 (* Bounded fetching                                                     *)
@@ -164,18 +190,79 @@ let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
           Ok (register_compiled catalog ~label decls)
       with
       | Ok outcome ->
+        Omf_util.Counters.incr counters ("source_" ^ outcome.origin);
+        if failures <> [] then
+          Omf_util.Counters.incr counters "fallback_wins";
         Log.info (fun m ->
             m "discovered %d format(s) from %s"
               (List.length outcome.formats) label);
         outcome
-      | Error reason -> go ((label, reason) :: failures) rest
+      | Error reason ->
+        Omf_util.Counters.incr counters "source_failures";
+        go ((label, reason) :: failures) rest
       | exception e ->
         (* a fetched document that fails schema parsing / registration *)
         let reason = Printexc.to_string e in
+        Omf_util.Counters.incr counters "source_failures";
         Log.warn (fun m -> m "source %s failed: %s" label reason);
         go ((label, reason) :: failures) rest)
   in
   go [] sources
+
+(* ------------------------------------------------------------------ *)
+(* Async discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A discovery running on a background thread, so a subscriber can
+    start consuming messages (buffering the raw frames) while its
+    schema fetch is still in flight — the overlap the ROADMAP's "async
+    discovery" item asks for. *)
+type async = {
+  a_mutex : Mutex.t;
+  a_cond : Condition.t;
+  mutable a_result : (outcome, exn) result option;
+}
+
+let discover_async ?attempts ?timeout_s (catalog : Catalog.t)
+    (sources : source list) : async =
+  if sources = [] then invalid_arg "Discovery.discover_async: no sources";
+  let a =
+    { a_mutex = Mutex.create (); a_cond = Condition.create (); a_result = None }
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         let r =
+           try Ok (discover ?attempts ?timeout_s catalog sources)
+           with e -> Error e
+         in
+         Mutex.lock a.a_mutex;
+         a.a_result <- Some r;
+         Condition.broadcast a.a_cond;
+         Mutex.unlock a.a_mutex)
+       ());
+  a
+
+let poll (a : async) : outcome option =
+  Mutex.lock a.a_mutex;
+  let r = a.a_result in
+  Mutex.unlock a.a_mutex;
+  match r with
+  | None -> None
+  | Some (Ok outcome) -> Some outcome
+  | Some (Error e) -> raise e
+
+let await (a : async) : outcome =
+  Mutex.lock a.a_mutex;
+  while a.a_result = None do
+    Condition.wait a.a_cond a.a_mutex
+  done;
+  let r = a.a_result in
+  Mutex.unlock a.a_mutex;
+  match r with
+  | Some (Ok outcome) -> outcome
+  | Some (Error e) -> raise e
+  | None -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Change tracking / re-discovery                                       *)

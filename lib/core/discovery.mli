@@ -12,6 +12,20 @@ type source =
 
 val source_label : source -> string
 
+val origin_of_label : string -> string
+(** Provenance kind of a label: the prefix before [':'] when it is one
+    we mint ourselves ([file] / [http] / [https] / [registry]),
+    ["inline"] for inline text, ["document"] otherwise. *)
+
+val origin_of_source : source -> string
+(** As {!origin_of_label}; [Compiled] sources are ["compiled"]. *)
+
+val stats : unit -> (string * int) list
+(** Process-wide discovery counters: [source_<origin>] per win,
+    [fallback_wins] when a non-primary source won, [source_failures]
+    per failed probe — so degraded metadata is observable, not
+    silent. *)
+
 val from_string : ?label:string -> string -> source
 val from_file : string -> source
 val from_fetcher : label:string -> (unit -> string) -> source
@@ -23,6 +37,7 @@ exception Discovery_failed of (string * string) list
 type outcome = {
   formats : Format.t list;  (** in registration order *)
   source : string;  (** which source won *)
+  origin : string;  (** its provenance kind, {!origin_of_label} *)
   document : string option;  (** the schema text, for [Document] wins *)
 }
 
@@ -40,6 +55,24 @@ val discover :
     next one, so transient loss of the primary source does not flip the
     system onto degraded metadata. Defaults preserve plain blocking
     behaviour. *)
+
+(** {1 Async discovery} *)
+
+type async
+(** A discovery running on a background thread: a subscriber can start
+    consuming messages (buffering raw frames) while its schema fetch is
+    still in flight, then decode everything once the fetch lands. *)
+
+val discover_async :
+  ?attempts:int -> ?timeout_s:float -> Catalog.t -> source list -> async
+(** Start {!discover} on a worker thread and return immediately. *)
+
+val poll : async -> outcome option
+(** [None] while the discovery is still running. Re-raises the
+    discovery's exception ({!Discovery_failed}...) if it failed. *)
+
+val await : async -> outcome
+(** Block until the discovery completes; re-raises on failure. *)
 
 (** {1 Change tracking} *)
 

@@ -13,7 +13,9 @@
     Protocol (length-prefixed frames over TCP, via {!Omf_transport.Tcp}):
     - ['R' blob]  register a descriptor; reply ['I' id32] (idempotent:
       re-registering the same blob returns the same id)
-    - ['G' id32]  fetch a descriptor; reply ['D' blob] or ['N'] *)
+    - ['G' id32]  fetch a descriptor; reply ['D' blob] or ['N']
+    - ['F' hex]   fetch by SHA-256 fingerprint of the blob (as carried
+      in relay stream advertisements); reply ['I' id32 blob] or ['N'] *)
 
 let log = Logs.Src.create "omf.formatserver" ~doc:"format server"
 
@@ -51,6 +53,10 @@ module Server = struct
                           are also called directly by embedding threads *)
     by_blob : (string, int) Hashtbl.t;
     by_id : (int, string) Hashtbl.t;
+    by_fingerprint : (string, int) Hashtbl.t;
+        (** hex SHA-256 of the blob -> id: receivers that learned a
+            fingerprint from a relay advertisement resolve it without
+            holding the blob *)
     mutable next_id : int;
     counters : Counters.t;
     loop : Reactor.t;
@@ -79,6 +85,9 @@ module Server = struct
         t.next_id <- id + 1;
         Hashtbl.replace t.by_blob blob id;
         Hashtbl.replace t.by_id id blob;
+        Hashtbl.replace t.by_fingerprint
+          (Omf_util.Sha256.hex (Omf_util.Sha256.digest blob))
+          id;
         Counters.incr t.counters "registrations";
         Log.info (fun m -> m "registered format id %d (%d bytes)" id (String.length blob));
         id
@@ -92,6 +101,21 @@ module Server = struct
     Mutex.unlock t.mutex;
     Counters.incr t.counters
       (match r with Some _ -> "lookup_hits" | None -> "lookup_misses");
+    r
+
+  let lookup_fingerprint t (fp : string) : (int * string) option =
+    Mutex.lock t.mutex;
+    let r =
+      match Hashtbl.find_opt t.by_fingerprint fp with
+      | None -> None
+      | Some id ->
+        Option.map (fun blob -> (id, blob)) (Hashtbl.find_opt t.by_id id)
+    in
+    Mutex.unlock t.mutex;
+    Counters.incr t.counters
+      (match r with
+      | Some _ -> "fingerprint_hits"
+      | None -> "fingerprint_misses");
     r
 
   (** One registry request, one reply frame — runs on the reactor
@@ -113,6 +137,15 @@ module Server = struct
           Conn.send conn (Bytes.cat (Bytes.of_string "D") (Bytes.of_string blob))
         | None -> Conn.send conn (Bytes.of_string "N"))
       | 'G' -> Conn.doom conn "short lookup frame"
+      | 'F' -> (
+        let fp = Bytes.sub_string frame 1 (Bytes.length frame - 1) in
+        match lookup_fingerprint t fp with
+        | Some (id, blob) ->
+          Conn.send conn
+            (Bytes.cat
+               (Bytes.cat (Bytes.of_string "I") (u32_to_bytes id))
+               (Bytes.of_string blob))
+        | None -> Conn.send conn (Bytes.of_string "N"))
       | k -> Conn.doom conn (Printf.sprintf "unknown request kind %C" k)
 
   let accept_connection t fd =
@@ -136,7 +169,8 @@ module Server = struct
     Unix.set_nonblock socket;
     let t =
       { socket; port = bound_port; mutex = Mutex.create ()
-      ; by_blob = Hashtbl.create 32; by_id = Hashtbl.create 32; next_id = 1
+      ; by_blob = Hashtbl.create 32; by_id = Hashtbl.create 32
+      ; by_fingerprint = Hashtbl.create 32; next_id = 1
       ; counters = Counters.create (); loop = Reactor.create ()
       ; loop_thread = Thread.self (); conns = Hashtbl.create 16
       ; next_conn = 0; metrics = None; stopped = false }
@@ -254,6 +288,25 @@ module Client = struct
       | reply when Bytes.length reply >= 1 && Bytes.get reply 0 = 'N' -> None
       | _ -> proto_error "fetch: unexpected reply"
       | exception Server_unavailable _ -> None)
+
+  (** [fetch_by_fingerprint t fp] resolves a blob fingerprint (learned
+      from a relay stream advertisement) to [(global id, blob)] without
+      ever holding the blob — the content-addressed path that lets a
+      receiver bind its conversion plan before any descriptor frame
+      arrives. Cached like {!fetch}. *)
+  let fetch_by_fingerprint (t : t) (fp : string) : (int * string) option =
+    match
+      rpc t (Bytes.cat (Bytes.of_string "F") (Bytes.of_string fp))
+    with
+    | reply when Bytes.length reply >= 5 && Bytes.get reply 0 = 'I' ->
+      let id = u32_of_bytes reply 1 in
+      let blob = Bytes.sub_string reply 5 (Bytes.length reply - 5) in
+      Hashtbl.replace t.blob_cache id blob;
+      Hashtbl.replace t.id_cache blob id;
+      Some (id, blob)
+    | reply when Bytes.length reply >= 1 && Bytes.get reply 0 = 'N' -> None
+    | _ -> proto_error "fetch_by_fingerprint: unexpected reply"
+    | exception Server_unavailable _ -> None
 
   (** A resolve callback that degrades gracefully when the server dies:
       failed lookups return [None] and the receiver reports

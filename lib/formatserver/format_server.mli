@@ -3,7 +3,9 @@
     negotiation). Senders register a descriptor once and get a global
     id; message headers carry it; receivers resolve ids with one cached
     lookup. Protocol: length-prefixed frames over TCP —
-    ['R' blob] → ['I' id32] (idempotent), ['G' id32] → ['D' blob] / ['N']. *)
+    ['R' blob] → ['I' id32] (idempotent), ['G' id32] → ['D' blob] / ['N'],
+    ['F' fingerprint-hex] → ['I' id32 blob] / ['N'] (content-addressed:
+    the SHA-256 carried in relay stream advertisements). *)
 
 exception Protocol_error of string
 
@@ -14,6 +16,7 @@ module Server : sig
     mutex : Mutex.t;
     by_blob : (string, int) Hashtbl.t;
     by_id : (int, string) Hashtbl.t;
+    by_fingerprint : (string, int) Hashtbl.t;
     mutable next_id : int;
     counters : Omf_util.Counters.t;
     loop : Omf_reactor.Reactor.t;
@@ -56,6 +59,11 @@ module Client : sig
 
   val fetch : t -> int -> string option
   (** Resolve a global id to a descriptor blob; cached. *)
+
+  val fetch_by_fingerprint : t -> string -> (int * string) option
+  (** Resolve a blob's hex SHA-256 fingerprint (as carried in relay
+      stream advertisements) to [(global id, blob)]; cached. [None]
+      when unknown or the server is unavailable. *)
 
   val resolver : t -> int -> string option
   (** A resolve callback for {!Omf_pbio.Pbio.Receiver.create} that

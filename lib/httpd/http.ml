@@ -33,6 +33,43 @@ let server_error msg =
   { status = 500; reason = "Internal Server Error"
   ; content_type = "text/plain"; body = msg ^ "\n" }
 
+let forbidden path =
+  { status = 403; reason = "Forbidden"; content_type = "text/plain"
+  ; body = Printf.sprintf "%s escapes the served tree\n" path }
+
+let conflict msg =
+  { status = 409; reason = "Conflict"; content_type = "text/plain"
+  ; body = msg ^ "\n" }
+
+(** Decode [%XX] escapes; [None] on a malformed escape. ['+'] is left
+    alone — these are paths, not form bodies. *)
+let percent_decode (s : string) : string option =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Some (Buffer.contents b)
+    else if s.[i] = '%' then
+      if i + 2 >= n then None
+      else
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some hi, Some lo ->
+          Buffer.add_char b (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+        | _ -> None
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Wire reading helpers                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -77,6 +114,15 @@ let read_headers ic : (string * string) list =
 (* ------------------------------------------------------------------ *)
 
 type handler = path:string -> headers:(string * string) list -> response
+
+type request = {
+  meth : string;  (** "GET" or "POST" *)
+  path : string;
+  headers : (string * string) list;  (** lowercased names *)
+  body : string;  (** "" when absent *)
+}
+
+type request_handler = request -> response
 
 module Reactor = Omf_reactor.Reactor
 module Conn = Omf_reactor.Conn
@@ -148,26 +194,48 @@ let respond (conn : Conn.t) (r : response) =
   Conn.send_raw conn (render r);
   Conn.flush_close conn
 
-let handle_request (handler : handler) (conn : Conn.t) (head : string) =
+let dispatch (handler : request_handler) (conn : Conn.t) (req : request) =
+  let resp =
+    try handler req with e -> server_error (Printexc.to_string e)
+  in
+  Log.info (fun m -> m "%s %s -> %d" req.meth req.path resp.status);
+  respond conn resp
+
+(** Parse head (request line + header lines, CRLF-separated, without
+    the blank line); [Ok (meth, path, headers, body_len)] or a ready
+    error response. *)
+let parse_head (head : string) : (string * string * (string * string) list * int, response) result =
   match split_crlf head with
-  | [] -> respond conn (bad_request "empty request")
+  | [] -> Error (bad_request "empty request")
   | request_line :: header_lines -> (
     let headers = parse_header_lines header_lines in
     match String.split_on_char ' ' request_line with
-    | [ "GET"; path; _ ] | [ "GET"; path ] ->
-      let resp =
-        try handler ~path ~headers
-        with e -> server_error (Printexc.to_string e)
-      in
-      Log.info (fun m -> m "GET %s -> %d" path resp.status);
-      respond conn resp
-    | _ -> respond conn (bad_request "only GET is supported"))
+    | ([ meth; path; _ ] | [ meth; path ])
+      when String.equal meth "GET" || String.equal meth "POST" -> (
+      match List.assoc_opt "content-length" headers with
+      | None -> Ok (meth, path, headers, 0)
+      | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (meth, path, headers, n)
+        | _ -> Error (bad_request (Printf.sprintf "bad content-length %S" n))))
+    | _ -> Error (bad_request "only GET and POST are supported"))
 
-let accept_connection (s : server) (handler : handler) fd =
+let accept_connection (s : server) (handler : request_handler) fd =
   let id = s.next_id in
   s.next_id <- s.next_id + 1;
   let buf = Buffer.create 256 in
   let done_ = ref false in
+  (* set once the head is parsed; the request then waits for its body *)
+  let pending = ref None in
+  let finish conn =
+    match !pending with
+    | Some (meth, path, headers, stop, need)
+      when Buffer.length buf >= stop + need ->
+      done_ := true;
+      let body = Buffer.sub buf stop need in
+      dispatch handler conn { meth; path; headers; body }
+    | _ -> ()
+  in
   let conn =
     Conn.attach s.loop fd ~mode:Chunks
       ~on_frame:(fun conn chunk ->
@@ -178,13 +246,22 @@ let accept_connection (s : server) (handler : handler) fd =
             done_ := true;
             respond conn (bad_request "request too large")
           end
+          else if !pending <> None then finish conn
           else
             match find_headers_end buf scan_from with
             | None -> ()
-            | Some stop ->
-              done_ := true;
-              (* head excludes the blank line; bodies are ignored (GET) *)
-              handle_request handler conn (Buffer.sub buf 0 (stop - 4))
+            | Some stop -> (
+              (* head excludes the blank line *)
+              match parse_head (Buffer.sub buf 0 (stop - 4)) with
+              | Error resp ->
+                done_ := true;
+                respond conn resp
+              | Ok (_, _, _, need) when need > max_request_bytes ->
+                done_ := true;
+                respond conn (bad_request "request too large")
+              | Ok (meth, path, headers, need) ->
+                pending := Some (meth, path, headers, stop, need);
+                finish conn)
         end)
       ~on_close:(fun _ _ -> Hashtbl.remove s.conns id)
       ()
@@ -192,10 +269,13 @@ let accept_connection (s : server) (handler : handler) fd =
   Conn.set_deadline conn ~reason:"request timeout" (Some request_deadline_s);
   Hashtbl.replace s.conns id conn
 
-(** [serve ?host ~port handler] hosts the accept loop and every
-    connection on one reactor thread — no thread per connection.
-    [~port:0] binds an ephemeral port; read it from the result. *)
-let serve ?(host = "127.0.0.1") ~port (handler : handler) : server =
+(** [serve_requests ?host ~port handler] hosts the accept loop and
+    every connection on one reactor thread — no thread per connection.
+    The handler sees the full request (method, path, headers, body), so
+    POST routes (registry registration) can be mounted. [~port:0] binds
+    an ephemeral port; read it from the result. *)
+let serve_requests ?(host = "127.0.0.1") ~port (handler : request_handler) :
+    server =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -223,6 +303,14 @@ let serve ?(host = "127.0.0.1") ~port (handler : handler) : server =
   s.loop_thread <- Thread.create Reactor.run loop;
   s
 
+(** GET-only view: the historical entry point. Non-GET methods get the
+    same 400 they always did. *)
+let serve ?host ~port (handler : handler) : server =
+  serve_requests ?host ~port (fun (r : request) ->
+      if String.equal r.meth "GET" then
+        handler ~path:r.path ~headers:r.headers
+      else bad_request "only GET is supported")
+
 let port (s : server) = s.port
 
 (** Stop accepting, close in-flight connections, and join the loop
@@ -249,28 +337,44 @@ let serve_table ?host ~port (table : (string * string) list) : server =
       | None -> not_found path)
 
 (** The [*.xsd]-from-a-directory handler behind {!serve_directory}:
-    [/name.xsd -> dir/name.xsd], traversal-safe. Exposed so callers
-    (the metaserver) can wrap it — counting requests, mounting it next
-    to other routes — before handing it to {!serve}. *)
+    [/name.xsd -> dir/name.xsd]. Percent-escapes are decoded before any
+    check, so [%2e%2e] cannot smuggle a dot-dot past the filter. A path
+    that tries to escape the tree ([..] segments, absolute [//...]) is
+    a 403; a path that merely names nothing served here (subdirectory,
+    non-[.xsd], missing file) is a 404. Exposed so callers (the
+    metaserver) can wrap it — counting requests, mounting it next to
+    other routes — before handing it to {!serve}. *)
 let directory_handler (dir : string) : handler =
  fun ~path ~headers:_ ->
-  let name = Filename.basename path in
-  if
-    String.equal name "" || String.contains name '/'
-    || not (Filename.check_suffix name ".xsd")
-  then not_found path
-  else
-    let file = Filename.concat dir name in
-    if Sys.file_exists file then begin
-      let ic = open_in_bin file in
-      let body =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      ok body
-    end
-    else not_found path
+  match percent_decode path with
+  | None -> bad_request (Printf.sprintf "malformed percent-encoding in %s" path)
+  | Some decoded ->
+    if String.length decoded = 0 || decoded.[0] <> '/' then
+      bad_request "request path must be absolute"
+    else
+      let name = String.sub decoded 1 (String.length decoded - 1) in
+      let segments = String.split_on_char '/' name in
+      if List.exists (String.equal "..") segments then forbidden path
+      else if String.length name > 0 && name.[0] = '/' then
+        (* "//etc/passwd": an absolute path after the route slash *)
+        forbidden path
+      else if
+        List.length segments > 1
+        || String.equal name ""
+        || not (Filename.check_suffix name ".xsd")
+      then not_found path
+      else
+        let file = Filename.concat dir name in
+        if Sys.file_exists file then begin
+          let ic = open_in_bin file in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          ok body
+        end
+        else not_found path
 
 let serve_directory ?host ~port (dir : string) : server =
   serve ?host ~port (directory_handler dir)
@@ -279,14 +383,15 @@ let serve_directory ?host ~port (dir : string) : server =
 (* Client                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** [get ~host ~port ~path] performs a blocking GET and returns the body.
-    Raises {!Http_error} on connection failure or non-200 status — which
-    is exactly what a {!Omf_xml2wire.Discovery} source should do so the
-    fallback chain can take over. [timeout_s] bounds connection
-    establishment and each read/write: a server that accepts but never
-    answers surfaces as [Http_error "...: timeout..."] instead of a
-    hang. *)
-let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
+(** [request ~meth ~port ~path ?body ()] performs a blocking request
+    and returns the full parsed response — status included, so callers
+    that care about 403-vs-404 (tests) or 409 (registry compat
+    rejection) can inspect it without exception plumbing. Raises
+    {!Http_error} only on transport problems (connect failure, timeout,
+    truncated stream, malformed response). [timeout_s] bounds
+    connection establishment and each read/write. *)
+let request ?(host = "127.0.0.1") ~port ~meth ~path ?(body = "") ?timeout_s ()
+    : response =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let fail fmt =
     Printf.ksprintf
@@ -329,19 +434,21 @@ let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
         let ic = Unix.in_channel_of_descr sock in
         let oc = Unix.out_channel_of_descr sock in
         output_string oc
-          (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
+          (Printf.sprintf
+             "%s %s HTTP/1.0\r\nHost: %s\r\nContent-Length: %d\r\n\r\n%s" meth
+             path host (String.length body) body);
         flush oc;
         let status_line = read_line_crlf ic in
         let headers = read_headers ic in
-        let status =
+        let status, reason =
           match String.split_on_char ' ' status_line with
-          | _ :: code :: _ -> (
+          | _ :: code :: rest -> (
             match int_of_string_opt code with
-            | Some c -> c
+            | Some c -> (c, String.concat " " rest)
             | None -> http_error "bad status line %S" status_line)
           | _ -> http_error "bad status line %S" status_line
         in
-        let body =
+        let resp_body =
           match List.assoc_opt "content-length" headers with
           | Some n -> (
             match int_of_string_opt n with
@@ -357,14 +464,17 @@ let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
              with End_of_file -> ());
             Buffer.contents b
         in
-        if status <> 200 then http_error "GET %s: HTTP %d" path status;
-        body
+        { status; reason
+        ; content_type =
+            Option.value ~default:"text/plain"
+              (List.assoc_opt "content-type" headers)
+        ; body = resp_body }
       with
       | End_of_file ->
-        http_error "GET %s:%d%s: unexpected end of stream" host port path
+        http_error "%s %s:%d%s: unexpected end of stream" meth host port path
       | (Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) | Sys_blocked_io)
         when timeout_s <> None ->
-        http_error "GET %s:%d%s: timeout after %.3gs" host port path
+        http_error "%s %s:%d%s: timeout after %.3gs" meth host port path
           (Option.value ~default:0.0 timeout_s)
       | Sys_error m when timeout_s <> None ->
         (* channel layer turns the EAGAIN into Sys_error
@@ -373,9 +483,18 @@ let get ?(host = "127.0.0.1") ~port ~path ?timeout_s () : string =
           String.length m >= 11
           && String.sub m (String.length m - 11) 11 = "unavailable"
         then
-          http_error "GET %s:%d%s: timeout after %.3gs" host port path
+          http_error "%s %s:%d%s: timeout after %.3gs" meth host port path
             (Option.value ~default:0.0 timeout_s)
-        else http_error "GET %s:%d%s: %s" host port path m)
+        else http_error "%s %s:%d%s: %s" meth host port path m)
+
+(** [get ~host ~port ~path] performs a blocking GET and returns the
+    body. Raises {!Http_error} on connection failure or non-200 status
+    — which is exactly what a {!Omf_xml2wire.Discovery} source should
+    do so the fallback chain can take over. *)
+let get ?host ~port ~path ?timeout_s () : string =
+  let r = request ?host ~port ~meth:"GET" ~path ?timeout_s () in
+  if r.status <> 200 then http_error "GET %s: HTTP %d" path r.status;
+  r.body
 
 (** A {!Omf_xml2wire.Discovery}-compatible fetch closure for a URL. *)
 let fetcher ?(host = "127.0.0.1") ~port ~path ?timeout_s () : unit -> string =

@@ -1,6 +1,7 @@
-(** Minimal HTTP/1.0 over TCP (GET only): enough protocol for metadata
-    documents to be retrieved "in the same manner that web browsers
-    retrieve other XML documents" (section 7). *)
+(** Minimal HTTP/1.0 over TCP (GET and POST): enough protocol for
+    metadata documents to be retrieved "in the same manner that web
+    browsers retrieve other XML documents" (section 7), plus the POST
+    route the schema registry mounts for registration. *)
 
 exception Http_error of string
 
@@ -14,21 +15,44 @@ type response = {
 val ok : ?content_type:string -> string -> response
 val not_found : string -> response
 val server_error : string -> response
+val forbidden : string -> response
+(** 403: the path tries to escape the served tree. *)
+
+val conflict : string -> response
+(** 409: the registry's compatibility-gate rejection. *)
+
+val percent_decode : string -> string option
+(** Decode [%XX] escapes; [None] on a malformed escape. *)
 
 (** {1 Server} *)
 
 type handler = path:string -> headers:(string * string) list -> response
+
+type request = {
+  meth : string;  (** "GET" or "POST" *)
+  path : string;
+  headers : (string * string) list;  (** lowercased names *)
+  body : string;  (** "" when absent *)
+}
+
+type request_handler = request -> response
 
 type server
 
 val port : server -> int
 (** The actually bound port (useful with [~port:0]). *)
 
-val serve : ?host:string -> port:int -> handler -> server
+val serve_requests : ?host:string -> port:int -> request_handler -> server
 (** Host the accept loop and every connection on one reactor thread —
-    no thread per connection. Each request must complete within a 10 s
-    deadline or its connection is dropped. [~port:0] binds an ephemeral
-    port (read it from the result). *)
+    no thread per connection. The handler sees the full request
+    (method, path, headers, body) so POST routes can be mounted. Each
+    request must complete within a 10 s deadline or its connection is
+    dropped. [~port:0] binds an ephemeral port (read it from the
+    result). *)
+
+val serve : ?host:string -> port:int -> handler -> server
+(** GET-only view of {!serve_requests}: the historical entry point;
+    non-GET methods get a 400. *)
 
 val shutdown : server -> unit
 (** Stop accepting, close in-flight connections, join the loop thread.
@@ -38,10 +62,12 @@ val serve_table : ?host:string -> port:int -> (string * string) list -> server
 (** Serve a fixed [path -> document] table. *)
 
 val directory_handler : string -> handler
-(** The handler behind {!serve_directory}: [/name.xsd ->
-    dir/name.xsd], traversal-safe, 404 for anything else. Exposed so
-    callers can wrap it (request counting, extra routes) before
-    {!serve}. *)
+(** The handler behind {!serve_directory}: [/name.xsd -> dir/name.xsd].
+    Percent-escapes are decoded before any check; a path that tries to
+    escape the tree ([..] segments, absolute [//...]) is 403, one that
+    merely names nothing served here (subdirectory, non-[.xsd],
+    missing) is 404. Exposed so callers can wrap it (request counting,
+    extra routes) before {!serve}. *)
 
 val serve_directory : ?host:string -> port:int -> string -> server
 (** Serve the [*.xsd] files of a directory; traversal-safe. *)
@@ -62,6 +88,21 @@ val serve_metrics :
     format server [?metrics_port]). *)
 
 (** {1 Client} *)
+
+val request :
+  ?host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  ?timeout_s:float ->
+  unit ->
+  response
+(** Blocking request returning the full parsed response — status
+    included, so callers that care about 403-vs-404 or the registry's
+    409 can inspect it. Raises {!Http_error} only on transport problems
+    (connect failure, timeout, truncated or malformed response).
+    [timeout_s] bounds connection establishment and each read/write. *)
 
 val get :
   ?host:string -> port:int -> path:string -> ?timeout_s:float -> unit -> string

@@ -90,6 +90,14 @@ let k_ack = 'k'
 module Reactor = Omf_reactor.Reactor
 module Rconn = Omf_reactor.Conn
 
+(** An in-flight chunked stored replay (PROTOCOLS.md §13): [r_next] is
+    the next store offset to deliver. Replay is paced from the reactor's
+    writable callback — a bounded chunk per pump, budgeted against the
+    subscriber's queue watermark — so a [SUBSCRIBE from=0] of a large
+    backlog neither materialises the whole log in the write queue nor
+    stalls the loop thread. *)
+type replay = { r_store : Store.t; mutable r_next : int }
+
 type role =
   | Pending  (** control commands only, no stream attached yet *)
   | Publisher of {
@@ -108,11 +116,15 @@ type role =
   | Subscriber of {
       stream : string;
       unsubscribe : unit -> unit;
-      skip_until : int;
+      mutable skip_until : int;
           (** store-backed [from=] subscription: drop live ['M'] frames
               whose store offset is below this (they are re-appends the
               subscriber already received before a relay crash); [-1]
               disables the filter *)
+      mutable replay : replay option;
+          (** chunked stored replay still in flight; live ['M'] frames
+              are withheld while set (the pump reads them from the
+              store, preserving order) *)
     }
 
 type state = Running | Draining | Stopped
@@ -177,6 +189,10 @@ and t = {
   stores : (string, Store.t) Hashtbl.t;
       (** per-shard store handles, loop-thread only — the cluster path
           stays lock-free because a stream is pinned to one shard *)
+  adverts : (string, (string * string) list) Hashtbl.t;
+      (** per-stream advertisement metadata ([subject=] / [version=] /
+          [fingerprint=] registry bindings, PROTOCOLS.md §14);
+          loop-thread only, safe because the stream is pinned here *)
   mutable fanout_offset : int;
       (** store offset of the ['M'] frame currently being fanned out
           ([-1] outside store-backed fan-out); lets the subscriber-side
@@ -489,6 +505,56 @@ let arm_grace (t : t) (c : conn) =
              | Some _ when Rconn.alive c.io -> evict_slow t c
              | _ -> ()))
 
+let replay_chunk = 64
+(** frames delivered per pump of a chunked stored replay: small enough
+    that one pump cannot monopolise the loop thread, large enough to
+    amortise the per-chunk segment walk *)
+
+(** Advance [c]'s chunked stored replay by one bounded chunk. Budgeted
+    against the queue watermark ([max_queue - queued]): a full queue
+    pumps nothing and the next writable callback ({!conn_progress})
+    resumes — stored replay is flow-controlled by the consumer's own
+    drain rate instead of materialising the whole backlog at once. When
+    the pump catches the store tail, the replay ends and [skip_until]
+    moves up so live delivery takes over at exactly the next offset —
+    no gap, no duplicate. *)
+let pump_replay (t : t) (c : conn) =
+  match c.role with
+  | Subscriber ({ replay = Some r; _ } as s) ->
+    if t.state <> Running || not (Rconn.alive c.io) then s.replay <- None
+    else begin
+      let failed = ref false in
+      let budget =
+        min replay_chunk (t.max_queue - Rconn.queued_droppable c.io)
+      in
+      (if budget > 0 then
+         let upto = min (r.r_next + budget) (Store.tail r.r_store) in
+         match
+           Store.iter_range r.r_store r.r_next upto (fun off frame ->
+               Counters.incr t.counters "store_replay_frames";
+               Counters.incr t.counters "frames_out";
+               enqueue_entry c ~droppable:true frame;
+               r.r_next <- off + 1)
+         with
+         | () -> ()
+         | exception Store.Store_error msg ->
+           (* a partial replay would silently gap the stream: kill the
+              subscription so the client retries *)
+           failed := true;
+           s.replay <- None;
+           Counters.incr t.counters "store_errors";
+           Log.err (fun m -> m "store %s: replay: %s" s.stream msg);
+           Rconn.doom c.io "store replay failed");
+      if not !failed then
+        if r.r_next >= Store.tail r.r_store then begin
+          s.skip_until <- r.r_next;
+          s.replay <- None;
+          Counters.incr t.counters "store_replay_done"
+        end
+        else Counters.incr t.counters "store_replay_chunks"
+    end
+  | Subscriber _ | Publisher _ | Pending -> ()
+
 (** Enqueue a relayed stream frame onto a subscriber, applying the
     backpressure policy. Raises {!Link.Closed} when the subscriber is
     dead so the broker skips it. *)
@@ -497,16 +563,19 @@ let rec enqueue_relayed (t : t) (c : conn) (frame : Bytes.t) =
   (* Store-backed crash recovery: a resuming publisher re-appends
      offsets a resubscribed consumer already received live before the
      crash; the subscriber declared its high-water mark at SUBSCRIBE
-     ([skip_until]) and live frames below it are silently elided. *)
-  let skip =
-    t.fanout_offset >= 0
-    &&
-    match c.role with
-    | Subscriber s -> s.skip_until >= 0 && t.fanout_offset < s.skip_until
-    | Publisher _ | Pending -> false
-  in
-  if skip then Counters.incr t.counters "store_fanout_skipped"
-  else enqueue_relayed_frame t c frame
+     ([skip_until]) and live frames below it are silently elided.
+     While a chunked replay is in flight {e every} store-offset frame
+     is withheld: it was appended before fan-out, so the pump will
+     deliver it from the store in order. *)
+  match c.role with
+  | Subscriber { replay = Some _; _ } when t.fanout_offset >= 0 ->
+    Counters.incr t.counters "store_fanout_deferred";
+    pump_replay t c
+  | Subscriber s
+    when t.fanout_offset >= 0 && s.skip_until >= 0
+         && t.fanout_offset < s.skip_until ->
+    Counters.incr t.counters "store_fanout_skipped"
+  | Subscriber _ | Publisher _ | Pending -> enqueue_relayed_frame t c frame
 
 and enqueue_relayed_frame (t : t) (c : conn) (frame : Bytes.t) =
   let droppable =
@@ -629,21 +698,66 @@ let parse_stream_body (body : string) : string * (string * string) list =
     ( String.sub body 0 i,
       parse_creds (String.sub body (i + 1) (String.length body - i - 1)) )
 
+(* ADVERTISE bodies are "stream\nschema", optionally with "k=v"
+   metadata lines between the stream name and the schema text
+   (PROTOCOLS.md §14): [subject=] / [version=] / [fingerprint=] bind
+   the stream to a schema-registry entry so receivers can resolve
+   conversion plans by content fingerprint. A metadata line is one
+   whose key is a bare identifier and whose text contains no ['<']; the
+   schema resumes at the first line failing that test, so the pre-§14
+   "stream\nschema" body parses unchanged (XML starts with ['<']). *)
+let is_meta_line (line : string) : bool =
+  match String.index_opt line '=' with
+  | None -> false
+  | Some i ->
+    i > 0
+    && (not (String.contains line '<'))
+    && String.for_all
+         (fun ch ->
+           (ch >= 'a' && ch <= 'z')
+           || (ch >= 'A' && ch <= 'Z')
+           || (ch >= '0' && ch <= '9')
+           || Char.equal ch '-' || Char.equal ch '_')
+         (String.sub line 0 i)
+
+let split_advert_meta (rest : string) : (string * string) list * string =
+  let rec go acc off =
+    match String.index_from_opt rest off '\n' with
+    | Some j when is_meta_line (String.sub rest off (j - off)) ->
+      let line = String.sub rest off (j - off) in
+      let k = String.index line '=' in
+      go
+        ((String.sub line 0 k, String.sub line (k + 1) (String.length line - k - 1))
+        :: acc)
+        (j + 1)
+    | Some _ | None -> (List.rev acc, String.sub rest off (String.length rest - off))
+  in
+  go [] 0
+
+let meta_text (kvs : (string * string) list) : string =
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s=%s\n" k v) kvs)
+
 let rec handle_control (t : t) (c : conn) kind (body : string) =
   if Char.equal kind k_hello then handle_hello t c body
   else if Char.equal kind k_stats then reply_ok c (stats_text t)
   else if Char.equal kind k_advertise then begin
     match String.index_opt body '\n' with
-    | None -> reply_err t c "advertise: want \"stream\\nschema\""
+    | None -> reply_err t c "advertise: want \"stream\\n[k=v...]\\nschema\""
     | Some i -> (
       let stream = String.sub body 0 i in
       let owner = stream_owner t stream in
       if owner != t then route t owner c kind body stream
       else
-        let schema = String.sub body (i + 1) (String.length body - i - 1) in
+        let rest = String.sub body (i + 1) (String.length body - i - 1) in
+        let meta, schema = split_advert_meta rest in
         match Broker.advertise t.broker ~stream ~schema with
         | () ->
           Counters.incr t.counters "advertisements";
+          if meta <> [] then begin
+            Hashtbl.replace t.adverts stream meta;
+            Counters.incr t.counters "advert_meta"
+          end
+          else Hashtbl.remove t.adverts stream;
           (* persist the schema so a restarted relay can re-advertise
              the stream before any publisher returns *)
           (match store_handle t stream with
@@ -720,13 +834,26 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
             ; recv = (fun () -> None)
             ; close = (fun () -> ()) }
           in
+          (* [meta=1]: prefix the stream's advertised registry binding
+             ([subject=] / [fingerprint=] ...) to the schema reply —
+             only on request, so pre-§14 clients parse the body as
+             before *)
+          let meta_prefix =
+            match List.assoc_opt "meta" opts with
+            | Some "1" ->
+              (match Hashtbl.find_opt t.adverts stream with
+              | Some kvs -> meta_text kvs
+              | None -> "")
+            | _ -> ""
+          in
           let plain () =
             (* reply first so the scoped schema precedes replayed frames *)
-            reply_ok c schema;
+            reply_ok c (meta_prefix ^ schema);
             let unsubscribe =
               Broker.subscribe t.broker ~stream ~creds:c.creds link
             in
-            c.role <- Subscriber { stream; unsubscribe; skip_until = -1 };
+            c.role <-
+              Subscriber { stream; unsubscribe; skip_until = -1; replay = None };
             Counters.incr t.counters "subscriptions"
           in
           let from =
@@ -754,27 +881,25 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
               let start = if from < 0 then tail else max from oldest in
               if from >= 0 && start > from then
                 Counters.incr t.counters "store_replay_clamped";
-              reply_ok c (Printf.sprintf "offset=%d\n%s" start schema);
+              reply_ok c
+                (Printf.sprintf "offset=%d\n%s%s" start meta_prefix schema);
               let unsubscribe =
                 Broker.subscribe t.broker ~stream ~creds:c.creds link
               in
-              c.role <- Subscriber { stream; unsubscribe; skip_until = start };
-              if start < tail then begin
-                Counters.incr t.counters "store_replays";
-                match
-                  Store.iter_from st start (fun _off frame ->
-                      Counters.incr t.counters "store_replay_frames";
-                      enqueue_relayed t c frame)
-                with
-                | () -> ()
-                | exception Link.Closed -> ()
-                | exception Store.Store_error msg ->
-                  (* partial replay would silently gap the stream: kill
-                     the subscription so the client retries *)
-                  Counters.incr t.counters "store_errors";
-                  Log.err (fun m -> m "store %s: replay: %s" stream msg);
-                  Rconn.doom c.io "store replay failed"
-              end;
+              (* replay runs chunked off the writable callback
+                 ({!pump_replay}): the first pump goes out now, the
+                 rest are paced by the subscriber's own drain rate *)
+              let replay =
+                if start < tail then begin
+                  Counters.incr t.counters "store_replays";
+                  Some { r_store = st; r_next = start }
+                end
+                else None
+              in
+              let pump = Option.is_some replay in
+              c.role <-
+                Subscriber { stream; unsubscribe; skip_until = start; replay };
+              if pump then pump_replay t c;
               Counters.incr t.counters "subscriptions"
             | exception Store.Store_error msg ->
               Counters.incr t.counters "store_errors";
@@ -941,6 +1066,10 @@ let conn_progress (c : conn) =
       | Publisher _ | Pending -> ()
     end
   end;
+  (* a draining write queue is what paces chunked stored replay *)
+  (match c.role with
+  | Subscriber { replay = Some _; _ } -> pump_replay t c
+  | Subscriber _ | Publisher _ | Pending -> ());
   if t.state = Draining && Rconn.queued c.io = 0 then check_drain_done t
 
 (** Wire an accepted socket into shard [t] (loop-thread only; the
@@ -1000,6 +1129,7 @@ let create_shard ~host ~port ~policy ~max_queue ~evict_grace ~sndbuf
   ; reactor = Reactor.create (); broker = Broker.create ()
   ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
   ; cid_stride; shared; store_cfg = store; stores = Hashtbl.create 8
+  ; adverts = Hashtbl.create 8
   ; fanout_offset = -1; pending_acks = Hashtbl.create 8
   ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
   ; next_cid = shard_id + 1; state = Running
@@ -1321,6 +1451,23 @@ module Client = struct
   let advertise (t : t) ~(stream : string) ~(schema : string) : unit =
     ignore (rpc t k_advertise (stream ^ "\n" ^ schema))
 
+  (** [advertise_meta t ~stream ~schema ()] is {!advertise} with the
+      stream's schema-registry binding (PROTOCOLS.md §14) attached as
+      advertisement metadata lines; subscribers asking with [meta=1]
+      (see {!subscribe_meta}) get them back and can bind conversion
+      plans by content fingerprint instead of re-parsing schema
+      text. *)
+  let advertise_meta (t : t) ?subject ?version ?fingerprint
+      ~(stream : string) ~(schema : string) () : unit =
+    let meta =
+      (match subject with Some s -> [ ("subject", s) ] | None -> [])
+      @ (match version with
+        | Some v -> [ ("version", string_of_int v) ]
+        | None -> [])
+      @ (match fingerprint with Some f -> [ ("fingerprint", f) ] | None -> [])
+    in
+    ignore (rpc t k_advertise (stream ^ "\n" ^ meta_text meta ^ schema))
+
   let stats (t : t) : (string * int) list =
     Counters.of_text (rpc t k_stats "")
 
@@ -1336,6 +1483,16 @@ module Client = struct
   let subscribe (t : t) ~(stream : string) : string * Link.t =
     let schema = rpc t k_subscribe stream in
     (schema, t.link)
+
+  (** [subscribe_meta t ~stream] is {!subscribe} plus the stream's
+      advertised registry-binding metadata — [("subject", _)],
+      [("version", _)], [("fingerprint", _)] — when the advertiser
+      supplied any (empty list otherwise). *)
+  let subscribe_meta (t : t) ~(stream : string) :
+      (string * string) list * string * Link.t =
+    let body = rpc t k_subscribe (stream ^ "\nmeta=1") in
+    let meta, schema = split_advert_meta body in
+    (meta, schema, t.link)
 
   (** [publish_acked t ~stream] enters publisher mode requesting
       durability acks (PROTOCOLS.md §13). Against a store-backed relay

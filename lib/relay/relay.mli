@@ -192,10 +192,33 @@ module Client : sig
       [Unix.Unix_error]) and closes the socket. *)
 
   val advertise : t -> stream:string -> schema:string -> unit
+
+  val advertise_meta :
+    t ->
+    ?subject:string ->
+    ?version:int ->
+    ?fingerprint:string ->
+    stream:string ->
+    schema:string ->
+    unit ->
+    unit
+  (** As {!advertise}, attaching the stream's schema-registry binding
+      (PROTOCOLS.md §14) — subject, version, content fingerprint — as
+      advertisement metadata; {!subscribe_meta} returns it so receivers
+      can bind conversion plans by fingerprint. *)
+
   val publish : t -> stream:string -> Omf_transport.Link.t
   val subscribe : t -> stream:string -> string * Omf_transport.Link.t
   (** The (credential-scoped) stream schema, and the raw link now
       carrying descriptor/message frames. *)
+
+  val subscribe_meta :
+    t ->
+    stream:string ->
+    (string * string) list * string * Omf_transport.Link.t
+  (** As {!subscribe}, also returning the stream's advertised
+      registry-binding metadata ([subject] / [version] /
+      [fingerprint]); empty when the advertiser supplied none. *)
 
   val publish_acked : t -> stream:string -> int option * Omf_transport.Link.t
   (** Publisher mode with durability acks (PROTOCOLS.md §13): against

@@ -627,6 +627,24 @@ let iter_from t from f =
           iter_seg t seg ~from:(max from seg.s_base) f)
       t.segs
 
+exception Range_done
+
+let iter_range t from upto f =
+  check_open t;
+  let from = max from (oldest t) in
+  let upto = min upto t.tail_off in
+  if from < upto then
+    try
+      List.iter
+        (fun seg ->
+          if seg.s_base >= upto then raise Range_done;
+          if seg.s_base + seg.s_count > from then
+            iter_seg t seg ~from:(max from seg.s_base) (fun off body ->
+                if off >= upto then raise Range_done;
+                f off body))
+        t.segs
+    with Range_done -> ()
+
 let close t =
   if not t.closed then begin
     (try ignore (do_sync t) with Store_error _ -> ());

@@ -88,6 +88,13 @@ val iter_from : t -> int -> (int -> Bytes.t -> unit) -> unit
     message in [[max from (oldest t), tail t)], in order. Raises
     {!Store_error} if a sealed record fails its CRC. *)
 
+val iter_range : t -> int -> int -> (int -> Bytes.t -> unit) -> unit
+(** [iter_range t from upto f] is {!iter_from} bounded above:
+    [f offset frame] for every stored message in
+    [[max from (oldest t), min upto (tail t))]. This is the chunked
+    replay primitive — a reader chasing the tail pulls a bounded slice
+    per reactor writable callback instead of the whole suffix. *)
+
 val schema : t -> string option
 val descriptors : t -> Bytes.t list
 (** Stored descriptor frames in first-use order. *)

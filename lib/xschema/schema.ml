@@ -115,6 +115,57 @@ exception Schema_error of string
 let schema_error fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Canonicalization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [canonical t] renders the structural content of a schema as a
+    deterministic string: one line per type/element carrying only the
+    fields that affect the wire contract (names, types, occurrence
+    bounds, simple-type facets). Documentation, the target namespace
+    prose and source formatting are excluded, so two documents that
+    differ only in whitespace, comments or annotation text canonicalize
+    identically. Registries fingerprint this rendering (SHA-256) to get
+    content addressing: same structure, same fingerprint. *)
+let canonical (t : t) : string =
+  let b = Buffer.create 256 in
+  let type_ref_name = function
+    | Builtin bt -> "xsd:" ^ builtin_name bt
+    | Defined n -> n
+  in
+  let max_name = function
+    | None -> "-"
+    | Some (Bounded n) -> string_of_int n
+    | Some Unbounded -> "*"
+    | Some (Counted_by f) -> "#" ^ f
+  in
+  let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l in
+  List.iter
+    (fun ct ->
+      Buffer.add_string b (Printf.sprintf "type %s\n" ct.ct_name);
+      List.iter
+        (fun el ->
+          Buffer.add_string b
+            (Printf.sprintf " el %s %s min=%d max=%s\n" el.el_name
+               (type_ref_name el.el_type) el.min_occurs
+               (max_name el.max_occurs)))
+        ct.ct_elements)
+    (by_name (fun ct -> ct.ct_name) t.types);
+  List.iter
+    (fun st ->
+      Buffer.add_string b
+        (Printf.sprintf "simple %s base=xsd:%s enum=[%s] min=%s max=%s\n"
+           st.st_name (builtin_name st.st_base)
+           (String.concat ";" st.st_enumeration)
+           (match st.st_min_inclusive with
+           | None -> "-"
+           | Some f -> Printf.sprintf "%h" f)
+           (match st.st_max_inclusive with
+           | None -> "-"
+           | Some f -> Printf.sprintf "%h" f)))
+    (by_name (fun st -> st.st_name) t.simple_types);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Parsing                                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -71,6 +71,14 @@ val builtin_of_name : string -> builtin option
 
 exception Schema_error of string
 
+val canonical : t -> string
+(** A deterministic rendering of the schema's structural content —
+    names, types, occurrence bounds, simple-type facets — with
+    documentation, namespace prose and source formatting excluded.
+    Registries fingerprint this (SHA-256) for content addressing: two
+    documents that differ only in whitespace or annotations
+    canonicalize identically. *)
+
 val of_document : Omf_xml.Doc.t -> t
 val of_string : string -> t
 (** Raises {!Schema_error} (wrapping XML parse errors). *)

@@ -113,6 +113,54 @@ let test_serve_directory () =
             Alcotest.fail "expected 404 for traversal"
           with Http.Http_error _ -> ()))
 
+(* The directory handler's traversal hardening, status by status:
+   escapes are decoded before any check (%2e%2e can't smuggle a ".."),
+   escape attempts are 403, things that merely aren't served here are
+   404, and served documents carry text/xml. *)
+let test_directory_handler_hardening () =
+  let dir = Filename.temp_file "omf" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "flight.xsd" in
+  let oc = open_out path in
+  output_string oc Fx.schema_a;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let server = Http.serve ~port:0 (Http.directory_handler dir) in
+      Fun.protect
+        ~finally:(fun () -> Http.shutdown server)
+        (fun () ->
+          let port = Http.port server in
+          let status ?(meth = "GET") p =
+            (Http.request ~port ~meth ~path:p ()).Http.status
+          in
+          let ok = Http.request ~port ~meth:"GET" ~path:"/flight.xsd" () in
+          check int "served document is 200" 200 ok.Http.status;
+          check str "served with text/xml" "text/xml" ok.Http.content_type;
+          check str "body intact" Fx.schema_a ok.Http.body;
+          (* escape attempts are 403, in every spelling *)
+          check int "dot-dot segment" 403 (status "/../etc/passwd");
+          check int "nested dot-dot" 403 (status "/a/../../flight.xsd");
+          check int "percent-encoded dot-dot" 403
+            (status "/%2e%2e/etc/passwd");
+          check int "double slash (absolute)" 403 (status "//etc/passwd");
+          (* things that merely don't exist here are 404 *)
+          check int "missing document" 404 (status "/missing.xsd");
+          check int "non-xsd name" 404 (status "/flight.txt");
+          check int "subdirectory" 404 (status "/sub/flight.xsd");
+          (* malformed or non-HTTP-shaped requests are 400 *)
+          check int "malformed escape" 400 (status "/%zz.xsd");
+          check int "relative path" 400 (status "flight.xsd");
+          check int "POST refused by the GET-only adapter" 400
+            (status ~meth:"POST" "/flight.xsd");
+          (* percent-decoding also works in the benign direction *)
+          check int "encoded benign name decodes" 200
+            (status "/%66light.xsd")))
+
 (* ------------------------------------------------------------------ *)
 (* HTTP discovery: the xml2wire use case                                *)
 (* ------------------------------------------------------------------ *)
@@ -180,6 +228,8 @@ let () =
         ; Alcotest.test_case "connection refused" `Quick test_connection_refused
         ; Alcotest.test_case "concurrent requests" `Quick test_concurrent_requests
         ; Alcotest.test_case "directory serving" `Quick test_serve_directory
+        ; Alcotest.test_case "directory handler hardening" `Quick
+            test_directory_handler_hardening
         ; Alcotest.test_case "prometheus /metrics" `Quick test_metrics_endpoint ] )
     ; ( "discovery",
         [ Alcotest.test_case "discover over HTTP" `Quick test_discovery_over_http
