@@ -1110,6 +1110,142 @@ let e7_registry () =
       ; Printf.sprintf "%.1f" decodable_ms ] ]
 
 (* ------------------------------------------------------------------ *)
+(* E8-mirror: relay-to-relay replication — lag and failover             *)
+(* ------------------------------------------------------------------ *)
+
+module Mirror = Omf_mirror.Mirror
+
+let e8_mirror () =
+  section "E8-mirror. Relay-to-relay replication: lag and failover";
+  note
+    "An A->B mirror link between two store-backed relays (doc/MIRROR.md):\n\
+     catch-up throughput over a pre-existing backlog, steady-state\n\
+     per-frame replication lag once the link is live, and — with\n\
+     promote-on-loss armed — the failover time from killing the source\n\
+     to the replica owning the stream and accepting writes again.\n";
+  let stream = "bench-mirror" in
+  let event seq =
+    match Fx.value_a with
+    | Value.Record fields ->
+      Value.Record
+        (List.map
+           (fun (k, v) ->
+             if String.equal k "fltNum" then (k, Value.Int (Int64.of_int seq))
+             else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema catalog Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  with_store_root @@ fun root_a ->
+  with_store_root @@ fun root_b ->
+  let store root =
+    { (Store.default_config ~root) with fsync = Store.Interval 0.01 }
+  in
+  let ha = Relay.start ~store:(store root_a) () in
+  let port_a = Relay.port (Relay.relay ha) in
+  let stopped_a = ref false in
+  Fun.protect ~finally:(fun () -> if not !stopped_a then Relay.stop ha)
+  @@ fun () ->
+  let hb = Relay.start ~store:(store root_b) () in
+  let port_b = Relay.port (Relay.relay hb) in
+  Fun.protect ~finally:(fun () -> Relay.stop hb) @@ fun () ->
+  (* a backlog on the source, then the link starts cold *)
+  let backlog = if quick then 2_000 else 20_000 in
+  let pub = Relay.Client.connect ~port:port_a () in
+  Relay.Client.advertise pub ~stream ~schema:Fx.schema_a;
+  let sender =
+    Omf_transport.Endpoint.Sender.create
+      (Relay.Client.publish pub ~stream)
+      (Memory.create Abi.x86_64)
+  in
+  for seq = 0 to backlog - 1 do
+    Omf_transport.Endpoint.Sender.send_value sender fmt (event seq)
+  done;
+  (* one long-lived stats connection per relay: polling tails must not
+     cost a TCP connect per sample *)
+  let stats_b = Relay.Client.connect ~port:port_b () in
+  let tail_b () =
+    Option.value ~default:0
+      (List.assoc_opt
+         (Printf.sprintf "store.%s.tail" stream)
+         (Relay.Client.stats stats_b))
+  in
+  let wait_tail target =
+    while tail_b () < target do
+      Thread.delay 0.0005
+    done
+  in
+  let m =
+    Mirror.start
+      (Mirror.config ~rescan_s:0.02 ~io_timeout_s:0.25 ~max_attempts:4
+         ~base_delay_s:0.02 ~max_delay_s:0.1 ~promote_on_loss:true
+         ~source_host:"127.0.0.1" ~source_port:port_a ~local_port:port_b
+         ~local_relay_id:(Relay.relay_id (Relay.relay hb)) ())
+  in
+  Fun.protect ~finally:(fun () -> Mirror.stop m) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  wait_tail backlog;
+  let catchup_s = Unix.gettimeofday () -. t0 in
+  (* steady state: one frame at a time, publish-to-replicated lag *)
+  let samples = if quick then 20 else 100 in
+  let lags =
+    List.init samples (fun i ->
+        let seq = backlog + i in
+        let t0 = Unix.gettimeofday () in
+        Omf_transport.Endpoint.Sender.send_value sender fmt (event seq);
+        wait_tail (seq + 1);
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let mean = List.fold_left ( +. ) 0.0 lags /. float_of_int samples in
+  let worst = List.fold_left Float.max 0.0 lags in
+  subsection "replication lag (A -> B, loopback)";
+  table
+    [ "measure"; "value" ]
+    [ [ "catch-up"
+      ; Printf.sprintf "%d frames in %.3f s (%.0f frames/s)" backlog catchup_s
+          (float_of_int backlog /. catchup_s) ]
+    ; [ "steady-state lag, mean"
+      ; Printf.sprintf "%.2f ms over %d frames" mean samples ]
+    ; [ "steady-state lag, max"; Printf.sprintf "%.2f ms" worst ] ];
+  (* failover: kill the source, wait for promote-on-loss, then for the
+     first accepted local write *)
+  let total = backlog + samples in
+  Relay.Client.close pub;
+  let mstat k = Option.value ~default:0 (List.assoc_opt k (Mirror.stats m)) in
+  let t0 = Unix.gettimeofday () in
+  stopped_a := true;
+  Relay.stop ha;
+  while mstat "promotes" < 1 do
+    Thread.delay 0.001
+  done;
+  let promote_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let pub2 = Relay.Client.connect ~port:port_b () in
+  Relay.Client.advertise pub2 ~stream ~schema:Fx.schema_a;
+  let sender2 =
+    Omf_transport.Endpoint.Sender.create
+      (Relay.Client.publish pub2 ~stream)
+      (Memory.create Abi.x86_64)
+  in
+  Omf_transport.Endpoint.Sender.send_value sender2 fmt (event total);
+  wait_tail (total + 1);
+  let writable_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Relay.Client.close pub2;
+  Relay.Client.close stats_b;
+  subsection "failover (source killed, promote-on-loss, budget 4 x <=0.1 s)";
+  table
+    [ "measure"; "ms" ]
+    [ [ "source loss -> stream promoted"; Printf.sprintf "%.1f" promote_ms ]
+    ; [ "source loss -> replica accepts writes"
+      ; Printf.sprintf "%.1f" writable_ms ] ];
+  note
+    "Zero loss across the switch: the replica held all %d source frames\n\
+     at promotion, and consumers resume against it at their next\n\
+     expected offset (Session resume, E4).\n"
+    total
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1224,6 +1360,7 @@ let () =
   e5_shards ();
   e6_store ();
   e7_registry ();
+  e8_mirror ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

@@ -80,14 +80,27 @@ let run dir port host metrics_port verbose =
     | (f, m) :: _ -> `Error (false, Printf.sprintf "%s: %s" f m)
     | [] ->
       (* count every request through the directory handler so the
-         server's traffic shows up on /metrics and in logs *)
+         server's traffic shows up on /metrics and in logs: totals,
+         egress bytes, and a per-document request counter rendered as
+         a labelled Prometheus series (doc.<name>.requests) *)
       let counters = Omf_util.Counters.create () in
       let dir_handler = Omf_httpd.Http.directory_handler dir in
       let handler ~path ~headers =
         Omf_util.Counters.incr counters "requests";
         let resp = dir_handler ~path ~headers in
-        (if resp.Omf_httpd.Http.status = 200 then
-           Omf_util.Counters.incr counters "documents_served"
+        Omf_util.Counters.incr counters
+          ~by:(String.length resp.Omf_httpd.Http.body)
+          "bytes_out";
+        (if resp.Omf_httpd.Http.status = 200 then begin
+           Omf_util.Counters.incr counters "documents_served";
+           let name =
+             match String.split_on_char '/' path with
+             | [ ""; doc ] when doc <> "" -> doc
+             | _ -> Filename.basename path
+           in
+           Omf_util.Counters.incr counters
+             (Printf.sprintf "doc.%s.requests" name)
+         end
          else Omf_util.Counters.incr counters "not_found");
         resp
       in

@@ -6,7 +6,14 @@
     drains subscriber queues gracefully and prints final stats.
     [--shards N] spreads connections over N event loops (one domain
     each, streams pinned to shards); [--metrics-port P] serves
-    Prometheus counters on [GET /metrics]. *)
+    Prometheus counters on [GET /metrics].
+
+    [--mirror HOST:PORT] runs this relayd as a follower of another
+    relayd (doc/MIRROR.md): every source stream (optionally narrowed
+    with [,GLOB] suffixes) is replicated into the local store and
+    re-advertised read-only; [--mirror-promote-on-loss] promotes
+    replicated streams to local ownership once the source is declared
+    lost, so publishers and consumers can fail over. *)
 
 open Cmdliner
 
@@ -173,12 +180,71 @@ let store_retain_age_arg =
     & info [ "store-retain-age-s" ] ~docv:"SECONDS"
         ~doc:"Drop sealed segments older than $(docv) seconds (0 = never).")
 
+let relay_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "relay-id" ] ~docv:"ID"
+        ~doc:
+          "Replication identity for origin-tagged streams \
+           (PROTOCOLS.md §15). Defaults to the id persisted in \
+           $(b,--store)/relay-id, or a fresh random id without a store.")
+
+let mirror_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | hostport :: globs -> (
+      match String.rindex_opt hostport ':' with
+      | Some i when i > 0 -> (
+        let host = String.sub hostport 0 i in
+        let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt p with
+        | Some port when port > 0 -> Ok (host, port, globs)
+        | _ -> Error (`Msg (Printf.sprintf "bad mirror port %s" p)))
+      | _ -> Error (`Msg (Printf.sprintf "want HOST:PORT[,GLOB...], got %s" s)))
+    | [] -> Error (`Msg "empty --mirror")
+  in
+  Arg.conv
+    ( parse
+    , fun ppf (h, p, globs) ->
+        Fmt.pf ppf "%s:%d%s" h p
+          (String.concat "" (List.map (fun g -> "," ^ g) globs)) )
+
+let mirror_arg =
+  Arg.(
+    value
+    & opt (some mirror_conv) None
+    & info [ "mirror" ] ~docv:"HOST:PORT[,GLOB...]"
+        ~doc:
+          "Follow the relayd at $(docv): replicate its streams (all, or \
+           only those matching the comma-separated globs) into the local \
+           store and re-advertise them read-only with their origin tags \
+           (doc/MIRROR.md).")
+
+let mirror_promote_arg =
+  Arg.(
+    value & flag
+    & info [ "mirror-promote-on-loss" ]
+        ~doc:
+          "When a mirrored source stays unreachable past the reconnect \
+           budget, promote its streams to local ownership (epoch bump) so \
+           clients can fail over to this relay for writes too.")
+
+let mirror_rescan_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "mirror-rescan" ] ~docv:"SECONDS"
+        ~doc:
+          "How often the mirror manager re-LISTs the source for new \
+           streams and refreshes replication-lag gauges.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     drain shards metrics_port store_dir store_fsync store_segment_mb
-    store_retain_segments store_retain_mb store_retain_age verbose =
+    store_retain_segments store_retain_mb store_retain_age relay_id mirror
+    mirror_promote mirror_rescan verbose =
   setup_logs verbose;
   let store =
     Option.map
@@ -196,28 +262,59 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     match
       Omf_relay.Relay.Cluster.start ~host ~port ~shards ~policy ~max_queue
         ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit
-        ~drain_s:drain ?store ()
+        ~drain_s:drain ?store ?relay_id ()
     with
     | cluster ->
       Printf.printf
         "relayd: listening on %s:%d (policy %s, max queue %d, shards %d, \
-         auth keys %d%s)\n\
+         auth keys %d, relay id %s%s)\n\
          %!"
         host
         (Omf_relay.Relay.Cluster.port cluster)
         (Omf_relay.Relay.policy_to_string policy)
         max_queue shards (List.length auth_keys)
+        (Omf_relay.Relay.Cluster.relay_id cluster)
         (match store with
         | None -> ""
         | Some s ->
           Printf.sprintf ", store %s fsync %s" s.root
             (Omf_relay.Relay.Store.fsync_policy_to_string s.fsync));
+      let mir =
+        Option.map
+          (fun (src_host, src_port, globs) ->
+            let m =
+              Omf_mirror.Mirror.start
+                (Omf_mirror.Mirror.config ~globs ~rescan_s:mirror_rescan
+                   ~promote_on_loss:mirror_promote ~source_host:src_host
+                   ~source_port:src_port ~local_host:host
+                   ~local_port:(Omf_relay.Relay.Cluster.port cluster)
+                   ~local_relay_id:(Omf_relay.Relay.Cluster.relay_id cluster)
+                   ())
+            in
+            Printf.printf "relayd: mirroring %s:%d%s%s\n%!" src_host src_port
+              (match globs with
+              | [] -> ""
+              | gs -> Printf.sprintf " (streams %s)" (String.concat ", " gs))
+              (if mirror_promote then ", promote on loss" else "");
+            m)
+          mirror
+      in
+      let stats_components () =
+        ("relay", Omf_relay.Relay.Cluster.stats cluster)
+        :: (match mir with
+           | None -> []
+           | Some m -> [ ("mirror", Omf_mirror.Mirror.stats m) ])
+      in
       let metrics =
         Option.map
           (fun p ->
             let srv =
               Omf_httpd.Http.serve_metrics ~host ~port:p
-                [ ("relay", fun () -> Omf_relay.Relay.Cluster.stats cluster) ]
+                (List.map
+                   (fun (name, _) ->
+                     ( name
+                     , fun () -> List.assoc name (stats_components ()) ))
+                   (stats_components ()))
             in
             Printf.printf "relayd: metrics on http://%s:%d/metrics\n%!" host
               (Omf_httpd.Http.port srv);
@@ -229,11 +326,15 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       Omf_relay.Relay.Cluster.wait cluster;
+      Option.iter Omf_mirror.Mirror.stop mir;
       Option.iter Omf_httpd.Http.shutdown metrics;
       Printf.printf "relayd: final stats\n";
       List.iter
-        (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
-        (Omf_relay.Relay.Cluster.stats cluster);
+        (fun (component, stats) ->
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-32s %d\n" (component ^ "." ^ k) v)
+            stats)
+        (stats_components ());
       `Ok ()
     | exception Unix.Unix_error (e, _, _) ->
       `Error
@@ -254,4 +355,5 @@ let () =
              $ drain_arg $ shards_arg $ metrics_port_arg $ store_arg
              $ store_fsync_arg $ store_segment_mb_arg
              $ store_retain_segments_arg $ store_retain_mb_arg
-             $ store_retain_age_arg $ verbose_arg))))
+             $ store_retain_age_arg $ relay_id_arg $ mirror_arg
+             $ mirror_promote_arg $ mirror_rescan_arg $ verbose_arg))))

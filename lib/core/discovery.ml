@@ -172,19 +172,29 @@ let probe_document ~attempts ~timeout_s ~label (fetch : unit -> string) :
     primary source should not flip a system onto degraded metadata.
     The defaults (one attempt, no deadline) preserve plain blocking
     behaviour. *)
-let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
-    (sources : source list) : outcome =
-  if sources = [] then invalid_arg "Discovery.discover: no sources";
-  if attempts < 1 then invalid_arg "Discovery.discover: attempts < 1";
+exception Cancelled
+(** The discovery was cancelled ({!cancel}) — typically superseded by
+    a newer {!discover_async} for the same key. *)
+
+(** The fallback-chain walk shared by {!discover} and the async
+    worker. [cancelled] is consulted before each source and — crucially
+    — after a successful fetch, {e before} registration and the win
+    counters: a discovery superseded mid-fetch neither mutates the
+    catalog nor double-counts a win when its fetch finally lands. *)
+let discover_chain ~attempts ~timeout_s ~(cancelled : unit -> bool)
+    (catalog : Catalog.t) (sources : source list) : outcome =
   let rec go failures = function
     | [] -> raise (Discovery_failed (List.rev failures))
     | source :: rest -> (
+      if cancelled () then raise Cancelled;
       let label = source_label source in
       match
         match source with
         | Document { fetch; _ } -> (
           match probe_document ~attempts ~timeout_s ~label fetch with
-          | Ok text -> Ok (register_document catalog ~label text)
+          | Ok text ->
+            if cancelled () then raise Cancelled;
+            Ok (register_document catalog ~label text)
           | Error reason -> Error reason)
         | Compiled { decls; _ } ->
           Ok (register_compiled catalog ~label decls)
@@ -200,6 +210,7 @@ let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
       | Error reason ->
         Omf_util.Counters.incr counters "source_failures";
         go ((label, reason) :: failures) rest
+      | exception Cancelled -> raise Cancelled
       | exception e ->
         (* a fetched document that fails schema parsing / registration *)
         let reason = Printexc.to_string e in
@@ -208,6 +219,14 @@ let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
         go ((label, reason) :: failures) rest)
   in
   go [] sources
+
+let discover ?(attempts = 1) ?timeout_s (catalog : Catalog.t)
+    (sources : source list) : outcome =
+  if sources = [] then invalid_arg "Discovery.discover: no sources";
+  if attempts < 1 then invalid_arg "Discovery.discover: attempts < 1";
+  discover_chain ~attempts ~timeout_s
+    ~cancelled:(fun () -> false)
+    catalog sources
 
 (* ------------------------------------------------------------------ *)
 (* Async discovery                                                      *)
@@ -221,24 +240,71 @@ type async = {
   a_mutex : Mutex.t;
   a_cond : Condition.t;
   mutable a_result : (outcome, exn) result option;
+  mutable a_cancelled : bool;
+      (** read without the mutex by the worker between sources — a
+          benign race: a just-missed flag costs one extra probe, and
+          the result slot itself is first-writer-wins under the
+          mutex *)
 }
 
-let discover_async ?attempts ?timeout_s (catalog : Catalog.t)
+(** First-writer-wins on the result slot: a cancel that loses the race
+    to a completed discovery is a no-op, and a worker finishing after
+    a cancel finds the slot taken and drops its outcome. *)
+let cancel (a : async) : unit =
+  Mutex.lock a.a_mutex;
+  a.a_cancelled <- true;
+  (match a.a_result with
+  | None ->
+    a.a_result <- Some (Error Cancelled);
+    Omf_util.Counters.incr counters "cancelled";
+    Condition.broadcast a.a_cond
+  | Some _ -> ());
+  Mutex.unlock a.a_mutex
+
+(* the ?key supersede table: a new keyed discovery aborts the one
+   still in flight for the same key, so only the newest can win *)
+let keyed_mu = Mutex.create ()
+let keyed : (string, async) Hashtbl.t = Hashtbl.create 8
+
+let discover_async ?attempts ?timeout_s ?key (catalog : Catalog.t)
     (sources : source list) : async =
   if sources = [] then invalid_arg "Discovery.discover_async: no sources";
+  let attempts = Option.value attempts ~default:1 in
+  if attempts < 1 then invalid_arg "Discovery.discover_async: attempts < 1";
   let a =
-    { a_mutex = Mutex.create (); a_cond = Condition.create (); a_result = None }
+    { a_mutex = Mutex.create (); a_cond = Condition.create ()
+    ; a_result = None; a_cancelled = false }
   in
+  (match key with
+  | None -> ()
+  | Some k ->
+    Mutex.lock keyed_mu;
+    let prior = Hashtbl.find_opt keyed k in
+    Hashtbl.replace keyed k a;
+    Mutex.unlock keyed_mu;
+    (match prior with
+    | Some p ->
+      Omf_util.Counters.incr counters "superseded";
+      cancel p
+    | None -> ()));
   ignore
     (Thread.create
        (fun () ->
          let r =
-           try Ok (discover ?attempts ?timeout_s catalog sources)
+           try
+             Ok
+               (discover_chain
+                  ~attempts ~timeout_s
+                  ~cancelled:(fun () -> a.a_cancelled)
+                  catalog sources)
            with e -> Error e
          in
          Mutex.lock a.a_mutex;
-         a.a_result <- Some r;
-         Condition.broadcast a.a_cond;
+         (match a.a_result with
+         | None ->
+           a.a_result <- Some r;
+           Condition.broadcast a.a_cond
+         | Some _ -> ());
          Mutex.unlock a.a_mutex)
        ());
   a

@@ -23,8 +23,9 @@ val origin_of_source : source -> string
 val stats : unit -> (string * int) list
 (** Process-wide discovery counters: [source_<origin>] per win,
     [fallback_wins] when a non-primary source won, [source_failures]
-    per failed probe — so degraded metadata is observable, not
-    silent. *)
+    per failed probe, [cancelled]/[superseded] for async discoveries
+    aborted by {!cancel} or a newer keyed {!discover_async} — so
+    degraded metadata is observable, not silent. *)
 
 val from_string : ?label:string -> string -> source
 val from_file : string -> source
@@ -63,13 +64,35 @@ type async
     consuming messages (buffering raw frames) while its schema fetch is
     still in flight, then decode everything once the fetch lands. *)
 
+exception Cancelled
+(** The discovery was aborted by {!cancel} (directly, or superseded by
+    a newer keyed {!discover_async}). *)
+
 val discover_async :
-  ?attempts:int -> ?timeout_s:float -> Catalog.t -> source list -> async
-(** Start {!discover} on a worker thread and return immediately. *)
+  ?attempts:int ->
+  ?timeout_s:float ->
+  ?key:string ->
+  Catalog.t ->
+  source list ->
+  async
+(** Start {!discover} on a worker thread and return immediately.
+
+    With [?key], a new discovery supersedes any still-in-flight one
+    for the same key: the prior async is {!cancel}led — its {!poll} /
+    {!await} raise {!Cancelled}, and even if its fetch later lands it
+    registers nothing and bumps no win counters, so a stream whose
+    discovery was re-triggered counts exactly one win. *)
+
+val cancel : async -> unit
+(** Abort a running discovery: {!poll} / {!await} raise {!Cancelled}
+    from now on. First-writer-wins — cancelling an already completed
+    discovery is a no-op, and a worker finishing after the cancel
+    drops its outcome (no catalog mutation, no win counters). *)
 
 val poll : async -> outcome option
 (** [None] while the discovery is still running. Re-raises the
-    discovery's exception ({!Discovery_failed}...) if it failed. *)
+    discovery's exception ({!Discovery_failed}, {!Cancelled}...) if it
+    failed. *)
 
 val await : async -> outcome
 (** Block until the discovery completes; re-raises on failure. *)

@@ -1,0 +1,91 @@
+(** Relay-to-relay stream replication with failover (doc/MIRROR.md,
+    PROTOCOLS.md §15).
+
+    A mirror keeps a local relay a live replica of a source relay: per
+    replicated stream it re-advertises the source's metadata verbatim
+    (registry binding plus the [origin]/[epoch] replication tag),
+    enters the local relay as a [mirror=1] publisher — the only writer
+    a foreign-origin (read-only) stream admits — and pumps the
+    source's descriptor/message frames in, resuming from the local
+    store's tail so store offsets stay aligned end to end. Consumers
+    fail over with their ordinary {!Omf_relay.Relay.Session} resume
+    path: resubscribe against the mirror at the next expected offset.
+
+    Loop prevention is origin-tagged: streams whose origin is the
+    local relay are skipped client-side, and the relay's gates refuse
+    stale epochs and a relay's own adverts arriving around a cycle —
+    an A<->B pair replicates each stream exactly once, in one
+    direction, with no frame amplification.
+
+    A broken link re-handshakes under a bounded exponential-backoff
+    budget; when the budget is exhausted and [promote_on_loss] is set,
+    the stream is promoted locally (ownership transfers at a bumped
+    epoch) so publishers and consumers carry on against the replica. *)
+
+type config = {
+  source_host : string;
+  source_port : int;
+  local_host : string;
+  local_port : int;
+  local_relay_id : string;
+      (** the local relay's identity ({!Omf_relay.Relay.relay_id}) —
+          the client-side loop guard *)
+  globs : string list;
+      (** replicate only matching streams (['*'] wildcards); [[]] =
+          all *)
+  rescan_s : float;
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  promote_on_loss : bool;
+  source_auth : (string * string) option;
+  local_auth : (string * string) option;
+  io_timeout_s : float;
+}
+
+val config :
+  ?globs:string list ->
+  ?rescan_s:float ->
+  ?max_attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?promote_on_loss:bool ->
+  ?source_auth:string * string ->
+  ?local_auth:string * string ->
+  ?io_timeout_s:float ->
+  ?local_host:string ->
+  source_host:string ->
+  source_port:int ->
+  local_port:int ->
+  local_relay_id:string ->
+  unit ->
+  config
+(** Defaults: every stream, rescan every 1s, 8 consecutive failed
+    re-handshakes before the source is declared lost (backoff
+    0.05s..1s), no promote-on-loss, 0.5s per-operation deadline. *)
+
+type t
+
+val start : config -> t
+(** Launch the manager thread: it discovers source streams (LIST +
+    globs) every [rescan_s], runs one replication-link thread per
+    stream, and refreshes per-stream [mirror.<stream>.lag_frames]
+    gauges (source tail minus local tail). *)
+
+val stop : t -> unit
+(** Stop the manager and every link thread and join them. Links notice
+    within [io_timeout_s]; replicated streams stay advertised (and
+    read-only) on the local relay. *)
+
+val counters : t -> Omf_util.Counters.t
+(** Live counters — [frames_replicated], [descriptors_replicated],
+    [streams_linked], [links_established], [loops_skipped],
+    [reconnects], [sources_lost], [promotes], and the per-stream
+    [mirror.<stream>.lag_frames] gauges. The embedding daemon merges
+    these into its STATS / [/metrics] output. *)
+
+val stats : t -> (string * int) list
+(** A sorted snapshot of {!counters}. *)
+
+val link_frames : t -> (string * int) list
+(** Per-stream message frames replicated so far, sorted by stream. *)

@@ -44,6 +44,9 @@
     - ['s'] SUBSCRIBE ["stream"]                    -> ['o' scoped-schema],
       then replayed ['D'] frames, then live frames
     - ['t'] STATS                                   -> ['o' "name value" lines]
+    - ['l'] LIST                                    -> ['o' stream names]
+    - ['q'] DESCRIBE  ["stream"]                    -> ['o' meta + schema]
+    - ['m'] PROMOTE   ["stream"]                    -> ['o' "epoch=N"]
     - ['e' message] is the error reply to any of the above. *)
 
 open Omf_transport
@@ -82,6 +85,18 @@ let k_ack = 'k'
 (** durability acknowledgement to an [acks=1] publisher: body is the
     decimal cumulative durable offset of its stream's store *)
 
+(* replication controls (PROTOCOLS.md §15) *)
+let k_list = 'l'  (** LIST: reply is one hosted stream name per line *)
+
+let k_describe = 'q'
+(** DESCRIBE ["stream"]: reply is the advertisement metadata lines
+    (always including [origin=]/[epoch=]) followed by the scoped
+    schema; does not change the connection's role *)
+
+let k_promote = 'm'
+(** PROMOTE ["stream"]: take write ownership of a mirrored stream —
+    origin becomes this relay, epoch is bumped; reply ["epoch=N"] *)
+
 
 (* ------------------------------------------------------------------ *)
 (* Connections and shards                                               *)
@@ -106,6 +121,10 @@ type role =
       acks : bool;
           (** [acks=1] was requested at PUBLISH on a store-backed
               stream: send ['k' durable] frames as appends harden *)
+      mirror : bool;
+          (** a replication link ([mirror=1], PROTOCOLS.md §15):
+              admitted past the read-only gate on mirrored streams and
+              doomed when the stream is promoted out from under it *)
       mutable skip_dup : int;
           (** store-backed resume: this many leading ['M'] frames are
               re-sends of offsets the store already holds ([tail -
@@ -160,6 +179,11 @@ and shared = {
 and t = {
   host : string;
   port : int;
+  relay_id : string;
+      (** this relay's replication identity (PROTOCOLS.md §15): the
+          [origin=] tag stamped on locally advertised streams, shared
+          by every shard of a cluster; persisted under the store root
+          so a restart keeps owning its streams *)
   policy : policy;
   max_queue : int;
   evict_grace : float;
@@ -209,6 +233,7 @@ and t = {
 }
 
 let port t = t.port
+let relay_id t = t.relay_id
 
 (** The embedded broker — for scope policies and direct inspection
     ([Broker.set_scope] installs credential-based field scoping exactly
@@ -737,6 +762,86 @@ let split_advert_meta (rest : string) : (string * string) list * string =
 let meta_text (kvs : (string * string) list) : string =
   String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s=%s\n" k v) kvs)
 
+(* Every advertised stream's metadata carries a replication tag
+   (PROTOCOLS.md §15): [origin=] is the relay id that owns writes,
+   [epoch=] a monotonically increasing ownership generation bumped by
+   PROMOTE. A stream whose origin is not this relay is read-only here:
+   only a mirror link carrying the matching tag may append. *)
+let advert_origin (kvs : (string * string) list) : string option =
+  List.assoc_opt "origin" kvs
+
+let advert_epoch (kvs : (string * string) list) : int =
+  match Option.bind (List.assoc_opt "epoch" kvs) int_of_string_opt with
+  | Some n -> n
+  | None -> 0
+
+let with_origin (kvs : (string * string) list) ~origin ~epoch :
+    (string * string) list =
+  List.filter (fun (k, _) -> k <> "origin" && k <> "epoch") kvs
+  @ [ ("origin", origin); ("epoch", string_of_int epoch) ]
+
+(** The stream's advertisement metadata, defaulting streams advertised
+    before origin tracking (or recovered from a pre-§15 store) to
+    owned-here at epoch 0. *)
+let advert_info (t : t) (stream : string) : (string * string) list =
+  match Hashtbl.find_opt t.adverts stream with
+  | Some kvs when advert_origin kvs <> None -> kvs
+  | Some kvs -> kvs @ [ ("origin", t.relay_id); ("epoch", "0") ]
+  | None -> [ ("origin", t.relay_id); ("epoch", "0") ]
+
+(** Record (and, when store-backed, persist) the stream's metadata so a
+    restarted relay re-advertises it — registry binding and origin tag
+    included — before any publisher returns. *)
+let persist_advert (t : t) (stream : string) (kvs : (string * string) list) =
+  Hashtbl.replace t.adverts stream kvs;
+  match store_handle t stream with
+  | None -> ()
+  | Some st -> Store.set_meta st kvs
+  | exception Store.Store_error msg ->
+    Counters.incr t.counters "store_errors";
+    Log.err (fun m -> m "store %s: %s" stream msg)
+
+(** Gate an ADVERTISE by (origin, epoch) against what this relay holds:
+    [Ok kvs] is the full metadata to record, [Error msg] a refusal.
+    This is the loop/ownership arbiter — a relay's own advert coming
+    back around a mirror cycle, a plain advertise of a mirrored
+    (read-only) stream, and a stale epoch after a promote are all
+    refused; a strictly higher epoch from elsewhere wins ownership
+    (demotion — failback after the old origin returns). *)
+let gate_advert (t : t) (stream : string) (meta : (string * string) list) :
+    ((string * string) list, string) result =
+  let cur = Hashtbl.find_opt t.adverts stream in
+  match (advert_origin meta, cur) with
+  | None, None -> Ok (with_origin meta ~origin:t.relay_id ~epoch:0)
+  | None, Some cur_kvs ->
+    let cur_origin =
+      Option.value (advert_origin cur_kvs) ~default:t.relay_id
+    in
+    if String.equal cur_origin t.relay_id then
+      Ok (with_origin meta ~origin:t.relay_id ~epoch:(advert_epoch cur_kvs))
+    else
+      Error
+        (Printf.sprintf "advertise %s: read-only (mirrored from %s)" stream
+           cur_origin)
+  | Some o, _ when String.equal o t.relay_id ->
+    Error
+      (Printf.sprintf "advertise %s: origin loop (stream originates here)"
+         stream)
+  | Some o, None -> Ok (with_origin meta ~origin:o ~epoch:(advert_epoch meta))
+  | Some o, Some cur_kvs ->
+    let cur_origin =
+      Option.value (advert_origin cur_kvs) ~default:t.relay_id
+    in
+    let cur_epoch = advert_epoch cur_kvs in
+    let e = advert_epoch meta in
+    if String.equal cur_origin o then
+      Ok (with_origin meta ~origin:o ~epoch:(max e cur_epoch))
+    else if e > cur_epoch then Ok (with_origin meta ~origin:o ~epoch:e)
+    else
+      Error
+        (Printf.sprintf "advertise %s: stale epoch %d (held by %s at epoch %d)"
+           stream e cur_origin cur_epoch)
+
 let rec handle_control (t : t) (c : conn) kind (body : string) =
   if Char.equal kind k_hello then handle_hello t c body
   else if Char.equal kind k_stats then reply_ok c (stats_text t)
@@ -750,25 +855,27 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
       else
         let rest = String.sub body (i + 1) (String.length body - i - 1) in
         let meta, schema = split_advert_meta rest in
-        match Broker.advertise t.broker ~stream ~schema with
-        | () ->
-          Counters.incr t.counters "advertisements";
-          if meta <> [] then begin
-            Hashtbl.replace t.adverts stream meta;
-            Counters.incr t.counters "advert_meta"
-          end
-          else Hashtbl.remove t.adverts stream;
-          (* persist the schema so a restarted relay can re-advertise
-             the stream before any publisher returns *)
-          (match store_handle t stream with
-          | None -> ()
-          | Some st -> Store.set_schema st schema
-          | exception Store.Store_error msg ->
-            Counters.incr t.counters "store_errors";
-            Log.err (fun m -> m "store %s: %s" stream msg));
-          reply_ok c ""
-        | exception Omf_xschema.Schema.Schema_error m ->
-          reply_err t c (Printf.sprintf "advertise %s: %s" stream m))
+        match gate_advert t stream meta with
+        | Error msg ->
+          Counters.incr t.counters "advert_refused";
+          reply_err t c msg
+        | Ok kvs -> (
+          match Broker.advertise t.broker ~stream ~schema with
+          | () ->
+            Counters.incr t.counters "advertisements";
+            if meta <> [] then Counters.incr t.counters "advert_meta";
+            (* persist the schema so a restarted relay can re-advertise
+               the stream before any publisher returns *)
+            (match store_handle t stream with
+            | None -> ()
+            | Some st -> Store.set_schema st schema
+            | exception Store.Store_error msg ->
+              Counters.incr t.counters "store_errors";
+              Log.err (fun m -> m "store %s: %s" stream msg));
+            persist_advert t stream kvs;
+            reply_ok c ""
+          | exception Omf_xschema.Schema.Schema_error m ->
+            reply_err t c (Printf.sprintf "advertise %s: %s" stream m)))
   end
   else if Char.equal kind k_publish then begin
     match c.role with
@@ -781,40 +888,80 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
       else
         match Broker.publisher_link t.broker ~stream with
         | link -> (
-          let become ~acks ~skip_dup ~acked reply_body =
-            c.role <- Publisher { stream; link; acks; skip_dup; acked };
-            Counters.incr t.counters "publishers";
-            (* joining a stream that is already congested: start paused *)
-            if stream_congested t stream then
-              Rconn.set_read_intent c.io false;
-            reply_ok c reply_body
+          let kvs = advert_info t stream in
+          let origin = Option.value (advert_origin kvs) ~default:t.relay_id in
+          let epoch = advert_epoch kvs in
+          let owned = String.equal origin t.relay_id in
+          let mirror =
+            match List.assoc_opt "mirror" opts with
+            | Some "1" -> true
+            | _ -> false
           in
-          match store_handle t stream with
-          | None -> become ~acks:false ~skip_dup:0 ~acked:0 ""
-          | Some st ->
-            (* Store-backed: report the durable watermark. An [acks=1]
-               publisher resumes from it — it resends every buffered
-               frame at or past [durable] and numbers new frames from
-               it, so the watermark must be exact at the handshake:
-               sync first, making [durable = tail]. (Without the sync a
-               fresh publisher racing a dead one's unsynced appends
-               would have its first [tail - durable] frames mistaken
-               for resends.) [skip_dup] stays as a guard should the two
-               ever diverge between the sync and the reply. *)
-            let acks =
-              match List.assoc_opt "acks" opts with
-              | Some "1" -> true
-              | _ -> false
+          (* The replication write gate (PROTOCOLS.md §15): a mirrored
+             stream takes appends only from a mirror link whose
+             (origin, epoch) tag matches the local record — a plain
+             publisher is told the stream is read-only, a mirror link
+             that outlived a promote (or looped back to the origin) is
+             told to re-handshake. *)
+          if (not mirror) && not owned then
+            reply_err t c
+              (Printf.sprintf "publish %s: read-only (mirrored from %s)"
+                 stream origin)
+          else if
+            mirror
+            && (owned
+               || List.assoc_opt "origin" opts <> Some origin
+               || Option.bind (List.assoc_opt "epoch" opts) int_of_string_opt
+                  <> Some epoch)
+          then begin
+            Counters.incr t.counters "mirror_publish_refused";
+            reply_err t c
+              (Printf.sprintf
+                 "publish %s: stale mirror link (stream is %s@%d here)"
+                 stream origin epoch)
+          end
+          else
+            let become ~acks ~skip_dup ~acked reply_body =
+              c.role <- Publisher { stream; link; acks; mirror; skip_dup; acked };
+              Counters.incr t.counters
+                (if mirror then "mirror_publishers" else "publishers");
+              (* joining a stream that is already congested: start paused *)
+              if stream_congested t stream then
+                Rconn.set_read_intent c.io false;
+              reply_ok c reply_body
             in
-            if acks then ignore (Store.sync st);
-            let durable = Store.durable st in
-            let skip_dup = if acks then Store.tail st - durable else 0 in
-            become ~acks ~skip_dup ~acked:durable
-              (Printf.sprintf "durable=%d" durable)
-          | exception Store.Store_error msg ->
-            Counters.incr t.counters "store_errors";
-            reply_err t c (Printf.sprintf "publish %s: store: %s" stream msg)
-          )
+            match store_handle t stream with
+            | None -> become ~acks:false ~skip_dup:0 ~acked:0 ""
+            | Some st ->
+              (* Store-backed: report the durable watermark. An [acks=1]
+                 publisher resumes from it — it resends every buffered
+                 frame at or past [durable] and numbers new frames from
+                 it, so the watermark must be exact at the handshake:
+                 sync first, making [durable = tail]. (Without the sync a
+                 fresh publisher racing a dead one's unsynced appends
+                 would have its first [tail - durable] frames mistaken
+                 for resends.) [skip_dup] stays as a guard should the two
+                 ever diverge between the sync and the reply. A mirror
+                 link gets the same exact handshake plus the tail — the
+                 offset it resumes pumping source frames from. *)
+              let acks =
+                match List.assoc_opt "acks" opts with
+                | Some "1" -> true
+                | _ -> false
+              in
+              if acks || mirror then ignore (Store.sync st);
+              let durable = Store.durable st in
+              let skip_dup =
+                if acks || mirror then Store.tail st - durable else 0
+              in
+              become ~acks ~skip_dup ~acked:durable
+                (if mirror then
+                   Printf.sprintf "durable=%d\ntail=%d" durable (Store.tail st)
+                 else Printf.sprintf "durable=%d" durable)
+            | exception Store.Store_error msg ->
+              Counters.incr t.counters "store_errors";
+              reply_err t c (Printf.sprintf "publish %s: store: %s" stream msg)
+            )
         | exception Broker.Unknown_stream s ->
           reply_err t c (Printf.sprintf "publish: unknown stream %s" s))
   end
@@ -910,6 +1057,69 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
         | exception Broker.Access_denied m ->
           reply_err t c (Printf.sprintf "subscribe: access denied: %s" m))
   end
+  else if Char.equal kind k_list then begin
+    (* cluster-wide: the pins table names every stream any shard owns,
+       so a mirror scanning for streams needs no shard awareness *)
+    let names =
+      match t.shared with
+      | Some sh ->
+        Mutex.lock sh.pins_mu;
+        let l = Hashtbl.fold (fun s _ acc -> s :: acc) sh.pins [] in
+        Mutex.unlock sh.pins_mu;
+        l
+      | None -> Broker.stream_names t.broker
+    in
+    Counters.incr t.counters "lists";
+    reply_ok c (String.concat "\n" (List.sort compare names))
+  end
+  else if Char.equal kind k_describe then begin
+    let stream, _ = parse_stream_body body in
+    let owner = stream_owner t stream in
+    if owner != t then route t owner c kind body stream
+    else
+      match Broker.metadata_for t.broker ~stream c.creds with
+      | schema ->
+        Counters.incr t.counters "describes";
+        reply_ok c (meta_text (advert_info t stream) ^ schema)
+      | exception Broker.Unknown_stream s ->
+        reply_err t c (Printf.sprintf "describe: unknown stream %s" s)
+      | exception Broker.Access_denied m ->
+        reply_err t c (Printf.sprintf "describe: access denied: %s" m)
+  end
+  else if Char.equal kind k_promote then begin
+    let stream, _ = parse_stream_body body in
+    let owner = stream_owner t stream in
+    if owner != t then route t owner c kind body stream
+    else if
+      not (List.exists (String.equal stream) (Broker.stream_names t.broker))
+    then reply_err t c (Printf.sprintf "promote: unknown stream %s" stream)
+    else begin
+      let kvs = advert_info t stream in
+      let origin = Option.value (advert_origin kvs) ~default:t.relay_id in
+      let epoch = advert_epoch kvs in
+      if String.equal origin t.relay_id then
+        (* already owned here: idempotent, no epoch burn *)
+        reply_ok c (Printf.sprintf "epoch=%d" epoch)
+      else begin
+        let epoch = epoch + 1 in
+        persist_advert t stream (with_origin kvs ~origin:t.relay_id ~epoch);
+        Counters.incr t.counters "promotes";
+        (* any live replication link into this stream predates the
+           ownership change: doom it so its epoch check re-runs *)
+        Hashtbl.iter
+          (fun _ pc ->
+            match pc.role with
+            | Publisher p when p.mirror && String.equal p.stream stream ->
+              Rconn.doom pc.io "stream promoted"
+            | _ -> ())
+          t.conns;
+        Log.info (fun m ->
+            m "stream %s promoted: now %s@%d (was %s)" stream t.relay_id epoch
+              origin);
+        reply_ok c (Printf.sprintf "epoch=%d" epoch)
+      end
+    end
+  end
   else protocol_reject t c (Printf.sprintf "unknown command %C" kind)
 
 (** The stream named by this command lives on another shard. A
@@ -927,6 +1137,8 @@ and route (src : t) (target : t) (c : conn) kind (body : string)
          (match kind with
          | 'a' -> "advertise"
          | 'p' -> "publish"
+         | 'q' -> "describe"
+         | 'm' -> "promote"
          | _ -> "subscribe")
          stream)
   | Pending ->
@@ -1121,10 +1333,53 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
 (* Construction and the loop                                            *)
 (* ------------------------------------------------------------------ *)
 
-let create_shard ~host ~port ~policy ~max_queue ~evict_grace ~sndbuf
-    ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride ~shared
-    ~store () : t =
-  { host; port; policy; max_queue; evict_grace; sndbuf; auth_keys
+(* ------------------------------------------------------------------ *)
+(* Replication identity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_relay_id () : string =
+  let seed =
+    Printf.sprintf "%.9f:%d:relay-id" (Unix.gettimeofday ()) (Unix.getpid ())
+  in
+  String.sub (Omf_util.Sha256.hex (Omf_util.Sha256.digest seed)) 0 12
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** A store-backed relay's identity must survive restarts — otherwise
+    every stream it owns would look foreign (read-only) to its own
+    successor — so an unconfigured id is minted once and kept in
+    [<root>/relay-id]. Memory-only relays get a fresh random id. *)
+let resolve_relay_id ?relay_id (store : Store.config option) : string =
+  match (relay_id, store) with
+  | Some id, _ -> id
+  | None, None -> gen_relay_id ()
+  | None, Some cfg -> (
+    let path = Filename.concat cfg.Store.root "relay-id" in
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> String.trim (input_line ic))
+    with
+    | id when id <> "" -> id
+    | _ | (exception _) ->
+      let id = gen_relay_id () in
+      (try
+         mkdir_p cfg.Store.root;
+         let oc = open_out path in
+         output_string oc (id ^ "\n");
+         close_out oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      id)
+
+let create_shard ~host ~port ~relay_id ~policy ~max_queue ~evict_grace
+    ~sndbuf ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride
+    ~shared ~store () : t =
+  { host; port; relay_id; policy; max_queue; evict_grace; sndbuf; auth_keys
   ; mac_reject_limit; drain_default_s = drain_s; lsock = None; lreg = None
   ; reactor = Reactor.create (); broker = Broker.create ()
   ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
@@ -1166,8 +1421,17 @@ let recover_streams (t : t) (streams : string list) =
         | None -> ()
         | Some schema -> (
           match Broker.advertise t.broker ~stream ~schema with
-          | () -> (
-            match Broker.publisher_link t.broker ~stream with
+          | () ->
+            (* restore the advertisement metadata — registry binding
+               and origin/epoch tag — exactly as last persisted, so a
+               mirrored stream stays read-only across the restart and
+               registry-bound consumers resolve as before *)
+            (match Store.meta st with
+            | [] -> ()
+            | kvs ->
+              Hashtbl.replace t.adverts stream kvs;
+              Counters.incr t.counters "advert_meta_recovered");
+            (match Broker.publisher_link t.broker ~stream with
             | link ->
               List.iter (fun d -> Link.send link d) (Store.descriptors st)
             | exception Broker.Unknown_stream _ -> ())
@@ -1186,12 +1450,13 @@ let recover_streams (t : t) (streams : string list) =
         Log.err (fun m -> m "store %s: recovery failed: %s" stream msg))
     streams
 
-let create ?(host = "127.0.0.1") ?(port = 0) ?(policy = Block)
+let create ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(policy = Block)
     ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
     ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () : t =
   let lsock, bound_port = Tcp.listener ~host ~port () in
+  let relay_id = resolve_relay_id ?relay_id store in
   let t =
-    create_shard ~host ~port:bound_port ~policy ~max_queue
+    create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
       ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
       ~drain_s ~shard_id:0 ~cid_stride:1 ~shared:None ~store ()
   in
@@ -1251,18 +1516,19 @@ module Cluster = struct
     mutable joined : bool;
   }
 
-  let start ?(host = "127.0.0.1") ?(port = 0) ?(shards = 1)
+  let start ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(shards = 1)
       ?(policy = Block) ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf
       ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () :
       t =
     if shards < 1 then invalid_arg "Cluster.start: shards must be >= 1";
     let lsock, bound_port = Tcp.listener ~host ~port () in
+    let relay_id = resolve_relay_id ?relay_id store in
     let shared =
       { pins_mu = Mutex.create (); pins = Hashtbl.create 32; peers = [||] }
     in
     let arr =
       Array.init shards (fun i ->
-          create_shard ~host ~port:bound_port ~policy ~max_queue
+          create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
             ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
             ~drain_s ~shard_id:i ~cid_stride:shards ~shared:(Some shared)
             ~store ())
@@ -1313,6 +1579,7 @@ module Cluster = struct
 
   let port (cl : t) = cl.cport
   let shard_count (cl : t) = Array.length cl.shards
+  let relay_id (cl : t) = cl.shards.(0).relay_id
 
   (** Cluster-wide counter totals (per-shard counters summed). Broker
       gauges are per-shard state and are only reported over the wire
@@ -1352,11 +1619,11 @@ type handle = { relay : t; thread : Thread.t }
 
 (** [start ()] runs a relay loop in a background thread (ephemeral port
     by default) — the embedding used by tests and benchmarks. *)
-let start ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
-    ?mac_reject_limit ?drain_s ?store () : handle =
+let start ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
+    ?auth_keys ?mac_reject_limit ?drain_s ?store () : handle =
   let relay =
-    create ?host ?port ?policy ?max_queue ?evict_grace_s ?sndbuf ?auth_keys
-      ?mac_reject_limit ?drain_s ?store ()
+    create ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
+      ?auth_keys ?mac_reject_limit ?drain_s ?store ()
   in
   { relay; thread = Thread.create run relay }
 
@@ -1524,6 +1791,66 @@ module Client = struct
       let schema = String.sub body (i + 1) (String.length body - i - 1) in
       (off, schema, t.link)
     | _ -> (None, body, t.link)
+
+  (** [list_streams t] names every stream the relay (all shards of a
+      cluster) currently hosts, sorted. *)
+  let list_streams (t : t) : string list =
+    rpc t k_list "" |> String.split_on_char '\n'
+    |> List.filter (fun s -> s <> "")
+
+  (** [describe t ~stream] returns the stream's advertisement metadata
+      — always including its [origin]/[epoch] replication tag
+      (PROTOCOLS.md §15) — and its (credential-scoped) schema, without
+      changing the connection's role. *)
+  let describe (t : t) ~(stream : string) : (string * string) list * string =
+    split_advert_meta (rpc t k_describe stream)
+
+  (** [advertise_with_meta t ~stream ~meta ~schema] is {!advertise}
+      with an explicit metadata list — the mirror re-advertises a
+      replicated stream with the source's metadata verbatim (registry
+      binding plus [origin]/[epoch]). *)
+  let advertise_with_meta (t : t) ~(stream : string)
+      ~(meta : (string * string) list) ~(schema : string) : unit =
+    ignore (rpc t k_advertise (stream ^ "\n" ^ meta_text meta ^ schema))
+
+  (** [promote t ~stream] transfers write ownership of a mirrored
+      stream to the relay (PROTOCOLS.md §15): its origin becomes the
+      relay's id with a bumped epoch, returned here. Idempotent on
+      streams the relay already owns. *)
+  let promote (t : t) ~(stream : string) : int =
+    let body = rpc t k_promote stream in
+    match
+      if String.length body >= 6 && String.sub body 0 6 = "epoch=" then
+        int_of_string_opt (String.sub body 6 (String.length body - 6))
+      else None
+    with
+    | Some e -> e
+    | None ->
+      raise (Error (Printf.sprintf "promote %s: malformed reply %S" stream body))
+
+  (** [publish_mirror t ~stream ~origin ~epoch] enters publisher mode
+      as a replication link (PROTOCOLS.md §15): accepted only while
+      [(origin, epoch)] matches the relay's record for the stream.
+      [Some (durable, tail)] against a store-backed relay — the mirror
+      resumes pumping source offsets from [tail]; [None] against a
+      memory-only relay (live-only replication). *)
+  let publish_mirror (t : t) ~(stream : string) ~(origin : string)
+      ~(epoch : int) : (int * int) option * Link.t =
+    let body =
+      rpc t k_publish
+        (Printf.sprintf "%s\nmirror=1\norigin=%s\nepoch=%d" stream origin
+           epoch)
+    in
+    let kvs = parse_creds body in
+    let watermarks =
+      match
+        ( Option.bind (List.assoc_opt "durable" kvs) int_of_string_opt,
+          Option.bind (List.assoc_opt "tail" kvs) int_of_string_opt )
+      with
+      | Some d, Some tl -> Some (d, tl)
+      | _ -> None
+    in
+    (watermarks, t.link)
 
   let close (t : t) = try Link.close t.link with _ -> ()
 end

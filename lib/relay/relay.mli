@@ -11,9 +11,16 @@
 
     Control protocol (1-byte kind + body per frame; PROTOCOLS.md §11):
     ['h'] HELLO, ['a'] ADVERTISE, ['p'] PUBLISH, ['s'] SUBSCRIBE,
-    ['t'] STATS; replies ['o' body] / ['e' message]. After PUBLISH a
-    connection's ['D']/['M'] endpoint frames are fanned out; after
-    SUBSCRIBE the connection is receive-only. *)
+    ['t'] STATS, ['l'] LIST, ['q'] DESCRIBE, ['m'] PROMOTE; replies
+    ['o' body] / ['e' message]. After PUBLISH a connection's
+    ['D']/['M'] endpoint frames are fanned out; after SUBSCRIBE the
+    connection is receive-only.
+
+    Replication (PROTOCOLS.md §15): every advertised stream carries an
+    [origin=relay-id]/[epoch=N] metadata tag. A stream whose origin is
+    not the local relay is {e read-only} — only a mirror link
+    ([mirror=1] PUBLISH with the matching tag, see {!Omf_mirror}) may
+    append — until PROMOTE takes ownership with a bumped epoch. *)
 
 (** What happens to a subscriber whose bounded outbound queue is full:
 
@@ -36,6 +43,7 @@ type t
 val create :
   ?host:string ->
   ?port:int ->
+  ?relay_id:string ->
   ?policy:policy ->
   ?max_queue:int ->
   ?evict_grace_s:float ->
@@ -67,9 +75,18 @@ val create :
     cumulative durability acks, [from=N] subscribers replay stored
     offsets, and at startup the relay recovers every stream found on
     disk — schemas re-advertised, descriptor caches rebuilt — so
-    sessions survive a relay restart with no loss and no duplicates. *)
+    sessions survive a relay restart with no loss and no duplicates.
+
+    [relay_id] is the replication identity stamped as [origin=] on
+    locally advertised streams (PROTOCOLS.md §15). Unset, a
+    store-backed relay mints one and persists it in [<root>/relay-id]
+    (so a restart keeps owning its streams); a memory-only relay gets
+    a fresh random id. *)
 
 val port : t -> int
+
+val relay_id : t -> string
+(** The replication identity ([origin=] tag) of this relay. *)
 
 val broker : t -> Omf_backbone.Broker.t
 (** The embedded broker — e.g. for [Broker.set_scope] policies. *)
@@ -101,6 +118,7 @@ module Cluster : sig
   val start :
     ?host:string ->
     ?port:int ->
+    ?relay_id:string ->
     ?shards:int ->
     ?policy:policy ->
     ?max_queue:int ->
@@ -122,6 +140,9 @@ module Cluster : sig
 
   val port : t -> int
   val shard_count : t -> int
+
+  val relay_id : t -> string
+  (** The cluster's replication identity (shared by every shard). *)
 
   val stats : t -> (string * int) list
   (** Cluster-wide counter totals (per-shard counters summed; includes
@@ -145,6 +166,7 @@ type handle
 val start :
   ?host:string ->
   ?port:int ->
+  ?relay_id:string ->
   ?policy:policy ->
   ?max_queue:int ->
   ?evict_grace_s:float ->
@@ -235,6 +257,47 @@ module Client : sig
       [from] is negative. [Some start] is the offset of the first
       message frame the link carries; [None] when the relay is
       memory-only (delivery is live-tail, as {!subscribe}). *)
+
+  val list_streams : t -> string list
+  (** Every stream the relay (all shards of a cluster) currently
+      hosts, sorted. *)
+
+  val describe : t -> stream:string -> (string * string) list * string
+  (** The stream's advertisement metadata — always including its
+      [origin]/[epoch] replication tag (PROTOCOLS.md §15) — and its
+      (credential-scoped) schema. Does not change the connection's
+      role, so one connection can describe many streams. *)
+
+  val advertise_with_meta :
+    t ->
+    stream:string ->
+    meta:(string * string) list ->
+    schema:string ->
+    unit
+  (** {!advertise} with an explicit metadata list — how a mirror
+      re-advertises a replicated stream with the source's metadata
+      (registry binding plus [origin]/[epoch]) verbatim. The relay
+      gates acceptance on the (origin, epoch) tag: stale epochs and
+      origin loops are refused with an ['e'] reply. *)
+
+  val promote : t -> stream:string -> int
+  (** Transfer write ownership of a mirrored stream to the relay: its
+      origin becomes the relay's id with a bumped epoch (returned).
+      Idempotent on streams the relay already owns. Live mirror links
+      into the stream are disconnected so their epoch check re-runs. *)
+
+  val publish_mirror :
+    t ->
+    stream:string ->
+    origin:string ->
+    epoch:int ->
+    (int * int) option * Omf_transport.Link.t
+  (** Publisher mode as a replication link ([mirror=1], PROTOCOLS.md
+      §15): accepted only while [(origin, epoch)] matches the relay's
+      record for the stream — a promote invalidates the link. Returns
+      [Some (durable, tail)] against a store-backed relay (the mirror
+      resumes pumping source offsets from [tail]); [None] against a
+      memory-only relay (live-only replication). *)
 
   val stats : t -> (string * int) list
   val close : t -> unit

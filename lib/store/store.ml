@@ -49,7 +49,8 @@ let default_config ~root =
 
 (* On-disk framing: magic header, then [u32 len | u32 crc | body]
    records. Meta bodies start with a kind byte ('S' schema text, 'D'
-   verbatim descriptor frame); segment bodies are verbatim 'M' frames. *)
+   verbatim descriptor frame, 'A' advertisement metadata as "k=v"
+   lines — latest wins); segment bodies are verbatim 'M' frames. *)
 
 let seg_magic = "OMFSEG01"
 let meta_magic = "OMFMETA1"
@@ -73,6 +74,7 @@ type t = {
   meta_path : string;
   mutable meta_fd : Unix.file_descr;
   mutable schema_ : string option;
+  mutable meta_kvs : (string * string) list;
   seen_desc : (string, unit) Hashtbl.t;
   mutable descs_rev : Bytes.t list;
   mutable segs : seg list; (* ascending base; last is the tail *)
@@ -239,6 +241,24 @@ let skip_record fd ~size pos =
 (* ------------------------------------------------------------------ *)
 (* meta log *)
 
+(* 'A' record bodies: one "k=v" line per entry, newline-terminated —
+   the same line syntax the relay's ADVERTISE metadata uses on the
+   wire, so persisted bindings round-trip verbatim. *)
+
+let meta_kvs_to_text (kvs : (string * string) list) : string =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%s\n" k v) kvs)
+
+let meta_kvs_of_text (s : string) : (string * string) list =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.index_opt line '=' with
+         | Some i when i > 0 ->
+           Some
+             ( String.sub line 0 i
+             , String.sub line (i + 1) (String.length line - i - 1) )
+         | _ -> None)
+
 let load_meta t =
   if not (Sys.file_exists t.meta_path) then begin
     let fd =
@@ -301,6 +321,10 @@ let load_meta t =
             Hashtbl.replace t.seen_desc digest ();
             t.descs_rev <- body :: t.descs_rev
           end
+        | 'A' ->
+          t.meta_kvs <-
+            meta_kvs_of_text
+              (Bytes.sub_string body 1 (Bytes.length body - 1))
         | k ->
           Log.warn (fun m ->
               m "stream %S: unknown meta record kind %C ignored" t.name k));
@@ -455,6 +479,7 @@ let oldest t = match t.segs with [] -> 0 | s :: _ -> s.s_base
 let segments t = List.length t.segs
 let bytes t = List.fold_left (fun a s -> a + s.s_size) 0 t.segs
 let schema t = t.schema_
+let meta t = t.meta_kvs
 let descriptors t = List.rev t.descs_rev
 let truncated_bytes t = t.truncated
 
@@ -574,6 +599,17 @@ let set_schema t text =
     append_meta t body
   end
 
+let set_meta t kvs =
+  check_open t;
+  if t.meta_kvs <> kvs then begin
+    t.meta_kvs <- kvs;
+    let text = meta_kvs_to_text kvs in
+    let body = Bytes.create (1 + String.length text) in
+    Bytes.set body 0 'A';
+    Bytes.blit_string text 0 body 1 (String.length text);
+    append_meta t body
+  end
+
 (* Reading: per call we open a fresh read-only fd per segment, seek to
    the nearest sparse-index entry at or below the requested offset, and
    skip forward. Records actually delivered are CRC-checked. *)
@@ -664,6 +700,7 @@ let open_stream cfg name =
       meta_path = Filename.concat dir "meta.log";
       meta_fd = Unix.stdin (* replaced below *);
       schema_ = None;
+      meta_kvs = [];
       seen_desc = Hashtbl.create 8;
       descs_rev = [];
       segs = [];

@@ -77,6 +77,14 @@ val append_descriptor : t -> Bytes.t -> bool
 val set_schema : t -> string -> unit
 (** Persist the stream's advertised schema (latest wins); fsynced. *)
 
+val set_meta : t -> (string * string) list -> unit
+(** Persist the stream's advertisement metadata — the [k=v] lines an
+    ADVERTISE carried (registry binding [subject]/[version]/
+    [fingerprint], replication [origin]/[epoch]; PROTOCOLS.md §14/§15)
+    — latest list wins; fsynced. A restarted relay re-advertises the
+    stream with exactly this metadata, so registry bindings and
+    mirror origin tags survive without the original publisher. *)
+
 val sync : t -> int
 (** Fsync pending appends (no-op when clean) and return the new
     [durable]. This is what the relay's interval timer calls. *)
@@ -96,6 +104,10 @@ val iter_range : t -> int -> int -> (int -> Bytes.t -> unit) -> unit
     per reactor writable callback instead of the whole suffix. *)
 
 val schema : t -> string option
+
+val meta : t -> (string * string) list
+(** The last persisted advertisement metadata ([] if none). *)
+
 val descriptors : t -> Bytes.t list
 (** Stored descriptor frames in first-use order. *)
 

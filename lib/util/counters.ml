@@ -77,6 +77,37 @@ let metric_char c =
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
   | _ -> '_'
 
+(* Per-subject gauges are named "<group>.<subject>.<metric>" internally
+   (e.g. "stream.flights.queue_depth", "mirror.flights.lag_frames");
+   Prometheus wants the subject as a label, not baked into the metric
+   name, so same-metric series aggregate across streams. The first and
+   last dot-separated segments are group and metric (neither ever
+   contains a dot); everything between is the subject verbatim — stream
+   names may themselves contain dots. *)
+let split_labeled (name : string) : (string * string * string) option =
+  match String.index_opt name '.' with
+  | None -> None
+  | Some i -> (
+    match String.rindex_opt name '.' with
+    | Some j when j > i ->
+      Some
+        ( String.sub name 0 i
+        , String.sub name (i + 1) (j - i - 1)
+        , String.sub name (j + 1) (String.length name - j - 1) )
+    | _ -> None)
+
+let label_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let prometheus ~component (snapshot : (string * int) list) : string =
   let b = Buffer.create 512 in
   List.iter
@@ -84,7 +115,15 @@ let prometheus ~component (snapshot : (string * int) list) : string =
       Buffer.add_string b "omf_";
       Buffer.add_string b (String.map metric_char component);
       Buffer.add_char b '_';
-      Buffer.add_string b (String.map metric_char name);
+      (match split_labeled name with
+      | Some (group, subject, metric) ->
+        Buffer.add_string b (String.map metric_char group);
+        Buffer.add_char b '_';
+        Buffer.add_string b (String.map metric_char metric);
+        Buffer.add_string b "{stream=\"";
+        Buffer.add_string b (label_escape subject);
+        Buffer.add_string b "\"}"
+      | None -> Buffer.add_string b (String.map metric_char name));
       Buffer.add_string b (Printf.sprintf " %d\n" v))
     snapshot;
   Buffer.contents b

@@ -40,4 +40,12 @@ val of_text : string -> (string * int) list
 val prometheus : component:string -> (string * int) list -> string
 (** Render a snapshot in Prometheus text exposition format, one
     [omf_<component>_<name> <value>] line per counter; characters
-    outside [[a-zA-Z0-9_]] in [component] or names become ['_']. *)
+    outside [[a-zA-Z0-9_]] in [component] or names become ['_'].
+
+    Per-subject gauges named [<group>.<subject>.<metric>] (the relay's
+    ["stream.flights.queue_depth"], the mirror's
+    ["mirror.flights.lag_frames"]) render with the subject as a label —
+    [omf_<component>_<group>_<metric>{stream="<subject>"}] — so one
+    metric aggregates across streams. The subject is the text between
+    the first and last dot and may itself contain dots; quotes,
+    backslashes and newlines in it are escaped. *)

@@ -19,6 +19,7 @@ module Catalog = Omf_xml2wire.Catalog
 module Discovery = Omf_xml2wire.Discovery
 module Fx = Omf_fixtures.Paper_structs
 module Value = Omf_pbio.Value
+module Mirror = Omf_mirror.Mirror
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -507,6 +508,197 @@ let test_store_survives_sigkill () =
       (Session.subscriber_stats sub).formats_learned;
     Session.close_publisher pub
 
+(** The mirror acceptance drill (doc/MIRROR.md): a separate source
+    relayd killed with SIGKILL mid-publish while an A->B replication
+    link is live and [promote_on_loss] armed. The replica must promote
+    itself; every event the source durably accepted must be readable
+    from the replica exactly once — the pre-kill consumer's prefix and
+    the post-failover resume must interleave with zero loss and zero
+    duplication — and the promoted replica must accept new publishers.
+    Requires the relayd binary via [OMF_RELAYD]; skipped when absent. *)
+let test_mirror_failover_sigkill () =
+  match Sys.getenv_opt "OMF_RELAYD" with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+    with_store_root @@ fun root_a ->
+    with_store_root @@ fun root_b ->
+    let port_a = dead_port () in
+    let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid =
+      Unix.create_process exe
+        [| exe; "--port"; string_of_int port_a; "--store"; root_a
+         ; "--store-fsync"; "interval=0.02" |]
+        null null Unix.stderr
+    in
+    Unix.close null;
+    let killed = ref false in
+    let kill_hard () =
+      killed := true;
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid)
+    in
+    Fun.protect ~finally:(fun () -> if not !killed then kill_hard ())
+    @@ fun () ->
+    poll ~what:"source relayd listening" (fun () ->
+        match Relay.Client.connect ~port:port_a ~connect_timeout_s:0.2 () with
+        | c ->
+          Relay.Client.close c;
+          true
+        | exception Relay.Client.Error _ -> false);
+    let hb = Relay.start ~store:(store_cfg root_b) () in
+    let port_b = Relay.port (Relay.relay hb) in
+    Fun.protect ~finally:(fun () -> Relay.stop hb) @@ fun () ->
+    let m =
+      Mirror.start
+        (Mirror.config ~rescan_s:0.05 ~io_timeout_s:0.25 ~max_attempts:3
+           ~base_delay_s:0.02 ~max_delay_s:0.1 ~promote_on_loss:true
+           ~source_host:"127.0.0.1" ~source_port:port_a ~local_port:port_b
+           ~local_relay_id:(Relay.relay_id (Relay.relay hb)) ())
+    in
+    Fun.protect ~finally:(fun () -> Mirror.stop m) @@ fun () ->
+    let mstat k = Option.value ~default:0 (List.assoc_opt k (Mirror.stats m)) in
+    let pub =
+      Session.publisher ~acked:true
+        (cfg ~max_attempts:3 ~port:port_a ())
+        ~stream:"flights" ~schema:Fx.schema_a Abi.x86_64
+    in
+    let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+    let sub =
+      Session.subscribe ~from:0
+        (cfg ~max_attempts:3 ~port:port_a ())
+        ~stream:"flights" Abi.arm_32
+    in
+    let col = collect sub in
+    let first = scale 16 in
+    for seq = 0 to first - 1 do
+      Session.publish_value pub fmt (event seq)
+    done;
+    Session.flush_acked pub;
+    poll ~what:"pre-kill events delivered" (fun () -> count col >= first);
+    poll ~what:"replica caught up before the kill" (fun () ->
+        relay_stat ~port:port_b "store.flights.tail" >= first);
+    check bool "link established" true (mstat "links_established" >= 1);
+    (* stream a second batch slowly so the kill lands mid-publish *)
+    let sent = ref first in
+    let pusher =
+      Thread.create
+        (fun () ->
+          try
+            for seq = first to first + scale 16 - 1 do
+              Session.publish_value pub fmt (event seq);
+              sent := seq + 1;
+              Thread.delay 0.005
+            done
+          with Session.Overflow _ | Session.Gave_up _ | Relay.Client.Error _ ->
+            ())
+        ()
+    in
+    poll ~what:"second batch replicating" (fun () ->
+        relay_stat ~port:port_b "store.flights.tail" >= first + 4);
+    kill_hard ();
+    Thread.join pusher;
+    (try Session.close_publisher pub with _ -> ());
+    (* the reconnect budget (3 x <=0.1s backoff) runs out and the
+       replica promotes itself *)
+    poll ~deadline_s:20.0 ~what:"replica promoted on loss" (fun () ->
+        mstat "promotes" >= 1);
+    Session.close_subscriber sub;
+    Thread.join col.thread;
+    let seqs_a = collected col in
+    let next = List.length seqs_a in
+    check bool "pre-kill consumer: in order, no gaps" true
+      (seqs_a = List.init next Fun.id);
+    let tail_b = relay_stat ~port:port_b "store.flights.tail" in
+    check bool "no amplification: replica holds at most what was sent" true
+      (tail_b <= !sent);
+    (* transparent failover: resume against the mirror at the next
+       expected offset and drain whatever it durably replicated; the
+       two reads must cover 0..max(next,tail_b)-1 exactly once *)
+    let seqs_b =
+      if tail_b <= next then []
+      else begin
+        let sub2 =
+          Session.subscribe ~from:next
+            (cfg ~port:port_b ())
+            ~stream:"flights" Abi.arm_32
+        in
+        let col2 = collect sub2 in
+        poll ~what:"failover resume drained" (fun () ->
+            count col2 >= tail_b - next);
+        Session.close_subscriber sub2;
+        Thread.join col2.thread;
+        collected col2
+      end
+    in
+    let final = max next tail_b in
+    check bool "zero loss, zero dup across failover" true
+      (seqs_a @ seqs_b = List.init final Fun.id);
+    (* the promoted replica accepts writes again *)
+    let pub2 =
+      Session.publisher ~acked:true (cfg ~port:port_b ()) ~stream:"flights"
+        ~schema:Fx.schema_a Abi.x86_64
+    in
+    let fmt2 = Option.get (Session.publisher_format pub2 "ASDOffEvent") in
+    let extra = 4 in
+    for seq = tail_b to tail_b + extra - 1 do
+      Session.publish_value pub2 fmt2 (event seq)
+    done;
+    Session.flush_acked pub2;
+    poll ~what:"post-failover appends" (fun () ->
+        relay_stat ~port:port_b "store.flights.tail" >= tail_b + extra);
+    Session.close_publisher pub2
+
+(** Resume renumbering when the relay's durable watermark has moved
+    {e past} the publisher's entire unacked window: events are
+    published without draining acks (acks are only consumed inside
+    publish/flush calls, so the whole burst stays buffered), the relay
+    restarts over its store, and the resume handshake must trim every
+    already-durable frame and renumber nothing — republishing the
+    window verbatim would duplicate the whole prefix. *)
+let test_acked_resume_watermark_ahead () =
+  with_store_root @@ fun root ->
+  let store =
+    { (Relay.Store.default_config ~root) with
+      fsync = Relay.Store.Every_n 1 }
+  in
+  let h1 = Relay.start ~store () in
+  let port = Relay.port (Relay.relay h1) in
+  let pub =
+    Session.publisher ~window:64 ~acked:true (cfg ~port ()) ~stream:"flights"
+      ~schema:Fx.schema_a Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let first = scale 12 in
+  for seq = 0 to first - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  (* no flush: the acks sit unread in the socket, so the publisher
+     still considers the entire burst in flight... *)
+  check int "whole burst still buffered" first (Session.publisher_buffered pub);
+  (* ...while the relay has already made all of it durable *)
+  poll ~what:"burst durable at the relay" (fun () ->
+      relay_stat ~port "store.flights.tail" >= first);
+  Relay.stop h1;
+  let h2 = Relay.start ~port ~store () in
+  Fun.protect ~finally:(fun () -> Relay.stop h2) @@ fun () ->
+  let last = (2 * first) - 1 in
+  for seq = first to last do
+    Session.publish_value pub fmt (event seq)
+  done;
+  Session.flush_acked pub;
+  check int "durable watermark covers both batches" (last + 1)
+    (Session.publisher_durable pub);
+  check bool "publisher reconnected" true
+    (Session.publisher_reconnects pub >= 1);
+  let sub = Session.subscribe ~from:0 (cfg ~port ()) ~stream:"flights" Abi.arm_32 in
+  let col = collect sub in
+  poll ~what:"full stream delivered" (fun () -> List.mem last (collected col));
+  Session.close_subscriber sub;
+  Thread.join col.thread;
+  check bool "no duplicated prefix, no renumbered gap" true
+    (collected col = List.init (last + 1) Fun.id);
+  Session.close_publisher pub
+
 (* ------------------------------------------------------------------ *)
 (* Publisher window overflow is explicit                                *)
 (* ------------------------------------------------------------------ *)
@@ -720,7 +912,12 @@ let () =
         [ Alcotest.test_case "store-backed restart: zero loss, zero dup"
             `Quick test_store_relay_restart_zero_loss
         ; Alcotest.test_case "relayd SIGKILL + restart: zero loss, zero dup"
-            `Quick test_store_survives_sigkill ] )
+            `Quick test_store_survives_sigkill
+        ; Alcotest.test_case "acked resume with watermark past the window"
+            `Quick test_acked_resume_watermark_ahead ] )
+    ; ( "mirror",
+        [ Alcotest.test_case "source SIGKILL: promote-on-loss failover"
+            `Quick test_mirror_failover_sigkill ] )
     ; ( "cluster",
         [ Alcotest.test_case "2 shards: handoffs, zero loss, HMAC" `Quick
             test_cluster_pubsub_across_shards

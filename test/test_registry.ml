@@ -435,6 +435,73 @@ let test_async_discovery_zero_loss () =
   Relay.Client.close sub;
   Relay.Client.close pub
 
+(* A re-triggered keyed discovery supersedes the in-flight one: the
+   superseded async raises {!Discovery.Cancelled} immediately, and even
+   when its (gated) fetch later lands it registers nothing and bumps no
+   win counters — exactly one win is recorded for the stream. *)
+let test_async_discovery_supersede_cancels () =
+  let stats0 = Discovery.stats () in
+  let delta key = assoc key (Discovery.stats ()) - assoc key stats0 in
+  let wait ~what cond =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while not (cond ()) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.005
+    done;
+    if not (cond ()) then Alcotest.failf "timeout waiting for %s" what
+  in
+  let gate = Mutex.create () in
+  let cv = Condition.create () in
+  let released = ref false in
+  let entered = ref 0 in
+  let exited = ref 0 in
+  let gated_source () =
+    Discovery.from_fetcher ~label:"registry:flights" (fun () ->
+        Mutex.lock gate;
+        incr entered;
+        while not !released do
+          Condition.wait cv gate
+        done;
+        Mutex.unlock gate;
+        incr exited;
+        Fx.schema_a)
+  in
+  let c1 = Catalog.create Abi.x86_64 in
+  let a1 = Discovery.discover_async ~key:"flights" c1 [ gated_source () ] in
+  (* make sure the first fetch is really parked inside the gate before
+     the supersede, so its completion races the cancellation *)
+  wait ~what:"first fetch in flight" (fun () -> !entered >= 1);
+  let c2 = Catalog.create Abi.x86_64 in
+  let a2 = Discovery.discover_async ~key:"flights" c2 [ gated_source () ] in
+  (* the superseded discovery fails fast — before its fetch returns *)
+  (match Discovery.await a1 with
+  | _ -> Alcotest.fail "superseded discovery returned an outcome"
+  | exception Discovery.Cancelled -> ());
+  check int "supersede counted" 1 (delta "superseded");
+  (* release both fetches: the live one registers and wins; the
+     cancelled worker must drop its outcome on the floor *)
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast cv;
+  Mutex.unlock gate;
+  let outcome = Discovery.await a2 in
+  check string "live discovery won from the registry source" "registry"
+    outcome.Discovery.origin;
+  check bool "live catalog registered the format" true
+    (Catalog.mem c2 "ASDOffEvent");
+  (* both workers have returned from their fetches; give the cancelled
+     one a beat to take its (non-)registration path *)
+  wait ~what:"both fetches returned" (fun () -> !exited >= 2);
+  Thread.delay 0.1;
+  check bool "superseded catalog untouched" false (Catalog.mem c1 "ASDOffEvent");
+  check int "exactly one win counted (no double-count)" 1
+    (delta "source_registry");
+  check int "cancellation counted" 1 (delta "cancelled");
+  (* cancelling a completed discovery is a no-op *)
+  Discovery.cancel a2;
+  check bool "completed outcome survives a late cancel" true
+    (Discovery.await a2 == outcome
+     || (Discovery.await a2).Discovery.source = outcome.Discovery.source)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -455,4 +522,6 @@ let () =
       )
     ; ( "async"
       , [ Alcotest.test_case "async discovery: zero loss" `Quick
-            test_async_discovery_zero_loss ] ) ]
+            test_async_discovery_zero_loss
+        ; Alcotest.test_case "keyed supersede cancels in-flight discovery"
+            `Quick test_async_discovery_supersede_cancels ] ) ]

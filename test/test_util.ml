@@ -157,6 +157,34 @@ let test_constant_time_equal () =
   check bool "different content" false (Sha256.equal_constant_time "abcd" "abce");
   check bool "different length" false (Sha256.equal_constant_time "abc" "abcd")
 
+let test_prometheus_labels () =
+  let text =
+    Omf_util.Counters.prometheus ~component:"relay"
+      [ ("events_relayed", 42)
+      ; ("stream.flights.queue_depth", 7)
+      ; ("mirror.EU/ops:alerts.lag_frames", 3)
+      ; ("store.a.b.tail", 9)
+      ; ("g.su\"bj.m", 1)
+      ; ("weird.name", 5) ]
+  in
+  let has line =
+    List.mem line (String.split_on_char '\n' text)
+  in
+  check bool "plain counter" true (has "omf_relay_events_relayed 42");
+  check bool "per-stream gauge gets a label" true
+    (has "omf_relay_stream_queue_depth{stream=\"flights\"} 7");
+  check bool "subject keeps punctuation verbatim" true
+    (has "omf_relay_mirror_lag_frames{stream=\"EU/ops:alerts\"} 3");
+  (* the subject is everything between the first and last dot, so it
+     may itself contain dots *)
+  check bool "dotted subject" true
+    (has "omf_relay_store_tail{stream=\"a.b\"} 9");
+  check bool "quotes in the subject are escaped" true
+    (has "omf_relay_g_m{stream=\"su\\\"bj\"} 1");
+  (* a single-dot name has no <group>.<subject>.<metric> shape: it
+     renders as a plain sanitised metric, no label *)
+  check bool "single-dot name stays plain" true (has "omf_relay_weird_name 5")
+
 let test_strings_replace () =
   check str "basic" "a-Y-c" (Omf_testkit.Strings.replace ~sub:"b" ~by:"Y" "a-b-c");
   check str "multiple" "xx" (Omf_testkit.Strings.replace ~sub:"ab" ~by:"x" "abab");
@@ -186,5 +214,8 @@ let () =
         ; Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors
         ; Alcotest.test_case "constant-time compare" `Quick
             test_constant_time_equal ] )
+    ; ( "counters",
+        [ Alcotest.test_case "prometheus per-stream labels" `Quick
+            test_prometheus_labels ] )
     ; ( "strings",
         [ Alcotest.test_case "replace" `Quick test_strings_replace ] ) ]
