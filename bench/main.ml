@@ -1246,6 +1246,139 @@ let e8_mirror () =
     total
 
 (* ------------------------------------------------------------------ *)
+(* E9-overload: governor shed rate, accepted latency, recovery          *)
+(* ------------------------------------------------------------------ *)
+
+(* Approximate quantile from the exported publish_admit_us histogram
+   (doc/OVERLOAD.md): first bucket whose cumulative count covers q. *)
+let hist_quantile stats name q =
+  let prefix = Printf.sprintf "hist.%s.le_" name in
+  let buckets =
+    List.filter_map
+      (fun (k, v) ->
+        if String.starts_with ~prefix k then
+          let le = String.sub k (String.length prefix) (String.length k - String.length prefix) in
+          if String.equal le "inf" then Some (max_int, v)
+          else Some (int_of_string le, v)
+        else None)
+      stats
+    |> List.sort compare
+  in
+  (* buckets are already cumulative: le_inf is the total count *)
+  let total = List.fold_left (fun a (_, c) -> max a c) 0 buckets in
+  if total = 0 then None
+  else
+    let target = int_of_float (Float.of_int total *. q) in
+    let rec find = function
+      | [] -> None
+      | (le, c) :: rest -> if c >= max 1 target then Some le else find rest
+    in
+    find buckets
+
+let e9_overload () =
+  section "E9-overload. Governor: shed rate, accepted latency, recovery";
+  note
+    "A relay with a deliberately tiny governor budget (doc/OVERLOAD.md)\n\
+     takes an open-loop storm aimed at a subscriber that never reads.\n\
+     Measured: time for the shard to cross into Overloaded, the shed\n\
+     rate seen by publishers arriving mid-overload (retryable busy, not\n\
+     disconnects), the admission latency of the frames that WERE\n\
+     accepted, and the time back to Healthy once the hoarder is gone.\n";
+  let budget = 64 * 1024 in
+  let h =
+    Relay.start ~sndbuf:4096 ~max_queue:1_000_000
+      ~governor:(Relay.Governor.config ~budget ~busy_retry_ms:25 ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let port = Relay.port (Relay.relay h) in
+  let admin = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close admin) @@ fun () ->
+  let stats () = Relay.Client.stats admin in
+  let stat k = Option.value ~default:0 (List.assoc_opt k (stats ())) in
+  Relay.Client.advertise admin ~stream:"storm" ~schema:Fx.schema_a;
+  (* the hoarder: subscribed, never reads a byte *)
+  let ssub = Relay.Client.connect ~port () in
+  let ssub_closed = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ssub_closed then Relay.Client.close ssub)
+  @@ fun () ->
+  ignore (Relay.Client.subscribe ssub ~stream:"storm");
+  let spub = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close spub) @@ fun () ->
+  let slink = Relay.Client.publish spub ~stream:"storm" in
+  let frame = Bytes.make 1024 'x' in
+  Bytes.set frame 0 'M';
+  let stop = ref false in
+  let _pusher =
+    Thread.create
+      (fun () ->
+        try
+          while not !stop do
+            Omf_transport.Link.send slink frame
+          done
+        with _ -> ())
+      ()
+  in
+  let t_storm = Unix.gettimeofday () in
+  while stat "governor_health" < 2 do
+    Thread.delay 0.001
+  done;
+  let overload_ms = (Unix.gettimeofday () -. t_storm) *. 1e3 in
+  (* shed rate: fresh publishers knocking mid-overload *)
+  let attempts = if quick then 20 else 100 in
+  let busy = ref 0 and admitted = ref 0 in
+  for _ = 1 to attempts do
+    let c = Relay.Client.connect ~port () in
+    (match Relay.Client.publish c ~stream:"storm" with
+    | _ -> incr admitted
+    | exception Relay.Client.Busy _ -> incr busy);
+    Relay.Client.close c
+  done;
+  (* recovery: the hoarder disconnects, its queue is credited back *)
+  let snap = stats () in
+  stop := true;
+  ssub_closed := true;
+  let t_rec = Unix.gettimeofday () in
+  Relay.Client.close ssub;
+  while stat "governor_health" <> 0 do
+    Thread.delay 0.001
+  done;
+  let recover_ms = (Unix.gettimeofday () -. t_rec) *. 1e3 in
+  let accepted =
+    Option.value ~default:0 (List.assoc_opt "hist.publish_admit_us.count" snap)
+  in
+  let sum_us =
+    Option.value ~default:0 (List.assoc_opt "hist.publish_admit_us.sum" snap)
+  in
+  let mean_us =
+    if accepted = 0 then 0.0 else float_of_int sum_us /. float_of_int accepted
+  in
+  let q s q' =
+    match hist_quantile s "publish_admit_us" q' with
+    | Some le when le <> max_int -> Printf.sprintf "<= %d us" le
+    | _ -> "n/a"
+  in
+  table
+    [ "measure"; "value" ]
+    [ [ "time to Overloaded (64 KiB budget)"
+      ; Printf.sprintf "%.1f ms" overload_ms ]
+    ; [ "shed rate mid-overload"
+      ; Printf.sprintf "%d/%d PUBLISH answered busy (retryable)" !busy
+          attempts ]
+    ; [ "accepted frames (pre-shed)"
+      ; Printf.sprintf "%d, admit mean %.1f us" accepted mean_us ]
+    ; [ "admit latency p50 / p99"
+      ; Printf.sprintf "%s / %s" (q snap 0.50) (q snap 0.99) ]
+    ; [ "time back to Healthy"; Printf.sprintf "%.1f ms" recover_ms ] ];
+  note
+    "Shed is by class: the %d busy replies above were served while the\n\
+     same connections' HELLOs and this harness's STATS polls all kept\n\
+     flowing. busy carries retry_ms=%d; Session publishers wait it out\n\
+     on the same connection (publisher_busy_waits), no reconnect churn.\n"
+    !busy 25
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1361,6 +1494,7 @@ let () =
   e6_store ();
   e7_registry ();
   e8_mirror ();
+  e9_overload ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

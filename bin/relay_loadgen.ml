@@ -5,7 +5,16 @@
     Two modes: [--serve] self-hosts a relay on an ephemeral port (one
     command, full round trip), or [--port P] targets a running relayd.
     Events are the paper's structure-A ASD events with the sequence
-    number in [fltNum] and optional string padding to scale payloads. *)
+    number in [fltNum] and optional string padding to scale payloads.
+
+    [--rate R] switches the publisher from closed-loop (send as fast
+    as the relay accepts) to open-loop: events are launched on the
+    absolute schedule [t0 + seq/R] regardless of how fast the relay
+    drains them — the overload-drill shape, where offered load exceeds
+    capacity and the relay must shed ([busy] replies, dropped frames)
+    rather than collapse. Loss is then expected and reported, not an
+    error; delivery gaps are nudged closed with sentinel events so
+    lagging subscribers still terminate. *)
 
 open Cmdliner
 open Omf_machine
@@ -32,6 +41,7 @@ type sub_report = {
   mutable received : int;
   mutable out_of_order : int;
   mutable closed_early : bool;
+  mutable finished : bool;  (** thread returned (joinable without blocking) *)
 }
 
 let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
@@ -50,9 +60,11 @@ let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
       if seq < last_seq then go seq
   in
   (try go (-1) with _ -> report.closed_early <- true);
-  Relay.close_consumer consumer
+  Relay.close_consumer consumer;
+  report.finished <- true
 
-let run serve host port policy max_queue auth subscribers events pad stream =
+let run serve host port policy max_queue auth subscribers events pad rate
+    stream =
   let handle =
     if serve then
       Some
@@ -77,7 +89,8 @@ let run serve host port policy max_queue auth subscribers events pad stream =
   (* subscribers on rotating ABIs, each verifying its own stream *)
   let reports =
     Array.init subscribers (fun _ ->
-        { received = 0; out_of_order = 0; closed_early = false })
+        { received = 0; out_of_order = 0; closed_early = false
+        ; finished = false })
   in
   let threads =
     Array.mapi
@@ -102,27 +115,60 @@ let run serve host port policy max_queue auth subscribers events pad stream =
     end
   in
   wait_subs ();
+  let behind = ref 0 in
   let t0 = Unix.gettimeofday () in
   for seq = 0 to events - 1 do
+    if rate > 0.0 then begin
+      (* open-loop: launch on the absolute schedule, never waiting for
+         the relay — if we're behind, send immediately and count it *)
+      let target = t0 +. (float_of_int seq /. rate) in
+      let now = Unix.gettimeofday () in
+      if now < target then Thread.delay (target -. now)
+      else if now -. target > 0.001 then incr behind
+    end;
     Omf_transport.Endpoint.Sender.send_value sender fmt (event ~seq ~pad)
   done;
-  Array.iter Thread.join threads;
-  let dt = Unix.gettimeofday () -. t0 in
+  let publish_dt = Unix.gettimeofday () -. t0 in
+  if rate > 0.0 then begin
+    (* the storm may have shed the tail a subscriber was waiting for:
+       nudge stragglers with sentinel (last-seq) events at a gentle
+       pace until every thread terminates, bounded by a deadline *)
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let all_done () = Array.for_all (fun r -> r.finished) reports in
+    while (not (all_done ())) && Unix.gettimeofday () < deadline do
+      (try
+         Omf_transport.Endpoint.Sender.send_value sender fmt
+           (event ~seq:(events - 1) ~pad)
+       with _ -> ());
+      Thread.delay 0.05
+    done;
+    Array.iteri
+      (fun i th -> if reports.(i).finished then Thread.join th)
+      threads
+  end
+  else Array.iter Thread.join threads;
+  let dt = if rate > 0.0 then publish_dt else Unix.gettimeofday () -. t0 in
   let delivered = Array.fold_left (fun a r -> a + r.received) 0 reports in
   let ooo = Array.fold_left (fun a r -> a + r.out_of_order) 0 reports in
   let early =
     Array.fold_left (fun a r -> a + if r.closed_early then 1 else 0) 0 reports
   in
   Printf.printf
-    "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s)\n"
-    events subscribers dt (Relay.policy_to_string policy);
+    "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s%s)\n"
+    events subscribers dt
+    (Relay.policy_to_string policy)
+    (if rate > 0.0 then Printf.sprintf ", open-loop %.0f/s" rate else "");
   Printf.printf "  published        %9d events/s\n"
     (int_of_float (float_of_int events /. dt));
+  if rate > 0.0 then
+    Printf.printf "  behind schedule  %9d launches\n" !behind;
   Printf.printf "  delivered        %9d frames (%d deliveries/s)\n" delivered
     (int_of_float (float_of_int delivered /. dt));
-  Printf.printf "  lost             %9d (expected %d)\n"
-    ((events * subscribers) - delivered)
-    (events * subscribers);
+  Printf.printf "  lost             %9d (expected %d%s)\n"
+    (max 0 ((events * subscribers) - delivered))
+    (events * subscribers)
+    (if rate > 0.0 then "; loss is expected under open-loop overload"
+     else "");
   Printf.printf "  out of order     %9d\n" ooo;
   Printf.printf "  closed early     %9d subscriber(s)\n" early;
   let stats = Relay.Client.stats admin in
@@ -131,7 +177,10 @@ let run serve host port policy max_queue auth subscribers events pad stream =
       match List.assoc_opt k stats with
       | Some v -> Printf.printf "  relay %-16s %9d\n" k v
       | None -> ())
-    [ "bytes_in"; "bytes_out"; "frames_dropped"; "subscribers_evicted" ];
+    [ "bytes_in"; "bytes_out"; "frames_dropped"; "subscribers_evicted"
+    ; "evictions_eager"; "publish_busy"; "subscribe_busy"
+    ; "ingress_throttled"; "governor_degraded"; "governor_overloaded"
+    ; "governor_recovered" ];
   Relay.Client.close admin;
   (match handle with Some h -> Relay.stop h | None -> ());
   if ooo > 0 then `Error (false, "events reordered")
@@ -199,6 +248,16 @@ let events_arg =
     value & opt int 10_000
     & info [ "events"; "k" ] ~docv:"K" ~doc:"Events to publish.")
 
+let rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "rate" ] ~docv:"FRAMES/S"
+        ~doc:
+          "Open-loop publish rate: launch events on the absolute schedule \
+           $(i,t0 + seq/RATE) instead of as fast as the relay accepts — \
+           drive offered load past capacity to exercise overload shedding \
+           (doc/OVERLOAD.md). 0 (the default) = closed-loop.")
+
 let pad_arg =
   Arg.(
     value & opt int 0
@@ -220,4 +279,4 @@ let () =
             ret
               (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
              $ max_queue_arg $ auth_arg $ subscribers_arg $ events_arg
-             $ pad_arg $ stream_arg))))
+             $ pad_arg $ rate_arg $ stream_arg))))

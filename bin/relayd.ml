@@ -238,13 +238,47 @@ let mirror_rescan_arg =
           "How often the mirror manager re-LISTs the source for new \
            streams and refreshes replication-lag gauges.")
 
+let governor_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "governor-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Per-shard outbound byte budget for the overload governor \
+           (doc/OVERLOAD.md): crossing 70%/90% of $(docv) degrades and \
+           then overloads the shard — stored replay is throttled, slow \
+           consumers evicted eagerly, and PUBLISH / replay SUBSCRIBE \
+           refused with a retryable $(b,busy) reply until the backlog \
+           drains. 0 (the default) disables the governor.")
+
+let governor_retry_ms_arg =
+  Arg.(
+    value & opt int 250
+    & info [ "governor-retry-ms" ] ~docv:"MS"
+        ~doc:"Retry hint carried in $(b,busy) replies while overloaded.")
+
+let ingress_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "ingress-rate" ] ~docv:"FRAMES/S"
+        ~doc:
+          "Per-connection publisher rate limit: a publisher sending data \
+           frames faster than $(docv) has its reads paused until its \
+           token bucket refills (TCP pushes back). 0 = unlimited.")
+
+let ingress_burst_arg =
+  Arg.(
+    value & opt float 64.0
+    & info [ "ingress-burst" ] ~docv:"FRAMES"
+        ~doc:"Burst allowance for $(b,--ingress-rate).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     drain shards metrics_port store_dir store_fsync store_segment_mb
     store_retain_segments store_retain_mb store_retain_age relay_id mirror
-    mirror_promote mirror_rescan verbose =
+    mirror_promote mirror_rescan governor_budget governor_retry_ms
+    ingress_rate ingress_burst verbose =
   setup_logs verbose;
   let store =
     Option.map
@@ -257,17 +291,24 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
         ; retain_age = store_retain_age })
       store_dir
   in
+  let governor =
+    Omf_relay.Relay.Governor.config ~budget:governor_budget
+      ~busy_retry_ms:governor_retry_ms ()
+  in
+  let ingress =
+    if ingress_rate > 0.0 then Some (ingress_rate, ingress_burst) else None
+  in
   if shards < 1 then `Error (false, "--shards must be >= 1")
   else
     match
       Omf_relay.Relay.Cluster.start ~host ~port ~shards ~policy ~max_queue
         ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit
-        ~drain_s:drain ?store ?relay_id ()
+        ~drain_s:drain ~governor ?ingress ?store ?relay_id ()
     with
     | cluster ->
       Printf.printf
         "relayd: listening on %s:%d (policy %s, max queue %d, shards %d, \
-         auth keys %d, relay id %s%s)\n\
+         auth keys %d, relay id %s%s%s)\n\
          %!"
         host
         (Omf_relay.Relay.Cluster.port cluster)
@@ -278,7 +319,10 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
         | None -> ""
         | Some s ->
           Printf.sprintf ", store %s fsync %s" s.root
-            (Omf_relay.Relay.Store.fsync_policy_to_string s.fsync));
+            (Omf_relay.Relay.Store.fsync_policy_to_string s.fsync))
+        (if governor_budget > 0 then
+           Printf.sprintf ", governor budget %dB" governor_budget
+         else "");
       let mir =
         Option.map
           (fun (src_host, src_port, globs) ->
@@ -356,4 +400,6 @@ let () =
              $ store_fsync_arg $ store_segment_mb_arg
              $ store_retain_segments_arg $ store_retain_mb_arg
              $ store_retain_age_arg $ relay_id_arg $ mirror_arg
-             $ mirror_promote_arg $ mirror_rescan_arg $ verbose_arg))))
+             $ mirror_promote_arg $ mirror_rescan_arg $ governor_budget_arg
+             $ governor_retry_ms_arg $ ingress_rate_arg $ ingress_burst_arg
+             $ verbose_arg))))

@@ -452,7 +452,22 @@ let request ?(host = "127.0.0.1") ~port ~meth ~path ?(body = "") ?timeout_s ()
           match List.assoc_opt "content-length" headers with
           | Some n -> (
             match int_of_string_opt n with
-            | Some n when n >= 0 -> really_input_string ic n
+            | Some n when n >= 0 ->
+              (* fill by hand: a server that closes early must surface
+                 as a typed truncation error carrying the byte counts,
+                 not a bare [End_of_file] or a silent short body *)
+              let buf = Bytes.create n in
+              let rec fill got =
+                if got < n then begin
+                  let r = input ic buf got (n - got) in
+                  if r = 0 then
+                    http_error "%s %s:%d%s: truncated body: got %d of %d bytes"
+                      meth host port path got n;
+                  fill (got + r)
+                end
+              in
+              fill 0;
+              Bytes.unsafe_to_string buf
             | _ -> http_error "bad content-length %S" n)
           | None ->
             (* HTTP/1.0: read to EOF *)
@@ -476,16 +491,20 @@ let request ?(host = "127.0.0.1") ~port ~meth ~path ?(body = "") ?timeout_s ()
         when timeout_s <> None ->
         http_error "%s %s:%d%s: timeout after %.3gs" meth host port path
           (Option.value ~default:0.0 timeout_s)
-      | Sys_error m when timeout_s <> None ->
+      | Sys_error m ->
         (* channel layer turns the EAGAIN into Sys_error
            "Resource temporarily unavailable" *)
         if
-          String.length m >= 11
+          timeout_s <> None
+          && String.length m >= 11
           && String.sub m (String.length m - 11) 11 = "unavailable"
         then
           http_error "%s %s:%d%s: timeout after %.3gs" meth host port path
             (Option.value ~default:0.0 timeout_s)
-        else http_error "%s %s:%d%s: %s" meth host port path m)
+        else
+          (* e.g. a connection reset mid-body: still a typed transport
+             error, never a raw Sys_error *)
+          http_error "%s %s:%d%s: %s" meth host port path m)
 
 (** [get ~host ~port ~path] performs a blocking GET and returns the
     body. Raises {!Http_error} on connection failure or non-200 status

@@ -170,6 +170,11 @@ let is_refusal (msg : string) : bool =
 type session_end =
   | Stopped  (** stop requested mid-pump *)
   | Refused  (** gate refusal / vanished stream: park until rescan *)
+  | Busy of int
+      (** a relay shed the handshake with [busy retry_ms=N]
+          (PROTOCOLS.md §16): pause catch-up for the hinted delay and
+          retry — overload is neither an outage nor a refusal, so it
+          burns no reconnect budget and never parks the link *)
   | Lost of bool  (** link broke; [true] = the session had established *)
 
 (** Run one full replication session for [ls.l_stream]: handshake both
@@ -247,6 +252,11 @@ let replicate_once (t : t) (ls : link_state) : session_end =
     end
   with
   | v -> v
+  | exception Client.Busy { retry_ms } ->
+    Counters.incr t.counters "busy_backoffs";
+    Log.info (fun m ->
+        m "stream %s: relay overloaded; pausing catch-up %dms" stream retry_ms);
+    Busy retry_ms
   | exception Client.Error msg when is_refusal msg ->
     Counters.incr t.counters "links_refused";
     Log.info (fun m -> m "stream %s: refused: %s" stream msg);
@@ -287,6 +297,11 @@ let link_loop (t : t) (ls : link_state) =
     (match replicate_once t ls with
     | Stopped -> running := false
     | Refused -> running := false  (* parked; the next rescan retries *)
+    | Busy retry_ms ->
+      (* graceful degradation, not failure: announce the lag (the
+         gauges keep refreshing from the manager) and retry after the
+         relay's own hint without touching the failure budget *)
+      nap t (Some ls) (float_of_int retry_ms /. 1000.)
     | Lost established ->
       if established then failures := 0;
       incr failures;

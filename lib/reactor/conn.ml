@@ -39,6 +39,7 @@ type t = {
   decoder : Frame.Decoder.t;
   outq : entry Queue.t;
   mutable q_droppable : int;
+  mutable q_bytes : int;  (** unwritten bytes across all queued entries *)
   mutable loop : Reactor.t option;  (** [None] while detached *)
   mutable reg : Reactor.registration option;
   mutable on_input : t -> Bytes.t -> unit;
@@ -57,6 +58,7 @@ let fd (c : t) = c.fd
 let alive (c : t) = c.state = Alive
 let queued (c : t) = Queue.length c.outq
 let queued_droppable (c : t) = c.q_droppable
+let queued_bytes (c : t) = c.q_bytes
 let pending_input (c : t) = Frame.Decoder.pending_bytes c.decoder
 
 let sync_interest (c : t) =
@@ -99,6 +101,7 @@ let flush_step (c : t) : bool =
     match Unix.write c.fd e.ebuf e.eoff (Bytes.length e.ebuf - e.eoff) with
     | n ->
       progressed := true;
+      c.q_bytes <- c.q_bytes - n;
       c.on_bytes c `Out n;
       e.eoff <- e.eoff + n;
       if e.eoff = Bytes.length e.ebuf then begin
@@ -202,7 +205,8 @@ let attach (loop : Reactor.t) (fd : Unix.file_descr) ?(mode = Frames)
   Unix.set_nonblock fd;
   let c =
     { fd; mode; decoder = Frame.Decoder.create ?max_frame ()
-    ; outq = Queue.create (); q_droppable = 0; loop = Some loop; reg = None
+    ; outq = Queue.create (); q_droppable = 0; q_bytes = 0; loop = Some loop
+    ; reg = None
     ; on_input = on_frame; on_close; on_progress; on_decode_error; on_bytes
     ; deadline = None; state = Alive; reading = true }
   in
@@ -220,6 +224,7 @@ let enqueue (c : t) ~droppable (wire : Bytes.t) =
   | Alive ->
     Queue.add { ebuf = wire; eoff = 0; droppable } c.outq;
     if droppable then c.q_droppable <- c.q_droppable + 1;
+    c.q_bytes <- c.q_bytes + Bytes.length wire;
     sync_interest c
   | Closing | Doomed _ | Closed _ -> ()
 
@@ -233,19 +238,22 @@ let send_raw (c : t) ?(droppable = false) (wire : Bytes.t) =
   enqueue c ~droppable wire
 
 (** Drop the oldest fully-unwritten droppable entry, if any
-    ([Drop_oldest] backpressure). *)
-let drop_oldest_droppable (c : t) : bool =
-  let dropped = ref false in
+    ([Drop_oldest] backpressure). Returns the wire bytes shed (0 when
+    nothing was droppable) so callers can credit byte budgets. *)
+let drop_oldest_droppable (c : t) : int =
+  let dropped = ref 0 in
   let keep = Queue.create () in
   Queue.iter
     (fun e ->
-      if (not !dropped) && e.droppable && e.eoff = 0 then dropped := true
+      if !dropped = 0 && e.droppable && e.eoff = 0 then
+        dropped := Bytes.length e.ebuf
       else Queue.add e keep)
     c.outq;
-  if !dropped then begin
+  if !dropped > 0 then begin
     Queue.clear c.outq;
     Queue.transfer keep c.outq;
-    c.q_droppable <- c.q_droppable - 1
+    c.q_droppable <- c.q_droppable - 1;
+    c.q_bytes <- c.q_bytes - !dropped
   end;
   !dropped
 

@@ -1,0 +1,108 @@
+type health =
+  | Healthy
+  | Degraded
+  | Overloaded
+
+let health_level = function Healthy -> 0 | Degraded -> 1 | Overloaded -> 2
+
+let health_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Overloaded -> "overloaded"
+
+type config = {
+  budget : int;
+  degraded_hi_pct : int;
+  degraded_lo_pct : int;
+  overloaded_hi_pct : int;
+  overloaded_lo_pct : int;
+  busy_retry_ms : int;
+}
+
+let config ?(degraded_hi_pct = 70) ?(degraded_lo_pct = 50)
+    ?(overloaded_hi_pct = 90) ?(overloaded_lo_pct = 70) ?(busy_retry_ms = 250)
+    ~budget () =
+  if budget > 0 then begin
+    if not (0 < degraded_lo_pct && degraded_lo_pct < degraded_hi_pct) then
+      invalid_arg "Governor.config: need 0 < degraded_lo < degraded_hi";
+    if not (degraded_hi_pct <= overloaded_hi_pct) then
+      invalid_arg "Governor.config: need degraded_hi <= overloaded_hi";
+    if not (degraded_lo_pct <= overloaded_lo_pct && overloaded_lo_pct < overloaded_hi_pct)
+    then invalid_arg "Governor.config: need degraded_lo <= overloaded_lo < overloaded_hi"
+  end;
+  { budget;
+    degraded_hi_pct;
+    degraded_lo_pct;
+    overloaded_hi_pct;
+    overloaded_lo_pct;
+    busy_retry_ms }
+
+type t = {
+  cfg : config;
+  deg_hi : int;
+  deg_lo : int;
+  over_hi : int;
+  over_lo : int;
+  mutable used : int;
+  mutable health : health;
+  mutable on_transition : health -> health -> unit;
+}
+
+let pct budget p = budget * p / 100
+
+let create (cfg : config) : t =
+  { cfg;
+    deg_hi = pct cfg.budget cfg.degraded_hi_pct;
+    deg_lo = pct cfg.budget cfg.degraded_lo_pct;
+    over_hi = pct cfg.budget cfg.overloaded_hi_pct;
+    over_lo = pct cfg.budget cfg.overloaded_lo_pct;
+    used = 0;
+    health = Healthy;
+    on_transition = (fun _ _ -> ()) }
+
+let on_transition t f = t.on_transition <- f
+let used t = t.used
+let budget t = t.cfg.budget
+let health t = t.health
+let enabled t = t.cfg.budget > 0
+let busy_retry_ms t = t.cfg.busy_retry_ms
+
+(* Hysteresis: escalate when usage crosses a high watermark, recover
+   only once it falls below the corresponding (lower) low watermark, so
+   usage oscillating around one threshold cannot flap the state. *)
+let reeval t =
+  if enabled t then begin
+    let u = t.used in
+    let next =
+      match t.health with
+      | Healthy ->
+        if u >= t.over_hi then Overloaded
+        else if u >= t.deg_hi then Degraded
+        else Healthy
+      | Degraded ->
+        if u >= t.over_hi then Overloaded
+        else if u < t.deg_lo then Healthy
+        else Degraded
+      | Overloaded ->
+        if u >= t.over_lo then Overloaded
+        else if u < t.deg_lo then Healthy
+        else Degraded
+    in
+    if next <> t.health then begin
+      let prev = t.health in
+      t.health <- next;
+      t.on_transition prev next
+    end
+  end
+
+let debit t n =
+  if n > 0 then begin
+    t.used <- t.used + n;
+    reeval t
+  end
+
+let credit t n =
+  if n > 0 then begin
+    t.used <- (if n >= t.used then 0 else t.used - n);
+    reeval t
+  end

@@ -1,0 +1,75 @@
+(** Per-shard resource governor: one global byte budget covering every
+    queued outbound frame on the shard (subscriber write queues,
+    in-flight replay chunks, mirror-link buffers, control replies).
+
+    The relay debits the governor when a sealed frame is queued on a
+    connection and credits it when those bytes are written to the
+    socket, dropped by queue policy, or the connection closes. Crossing
+    watermarks drives a three-state health machine with hysteresis:
+
+    {v
+      Healthy    --used >= degraded_hi-->    Degraded
+      Degraded   --used >= overloaded_hi-->  Overloaded
+      Degraded   --used <  degraded_lo-->    Healthy
+      Overloaded --used <  overloaded_lo-->  Degraded (or Healthy
+                                             if already < degraded_lo)
+    v}
+
+    The budget is a control target, not a hard cap: admission control
+    sheds load at the watermarks, but frames already read off the wire
+    are still queued, so [used] may overshoot the budget by a bounded
+    amount. Not thread-safe — a governor belongs to one shard loop. *)
+
+type health =
+  | Healthy
+  | Degraded    (** replays throttled, slow consumers evicted eagerly *)
+  | Overloaded  (** PUBLISH and [from=] replays refused with [busy] *)
+
+val health_level : health -> int
+(** 0 / 1 / 2 — the STATS / Prometheus gauge encoding. *)
+
+val health_name : health -> string
+
+type config = private {
+  budget : int;  (** total byte budget; [<= 0] disables the governor *)
+  degraded_hi_pct : int;
+  degraded_lo_pct : int;
+  overloaded_hi_pct : int;
+  overloaded_lo_pct : int;
+  busy_retry_ms : int;  (** retry hint carried in [busy] replies *)
+}
+
+val config :
+  ?degraded_hi_pct:int ->
+  ?degraded_lo_pct:int ->
+  ?overloaded_hi_pct:int ->
+  ?overloaded_lo_pct:int ->
+  ?busy_retry_ms:int ->
+  budget:int ->
+  unit ->
+  config
+(** Defaults: degraded at 70% (recover < 50%), overloaded at 90%
+    (recover < 70%), [busy_retry_ms = 250]. Raises [Invalid_argument]
+    if the watermarks are not properly ordered (enabled budgets only). *)
+
+type t
+
+val create : config -> t
+
+val on_transition : t -> (health -> health -> unit) -> unit
+(** Install the transition callback [(fun old_health new_health -> …)];
+    called synchronously from {!debit}/{!credit}. *)
+
+val debit : t -> int -> unit
+val credit : t -> int -> unit
+(** Credits clamp at zero (a conservative floor if accounting ever
+    drifts); both re-evaluate health and may fire the callback. *)
+
+val used : t -> int
+val budget : t -> int
+val health : t -> health
+val enabled : t -> bool
+(** False for [budget <= 0]: usage is still tracked but health is
+    pinned to [Healthy] and no callbacks fire. *)
+
+val busy_retry_ms : t -> int

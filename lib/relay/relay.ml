@@ -47,12 +47,15 @@
     - ['l'] LIST                                    -> ['o' stream names]
     - ['q'] DESCRIBE  ["stream"]                    -> ['o' meta + schema]
     - ['m'] PROMOTE   ["stream"]                    -> ['o' "epoch=N"]
-    - ['e' message] is the error reply to any of the above. *)
+    - ['e' message] is the error reply to any of the above;
+      ['b' "retry_ms=N"] is the retryable overload refusal
+      (PROTOCOLS.md section 16) to PUBLISH / SUBSCRIBE [from=]. *)
 
 open Omf_transport
 module Broker = Omf_backbone.Broker
 module Counters = Omf_util.Counters
 module Store = Omf_store.Store
+module Governor = Governor
 
 let log = Logs.Src.create "omf.relay" ~doc:"TCP event relay"
 
@@ -85,6 +88,12 @@ let k_ack = 'k'
 (** durability acknowledgement to an [acks=1] publisher: body is the
     decimal cumulative durable offset of its stream's store *)
 
+let k_busy = 'b'
+(** retryable overload refusal (PROTOCOLS.md §16): the shard's resource
+    governor is [Overloaded], the command was shed rather than queued;
+    body is ["retry_ms=N"], the suggested backoff before retrying on
+    the {e same} connection *)
+
 (* replication controls (PROTOCOLS.md §15) *)
 let k_list = 'l'  (** LIST: reply is one hosted stream name per line *)
 
@@ -104,6 +113,7 @@ let k_promote = 'm'
 
 module Reactor = Omf_reactor.Reactor
 module Rconn = Omf_reactor.Conn
+module Token_bucket = Omf_util.Token_bucket
 
 (** An in-flight chunked stored replay (PROTOCOLS.md §13): [r_next] is
     the next store offset to deliver. Replay is paced from the reactor's
@@ -163,6 +173,16 @@ type conn = {
       (** HMAC frame mode, negotiated at HELLO; sealing starts with the
           frame after the HELLO exchange in each direction *)
   mutable mac_rejects : int;  (** frames that failed authentication *)
+  mutable gov_debited : int;
+      (** wire bytes debited against the shard governor and not yet
+          credited back (written, dropped, or surrendered at close) —
+          always equals this connection's unwritten queued bytes *)
+  mutable throttled : bool;
+      (** reads paused by the ingress token bucket; a reactor timer
+          clears this when the bucket refills *)
+  bucket : Token_bucket.t option;
+      (** per-connection ingress token bucket ([--ingress-rate]),
+          charged one token per publisher stream frame *)
   mutable home : t;  (** the shard whose loop owns this connection *)
 }
 
@@ -198,6 +218,12 @@ and t = {
   mac_reject_limit : int;
       (** close a connection after this many unauthenticated frames *)
   drain_default_s : float;
+  governor : Governor.t;
+      (** the shard's byte-budget governor (overload control,
+          doc/OVERLOAD.md); loop-thread only, like [conns] *)
+  ingress : (float * float) option;
+      (** per-connection ingress token bucket [(rate, burst)] in
+          frames/s; [None] = unlimited *)
   mutable lsock : Unix.file_descr option;
       (** shards in a cluster have no listener of their own *)
   mutable lreg : Reactor.registration option;
@@ -351,7 +377,24 @@ let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
   let frame =
     match c.mac with None -> frame | Some st -> Macframe.seal_next st frame
   in
+  (* debit the shard governor with the wire size (sealed body + the
+     4-byte length prefix) before queueing; credited back as the bytes
+     are written, dropped, or the connection closes. Dead connections
+     silently discard the send, so they are not debited. *)
+  if Rconn.alive c.io then begin
+    let wire = Bytes.length frame + 4 in
+    c.gov_debited <- c.gov_debited + wire;
+    Governor.debit c.home.governor wire
+  end;
   Rconn.send c.io ~droppable frame
+
+(** Return [n] freshly written-or-shed wire bytes to the governor. *)
+let credit_conn (c : conn) (n : int) =
+  let n = min n c.gov_debited in
+  if n > 0 then begin
+    c.gov_debited <- c.gov_debited - n;
+    Governor.credit c.home.governor n
+  end
 
 let reply (c : conn) kind (body : string) =
   let b = Bytes.create (1 + String.length body) in
@@ -364,6 +407,15 @@ let reply_ok c body = reply c k_ok body
 let reply_err (t : t) c msg =
   Counters.incr t.counters "errors";
   reply c k_err msg
+
+(** Shed a command with the retryable overload status (PROTOCOLS.md
+    §16). The connection keeps its (Pending) role and stays usable —
+    the client is expected to back off [retry_ms] and retry on the same
+    connection. *)
+let reply_busy (t : t) c (what : string) =
+  Counters.incr t.counters (what ^ "_busy");
+  reply c k_busy
+    (Printf.sprintf "retry_ms=%d" (Governor.busy_retry_ms t.governor))
 
 (* ------------------------------------------------------------------ *)
 (* Durable store plumbing (loop-thread only)                            *)
@@ -470,6 +522,12 @@ let rec gauge_tick (t : t) =
       g "tail" (Store.tail st);
       g "durable" (Store.durable st))
     t.stores;
+  Counters.set t.counters "governor_used_bytes" (Governor.used t.governor);
+  Counters.set t.counters "governor_health"
+    (Governor.health_level (Governor.health t.governor));
+  if Governor.enabled t.governor then
+    Counters.set t.counters "governor_budget_bytes"
+      (Governor.budget t.governor);
   if t.state = Running then
     t.gauge_timer <- Some (Reactor.after t.reactor 1.0 (fun () -> gauge_tick t))
 
@@ -487,12 +545,22 @@ let stream_congested (t : t) (stream : string) : bool =
             | _ -> false)
        t.conns false
 
+(** May this publisher connection be read from at all? False while the
+    shard is not running, the connection's ingress bucket is in debt,
+    or the governor is [Overloaded] (ingress shed until usage falls
+    back below the low watermark). Per-stream [Block] congestion is a
+    separate condition checked by the callers that know the stream. *)
+let publisher_read_ok (t : t) (c : conn) : bool =
+  t.state = Running
+  && (not c.throttled)
+  && Governor.health t.governor <> Governor.Overloaded
+
 let set_publishers_reading (t : t) (stream : string) (b : bool) =
   Hashtbl.iter
     (fun _ c ->
       match c.role with
       | Publisher p when String.equal p.stream stream ->
-        Rconn.set_read_intent c.io (b && t.state = Running)
+        Rconn.set_read_intent c.io (b && publisher_read_ok t c)
       | _ -> ())
     t.conns
 
@@ -549,9 +617,19 @@ let pump_replay (t : t) (c : conn) =
     if t.state <> Running || not (Rconn.alive c.io) then s.replay <- None
     else begin
       let failed = ref false in
-      let budget =
-        min replay_chunk (t.max_queue - Rconn.queued_droppable c.io)
+      (* graceful degradation: a Degraded shard pumps smaller chunks so
+         stored replays stop amplifying the pressure that degraded it;
+         an Overloaded shard pumps nothing — stalled replays resume from
+         the writable callback or the downward health transition *)
+      let chunk =
+        match Governor.health t.governor with
+        | Governor.Healthy -> replay_chunk
+        | Governor.Degraded ->
+          Counters.incr t.counters "store_replay_throttled";
+          replay_chunk / 4
+        | Governor.Overloaded -> 0
       in
+      let budget = min chunk (t.max_queue - Rconn.queued_droppable c.io) in
       (if budget > 0 then
          let upto = min (r.r_next + budget) (Store.tail r.r_store) in
          match
@@ -621,20 +699,71 @@ and enqueue_relayed_frame (t : t) (c : conn) (frame : Bytes.t) =
         | Publisher _ | Pending -> ()
       end
     | Drop_oldest ->
-      if Rconn.drop_oldest_droppable c.io then
+      let shed = Rconn.drop_oldest_droppable c.io in
+      if shed > 0 then begin
+        credit_conn c shed;
         Counters.incr t.counters "frames_dropped"
+      end
     | Evict_slow -> (
-      (* over the watermark: start the grace clock rather than evicting
-         outright.  The queue may grow past the watermark during the
-         grace window; it is bounded by grace x publish rate. *)
-      match c.over_since with
-      | None ->
-        c.over_since <- Some (Reactor.now ());
-        arm_grace t c
-      | Some _ -> ())
+      if Governor.health t.governor <> Governor.Healthy then begin
+        (* Degraded: no grace for laggards — shed the slow consumer now
+           so its queue bytes come back before the shard overloads *)
+        Counters.incr t.counters "evictions_eager";
+        evict_slow t c
+      end
+      else
+        (* over the watermark: start the grace clock rather than evicting
+           outright.  The queue may grow past the watermark during the
+           grace window; it is bounded by grace x publish rate. *)
+        match c.over_since with
+        | None ->
+          c.over_since <- Some (Reactor.now ());
+          arm_grace t c
+        | Some _ -> ())
   end;
   enqueue_entry c ~droppable frame;
   Counters.incr t.counters "frames_out"
+
+(** Governor health changed (called synchronously from a debit or
+    credit). Entering [Overloaded] pauses ingress from every publisher
+    — control traffic, subscriber drains and descriptor replays keep
+    flowing, so the shard sheds load without going dark. Leaving it
+    resumes publishers (unless individually throttled or their stream
+    is Block-congested) and re-pumps stored replays stalled at the
+    zero-chunk budget. *)
+let on_governor_transition (t : t) (prev : Governor.health)
+    (next : Governor.health) =
+  Counters.set t.counters "governor_health" (Governor.health_level next);
+  Counters.incr t.counters
+    (match next with
+    | Governor.Healthy -> "governor_recovered"
+    | Governor.Degraded -> "governor_degraded"
+    | Governor.Overloaded -> "governor_overloaded");
+  Log.info (fun m ->
+      m "shard %d: governor %s -> %s (%d of %d budget bytes queued)"
+        t.shard_id
+        (Governor.health_name prev)
+        (Governor.health_name next)
+        (Governor.used t.governor) (Governor.budget t.governor));
+  let was_over = prev = Governor.Overloaded in
+  let is_over = next = Governor.Overloaded in
+  if is_over && not was_over then
+    Hashtbl.iter
+      (fun _ c ->
+        match c.role with
+        | Publisher _ -> Rconn.set_read_intent c.io false
+        | Subscriber _ | Pending -> ())
+      t.conns
+  else if was_over && not is_over then
+    Hashtbl.iter
+      (fun _ c ->
+        match c.role with
+        | Publisher p ->
+          if publisher_read_ok t c && not (stream_congested t p.stream) then
+            Rconn.set_read_intent c.io true
+        | Subscriber { replay = Some _; _ } -> pump_replay t c
+        | Subscriber _ | Pending -> ())
+      t.conns
 
 (* ------------------------------------------------------------------ *)
 (* Frame dispatch                                                       *)
@@ -885,6 +1014,11 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
       let stream, opts = parse_stream_body body in
       let owner = stream_owner t stream in
       if owner != t then route t owner c kind body stream
+      else if Governor.health t.governor = Governor.Overloaded then
+        (* shed by class: new ingress is refused retryably while
+           descriptor/control traffic (ADVERTISE, DESCRIBE, STATS,
+           live SUBSCRIBE) still flows, so streams stay decodable *)
+        reply_busy t c "publish"
       else
         match Broker.publisher_link t.broker ~stream with
         | link -> (
@@ -973,6 +1107,18 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
       let stream, opts = parse_stream_body body in
       let owner = stream_owner t stream in
       if owner != t then route t owner c kind body stream
+      else if
+        Governor.health t.governor = Governor.Overloaded
+        && (match
+              Option.bind (List.assoc_opt "from" opts) int_of_string_opt
+            with
+           | Some from -> from >= 0
+           | None -> false)
+      then
+        (* a stored replay would queue an arbitrary backlog against an
+           exhausted budget; live (tail) subscriptions drain the shard
+           and are still admitted *)
+        reply_busy t c "subscribe"
       else
         match Broker.metadata_for t.broker ~stream c.creds with
         | schema -> (
@@ -1144,11 +1290,20 @@ and route (src : t) (target : t) (c : conn) kind (body : string)
   | Pending ->
     Counters.incr src.counters "shard_handoffs";
     Hashtbl.remove src.conns c.cid;
+    (* the write queue travels with the connection: surrender its byte
+       accounting to the source governor here (source loop thread) and
+       re-debit the target governor on its own loop after adoption *)
+    if c.gov_debited > 0 then begin
+      Governor.credit src.governor c.gov_debited;
+      c.gov_debited <- 0
+    end;
     Rconn.detach c.io;
     Reactor.inject target.reactor (fun () ->
         if target.state = Running && Rconn.alive c.io then begin
           c.home <- target;
           Hashtbl.replace target.conns c.cid c;
+          c.gov_debited <- Rconn.queued_bytes c.io;
+          Governor.debit target.governor c.gov_debited;
           Rconn.adopt target.reactor c.io;
           handle_control target c kind body
         end
@@ -1166,6 +1321,31 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
     if is_stream_frame then
       match c.role with
       | Publisher p ->
+        (* ingress token bucket: this frame is already decoded (charge
+           it), and once the bucket is in debt stop reading from the
+           connection until it refills — one hot publisher is paced
+           before it can run the whole shard into its governor *)
+        (match c.bucket with
+        | Some b when not c.throttled ->
+          let now = Reactor.now () in
+          Token_bucket.take b ~now 1.0;
+          if not (Token_bucket.ready b ~now) then begin
+            c.throttled <- true;
+            Counters.incr t.counters "ingress_throttled";
+            Rconn.set_read_intent c.io false;
+            let d = Float.max 0.001 (Token_bucket.delay b ~now) in
+            ignore
+              (Reactor.after t.reactor d (fun () ->
+                   c.throttled <- false;
+                   if Rconn.alive c.io then
+                     match c.role with
+                     | Publisher p when
+                         publisher_read_ok t c
+                         && not (stream_congested t p.stream) ->
+                       Rconn.set_read_intent c.io true
+                     | _ -> ()))
+          end
+        | Some _ | None -> ());
         let is_message = Char.equal kind Endpoint.frame_message in
         if is_message && p.skip_dup > 0 then begin
           (* a resuming publisher replaying offsets the store already
@@ -1175,8 +1355,9 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
           Counters.incr t.counters "store_dup_skipped"
         end
         else begin
+          let admit_t0 = Unix.gettimeofday () in
           if is_message then Counters.incr t.counters "events_relayed";
-          match Hashtbl.find_opt t.stores p.stream with
+          (match Hashtbl.find_opt t.stores p.stream with
           | Some st when is_message -> (
             match Store.append st frame with
             | off ->
@@ -1200,7 +1381,12 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
                Counters.incr t.counters "store_errors";
                Log.err (fun m -> m "store %s: descriptor: %s" p.stream msg));
             Link.send p.link frame
-          | None -> Link.send p.link frame
+          | None -> Link.send p.link frame);
+          (* publish -> queue admission latency: the full cost of
+             accepting this message (store append + fan-out enqueues) *)
+          if is_message then
+            Counters.observe t.counters "publish_admit_us"
+              (int_of_float ((Unix.gettimeofday () -. admit_t0) *. 1e6))
         end
       | Pending -> protocol_reject t c "stream frame before PUBLISH"
       | Subscriber _ ->
@@ -1255,6 +1441,11 @@ let conn_frame (c : conn) (frame : Bytes.t) =
 let conn_closed (c : conn) (reason : string) =
   let t = c.home in
   clear_grace c;
+  (* whatever was queued and unwritten dies with the connection *)
+  if c.gov_debited > 0 then begin
+    Governor.credit t.governor c.gov_debited;
+    c.gov_debited <- 0
+  end;
   Hashtbl.remove t.conns c.cid;
   (match c.role with
   | Subscriber s ->
@@ -1314,14 +1505,23 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
           Log.warn (fun m -> m "conn %d: %s" c.cid msg))
         ~on_bytes:(fun _ dir n ->
           let c = the_conn () in
-          Counters.incr c.home.counters ~by:n
-            (match dir with `In -> "bytes_in" | `Out -> "bytes_out"))
+          match dir with
+          | `In -> Counters.incr c.home.counters ~by:n "bytes_in"
+          | `Out ->
+            Counters.incr c.home.counters ~by:n "bytes_out";
+            credit_conn c n)
         ()
+    in
+    let bucket =
+      match t.ingress with
+      | Some (rate, burst) ->
+        Some (Token_bucket.create ~rate ~burst ~now:(Reactor.now ()))
+      | None -> None
     in
     let c =
       { cid; io; creds = []; role = Pending; over_since = None
       ; grace_timer = None; congesting = false; mac = None; mac_rejects = 0
-      ; home = t }
+      ; gov_debited = 0; throttled = false; bucket; home = t }
     in
     cell := Some c;
     Hashtbl.replace t.conns cid c;
@@ -1377,18 +1577,26 @@ let resolve_relay_id ?relay_id (store : Store.config option) : string =
       id)
 
 let create_shard ~host ~port ~relay_id ~policy ~max_queue ~evict_grace
-    ~sndbuf ~auth_keys ~mac_reject_limit ~drain_s ~shard_id ~cid_stride
-    ~shared ~store () : t =
-  { host; port; relay_id; policy; max_queue; evict_grace; sndbuf; auth_keys
-  ; mac_reject_limit; drain_default_s = drain_s; lsock = None; lreg = None
-  ; reactor = Reactor.create (); broker = Broker.create ()
-  ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
-  ; cid_stride; shared; store_cfg = store; stores = Hashtbl.create 8
-  ; adverts = Hashtbl.create 8
-  ; fanout_offset = -1; pending_acks = Hashtbl.create 8
-  ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
-  ; next_cid = shard_id + 1; state = Running
-  ; drain_timer = None; stop_flag = false }
+    ~sndbuf ~auth_keys ~mac_reject_limit ~drain_s ~governor ~ingress
+    ~shard_id ~cid_stride ~shared ~store () : t =
+  let gov = Governor.create governor in
+  let t =
+    { host; port; relay_id; policy; max_queue; evict_grace; sndbuf; auth_keys
+    ; mac_reject_limit; drain_default_s = drain_s; governor = gov; ingress
+    ; lsock = None; lreg = None
+    ; reactor = Reactor.create (); broker = Broker.create ()
+    ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
+    ; cid_stride; shared; store_cfg = store; stores = Hashtbl.create 8
+    ; adverts = Hashtbl.create 8
+    ; fanout_offset = -1; pending_acks = Hashtbl.create 8
+    ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
+    ; next_cid = shard_id + 1; state = Running
+    ; drain_timer = None; stop_flag = false }
+  in
+  Governor.on_transition gov (fun prev next ->
+      on_governor_transition t prev next);
+  Counters.set t.counters "governor_health" 0;
+  t
 
 let install_listener (t : t) (lsock : Unix.file_descr) =
   Unix.set_nonblock lsock;
@@ -1452,13 +1660,15 @@ let recover_streams (t : t) (streams : string list) =
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(policy = Block)
     ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
-    ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () : t =
+    ?(mac_reject_limit = 3) ?(drain_s = 2.0)
+    ?(governor = Governor.config ~budget:0 ()) ?ingress ?store () : t =
   let lsock, bound_port = Tcp.listener ~host ~port () in
   let relay_id = resolve_relay_id ?relay_id store in
   let t =
     create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
       ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-      ~drain_s ~shard_id:0 ~cid_stride:1 ~shared:None ~store ()
+      ~drain_s ~governor ~ingress ~shard_id:0 ~cid_stride:1 ~shared:None
+      ~store ()
   in
   install_listener t lsock;
   (match store with
@@ -1518,8 +1728,8 @@ module Cluster = struct
 
   let start ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(shards = 1)
       ?(policy = Block) ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf
-      ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0) ?store () :
-      t =
+      ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0)
+      ?(governor = Governor.config ~budget:0 ()) ?ingress ?store () : t =
     if shards < 1 then invalid_arg "Cluster.start: shards must be >= 1";
     let lsock, bound_port = Tcp.listener ~host ~port () in
     let relay_id = resolve_relay_id ?relay_id store in
@@ -1530,8 +1740,8 @@ module Cluster = struct
       Array.init shards (fun i ->
           create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
             ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-            ~drain_s ~shard_id:i ~cid_stride:shards ~shared:(Some shared)
-            ~store ())
+            ~drain_s ~governor ~ingress ~shard_id:i ~cid_stride:shards
+            ~shared:(Some shared) ~store ())
     in
     shared.peers <- arr;
     let cl =
@@ -1620,10 +1830,11 @@ type handle = { relay : t; thread : Thread.t }
 (** [start ()] runs a relay loop in a background thread (ephemeral port
     by default) — the embedding used by tests and benchmarks. *)
 let start ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
-    ?auth_keys ?mac_reject_limit ?drain_s ?store () : handle =
+    ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?store () :
+    handle =
   let relay =
     create ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
-      ?auth_keys ?mac_reject_limit ?drain_s ?store ()
+      ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?store ()
   in
   { relay; thread = Thread.create run relay }
 
@@ -1643,6 +1854,11 @@ let stop (h : handle) : unit =
     it is receive-only. *)
 module Client = struct
   exception Error of string
+
+  exception Busy of { retry_ms : int }
+  (** The relay shed the command under overload (PROTOCOLS.md §16).
+      Retryable: wait about [retry_ms] and re-issue the same command on
+      the {e same} connection — the relay kept it open on purpose. *)
 
   type t = { link : Link.t }
 
@@ -1677,6 +1893,16 @@ module Client = struct
       Bytes.sub_string r 1 (Bytes.length r - 1)
     | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_err ->
       raise (Error (Bytes.sub_string r 1 (Bytes.length r - 1)))
+    | Some r when Bytes.length r >= 1 && Char.equal (Bytes.get r 0) k_busy ->
+      let kvs = parse_creds (Bytes.sub_string r 1 (Bytes.length r - 1)) in
+      let retry_ms =
+        match
+          Option.bind (List.assoc_opt "retry_ms" kvs) int_of_string_opt
+        with
+        | Some n when n > 0 -> n
+        | _ -> 250
+      in
+      raise (Busy { retry_ms })
     | Some _ -> raise (Error "malformed reply")
     | exception e -> reraise "relay rpc" e
 
@@ -2010,6 +2236,37 @@ module Session = struct
     in
     go 0
 
+  (** A [busy] reply is not an outage: the relay is alive and asked us
+      to slow down (PROTOCOLS.md §16). Sleep the suggested [retry_ms]
+      (full jitter, like {!backoff_delay}) and retry [f] on the {e
+      same} connection — reconnecting would only add handshake load to
+      an overloaded relay. [on_busy] is called once per wait (session
+      counters). The attempt budget is [max_attempts], after which
+      {!Gave_up} is raised. *)
+  let with_busy_backoff (cfg : config) rng ~(what : string)
+      ?(on_busy = fun () -> ()) (f : unit -> 'a) : 'a =
+    let rec go attempt =
+      match f () with
+      | v -> v
+      | exception Client.Busy { retry_ms } ->
+        if attempt + 1 >= Stdlib.max 1 cfg.max_attempts then
+          raise
+            (Gave_up
+               (Printf.sprintf
+                  "%s: relay still overloaded after %d busy retries" what
+                  (attempt + 1)));
+        on_busy ();
+        let d =
+          float_of_int retry_ms /. 1000. *. (0.5 +. (0.5 *. Prng.float rng))
+        in
+        Log.debug (fun m ->
+            m "%s: relay busy, retrying in %.0f ms (attempt %d)" what
+              (d *. 1000.) (attempt + 1));
+        Thread.delay d;
+        go (attempt + 1)
+    in
+    go 0
+
   (* ---------------------------------------------------------------- *)
   (* Subscriber sessions                                                *)
   (* ---------------------------------------------------------------- *)
@@ -2030,6 +2287,9 @@ module Session = struct
         (** store offset of the next expected message frame; [-1] when
             the relay does not track offsets (memory-only) *)
     mutable s_reconnects : int;
+    mutable s_busy_waits : int;
+        (** [busy]-triggered backoff sleeps — overload slowdowns, not
+            outages; reconnect counters stay untouched *)
     mutable s_closed : bool;
   }
 
@@ -2047,8 +2307,15 @@ module Session = struct
       tail-only, as before. *)
   let subscribe ?(from = -1) (cfg : config) ~(stream : string)
       (abi : Omf_machine.Abi.t) : subscriber =
+    let busy_waits = ref 0 in
     let client = connect_client cfg in
-    match Client.subscribe_from client ~stream ~from with
+    match
+      with_busy_backoff cfg
+        (Prng.create ~seed:cfg.jitter_seed ())
+        ~what:(Printf.sprintf "subscriber %s" stream)
+        ~on_busy:(fun () -> incr busy_waits)
+        (fun () -> Client.subscribe_from client ~stream ~from)
+    with
     | offset, schema, link ->
       let catalog = Catalog.create abi in
       ignore
@@ -2064,7 +2331,7 @@ module Session = struct
       ; s_rng = Prng.create ~seed:cfg.jitter_seed ()
       ; s_client = Some client; s_link = Some link; s_schema = schema
       ; s_next = Option.value offset ~default:(-1)
-      ; s_reconnects = 0; s_closed = false }
+      ; s_reconnects = 0; s_busy_waits = !busy_waits; s_closed = false }
     | exception e ->
       Client.close client;
       raise e
@@ -2079,7 +2346,14 @@ module Session = struct
       ~what:(Printf.sprintf "subscriber %s" s.s_stream)
       (fun client ->
         let offset, schema, link =
-          Client.subscribe_from client ~stream:s.s_stream ~from:s.s_next
+          (* an overloaded relay refuses the [from=] replay with [busy]:
+             hold this connection and wait it out instead of burning
+             reconnect attempts *)
+          with_busy_backoff s.s_cfg s.s_rng
+            ~what:(Printf.sprintf "subscriber %s" s.s_stream)
+            ~on_busy:(fun () -> s.s_busy_waits <- s.s_busy_waits + 1)
+            (fun () ->
+              Client.subscribe_from client ~stream:s.s_stream ~from:s.s_next)
         in
         s.s_client <- Some client;
         s.s_link <- Some link;
@@ -2145,6 +2419,11 @@ module Session = struct
       ([-1] against a memory-only relay). *)
 
   let subscriber_reconnects (s : subscriber) = s.s_reconnects
+
+  let subscriber_busy_waits (s : subscriber) = s.s_busy_waits
+  (** Overload backoffs served ([busy] replies waited out on a live
+      connection) — distinct from {!subscriber_reconnects}. *)
+
   let subscriber_catalog (s : subscriber) = s.s_catalog
 
   let subscriber_stats (s : subscriber) : Pbio.Receiver.stats =
@@ -2187,6 +2466,8 @@ module Session = struct
     mutable b_client : Client.t option;
     mutable b_link : Link.t option;
     mutable b_reconnects : int;
+    mutable b_busy_waits : int;
+        (** [busy]-triggered backoff sleeps (overload, not outage) *)
     mutable b_closed : bool;
   }
 
@@ -2212,11 +2493,19 @@ module Session = struct
   let publisher ?(window = 1024) ?(acked = false) (cfg : config)
       ~(stream : string) ~(schema : string) (abi : Omf_machine.Abi.t) :
       publisher =
+    let busy_waits = ref 0 in
     let client = connect_client cfg in
     match
       Client.advertise client ~stream ~schema;
-      if acked then Client.publish_acked client ~stream
-      else (None, Client.publish client ~stream)
+      (* ADVERTISE is control traffic and always admitted; PUBLISH may
+         be shed under overload — wait it out on this connection *)
+      with_busy_backoff cfg
+        (Prng.create ~seed:cfg.jitter_seed ())
+        ~what:(Printf.sprintf "publisher %s" stream)
+        ~on_busy:(fun () -> incr busy_waits)
+        (fun () ->
+          if acked then Client.publish_acked client ~stream
+          else (None, Client.publish client ~stream))
     with
     | durable, link ->
       let catalog = Catalog.create abi in
@@ -2228,7 +2517,7 @@ module Session = struct
       ; b_buf = Queue.create (); b_announced = Hashtbl.create 4
       ; b_ack_mode = durable <> None; b_durable = d; b_next_seq = d
       ; b_sent = 0; b_client = Some client; b_link = Some link
-      ; b_reconnects = 0; b_closed = false }
+      ; b_reconnects = 0; b_busy_waits = !busy_waits; b_closed = false }
     | exception e ->
       Client.close client;
       raise e
@@ -2237,6 +2526,10 @@ module Session = struct
     Catalog.find_format p.b_catalog name
 
   let publisher_reconnects (p : publisher) = p.b_reconnects
+
+  let publisher_busy_waits (p : publisher) = p.b_busy_waits
+  (** Overload backoffs served ([busy] replies waited out on a live
+      connection) — distinct from {!publisher_reconnects}. *)
 
   let publisher_buffered (p : publisher) = Queue.length p.b_buf
   (** Plain mode: frames awaiting a live connection. Ack mode: frames
@@ -2389,9 +2682,15 @@ module Session = struct
            ~what:(Printf.sprintf "publisher %s" p.b_stream)
            (fun client ->
              Client.advertise client ~stream:p.b_stream ~schema:p.b_schema;
+             let republish () =
+               with_busy_backoff p.b_cfg p.b_rng
+                 ~what:(Printf.sprintf "publisher %s" p.b_stream)
+                 ~on_busy:(fun () -> p.b_busy_waits <- p.b_busy_waits + 1)
+             in
              if p.b_ack_mode then begin
                let durable, link =
-                 Client.publish_acked client ~stream:p.b_stream
+                 republish () (fun () ->
+                     Client.publish_acked client ~stream:p.b_stream)
                in
                p.b_client <- Some client;
                p.b_link <- Some link;
@@ -2399,7 +2698,10 @@ module Session = struct
                resync_acked p durable
              end
              else begin
-               let link = Client.publish client ~stream:p.b_stream in
+               let link =
+                 republish () (fun () ->
+                     Client.publish client ~stream:p.b_stream)
+               in
                p.b_client <- Some client;
                p.b_link <- Some link;
                p.b_sent <- 0

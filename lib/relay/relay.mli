@@ -38,6 +38,10 @@ module Store = Omf_store.Store
 (** Re-export of the durable stream store the [?store] arguments
     configure (see {!Omf_store.Store} and doc/STORE.md). *)
 
+module Governor = Governor
+(** Re-export of the per-shard resource governor the [?governor]
+    arguments configure (see {!Governor} and doc/OVERLOAD.md). *)
+
 type t
 
 val create :
@@ -51,6 +55,8 @@ val create :
   ?auth_keys:(string * string) list ->
   ?mac_reject_limit:int ->
   ?drain_s:float ->
+  ?governor:Governor.config ->
+  ?ingress:float * float ->
   ?store:Omf_store.Store.config ->
   unit ->
   t
@@ -68,6 +74,17 @@ val create :
     [mac_reject_limit] (default 3) closes a connection after that many
     frames fail authentication;
     [drain_s] is the graceful-shutdown flush deadline (default 2s).
+
+    [governor] arms overload control (doc/OVERLOAD.md): a per-shard
+    byte budget over every queued outbound frame whose watermarks
+    drive the [Healthy]/[Degraded]/[Overloaded] health machine —
+    Degraded throttles stored replay and evicts slow consumers
+    eagerly, Overloaded refuses PUBLISH and [from=] replays with a
+    retryable ['b' "retry_ms=N"] reply while control traffic keeps
+    flowing. Default: disabled ([budget = 0]). [ingress] is
+    [(rate, burst)] for a per-connection token bucket on publisher
+    data frames — a publisher exceeding [rate] frames/s (burst
+    allowance [burst]) has its reads paused until its bucket refills.
 
     [store] makes the relay durable (doc/STORE.md): every published
     message frame is appended to a per-stream segmented log under the
@@ -127,6 +144,8 @@ module Cluster : sig
     ?auth_keys:(string * string) list ->
     ?mac_reject_limit:int ->
     ?drain_s:float ->
+    ?governor:Governor.config ->
+    ?ingress:float * float ->
     ?store:Omf_store.Store.config ->
     unit ->
     t
@@ -174,6 +193,8 @@ val start :
   ?auth_keys:(string * string) list ->
   ?mac_reject_limit:int ->
   ?drain_s:float ->
+  ?governor:Governor.config ->
+  ?ingress:float * float ->
   ?store:Omf_store.Store.config ->
   unit ->
   handle
@@ -191,6 +212,13 @@ val stop : handle -> unit
 module Client : sig
   exception Error of string
   (** An ['e'] reply from the relay, or a malformed exchange. *)
+
+  exception Busy of { retry_ms : int }
+  (** A ['b' "retry_ms=N"] reply (PROTOCOLS.md §16): the relay is
+      overloaded and refused the request {e retryably} — the
+      connection is still good; retry the same request after roughly
+      [retry_ms] milliseconds. Distinct from {!Error} so callers never
+      confuse shed load with rejection or disconnection. *)
 
   type t
 
@@ -404,6 +432,12 @@ module Session : sig
       [-1] against a memory-only relay. *)
 
   val subscriber_reconnects : subscriber -> int
+
+  val subscriber_busy_waits : subscriber -> int
+  (** Times a (re)subscribe was answered [busy] and retried after the
+      relay's backoff hint — on the same connection, never counted as
+      a reconnect. *)
+
   val subscriber_catalog : subscriber -> Omf_xml2wire.Catalog.t
   val subscriber_stats : subscriber -> Omf_pbio.Pbio.Receiver.stats
   val close_subscriber : subscriber -> unit
@@ -446,6 +480,13 @@ module Session : sig
       reconnects — frames accumulate until {!Overflow}. *)
 
   val publisher_reconnects : publisher -> int
+
+  val publisher_busy_waits : publisher -> int
+  (** Times a PUBLISH was answered [busy] and retried after the
+      relay's backoff hint (jittered), on the same connection — the
+      graceful-degradation path: an overloaded relay slows this
+      session down instead of disconnecting it. *)
+
   val publisher_buffered : publisher -> int
   (** Frames currently buffered: awaiting a live connection (plain
       mode) or awaiting a durability ack (ack mode). *)

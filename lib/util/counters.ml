@@ -29,6 +29,28 @@ let incr t ?(by = 1) name =
       r := !r + by)
 
 let set t name v = locked t (fun () -> cell t name := v)
+
+(* Histograms are encoded as plain counters under the reserved "hist."
+   group so they ride every existing transport for free (STATS text,
+   [merged] across shards, [of_text]): cumulative buckets
+   "hist.<name>.le_<bound>" (zero-padded so sorted = numeric order),
+   "hist.<name>.le_inf", plus "hist.<name>.count" / "hist.<name>.sum".
+   Summing two snapshots bucket-wise is exactly histogram merge. *)
+let default_bounds =
+  [50; 100; 250; 500; 1000; 2500; 5000; 10000; 25000; 50000; 100000; 250000; 1000000]
+
+let bucket_key name bound = Printf.sprintf "hist.%s.le_%09d" name bound
+
+let observe t ?(bounds = default_bounds) name v =
+  locked t (fun () ->
+      List.iter
+        (fun bound ->
+          if v <= bound then Stdlib.incr (cell t (bucket_key name bound)))
+        bounds;
+      Stdlib.incr (cell t (Printf.sprintf "hist.%s.le_inf" name));
+      Stdlib.incr (cell t (Printf.sprintf "hist.%s.count" name));
+      let sum = cell t (Printf.sprintf "hist.%s.sum" name) in
+      sum := !sum + v)
 let remove t name = locked t (fun () -> Hashtbl.remove t.tbl name)
 
 let get t name =
@@ -108,6 +130,18 @@ let label_escape (s : string) : string =
     s;
   Buffer.contents b
 
+(* "le_000000250" -> "250"; "le_inf" -> "+Inf". *)
+let le_label (metric : string) : string =
+  let digits = String.sub metric 3 (String.length metric - 3) in
+  if digits = "inf" then "+Inf"
+  else
+    let n = String.length digits in
+    let i = ref 0 in
+    while !i < n - 1 && digits.[!i] = '0' do
+      Stdlib.incr i
+    done;
+    String.sub digits !i (n - !i)
+
 let prometheus ~component (snapshot : (string * int) list) : string =
   let b = Buffer.create 512 in
   List.iter
@@ -116,6 +150,15 @@ let prometheus ~component (snapshot : (string * int) list) : string =
       Buffer.add_string b (String.map metric_char component);
       Buffer.add_char b '_';
       (match split_labeled name with
+      | Some ("hist", hname, metric) ->
+        Buffer.add_string b (String.map metric_char hname);
+        if String.length metric > 3 && String.sub metric 0 3 = "le_" then (
+          Buffer.add_string b "_bucket{le=\"";
+          Buffer.add_string b (le_label metric);
+          Buffer.add_string b "\"}")
+        else (
+          Buffer.add_char b '_';
+          Buffer.add_string b (String.map metric_char metric))
       | Some (group, subject, metric) ->
         Buffer.add_string b (String.map metric_char group);
         Buffer.add_char b '_';

@@ -17,6 +17,20 @@ val set : t -> string -> int -> unit
     (queue depths, store segment/byte totals) next to the monotonic
     {!incr}. *)
 
+val observe : t -> ?bounds:int list -> string -> int -> unit
+(** [observe t name v] records one sample in the histogram [name]
+    (e.g. a latency in microseconds). Histograms are stored as plain
+    counters under the reserved ["hist."] group — cumulative buckets
+    ["hist.<name>.le_<bound>"] (zero-padded), ["hist.<name>.le_inf"],
+    ["hist.<name>.count"] and ["hist.<name>.sum"] — so they flow
+    through {!dump}, {!to_text} and {!merged} unchanged, and summing
+    per-shard snapshots merges histograms bucket-wise. [bounds] are the
+    inclusive upper bounds, ascending ({!default_bounds} when omitted);
+    every call site for a given [name] must use the same bounds. *)
+
+val default_bounds : int list
+(** 50 .. 1_000_000 — microsecond-scale latency buckets. *)
+
 val remove : t -> string -> unit
 (** Drop a gauge whose subject went away (e.g. a stream whose store
     segments were all retired); no-op if absent. *)
@@ -48,4 +62,10 @@ val prometheus : component:string -> (string * int) list -> string
     [omf_<component>_<group>_<metric>{stream="<subject>"}] — so one
     metric aggregates across streams. The subject is the text between
     the first and last dot and may itself contain dots; quotes,
-    backslashes and newlines in it are escaped. *)
+    backslashes and newlines in it are escaped.
+
+    Histogram counters from {!observe} ([hist.<name>.*]) render in the
+    Prometheus histogram convention:
+    [omf_<component>_<name>_bucket{le="<bound>"}] (with [le="+Inf"] for
+    the overflow bucket), [omf_<component>_<name>_sum] and
+    [omf_<component>_<name>_count]. *)

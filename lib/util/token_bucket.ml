@@ -1,0 +1,37 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst ~now =
+  let rate = if rate <= 0. then infinity else rate in
+  let burst = if burst <= 0. then 1. else burst in
+  { rate; burst; tokens = burst; last = now }
+
+let refill t ~now =
+  let now = if now < t.last then t.last else now in
+  (* unlimited stays pinned at burst: (now - last) * infinity is NaN
+     when the elapsed time is zero *)
+  if t.rate = infinity then t.tokens <- t.burst
+  else t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+  t.last <- now
+
+let take t ~now n =
+  refill t ~now;
+  t.tokens <- t.tokens -. n
+
+let ready t ~now =
+  refill t ~now;
+  t.tokens >= 0.
+
+let delay t ~now =
+  refill t ~now;
+  if t.tokens >= 0. then 0.
+  else if t.rate = infinity then 0.
+  else -.t.tokens /. t.rate
+
+let tokens t ~now =
+  refill t ~now;
+  t.tokens

@@ -833,6 +833,154 @@ let test_cluster_survives_severed_link () =
   Session.close_publisher pub
 
 (* ------------------------------------------------------------------ *)
+(* Overload: governor, retryable busy, graceful degradation             *)
+(* ------------------------------------------------------------------ *)
+
+(** The overload acceptance drill (doc/OVERLOAD.md), SIGKILL-free: a
+    relay with a tiny governor budget takes an open-loop storm aimed at
+    a subscriber that never reads. The shard must go
+    [Healthy -> Overloaded] and shed retryably — PUBLISH answered
+    [busy] and counted — while control traffic (every STATS poll below)
+    keeps flowing; once the hoarder disconnects it must return to
+    [Healthy], the busy-shed publisher must be admitted on the {e same}
+    connection (no reconnect churn), and an acked VIP session that
+    straddled the whole episode must account for every accepted frame
+    exactly once. *)
+let test_overload_governor_drill () =
+  with_store_root @@ fun root ->
+  let h =
+    Relay.start ~store:(store_cfg root) ~sndbuf:4096 ~max_queue:100_000
+      ~governor:(Relay.Governor.config ~budget:32_768 ~busy_retry_ms:30 ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let port = Relay.port (Relay.relay h) in
+  (* VIP: an acked publisher session established while healthy *)
+  let vip =
+    Session.publisher ~acked:true (cfg ~port ()) ~stream:"vip"
+      ~schema:Fx.schema_a Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format vip "ASDOffEvent") in
+  let batch = scale 8 in
+  for seq = 0 to batch - 1 do
+    Session.publish_value vip fmt (event seq)
+  done;
+  Session.flush_acked vip;
+  (* the storm: a raw publisher pumping 1KB frames at a subscriber
+     that never reads, so the shard's outbound backlog only grows *)
+  let adv = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close adv) @@ fun () ->
+  Relay.Client.advertise adv ~stream:"storm" ~schema:Fx.schema_a;
+  let ssub = Relay.Client.connect ~port () in
+  let ssub_closed = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ssub_closed then Relay.Client.close ssub)
+  @@ fun () ->
+  let _schema, _link = Relay.Client.subscribe ssub ~stream:"storm" in
+  let spub = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close spub) @@ fun () ->
+  let slink = Relay.Client.publish spub ~stream:"storm" in
+  let frame = Bytes.make 1024 'x' in
+  Bytes.set frame 0 'M';
+  let stop = ref false in
+  ignore
+    (Thread.create
+       (fun () ->
+         try
+           while not !stop do
+             Link.send slink frame
+           done
+         with _ -> ())
+       ());
+  (* the relay must stay responsive while the storm drives it into
+     overload: every poll below is a served STATS round-trip *)
+  poll ~what:"governor overloaded" (fun () ->
+      relay_stat ~port "governor_health" = 2);
+  (* a publish session arriving mid-overload is shed retryably and
+     waits out the backlog on the SAME connection *)
+  let late = ref None in
+  let late_thread =
+    Thread.create
+      (fun () ->
+        match
+          Session.publisher
+            (cfg ~max_attempts:500 ~port ())
+            ~stream:"vip2" ~schema:Fx.schema_a Abi.x86_64
+        with
+        | p -> late := Some p
+        | exception _ -> ())
+      ()
+  in
+  poll ~what:"late publisher shed with busy" (fun () ->
+      relay_stat ~port "publish_busy" >= 1);
+  (* vip keeps publishing mid-overload: its data frames are paced by
+     TCP (publisher reads paused), never refused, never disconnected *)
+  for seq = batch to (2 * batch) - 1 do
+    Session.publish_value vip fmt (event seq)
+  done;
+  (* relieve the pressure: the hoarding subscriber goes away, its
+     queued bytes are credited back, and the shard recovers *)
+  stop := true;
+  ssub_closed := true;
+  Relay.Client.close ssub;
+  poll ~what:"governor recovered" (fun () ->
+      relay_stat ~port "governor_health" = 0);
+  Thread.join late_thread;
+  (match !late with
+  | None -> Alcotest.fail "late publisher never admitted after recovery"
+  | Some p ->
+    check bool "late publisher waited out busy" true
+      (Session.publisher_busy_waits p >= 1);
+    check int "late publisher never reconnected" 0
+      (Session.publisher_reconnects p);
+    Session.close_publisher p);
+  (* vip resumes on the same connection and acks everything *)
+  for seq = 2 * batch to (3 * batch) - 1 do
+    Session.publish_value vip fmt (event seq)
+  done;
+  Session.flush_acked vip;
+  check int "every accepted frame acked durable" (3 * batch)
+    (Session.publisher_durable vip);
+  check int "vip never reconnected" 0 (Session.publisher_reconnects vip);
+  (* zero loss among accepted frames: replay the stream from offset 0 *)
+  let sub = Session.subscribe ~from:0 (cfg ~port ()) ~stream:"vip" Abi.arm_32 in
+  let col = collect sub in
+  poll ~what:"vip stream replayed" (fun () -> count col >= 3 * batch);
+  Session.close_subscriber sub;
+  Thread.join col.thread;
+  check bool "zero loss, in order, across the overload" true
+    (collected col = List.init (3 * batch) Fun.id);
+  check bool "overload transition counted" true
+    (relay_stat ~port "governor_overloaded" >= 1);
+  check bool "recovery transition counted" true
+    (relay_stat ~port "governor_recovered" >= 1);
+  Session.close_publisher vip
+
+let test_ingress_rate_limit_paces_publisher () =
+  (* a publisher bursting past the per-connection token bucket has its
+     reads paused — pacing through TCP pushback, never loss *)
+  let h = Relay.start ~ingress:(100.0, 8.0) () in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let port = Relay.port (Relay.relay h) in
+  let pub =
+    Session.publisher (cfg ~port ()) ~stream:"paced" ~schema:Fx.schema_a
+      Abi.x86_64
+  in
+  let fmt = Option.get (Session.publisher_format pub "ASDOffEvent") in
+  let sub = Session.subscribe (cfg ~port ()) ~stream:"paced" Abi.arm_32 in
+  let col = collect sub in
+  let n = scale 60 in
+  for seq = 0 to n - 1 do
+    Session.publish_value pub fmt (event seq)
+  done;
+  poll ~what:"paced events delivered" (fun () -> count col >= n);
+  Session.close_subscriber sub;
+  Thread.join col.thread;
+  check bool "throttle engaged" true (relay_stat ~port "ingress_throttled" >= 1);
+  check bool "pacing drops nothing" true (collected col = List.init n Fun.id);
+  Session.close_publisher pub
+
+(* ------------------------------------------------------------------ *)
 (* Discovery under a hung (not dead) metadata server                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -923,6 +1071,11 @@ let () =
             test_cluster_pubsub_across_shards
         ; Alcotest.test_case "2 shards survive severed links (chaos)" `Quick
             test_cluster_survives_severed_link ] )
+    ; ( "overload",
+        [ Alcotest.test_case "governor drill: shed, recover, zero loss"
+            `Quick test_overload_governor_drill
+        ; Alcotest.test_case "ingress token bucket paces, never drops"
+            `Quick test_ingress_rate_limit_paces_publisher ] )
     ; ( "discovery",
         [ Alcotest.test_case "falls back within deadline (blackhole)" `Quick
             test_discovery_falls_back_within_deadline

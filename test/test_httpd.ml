@@ -161,6 +161,79 @@ let test_directory_handler_hardening () =
           check int "encoded benign name decodes" 200
             (status "/%66light.xsd")))
 
+(* A raw-socket server that advertises Content-Length [claim] but sends
+   only [body] and then either closes or holds the connection open —
+   the misbehaving peer the client's body reader must survive. *)
+let with_short_body_server ~claim ~body ~close_after f =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 1;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let stop = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        match Unix.accept sock with
+        | fd, _ ->
+          (* drain the request so our close is a clean FIN, not an RST *)
+          (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
+           with Unix.Unix_error _ -> ());
+          let resp =
+            Printf.sprintf
+              "HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n%s" claim body
+          in
+          ignore (Unix.write_substring fd resp 0 (String.length resp));
+          if close_after then Unix.close fd
+          else begin
+            (* hold the connection open with the body short *)
+            while not !stop do
+              Thread.delay 0.02
+            done;
+            Unix.close fd
+          end
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      Unix.close sock;
+      Thread.join th)
+    (fun () -> f port)
+
+let test_truncated_body_is_typed_error () =
+  (* server closes after 5 of 100 promised bytes: the client must raise
+     a typed truncation error carrying both byte counts, not return a
+     silent short body or a bare end-of-stream *)
+  with_short_body_server ~claim:100 ~body:"hello" ~close_after:true
+    (fun port ->
+      match Http.get ~port ~path:"/doc" () with
+      | _ -> Alcotest.fail "expected Http_error on truncated body"
+      | exception Http.Http_error msg ->
+        check bool
+          (Printf.sprintf "message names the shortfall (%s)" msg)
+          true
+          (Omf_testkit.Strings.replace ~sub:"truncated body: got 5 of 100 bytes"
+             ~by:"" msg
+          <> msg))
+
+let test_short_body_held_open_times_out () =
+  (* same shortfall but the server holds the socket: with a timeout the
+     client must surface a deadline error instead of hanging forever *)
+  with_short_body_server ~claim:100 ~body:"hello" ~close_after:false
+    (fun port ->
+      match Http.get ~port ~path:"/doc" ~timeout_s:0.3 () with
+      | _ -> Alcotest.fail "expected Http_error on stalled body"
+      | exception Http.Http_error msg ->
+        check bool (Printf.sprintf "timeout surfaced (%s)" msg) true
+          (Omf_testkit.Strings.replace ~sub:"timeout" ~by:"" msg <> msg))
+
 (* ------------------------------------------------------------------ *)
 (* HTTP discovery: the xml2wire use case                                *)
 (* ------------------------------------------------------------------ *)
@@ -230,7 +303,11 @@ let () =
         ; Alcotest.test_case "directory serving" `Quick test_serve_directory
         ; Alcotest.test_case "directory handler hardening" `Quick
             test_directory_handler_hardening
-        ; Alcotest.test_case "prometheus /metrics" `Quick test_metrics_endpoint ] )
+        ; Alcotest.test_case "prometheus /metrics" `Quick test_metrics_endpoint
+        ; Alcotest.test_case "truncated body is a typed error" `Quick
+            test_truncated_body_is_typed_error
+        ; Alcotest.test_case "short body held open times out" `Quick
+            test_short_body_held_open_times_out ] )
     ; ( "discovery",
         [ Alcotest.test_case "discover over HTTP" `Quick test_discovery_over_http
         ; Alcotest.test_case "HTTP down -> compiled fallback" `Quick

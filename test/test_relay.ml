@@ -518,6 +518,119 @@ let test_graceful_drain_on_shutdown () =
   Relay.close_consumer consumer;
   (try Relay.Client.close pub with _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Overload governor (pure state machine; doc/OVERLOAD.md)              *)
+(* ------------------------------------------------------------------ *)
+
+let test_governor_hysteresis () =
+  let module G = Relay.Governor in
+  (* budget 1000: degraded at 700 (recover < 500), overloaded at 900
+     (recover < 700) *)
+  let g = G.create (G.config ~budget:1000 ()) in
+  let transitions = ref [] in
+  G.on_transition g (fun prev next ->
+      transitions := (G.health_name prev, G.health_name next) :: !transitions);
+  let health () = G.health_level (G.health g) in
+  G.debit g 699;
+  check int "below degraded_hi stays healthy" 0 (health ());
+  G.debit g 1;
+  check int "700 degrades" 1 (health ());
+  (* hysteresis: dipping back under the high watermark is not recovery *)
+  G.credit g 150;
+  check int "550 still degraded" 1 (health ());
+  G.credit g 51;
+  check int "under 500 recovers" 0 (health ());
+  G.debit g 401;
+  check int "900 jumps straight to overloaded" 2 (health ());
+  G.credit g 200;
+  check int "700 still overloaded (recover < 700)" 2 (health ());
+  G.credit g 1;
+  check int "699 steps down to degraded" 1 (health ());
+  G.credit g 300;
+  check int "399 fully recovers" 0 (health ());
+  check bool "every transition fired" true
+    (List.rev !transitions
+    = [ ("healthy", "degraded"); ("degraded", "healthy")
+      ; ("healthy", "overloaded"); ("overloaded", "degraded")
+      ; ("degraded", "healthy") ]);
+  (* credits clamp at zero instead of going negative *)
+  G.credit g 10_000;
+  check int "used clamps at 0" 0 (G.used g);
+  (* a disabled governor tracks usage but never changes health *)
+  let off = G.create (G.config ~budget:0 ()) in
+  G.debit off 1_000_000;
+  check int "disabled stays healthy" 0 (G.health_level (G.health off));
+  check bool "disabled reports so" false (G.enabled off)
+
+let test_governor_overload_sheds_publish () =
+  (* a tiny budget + a subscriber that never reads: publishing into the
+     backlog must flip the shard to overloaded and shed PUBLISH with a
+     retryable busy reply, while control traffic (STATS) still flows *)
+  let handle =
+    Relay.start ~policy:Relay.Block ~max_queue:100_000 ~sndbuf:4096
+      ~governor:(Relay.Governor.config ~budget:16_384 ~busy_retry_ms:50 ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.stop handle) @@ fun () ->
+  let port = Relay.port (Relay.relay handle) in
+  let admin = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close admin) @@ fun () ->
+  Relay.Client.advertise admin ~stream:"storm" ~schema:Fx.schema_a;
+  (* subscriber that never reads: its queue absorbs the budget *)
+  let sub = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close sub) @@ fun () ->
+  let _schema, _link = Relay.Client.subscribe sub ~stream:"storm" in
+  let pub = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close pub) @@ fun () ->
+  let link = Relay.Client.publish pub ~stream:"storm" in
+  let frame = Bytes.make 1024 'x' in
+  Bytes.set frame 0 'M';
+  (* pump from a side thread: once the shard overloads it pauses this
+     publisher's reads, so send eventually blocks — closing the socket
+     in the finalizers unblocks it *)
+  let stop = ref false in
+  ignore
+    (Thread.create
+       (fun () ->
+         try
+           while not !stop do
+             Omf_transport.Link.send link frame
+           done
+         with _ -> ())
+       ());
+  (* wait for the governor to notice the backlog *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait () =
+    let stats = Relay.Client.stats admin in
+    if List.assoc_opt "governor_health" stats = Some 2 then ()
+    else if Unix.gettimeofday () > deadline then begin
+      stop := true;
+      Alcotest.fail "governor never reached overloaded"
+    end
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  stop := true;
+  (* an overloaded shard refuses new PUBLISH retryably... *)
+  let late = Relay.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Relay.Client.close late) @@ fun () ->
+  (match Relay.Client.publish late ~stream:"storm" with
+  | _ -> Alcotest.fail "expected Busy from an overloaded relay"
+  | exception Relay.Client.Busy { retry_ms } ->
+    check int "busy carries the configured retry hint" 50 retry_ms);
+  (* ...but control traffic still flows (STATS answered above, and the
+     shed was counted) *)
+  let stats = Relay.Client.stats admin in
+  check bool "publish_busy counted" true
+    (match List.assoc_opt "publish_busy" stats with
+    | Some n -> n >= 1
+    | None -> false);
+  check bool "governor budget gauge exported" true
+    (List.assoc_opt "governor_budget_bytes" stats = Some 16_384)
+
 let () =
   Alcotest.run "relay"
     [ ( "frames",
@@ -543,6 +656,11 @@ let () =
             test_drop_oldest_keeps_stream_decodable
         ; Alcotest.test_case "chunked stored replay under backpressure" `Quick
             test_chunked_replay_backpressure ] )
+    ; ( "governor",
+        [ Alcotest.test_case "hysteresis state machine" `Quick
+            test_governor_hysteresis
+        ; Alcotest.test_case "overload sheds publish with busy" `Quick
+            test_governor_overload_sheds_publish ] )
     ; ( "shutdown",
         [ Alcotest.test_case "graceful drain" `Quick
             test_graceful_drain_on_shutdown ] ) ]

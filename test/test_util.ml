@@ -185,6 +185,80 @@ let test_prometheus_labels () =
      renders as a plain sanitised metric, no label *)
   check bool "single-dot name stays plain" true (has "omf_relay_weird_name 5")
 
+let test_histogram_observe () =
+  let c = Omf_util.Counters.create () in
+  (* samples straddling the 50 / 100 / 250 default bounds *)
+  List.iter (Omf_util.Counters.observe c "admit_us") [ 10; 50; 70; 200; 2_000_000 ];
+  let get = Omf_util.Counters.get c in
+  (* cumulative buckets: le_50 counts 10 and 50, le_100 adds 70, ... *)
+  check int "le 50" 2 (get "hist.admit_us.le_000000050");
+  check int "le 100" 3 (get "hist.admit_us.le_000000100");
+  check int "le 250" 4 (get "hist.admit_us.le_000000250");
+  check int "le 1000000" 4 (get "hist.admit_us.le_001000000");
+  check int "le inf" 5 (get "hist.admit_us.le_inf");
+  check int "count" 5 (get "hist.admit_us.count");
+  check int "sum" 2_000_330 (get "hist.admit_us.sum");
+  (* bucket keys are zero-padded so the sorted dump is in bound order *)
+  let bucket_keys =
+    List.filter_map
+      (fun (k, _) ->
+        if
+          String.length k > 19
+          && String.sub k 0 19 = "hist.admit_us.le_00"
+        then Some k
+        else None)
+      (Omf_util.Counters.dump c)
+  in
+  check bool "alphabetical = numeric bucket order" true
+    (bucket_keys = List.sort compare bucket_keys
+    && List.length bucket_keys = List.length Omf_util.Counters.default_bounds);
+  (* histograms merge bucket-wise across shards like any counter *)
+  let c2 = Omf_util.Counters.create () in
+  Omf_util.Counters.observe c2 "admit_us" 60;
+  let merged = Omf_util.Counters.merged [ c; c2 ] in
+  check int "merged le 100" 4 (List.assoc "hist.admit_us.le_000000100" merged);
+  check int "merged count" 6 (List.assoc "hist.admit_us.count" merged)
+
+let test_histogram_prometheus () =
+  let c = Omf_util.Counters.create () in
+  List.iter (Omf_util.Counters.observe c "admit_us") [ 10; 9_999_999 ];
+  let text = Omf_util.Counters.prometheus ~component:"relay" (Omf_util.Counters.dump c) in
+  let has line = List.mem line (String.split_on_char '\n' text) in
+  check bool "bucket with le label (padding stripped)" true
+    (has "omf_relay_admit_us_bucket{le=\"50\"} 1");
+  check bool "higher cumulative bucket" true
+    (has "omf_relay_admit_us_bucket{le=\"1000000\"} 1");
+  check bool "+Inf overflow bucket" true
+    (has "omf_relay_admit_us_bucket{le=\"+Inf\"} 2");
+  check bool "sum" true (has "omf_relay_admit_us_sum 10000009");
+  check bool "count" true (has "omf_relay_admit_us_count 2")
+
+let test_token_bucket () =
+  let module Tb = Omf_util.Token_bucket in
+  let b = Tb.create ~rate:10.0 ~burst:5.0 ~now:100.0 in
+  (* the burst allowance goes first *)
+  for _ = 1 to 5 do
+    Tb.take b ~now:100.0 1.0
+  done;
+  check bool "burst exhausted but not in debt" true (Tb.ready b ~now:100.0);
+  Tb.take b ~now:100.0 1.0;
+  check bool "in debt" false (Tb.ready b ~now:100.0);
+  (* one token of debt at 10/s refills in 0.1s *)
+  check bool "delay ~0.1s" true (abs_float (Tb.delay b ~now:100.0 -. 0.1) < 1e-9);
+  check bool "ready after the refill" true (Tb.ready b ~now:100.11);
+  (* tokens cap at burst no matter how long the idle gap *)
+  check bool "capped at burst" true (Tb.tokens b ~now:1000.0 <= 5.0 +. 1e-9);
+  (* a clock that jumps backwards must not mint tokens or go negative *)
+  Tb.take b ~now:1000.0 5.0;
+  let before = Tb.tokens b ~now:1000.0 in
+  check bool "monotonic guard" true (Tb.tokens b ~now:500.0 >= before -. 1e-9);
+  (* rate <= 0 = unlimited *)
+  let u = Tb.create ~rate:0.0 ~burst:1.0 ~now:0.0 in
+  for _ = 1 to 1000 do
+    Tb.take u ~now:0.0 1.0
+  done;
+  check bool "unlimited never throttles" true (Tb.ready u ~now:0.0)
+
 let test_strings_replace () =
   check str "basic" "a-Y-c" (Omf_testkit.Strings.replace ~sub:"b" ~by:"Y" "a-b-c");
   check str "multiple" "xx" (Omf_testkit.Strings.replace ~sub:"ab" ~by:"x" "abab");
@@ -216,6 +290,13 @@ let () =
             test_constant_time_equal ] )
     ; ( "counters",
         [ Alcotest.test_case "prometheus per-stream labels" `Quick
-            test_prometheus_labels ] )
+            test_prometheus_labels
+        ; Alcotest.test_case "histogram observe/merge" `Quick
+            test_histogram_observe
+        ; Alcotest.test_case "histogram prometheus rendering" `Quick
+            test_histogram_prometheus ] )
+    ; ( "token-bucket",
+        [ Alcotest.test_case "refill, debt, monotonic clock" `Quick
+            test_token_bucket ] )
     ; ( "strings",
         [ Alcotest.test_case "replace" `Quick test_strings_replace ] ) ]
