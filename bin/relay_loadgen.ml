@@ -63,30 +63,12 @@ let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
   Relay.close_consumer consumer;
   report.finished <- true
 
-let run serve host port policy max_queue auth subscribers events pad rate
-    stream =
-  let handle =
-    if serve then
-      Some
-        (Relay.start ~host ~policy ~max_queue
-           ?auth_keys:(Option.map (fun kp -> [ kp ]) auth)
-           ())
-    else None
-  in
-  let port =
-    match handle with Some h -> Relay.port (Relay.relay h) | None -> port
-  in
-  (* advertise, then bring up the publisher endpoint *)
-  let admin = Relay.Client.connect ~host ~port ?auth () in
-  Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
-  let pub_link = Relay.Client.publish admin ~stream in
-  let catalog = Catalog.create Abi.x86_64 in
-  ignore (X2W.register_schema catalog Fx.schema_a);
-  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
-  let sender =
-    Omf_transport.Endpoint.Sender.create pub_link (Memory.create Abi.x86_64)
-  in
-  (* subscribers on rotating ABIs, each verifying its own stream *)
+(** One measured publish/fan-out cycle at payload padding [pad]:
+    spawn the subscriber fleet, wait for the relay to see it, publish
+    [events] events, join the fleet. Returns
+    [(dt, delivered, ooo, early, behind)]. *)
+let measure ~host ~port ?auth ~stream ~admin ~sender ~fmt ~subscribers ~events
+    ~rate ~pad () =
   let reports =
     Array.init subscribers (fun _ ->
         { received = 0; out_of_order = 0; closed_early = false
@@ -153,24 +135,78 @@ let run serve host port policy max_queue auth subscribers events pad rate
   let early =
     Array.fold_left (fun a r -> a + if r.closed_early then 1 else 0) 0 reports
   in
-  Printf.printf
-    "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s%s)\n"
-    events subscribers dt
-    (Relay.policy_to_string policy)
-    (if rate > 0.0 then Printf.sprintf ", open-loop %.0f/s" rate else "");
-  Printf.printf "  published        %9d events/s\n"
-    (int_of_float (float_of_int events /. dt));
-  if rate > 0.0 then
-    Printf.printf "  behind schedule  %9d launches\n" !behind;
-  Printf.printf "  delivered        %9d frames (%d deliveries/s)\n" delivered
-    (int_of_float (float_of_int delivered /. dt));
-  Printf.printf "  lost             %9d (expected %d%s)\n"
-    (max 0 ((events * subscribers) - delivered))
-    (events * subscribers)
-    (if rate > 0.0 then "; loss is expected under open-loop overload"
-     else "");
-  Printf.printf "  out of order     %9d\n" ooo;
-  Printf.printf "  closed early     %9d subscriber(s)\n" early;
+  (dt, delivered, ooo, early, !behind)
+
+let run serve host port policy max_queue auth subscribers events pad sizes
+    rate stream =
+  let handle =
+    if serve then
+      Some
+        (Relay.start ~host ~policy ~max_queue
+           ?auth_keys:(Option.map (fun kp -> [ kp ]) auth)
+           ())
+    else None
+  in
+  let port =
+    match handle with Some h -> Relay.port (Relay.relay h) | None -> port
+  in
+  (* advertise, then bring up the publisher endpoint *)
+  let admin = Relay.Client.connect ~host ~port ?auth () in
+  Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
+  let pub_link = Relay.Client.publish admin ~stream in
+  let catalog = Catalog.create Abi.x86_64 in
+  ignore (X2W.register_schema catalog Fx.schema_a);
+  let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+  let sender =
+    Omf_transport.Endpoint.Sender.create pub_link (Memory.create Abi.x86_64)
+  in
+  let measure = measure ~host ~port ?auth ~stream ~admin ~sender ~fmt
+      ~subscribers ~events ~rate
+  in
+  let total_ooo = ref 0 in
+  (match sizes with
+  | [] ->
+    let dt, delivered, ooo, early, behind = measure ~pad () in
+    total_ooo := ooo;
+    Printf.printf
+      "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s%s)\n"
+      events subscribers dt
+      (Relay.policy_to_string policy)
+      (if rate > 0.0 then Printf.sprintf ", open-loop %.0f/s" rate else "");
+    Printf.printf "  published        %9d events/s\n"
+      (int_of_float (float_of_int events /. dt));
+    if rate > 0.0 then
+      Printf.printf "  behind schedule  %9d launches\n" behind;
+    Printf.printf "  delivered        %9d frames (%d deliveries/s)\n" delivered
+      (int_of_float (float_of_int delivered /. dt));
+    Printf.printf "  lost             %9d (expected %d%s)\n"
+      (max 0 ((events * subscribers) - delivered))
+      (events * subscribers)
+      (if rate > 0.0 then "; loss is expected under open-loop overload"
+       else "");
+    Printf.printf "  out of order     %9d\n" ooo;
+    Printf.printf "  closed early     %9d subscriber(s)\n" early
+  | sizes ->
+    (* payload sweep: one full publish/fan-out cycle per size, sharing
+       the relay and publisher link, with per-size throughput *)
+    Printf.printf
+      "relay_loadgen: sweep of %d events -> %d subscribers per size \
+       (policy %s%s)\n"
+      events subscribers
+      (Relay.policy_to_string policy)
+      (if rate > 0.0 then Printf.sprintf ", open-loop %.0f/s" rate else "");
+    Printf.printf "  %10s %12s %14s %9s %6s %6s\n" "pad bytes" "events/s"
+      "deliveries/s" "lost" "ooo" "early";
+    List.iter
+      (fun size ->
+        let dt, delivered, ooo, early, _behind = measure ~pad:size () in
+        total_ooo := !total_ooo + ooo;
+        Printf.printf "  %10d %12d %14d %9d %6d %6d\n" size
+          (int_of_float (float_of_int events /. dt))
+          (int_of_float (float_of_int delivered /. dt))
+          (max 0 ((events * subscribers) - delivered))
+          ooo early)
+      sizes);
   let stats = Relay.Client.stats admin in
   List.iter
     (fun k ->
@@ -183,7 +219,7 @@ let run serve host port policy max_queue auth subscribers events pad rate
     ; "governor_recovered" ];
   Relay.Client.close admin;
   (match handle with Some h -> Relay.stop h | None -> ());
-  if ooo > 0 then `Error (false, "events reordered")
+  if !total_ooo > 0 then `Error (false, "events reordered")
   else `Ok ()
 
 let serve_arg =
@@ -264,6 +300,15 @@ let pad_arg =
     & info [ "pad" ] ~docv:"BYTES"
         ~doc:"Extra string payload per event (0 = the bare 72-byte event).")
 
+let sizes_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "size" ] ~docv:"N[,N...]"
+        ~doc:
+          "Payload-size sweep: run the full publish/fan-out cycle once per \
+           padding size (bytes) and report per-size throughput. Overrides \
+           $(b,--pad).")
+
 let stream_arg =
   Arg.(
     value & opt string "loadgen"
@@ -279,4 +324,4 @@ let () =
             ret
               (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
              $ max_queue_arg $ auth_arg $ subscribers_arg $ events_arg
-             $ pad_arg $ rate_arg $ stream_arg))))
+             $ pad_arg $ sizes_arg $ rate_arg $ stream_arg))))

@@ -237,11 +237,16 @@ let accept_connection (s : server) (handler : request_handler) fd =
     | _ -> ()
   in
   let conn =
+    (* zero-copy chunk delivery: the slice borrows the reactor's
+       scratch buffer, valid only inside this callback — consumed
+       immediately into the request accumulator, so no intermediate
+       per-read [Bytes.t] copy is ever allocated *)
     Conn.attach s.loop fd ~mode:Chunks
-      ~on_frame:(fun conn chunk ->
+      ~on_chunk:(fun conn (chunk : Omf_util.Slice.t) ->
         if not !done_ then begin
           let scan_from = Buffer.length buf - 3 in
-          Buffer.add_bytes buf chunk;
+          Buffer.add_subbytes buf chunk.Omf_util.Slice.buf
+            chunk.Omf_util.Slice.off chunk.Omf_util.Slice.len;
           if Buffer.length buf > max_request_bytes then begin
             done_ := true;
             respond conn (bad_request "request too large")

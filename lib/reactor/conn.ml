@@ -10,8 +10,20 @@
     {!detach}/{!adopt} to migrate a live connection between reactors
     (relay shard handoff).
 
+    Write queues hold {!Omf_util.Slice} lists (iovec-style wire
+    messages), not copies: {!send} frames a body as a fresh 4-byte
+    header slice plus the body buffer shared as-is, so fanning one
+    payload out to N connections queues N views of a single buffer.
+    The flush loop writes large slices straight from their backing
+    buffers and coalesces each run of small adjacent slices through
+    the reactor's gather buffer into a single [Unix.write]. Queued
+    buffers are owned by the queue: callers must not mutate a body
+    after sending it.
+
     Protocol logic stays in callbacks; the driver never interprets
     frame contents. *)
+
+module Slice = Omf_util.Slice
 
 let log = Logs.Src.create "omf.reactor.conn" ~doc:"buffered connection driver"
 
@@ -22,9 +34,11 @@ type mode =
   | Chunks  (** raw reads delivered as-is (HTTP and friends) *)
 
 type entry = {
-  ebuf : Bytes.t;  (** wire bytes *)
-  mutable eoff : int;  (** bytes already written *)
+  iov : Slice.t array;  (** wire slices: header + shared body *)
+  mutable idx : int;  (** first slice not yet fully written *)
+  mutable off : int;  (** bytes already written within [iov.(idx)] *)
   droppable : bool;  (** sheddable data frame *)
+  total : int;  (** summed slice lengths at enqueue *)
 }
 
 type state =
@@ -43,6 +57,8 @@ type t = {
   mutable loop : Reactor.t option;  (** [None] while detached *)
   mutable reg : Reactor.registration option;
   mutable on_input : t -> Bytes.t -> unit;
+  mutable on_chunk : (t -> Slice.t -> unit) option;
+      (** Chunks-mode zero-copy delivery; see {!attach} *)
   mutable on_close : t -> string -> unit;
   mutable on_progress : t -> unit;
   mutable on_decode_error : t -> string -> unit;
@@ -91,28 +107,127 @@ let close_now (c : t) (reason : string) =
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     c.on_close c reason
 
-(** Write as much of the queue as the socket accepts right now.
-    Raises {!Write_failed} on a hard socket error. *)
+let entry_done (e : entry) = e.idx >= Array.length e.iov
+
+(** Pop fully-written (or empty) entries off the queue head. *)
+let pop_done (c : t) =
+  while (not (Queue.is_empty c.outq)) && entry_done (Queue.peek c.outq) do
+    let e = Queue.pop c.outq in
+    if e.droppable then c.q_droppable <- c.q_droppable - 1
+  done
+
+(** Consume [n] freshly-written bytes from the queue head, advancing
+    per-entry slice cursors and popping completed entries. *)
+let advance (c : t) (n : int) =
+  c.q_bytes <- c.q_bytes - n;
+  let left = ref n in
+  while !left > 0 do
+    let e = Queue.peek c.outq in
+    if entry_done e then begin
+      ignore (Queue.pop c.outq);
+      if e.droppable then c.q_droppable <- c.q_droppable - 1
+    end
+    else begin
+      let rem = Slice.length e.iov.(e.idx) - e.off in
+      if !left >= rem then begin
+        left := !left - rem;
+        e.off <- 0;
+        e.idx <- e.idx + 1
+      end
+      else begin
+        e.off <- e.off + !left;
+        left := 0
+      end
+    end
+  done;
+  pop_done c
+
+(** Pieces at least this long are written straight from their backing
+    buffers (zero copy) when they reach the queue head; shorter pieces
+    — frame headers, entry tails left by a partial write — are
+    coalesced into the reactor's gather buffer. A large piece {e is}
+    blended into a gather, but only when it fits whole in the
+    remaining capacity: one memcpy into the reused buffer is cheaper
+    than the extra syscall, and it keeps a 4-byte header slice from
+    ever going out as its own tinygram segment. A large piece is
+    never {e split} across a gather boundary — a partially blended
+    body would let the staging run fill the buffer to exactly its
+    capacity and emit maximal (≈MSS) segments, which parks the
+    receiver on its ~40 ms delayed-ACK timer and collapses throughput
+    on small-buffer sockets. Stopping at the first oversized piece
+    instead preserves the one-small-plus-one-large segment rhythm per
+    pump that keeps the peer's TCP stack in immediate-ACK mode. *)
+let gather_threshold = 2048
+
+(** Copy queued pieces into [gbuf], starting at the queue head's
+    cursor: small pieces (< {!gather_threshold}) always, large pieces
+    only when their whole remainder fits in the unfilled capacity —
+    stopping at the first large piece that does not fit (written
+    zero-copy by the caller's next iteration), at the end of the
+    queue, or when [gbuf] is full. Staging into the preallocated
+    gather buffer allocates nothing, and one write per run beats a
+    syscall per piece. Returns the bytes staged. *)
+let stage_gather (c : t) (gbuf : Bytes.t) : int =
+  let cap = Bytes.length gbuf in
+  let filled = ref 0 in
+  (try
+     Queue.iter
+       (fun e ->
+         let i = ref e.idx and o = ref e.off in
+         while !i < Array.length e.iov do
+           let s = e.iov.(!i) in
+           let rem = Slice.length s - !o in
+           if rem >= gather_threshold && rem > cap - !filled then
+             raise Exit;
+           let copy = min rem (cap - !filled) in
+           Bytes.blit s.Slice.buf (s.Slice.off + !o) gbuf !filled copy;
+           filled := !filled + copy;
+           if !filled = cap then raise Exit;
+           o := 0;
+           incr i
+         done)
+       c.outq
+   with Exit -> ());
+  !filled
+
+(** Write as much of the queue as the socket accepts right now: large
+    slices go straight from their backing buffers, runs of small
+    adjacent slices coalesce into one gather write. Raises
+    {!Write_failed} on a hard socket error. *)
 let flush_step (c : t) : bool =
+  (* the gather buffer lives on the reactor; while detached (shard
+     handoff) fall back to per-slice writes *)
+  let gbuf =
+    match c.loop with Some loop -> Some (Reactor.gather loop) | None -> None
+  in
   let progressed = ref false in
   let continue = ref true in
-  while !continue && not (Queue.is_empty c.outq) do
+  while
+    !continue
+    &&
+    (pop_done c;
+     not (Queue.is_empty c.outq))
+  do
     let e = Queue.peek c.outq in
-    match Unix.write c.fd e.ebuf e.eoff (Bytes.length e.ebuf - e.eoff) with
+    let s = e.iov.(e.idx) in
+    let rem = Slice.length s - e.off in
+    let buf, off, len =
+      match gbuf with
+      | Some g when rem < gather_threshold ->
+        let staged = stage_gather c g in
+        (g, 0, staged)
+      | _ -> (s.Slice.buf, s.Slice.off + e.off, rem)
+    in
+    match Unix.write c.fd buf off len with
     | n ->
       progressed := true;
-      c.q_bytes <- c.q_bytes - n;
+      advance c n;
       c.on_bytes c `Out n;
-      e.eoff <- e.eoff + n;
-      if e.eoff = Bytes.length e.ebuf then begin
-        ignore (Queue.pop c.outq);
-        if e.droppable then c.q_droppable <- c.q_droppable - 1
-      end
-      else continue := false
+      if n < len then continue := false
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
       continue := false
-    | exception Unix.Unix_error (e, _, _) ->
-      raise (Write_failed (Unix.error_message e))
+    | exception Unix.Unix_error (err, _, _) ->
+      raise (Write_failed (Unix.error_message err))
   done;
   !progressed
 
@@ -185,7 +300,11 @@ let readable (c : t) =
     | n -> (
       c.on_bytes c `In n;
       match c.mode with
-      | Chunks -> if c.state = Alive then c.on_input c (Bytes.sub scratch 0 n)
+      | Chunks ->
+        if c.state = Alive then (
+          match c.on_chunk with
+          | Some f -> f c (Slice.make scratch 0 n)
+          | None -> c.on_input c (Bytes.sub scratch 0 n))
       | Frames ->
         Frame.Decoder.feed c.decoder scratch 0 n;
         drain_frames c)
@@ -197,17 +316,39 @@ let default_on_bytes _ _ _ = ()
 let default_on_progress _ = ()
 let default_on_decode_error _ _ = ()
 
+(** [attach loop fd ~on_close ()] hosts [fd] on [loop].
+
+    Input delivery, by [mode]:
+    - [Frames] (default): reassembled frame bodies via [~on_frame]
+      (fresh buffers — safe to retain or queue elsewhere).
+    - [Chunks] with [~on_chunk]: each read is delivered as a slice
+      {e borrowing the reactor's scratch buffer}. The borrow is valid
+      only for the duration of the callback — the next read by any
+      connection on this loop overwrites it. Copy what must outlive
+      the call ({!Slice.to_bytes}) — but a parser that consumes into
+      its own accumulator (HTTP's header buffer, say) never needs the
+      intermediate copy the old [Bytes.t] interface forced.
+    - [Chunks] with only [~on_frame]: legacy copying delivery — each
+      read arrives as a fresh [Bytes.t]. *)
 let attach (loop : Reactor.t) (fd : Unix.file_descr) ?(mode = Frames)
-    ?max_frame ~(on_frame : t -> Bytes.t -> unit)
-    ~(on_close : t -> string -> unit) ?(on_progress = default_on_progress)
+    ?max_frame ?on_frame ?on_chunk ~(on_close : t -> string -> unit)
+    ?(on_progress = default_on_progress)
     ?(on_decode_error = default_on_decode_error)
     ?(on_bytes = default_on_bytes) () : t =
+  (match (mode, on_frame, on_chunk) with
+  | Frames, None, _ -> invalid_arg "Conn.attach: Frames mode needs ~on_frame"
+  | Frames, _, Some _ ->
+    invalid_arg "Conn.attach: ~on_chunk is Chunks-mode only"
+  | Chunks, None, None ->
+    invalid_arg "Conn.attach: Chunks mode needs ~on_chunk or ~on_frame"
+  | _ -> ());
   Unix.set_nonblock fd;
   let c =
     { fd; mode; decoder = Frame.Decoder.create ?max_frame ()
     ; outq = Queue.create (); q_droppable = 0; q_bytes = 0; loop = Some loop
     ; reg = None
-    ; on_input = on_frame; on_close; on_progress; on_decode_error; on_bytes
+    ; on_input = (match on_frame with Some f -> f | None -> fun _ _ -> ())
+    ; on_chunk; on_close; on_progress; on_decode_error; on_bytes
     ; deadline = None; state = Alive; reading = true }
   in
   let r =
@@ -219,37 +360,52 @@ let attach (loop : Reactor.t) (fd : Unix.file_descr) ?(mode = Frames)
   sync_interest c;
   c
 
-let enqueue (c : t) ~droppable (wire : Bytes.t) =
+let enqueue (c : t) ~droppable (wire : Slice.t list) =
   match c.state with
   | Alive ->
-    Queue.add { ebuf = wire; eoff = 0; droppable } c.outq;
+    let iov =
+      Array.of_list (List.filter (fun s -> Slice.length s > 0) wire)
+    in
+    let total = Array.fold_left (fun a s -> a + Slice.length s) 0 iov in
+    Queue.add { iov; idx = 0; off = 0; droppable; total } c.outq;
     if droppable then c.q_droppable <- c.q_droppable + 1;
-    c.q_bytes <- c.q_bytes + Bytes.length wire;
+    c.q_bytes <- c.q_bytes + total;
     sync_interest c
   | Closing | Doomed _ | Closed _ -> ()
 
-(** Queue a length-prefixed frame (Frames mode). *)
+(** Queue a framed wire message (Frames mode) as-is: the slices'
+    backing buffers are shared with the queue, never copied. Callers
+    must not mutate them afterwards. *)
+let send_wire (c : t) ?(droppable = false) (wire : Slice.t list) =
+  enqueue c ~droppable wire
+
+(** Queue a length-prefixed frame (Frames mode). Allocates only the
+    4-byte header; [body]'s buffer is shared with the queue (ownership
+    transfers — don't mutate it after sending). *)
 let send (c : t) ?(droppable = false) (body : Bytes.t) =
-  enqueue c ~droppable (Frame.encode body)
+  enqueue c ~droppable (Frame.wire [ Slice.of_bytes body ])
 
 (** Queue raw bytes verbatim (Chunks mode / HTTP responses). Takes
     ownership of [wire]. *)
 let send_raw (c : t) ?(droppable = false) (wire : Bytes.t) =
-  enqueue c ~droppable wire
+  enqueue c ~droppable [ Slice.of_bytes wire ]
 
 (** Drop the oldest fully-unwritten droppable entry, if any
     ([Drop_oldest] backpressure). Returns the wire bytes shed (0 when
     nothing was droppable) so callers can credit byte budgets. *)
 let drop_oldest_droppable (c : t) : int =
+  let found = ref false in
   let dropped = ref 0 in
   let keep = Queue.create () in
   Queue.iter
     (fun e ->
-      if !dropped = 0 && e.droppable && e.eoff = 0 then
-        dropped := Bytes.length e.ebuf
+      if (not !found) && e.droppable && e.idx = 0 && e.off = 0 then begin
+        found := true;
+        dropped := e.total
+      end
       else Queue.add e keep)
     c.outq;
-  if !dropped > 0 then begin
+  if !found then begin
     Queue.clear c.outq;
     Queue.transfer keep c.outq;
     c.q_droppable <- c.q_droppable - 1;
@@ -309,9 +465,10 @@ let adopt (loop : Reactor.t) (c : t) =
   Reactor.defer loop (fun () -> drain_frames c)
 
 (** Replace the protocol callbacks (a server adopting a foreign conn). *)
-let set_callbacks (c : t) ?on_frame ?on_close ?on_progress ?on_decode_error
-    ?on_bytes () =
+let set_callbacks (c : t) ?on_frame ?on_chunk ?on_close ?on_progress
+    ?on_decode_error ?on_bytes () =
   Option.iter (fun f -> c.on_input <- f) on_frame;
+  Option.iter (fun f -> c.on_chunk <- Some f) on_chunk;
   Option.iter (fun f -> c.on_close <- f) on_close;
   Option.iter (fun f -> c.on_progress <- f) on_progress;
   Option.iter (fun f -> c.on_decode_error <- f) on_decode_error;

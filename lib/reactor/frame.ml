@@ -7,6 +7,8 @@
     frames across partial reads — that is {!Decoder}'s job. The encoder
     side is shared by both. *)
 
+module Slice = Omf_util.Slice
+
 exception Frame_error of string
 
 let frame_error fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
@@ -27,13 +29,27 @@ let read_header (buf : Bytes.t) (off : int) : int =
   (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
 
 (** [encode body] is the on-the-wire bytes: header + body, one buffer
-    (so one [write] on the socket). *)
+    (so one [write] on the socket). Copies [body]; the zero-copy path
+    is {!wire}. *)
 let encode (body : Bytes.t) : Bytes.t =
   let len = Bytes.length body in
   let b = Bytes.create (header_length + len) in
   write_header b 0 len;
   Bytes.blit body 0 b header_length len;
   b
+
+(** [header len] is a fresh 4-byte length prefix. *)
+let header (len : int) : Bytes.t =
+  let b = Bytes.create header_length in
+  write_header b 0 len;
+  b
+
+(** [wire body] is the framed wire message as slices: a fresh header
+    slice followed by the body slices, which stay shared (no copy of
+    the payload). [Slice.concat (wire body) = encode (Slice.concat
+    body)] — the qcheck equivalence property in test_relay. *)
+let wire (body : Slice.t list) : Slice.t list =
+  Slice.of_bytes (header (Slice.total body)) :: body
 
 (* ------------------------------------------------------------------ *)
 (* Incremental decoder                                                  *)

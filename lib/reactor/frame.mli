@@ -21,7 +21,16 @@ val read_header : Bytes.t -> int -> int
 (** [read_header buf off] reads the 4-byte prefix at [off]. *)
 
 val encode : Bytes.t -> Bytes.t
-(** [encode body] is header + body in one buffer (one socket write). *)
+(** [encode body] is header + body in one buffer (one socket write).
+    Copies the body; the zero-copy path is {!wire}. *)
+
+val header : int -> Bytes.t
+(** [header len] is a fresh 4-byte length prefix. *)
+
+val wire : Omf_util.Slice.t list -> Omf_util.Slice.t list
+(** [wire body] frames [body] as slices: a fresh header slice followed
+    by the body slices unchanged — the payload is never copied.
+    [Slice.concat (wire body)] equals [encode (Slice.concat body)]. *)
 
 module Decoder : sig
   type t

@@ -178,6 +178,12 @@ type t = {
   injected : (unit -> unit) Queue.t;
   deferred : (unit -> unit) Queue.t;  (** loop-thread only *)
   scratch : Bytes.t;  (** shared read buffer for this loop's conns *)
+  gather : Bytes.t;
+      (** shared write-coalescing buffer: {!Conn}'s flush loop copies
+          small adjacent queue slices here so one [Unix.write] covers
+          them. Distinct from [scratch] because a Chunks-mode read
+          callback may be borrowing [scratch] while a doom-triggered
+          opportunistic flush runs. *)
   mutable on_tick : unit -> unit;
       (** runs once at the top of every loop iteration — for embeddings
           that must poll a plain flag set from a signal handler, where
@@ -198,11 +204,13 @@ let create () : t =
   ; injected = Queue.create ()
   ; deferred = Queue.create ()
   ; scratch = Bytes.create 65536
+  ; gather = Bytes.create 65536
   ; on_tick = ignore
   ; stop_requested = false
   ; running = false }
 
 let scratch t = t.scratch
+let gather t = t.gather
 
 let register (t : t) (fd : Unix.file_descr) ~(on_readable : unit -> unit)
     ~(on_writable : unit -> unit) : registration =

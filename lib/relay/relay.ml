@@ -54,6 +54,7 @@
 open Omf_transport
 module Broker = Omf_backbone.Broker
 module Counters = Omf_util.Counters
+module Slice = Omf_util.Slice
 module Store = Omf_store.Store
 module Governor = Governor
 
@@ -247,6 +248,11 @@ and t = {
       (** store offset of the ['M'] frame currently being fanned out
           ([-1] outside store-backed fan-out); lets the subscriber-side
           [skip_until] filter see the offset without reframing *)
+  mutable wire_cache_body : Bytes.t;
+      (** the body whose framed wire message is cached below, keyed by
+          physical identity: fanning one publish out to N subscribers
+          encodes the wire slices once and every queue shares them *)
+  mutable wire_cache : Slice.t list;
   pending_acks : (string, unit) Hashtbl.t;
       (** streams with an appender awaiting a durability ack *)
   mutable ack_flush_scheduled : bool;
@@ -290,6 +296,11 @@ let stats t : (string * int) list =
         :: (Printf.sprintf "store.%s.bytes" s, Store.bytes st)
         :: acc)
       t.stores []
+
+(** Bytes debited against this shard's governor and not yet credited
+    back — by invariant exactly the unwritten queued bytes (test hook
+    for the debit/credit symmetry guarantee). *)
+let governor_used t = Governor.used t.governor
 
 let stats_text t =
   String.concat ""
@@ -371,22 +382,52 @@ let begin_drain (t : t) =
 (* Outbound queues and backpressure                                     *)
 (* ------------------------------------------------------------------ *)
 
-let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
-  (* under negotiated HMAC mode every outbound frame is sealed; sealing
-     happens at enqueue time so nonces follow queue order exactly *)
-  let frame =
-    match c.mac with None -> frame | Some st -> Macframe.seal_next st frame
-  in
-  (* debit the shard governor with the wire size (sealed body + the
-     4-byte length prefix) before queueing; credited back as the bytes
-     are written, dropped, or the connection closes. Dead connections
-     silently discard the send, so they are not debited. *)
+(* Debit the shard governor with the wire size (slice total = body +
+   the 4-byte length prefix) before queueing; credited back as the
+   bytes are written, dropped, or the connection closes. Dead
+   connections silently discard the send, so they are not debited. *)
+let enqueue_wire (c : conn) ~droppable (wire : Slice.t list) =
   if Rconn.alive c.io then begin
-    let wire = Bytes.length frame + 4 in
-    c.gov_debited <- c.gov_debited + wire;
-    Governor.debit c.home.governor wire
+    let wire_bytes = Slice.total wire in
+    c.gov_debited <- c.gov_debited + wire_bytes;
+    Governor.debit c.home.governor wire_bytes
   end;
-  Rconn.send c.io ~droppable frame
+  Rconn.send_wire c.io ~droppable wire
+
+let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
+  let wire =
+    match c.mac with
+    | Some st ->
+      (* under negotiated HMAC mode every outbound frame is sealed;
+         sealing happens at enqueue time so nonces follow queue order
+         exactly — the frame path's one copy-on-seal *)
+      Frame.wire [ Slice.of_bytes (Macframe.seal_next st frame) ]
+    | None ->
+      (* encode the wire message once per published body: the broker
+         fans the same physical [frame] to every subscriber, so all N
+         queues share one header slice and one body buffer *)
+      let t = c.home in
+      if frame == t.wire_cache_body then t.wire_cache
+      else begin
+        let w = Frame.wire [ Slice.of_bytes frame ] in
+        t.wire_cache_body <- frame;
+        t.wire_cache <- w;
+        w
+      end
+  in
+  enqueue_wire c ~droppable wire
+
+(** Enqueue a body that is a view into a shared buffer (stored-replay
+    chunks): framed without copying on plain connections, sealed (the
+    copy-on-seal) on authenticated ones. *)
+let enqueue_entry_slice (c : conn) ~droppable (body : Slice.t) =
+  let wire =
+    match c.mac with
+    | Some st ->
+      Frame.wire [ Slice.of_bytes (Macframe.seal_next_slices st [ body ]) ]
+    | None -> Frame.wire [ body ]
+  in
+  enqueue_wire c ~droppable wire
 
 (** Return [n] freshly written-or-shed wire bytes to the governor. *)
 let credit_conn (c : conn) (n : int) =
@@ -633,10 +674,12 @@ let pump_replay (t : t) (c : conn) =
       (if budget > 0 then
          let upto = min (r.r_next + budget) (Store.tail r.r_store) in
          match
-           Store.iter_range r.r_store r.r_next upto (fun off frame ->
+           (* slice replay: bodies are views into the store's segment
+              read buffers, enqueued without copying *)
+           Store.iter_range_slices r.r_store r.r_next upto (fun off body ->
                Counters.incr t.counters "store_replay_frames";
                Counters.incr t.counters "frames_out";
-               enqueue_entry c ~droppable:true frame;
+               enqueue_entry_slice c ~droppable:true body;
                r.r_next <- off + 1)
          with
          | () -> ()
@@ -1588,7 +1631,10 @@ let create_shard ~host ~port ~relay_id ~policy ~max_queue ~evict_grace
     ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
     ; cid_stride; shared; store_cfg = store; stores = Hashtbl.create 8
     ; adverts = Hashtbl.create 8
-    ; fanout_offset = -1; pending_acks = Hashtbl.create 8
+    ; fanout_offset = -1
+    ; wire_cache_body = Bytes.empty
+    ; wire_cache = Frame.wire [ Slice.of_bytes Bytes.empty ]
+    ; pending_acks = Hashtbl.create 8
     ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
     ; next_cid = shard_id + 1; state = Running
     ; drain_timer = None; stop_flag = false }

@@ -112,6 +112,12 @@ val stats : t -> (string * int) list
 (** Counters (frames/bytes in/out, events, drops, evictions, …) plus
     per-stream published/subscriber gauges — the STATS reply body. *)
 
+val governor_used : t -> int
+(** Bytes currently debited against this relay's governor — by
+    invariant, exactly the unwritten bytes across every connection's
+    write queue (slice-length accounting; 0 when fully drained). Test
+    hook for the debit/credit symmetry guarantee (doc/OVERLOAD.md). *)
+
 val run : t -> unit
 (** Run the event loop in the calling thread until a requested
     shutdown completes its drain. *)

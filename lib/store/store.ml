@@ -1,6 +1,7 @@
 let src = Logs.Src.create "omf.store" ~doc:"Durable stream store"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Slice = Omf_util.Slice
 
 exception Store_error of string
 
@@ -85,6 +86,10 @@ type t = {
   mutable dirty : bool;
   mutable truncated : int;
   mutable closed : bool;
+  mutable wbuf : Bytes.t;
+      (** reusable record-staging buffer: header + body are framed here
+          and written with one syscall, so an append allocates nothing
+          (oversized records fall back to a one-shot buffer) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -189,13 +194,29 @@ let seg_base_of_name name =
 (* ------------------------------------------------------------------ *)
 (* record IO *)
 
-let write_record fd body =
-  let len = Bytes.length body in
-  let rec_ = Bytes.create (header_len + len) in
-  put_u32 rec_ 0 len;
-  put_u32 rec_ 4 (Omf_util.Crc32.digest body ~pos:0 ~len);
-  Bytes.blit body 0 rec_ header_len len;
-  write_all fd rec_ 0 (header_len + len);
+(* records bigger than this don't go through the reusable staging
+   buffer, so one huge append cannot pin megabytes forever *)
+let wbuf_max = 1 lsl 20
+
+let staging_buf t len =
+  if len <= Bytes.length t.wbuf then t.wbuf
+  else if len > wbuf_max then Bytes.create len
+  else begin
+    let cap = ref (max 4096 (2 * Bytes.length t.wbuf)) in
+    while !cap < len do
+      cap := !cap * 2
+    done;
+    t.wbuf <- Bytes.create !cap;
+    t.wbuf
+  end
+
+let write_record t fd (body : Slice.t) =
+  let len = Slice.length body in
+  let buf = staging_buf t (header_len + len) in
+  put_u32 buf 0 len;
+  put_u32 buf 4 (Omf_util.Crc32.digest body.Slice.buf ~pos:body.Slice.off ~len);
+  Slice.blit body buf header_len;
+  write_all fd buf 0 (header_len + len);
   header_len + len
 
 (* Scan one record at [pos]. [`Record (body, next_pos)] on success;
@@ -545,18 +566,18 @@ let roll t =
   t.tail_fd <- fd;
   ignore (apply_retention t)
 
-let append t frame =
+let append_slice t (frame : Slice.t) =
   check_open t;
-  if Bytes.length frame = 0 then store_error "stream %S: empty frame" t.name;
-  if Bytes.length frame > max_record then
+  if Slice.length frame = 0 then store_error "stream %S: empty frame" t.name;
+  if Slice.length frame > max_record then
     store_error "stream %S: frame of %d bytes exceeds record limit" t.name
-      (Bytes.length frame);
+      (Slice.length frame);
   if (tail_seg t).s_size >= t.cfg.segment_bytes && (tail_seg t).s_count > 0
   then roll t;
   let seg = tail_seg t in
   if seg.s_count mod t.cfg.index_every = 0 then
     seg.s_index <- (t.tail_off, seg.s_size) :: seg.s_index;
-  let written = write_record t.tail_fd frame in
+  let written = write_record t t.tail_fd frame in
   let off = t.tail_off in
   seg.s_count <- seg.s_count + 1;
   seg.s_size <- seg.s_size + written;
@@ -572,8 +593,10 @@ let append t frame =
   | Interval _ -> ());
   off
 
+let append t frame = append_slice t (Slice.of_bytes frame)
+
 let append_meta t body =
-  let _ = write_record t.meta_fd body in
+  let _ = write_record t t.meta_fd (Slice.of_bytes body) in
   try Unix.fsync t.meta_fd
   with Unix.Unix_error (e, _, _) ->
     store_error "stream %S: meta fsync: %s" t.name (Unix.error_message e)
@@ -681,6 +704,102 @@ let iter_range t from upto f =
         t.segs
     with Range_done -> ()
 
+(* Slice replay: instead of one fresh body buffer per record, read a
+   span of the segment file into one buffer and hand out CRC-checked
+   sub-slices — a replay chunk costs one allocation per [fill_bytes]
+   window, not one per frame. Each window is a {e fresh} buffer (never
+   reused), because the slices handed to [f] are typically queued on
+   connection write queues and must stay valid after this returns. *)
+
+let fill_bytes = 256 * 1024
+
+let iter_seg_slices t (seg : seg) ~from ~upto
+    (f : int -> Slice.t -> unit) =
+  let seg_end = min upto (seg.s_base + seg.s_count) in
+  if from < seg_end then begin
+    let fd = Unix.openfile seg.s_path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = seg.s_size in
+        let corrupt p =
+          store_error "stream %S: corrupt record at %s byte %d" t.name
+            (Filename.basename seg.s_path) p
+        in
+        let start_off, start_pos =
+          let rec find = function
+            | [] -> (seg.s_base, magic_len)
+            | (o, p) :: rest -> if o <= from then (o, p) else find rest
+          in
+          find seg.s_index
+        in
+        let off = ref start_off and pos = ref start_pos in
+        while !off < from do
+          match skip_record fd ~size !pos with
+          | `Next p ->
+            pos := p;
+            incr off
+          | `Bad p -> corrupt p
+        done;
+        while !off < seg_end do
+          let want = min fill_bytes (size - !pos) in
+          if want < header_len then corrupt !pos;
+          let buf = Bytes.create want in
+          ignore (Unix.lseek fd !pos Unix.SEEK_SET);
+          let got = read_exact fd buf 0 want in
+          if got < header_len then corrupt !pos;
+          let p = ref 0 in
+          let progressed = ref false in
+          (try
+             while !off < seg_end && !p + header_len <= got do
+               let len = get_u32 buf !p and crc = get_u32 buf (!p + 4) in
+               if
+                 len < 1 || len > max_record
+                 || !pos + !p + header_len + len > size
+               then corrupt (!pos + !p);
+               if !p + header_len + len > got then
+                 (* crosses the window boundary: refill from here *)
+                 raise Exit;
+               if Omf_util.Crc32.digest buf ~pos:(!p + header_len) ~len <> crc
+               then corrupt (!pos + !p);
+               f !off (Slice.make buf (!p + header_len) len);
+               progressed := true;
+               p := !p + header_len + len;
+               incr off
+             done
+           with Exit -> ());
+          pos := !pos + !p;
+          if not !progressed then begin
+            (* a record larger than the fill window: read it exactly *)
+            let len = get_u32 buf 0 and crc = get_u32 buf 4 in
+            let big = Bytes.create len in
+            ignore (Unix.lseek fd (!pos + header_len) Unix.SEEK_SET);
+            if read_exact fd big 0 len < len then corrupt !pos;
+            if Omf_util.Crc32.digest big ~pos:0 ~len <> crc then corrupt !pos;
+            f !off (Slice.of_bytes big);
+            pos := !pos + header_len + len;
+            incr off
+          end
+        done)
+  end
+
+(** {!iter_range} delivering bodies as slices into shared read
+    buffers; the relay's chunked stored replay enqueues them without
+    copying (doc/STORE.md). *)
+let iter_range_slices t from upto (f : int -> Slice.t -> unit) =
+  check_open t;
+  let from = max from (oldest t) in
+  let upto = min upto t.tail_off in
+  if from < upto then
+    try
+      List.iter
+        (fun seg ->
+          if seg.s_base >= upto then raise Range_done;
+          if seg.s_base + seg.s_count > from then
+            iter_seg_slices t seg ~from:(max from seg.s_base) ~upto f)
+        t.segs
+    with Range_done -> ()
+
 let close t =
   if not t.closed then begin
     (try ignore (do_sync t) with Store_error _ -> ());
@@ -711,6 +830,7 @@ let open_stream cfg name =
       dirty = false;
       truncated = 0;
       closed = false;
+      wbuf = Bytes.create 4096;
     }
   in
   (try load_meta t with Exit -> ());

@@ -66,7 +66,12 @@ val close : t -> unit
 val append : t -> Bytes.t -> int
 (** Append one message frame (the verbatim relayed ['M'] frame);
     returns its offset. Rolls the segment and applies retention as
-    needed, and fsyncs per the policy. *)
+    needed, and fsyncs per the policy. Record framing is staged in a
+    reusable per-store buffer, so an append allocates nothing. *)
+
+val append_slice : t -> Omf_util.Slice.t -> int
+(** {!append} from a buffer view — the zero-copy frame path appends
+    straight from the shared fanout slice. *)
 
 val append_descriptor : t -> Bytes.t -> bool
 (** Record a descriptor frame in [meta.log] unless an identical one
@@ -102,6 +107,14 @@ val iter_range : t -> int -> int -> (int -> Bytes.t -> unit) -> unit
     [[max from (oldest t), min upto (tail t))]. This is the chunked
     replay primitive — a reader chasing the tail pulls a bounded slice
     per reactor writable callback instead of the whole suffix. *)
+
+val iter_range_slices :
+  t -> int -> int -> (int -> Omf_util.Slice.t -> unit) -> unit
+(** {!iter_range} delivering each body as a slice into a shared
+    segment read buffer: one ~256 KiB buffer allocation per window of
+    records instead of one buffer per record. Buffers are fresh per
+    window (never reused), so the slices stay valid after the call —
+    the relay enqueues them on subscriber write queues as-is. *)
 
 val schema : t -> string option
 

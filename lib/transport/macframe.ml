@@ -21,6 +21,7 @@ exception Auth_error of string
 let auth_error fmt = Printf.ksprintf (fun s -> raise (Auth_error s)) fmt
 
 module Sha256 = Omf_util.Sha256
+module Slice = Omf_util.Slice
 
 let overhead = 8 + 32
 
@@ -38,6 +39,39 @@ let seal ~(key : string) ~(nonce : int64) (payload : Bytes.t) : Bytes.t =
   Bytes.set_int64_be b 0 nonce;
   Bytes.blit_string tag 0 b 8 32;
   Bytes.blit payload 0 b overhead (Bytes.length payload);
+  b
+
+let mac_slices ~key ~(nonce : int64) (payload : Slice.t list) : string =
+  let len = Slice.total payload in
+  let msg = Bytes.create (12 + len) in
+  Bytes.set_int64_be msg 0 nonce;
+  Bytes.set_int32_be msg 8 (Int32.of_int len);
+  let pos = ref 12 in
+  List.iter
+    (fun s ->
+      Slice.blit s msg !pos;
+      pos := !pos + Slice.length s)
+    payload;
+  Sha256.hmac ~key (Bytes.unsafe_to_string msg)
+
+(** [seal_slices ~key ~nonce payload] seals an iovec payload —
+    byte-identical to [seal ~key ~nonce (Slice.concat payload)]. This
+    is the zero-copy frame path's one copy-on-seal: the MAC needs the
+    contiguous payload, so sealing materialises it (only on
+    connections that negotiated auth). *)
+let seal_slices ~(key : string) ~(nonce : int64) (payload : Slice.t list) :
+    Bytes.t =
+  let len = Slice.total payload in
+  let tag = mac_slices ~key ~nonce payload in
+  let b = Bytes.create (overhead + len) in
+  Bytes.set_int64_be b 0 nonce;
+  Bytes.blit_string tag 0 b 8 32;
+  let pos = ref overhead in
+  List.iter
+    (fun s ->
+      Slice.blit s b !pos;
+      pos := !pos + Slice.length s)
+    payload;
   b
 
 (** [verify ~key ~expected_nonce frame] authenticates a sealed frame
@@ -73,6 +107,11 @@ let state ~(key : string) : state =
 
 let seal_next (st : state) (payload : Bytes.t) : Bytes.t =
   let b = seal ~key:st.key ~nonce:st.send_nonce payload in
+  st.send_nonce <- Int64.succ st.send_nonce;
+  b
+
+let seal_next_slices (st : state) (payload : Slice.t list) : Bytes.t =
+  let b = seal_slices ~key:st.key ~nonce:st.send_nonce payload in
   st.send_nonce <- Int64.succ st.send_nonce;
   b
 

@@ -12,6 +12,12 @@ val overhead : int
 
 val seal : key:string -> nonce:int64 -> Bytes.t -> Bytes.t
 
+val seal_slices :
+  key:string -> nonce:int64 -> Omf_util.Slice.t list -> Bytes.t
+(** Seal an iovec payload; byte-identical to
+    [seal ~key ~nonce (Slice.concat payload)]. The zero-copy frame
+    path's one copy-on-seal (auth-negotiated connections only). *)
+
 val verify : key:string -> expected_nonce:int64 -> Bytes.t -> Bytes.t
 (** Authenticate a sealed frame and return its payload. Raises
     {!Auth_error} on a short frame, a MAC mismatch, or a nonce other
@@ -25,6 +31,9 @@ type state
 
 val state : key:string -> state
 val seal_next : state -> Bytes.t -> Bytes.t
+
+val seal_next_slices : state -> Omf_util.Slice.t list -> Bytes.t
+(** {!seal_slices} with the state's next send nonce (advances it). *)
 
 val open_next : state -> Bytes.t -> Bytes.t
 (** Verify against the expected receive nonce, then advance it. A

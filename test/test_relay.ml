@@ -129,6 +129,57 @@ let prop_macframe_roundtrip_and_tamper =
         sealed;
       roundtrips && !rejected)
 
+module Slice = Omf_util.Slice
+
+(* the zero-copy slice codecs must be byte-identical to the copying
+   ones: a wire message assembled from arbitrary body splits (empty
+   slices and an empty body included) concatenates to [Frame.encode]
+   of the whole body, seals identically under the same nonce chain,
+   and the stream round-trips through reassembly across ragged reads —
+   including at exactly the decoder's max-frame limit *)
+let prop_slice_codec_equivalence =
+  QCheck.Test.make ~name:"slice codecs byte-identical to Bytes codecs"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 8) (string_of_size Gen.(0 -- 300)))
+        int)
+    (fun (pieces, seed) ->
+      let rng = Omf_util.Prng.create ~seed:(Int64.of_int seed) () in
+      let body = Bytes.of_string (String.concat "" pieces) in
+      let slices = List.map Slice.of_string pieces in
+      let wire = Frame.wire slices in
+      let flat = Slice.concat wire in
+      let encoded_identical = Bytes.equal flat (Frame.encode body) in
+      (* sealing an iovec payload = sealing its concatenation *)
+      let key = "a shared capture-point secret" in
+      let tx_ref = Macframe.state ~key and tx_io = Macframe.state ~key in
+      let sealed_identical =
+        Bytes.equal (Macframe.seal_next tx_ref body)
+          (Macframe.seal_next_slices tx_io slices)
+        (* a second frame: the send nonce advanced in lockstep *)
+        && Bytes.equal (Macframe.seal_next tx_ref body)
+             (Macframe.seal_next_slices tx_io slices)
+      in
+      (* the slice-built wire reassembles to the body across arbitrary
+         read boundaries, with max_frame set exactly to the body size *)
+      let dec = Frame.Decoder.create ~max_frame:(Bytes.length body) () in
+      let out = ref None in
+      let off = ref 0 in
+      while !off < Bytes.length flat do
+        let n = min (1 + Omf_util.Prng.int rng 7) (Bytes.length flat - !off) in
+        Frame.Decoder.feed dec flat !off n;
+        off := !off + n;
+        match Frame.Decoder.pop dec with
+        | Some f -> out := Some f
+        | None -> ()
+      done;
+      (match Frame.Decoder.pop dec with Some f -> out := Some f | None -> ());
+      let roundtrips =
+        match !out with Some f -> Bytes.equal f body | None -> false
+      in
+      encoded_identical && sealed_identical && roundtrips)
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -631,13 +682,88 @@ let test_governor_overload_sheds_publish () =
   check bool "governor budget gauge exported" true
     (List.assoc_opt "governor_budget_bytes" stats = Some 16_384)
 
+(* governor debits are taken from slice lengths at enqueue and credited
+   back on write, shed, eviction, and close; whatever mix of those a
+   connection's life ends in, the books must balance: once every
+   subscriber is gone, [used] is exactly 0 — not merely small *)
+let test_governor_accounting_symmetry () =
+  let wait_used_zero h =
+    let r = Relay.relay h in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      if Relay.governor_used r <> 0 && Unix.gettimeofday () < deadline then begin
+        Thread.delay 0.01;
+        go ()
+      end
+    in
+    go ();
+    Relay.governor_used r
+  in
+  let big_budget = Relay.Governor.config ~budget:(1 lsl 30) () in
+  let nevents = 40 in
+  (* phase 1: drop-oldest sheds + a draining consumer + closes *)
+  (let h =
+     Relay.start ~policy:Relay.Drop_oldest ~max_queue:8 ~sndbuf:8192
+       ~governor:big_budget ()
+   in
+   Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+   let pub, sender, fmt = make_publisher ~port:(Relay.port (Relay.relay h)) ~stream:"flights" in
+   let port = Relay.port (Relay.relay h) in
+   let stalled = Relay.Client.connect ~port () in
+   ignore (Relay.Client.subscribe stalled ~stream:"flights");
+   let healthy =
+     Thread.create
+       (fun () ->
+         let consumer =
+           Relay.attach_consumer ~port ~stream:"flights" Abi.x86_64
+         in
+         let rec go prev =
+           if prev < nevents - 1 then
+             match Relay.recv consumer with
+             | None -> ()
+             | Some (_, v) -> go (seq_of v)
+         in
+         go (-1);
+         Relay.close_consumer consumer)
+       ()
+   in
+   ignore (wait_stat ~port "stream.flights.subscribers" 2);
+   for seq = 0 to nevents - 1 do
+     publish sender fmt ~pad:65536 seq
+   done;
+   ignore (wait_stat ~port "frames_dropped" 1);
+   Thread.join healthy;
+   Relay.Client.close stalled;
+   Relay.Client.close pub;
+   check int "used returns to 0 after sheds+writes+closes" 0
+     (wait_used_zero h));
+  (* phase 2: a slow-consumer eviction must also hand its bytes back *)
+  let h =
+    Relay.start ~policy:Relay.Evict_slow ~max_queue:8 ~evict_grace_s:0.2
+      ~sndbuf:8192 ~governor:big_budget ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+  let port = Relay.port (Relay.relay h) in
+  let pub, sender, fmt = make_publisher ~port ~stream:"flights" in
+  let stalled = Relay.Client.connect ~port () in
+  ignore (Relay.Client.subscribe stalled ~stream:"flights");
+  ignore (wait_stat ~port "stream.flights.subscribers" 1);
+  for seq = 0 to nevents - 1 do
+    publish sender fmt ~pad:65536 seq
+  done;
+  ignore (wait_stat ~port "subscribers_evicted" 1);
+  Relay.Client.close stalled;
+  Relay.Client.close pub;
+  check int "used returns to 0 after an eviction" 0 (wait_used_zero h)
+
 let () =
   Alcotest.run "relay"
     [ ( "frames",
         [ QCheck_alcotest.to_alcotest prop_frame_reassembly
         ; Alcotest.test_case "oversized frame rejected" `Quick
             test_frame_max_length
-        ; QCheck_alcotest.to_alcotest prop_macframe_roundtrip_and_tamper ] )
+        ; QCheck_alcotest.to_alcotest prop_macframe_roundtrip_and_tamper
+        ; QCheck_alcotest.to_alcotest prop_slice_codec_equivalence ] )
     ; ( "pubsub",
         [ Alcotest.test_case "publish/subscribe + descriptor replay" `Quick
             test_pubsub_and_descriptor_replay
@@ -660,7 +786,9 @@ let () =
         [ Alcotest.test_case "hysteresis state machine" `Quick
             test_governor_hysteresis
         ; Alcotest.test_case "overload sheds publish with busy" `Quick
-            test_governor_overload_sheds_publish ] )
+            test_governor_overload_sheds_publish
+        ; Alcotest.test_case "byte accounting symmetry" `Quick
+            test_governor_accounting_symmetry ] )
     ; ( "shutdown",
         [ Alcotest.test_case "graceful drain" `Quick
             test_graceful_drain_on_shutdown ] ) ]
