@@ -12,6 +12,7 @@
     - E5-shards: sharded relay fan-out across N event loops
     - E6-store: durable streams (append cost, fsync policy, replay)
     - E10-fanout: zero-copy fan-out (throughput + relay allocation)
+    - E11-trace: sampled tracing overhead + stage-latency decomposition
     - A1: discovery-method ablation (orthogonality, section 3.3)
 
     Absolute numbers reflect this simulator on today's hardware; the
@@ -1530,6 +1531,111 @@ let e10_fanout () =
      subscriber.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E11-trace: sampled tracing overhead and stage decomposition          *)
+(* ------------------------------------------------------------------ *)
+
+let e11_trace () =
+  section "E11-trace. Sampled end-to-end tracing: overhead and stage latency";
+  note
+    "The same fan-out workload with distributed tracing off, head-sampled\n\
+     at 1%%, and at 100%% (doc/TRACE.md). The untraced hot path only loads\n\
+     one field per frame, and a sampled-out frame costs one coin toss at\n\
+     PUBLISH, so <=1%% sampling must sit within run-to-run noise; 100%%\n\
+     bounds the worst case (a clock pair + ring write per stage).\n";
+  let stream = "bench-trace" in
+  let nsubs = if quick then 4 else 8 in
+  let events = if quick then 300 else 4_000 in
+  let run_once ?trace () =
+    let h = Relay.start ?trace () in
+    let port = Relay.port (Relay.relay h) in
+    Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+    let admin = Relay.Client.connect ~port () in
+    Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
+    let subs =
+      List.init nsubs (fun _ ->
+          Thread.create
+            (fun () ->
+              let c = Relay.Client.connect ~port () in
+              let _schema, link = Relay.Client.subscribe c ~stream in
+              let seen = ref 0 in
+              while !seen < events do
+                match Omf_transport.Link.recv link with
+                | Some f when Bytes.length f > 0 && Bytes.get f 0 = 'M' ->
+                  incr seen
+                | Some _ -> ()
+                | None -> seen := events
+              done;
+              Relay.Client.close c)
+            ())
+    in
+    let rec wait_subs () =
+      let n =
+        List.assoc_opt
+          (Printf.sprintf "stream.%s.subscribers" stream)
+          (Relay.Client.stats admin)
+      in
+      if Option.value ~default:0 n < nsubs then begin
+        Thread.delay 0.005;
+        wait_subs ()
+      end
+    in
+    wait_subs ();
+    let pub = Relay.Client.publish admin ~stream in
+    let catalog = Catalog.create Abi.x86_64 in
+    ignore (X2W.register_schema catalog Fx.schema_a);
+    let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+    let sender =
+      Omf_transport.Endpoint.Sender.create pub (Memory.create Abi.x86_64)
+    in
+    let t0 = Unix.gettimeofday () in
+    for _seq = 0 to events - 1 do
+      Omf_transport.Endpoint.Sender.send_value sender fmt Fx.value_a
+    done;
+    List.iter Thread.join subs;
+    let dt = Unix.gettimeofday () -. t0 in
+    let spans = Relay.trace_spans (Relay.relay h) in
+    let stats = Relay.Client.stats admin in
+    Relay.Client.close admin;
+    (float_of_int events /. dt, spans, stats)
+  in
+  let rate_off, _, _ = run_once () in
+  let rate_1pct, _, _ =
+    run_once ~trace:(Relay.Trace.settings ~sample:0.01 ()) ()
+  in
+  let rate_full, spans_full, stats_full =
+    run_once ~trace:(Relay.Trace.settings ~sample:1.0 ~buffer:65536 ()) ()
+  in
+  let row label rate =
+    [ label
+    ; Printf.sprintf "%.0f" rate
+    ; Printf.sprintf "%.0f" (rate *. float_of_int nsubs)
+    ; Printf.sprintf "%+.1f%%" ((rate_off -. rate) /. rate_off *. 100.0) ]
+  in
+  table
+    [ "sampling"; "events/s"; "deliveries/s"; "overhead" ]
+    [ row "off" rate_off; row "1%" rate_1pct; row "100%" rate_full ];
+  note
+    "Stage decomposition of the 100%% run (microseconds, nearest-rank\n\
+     percentiles over the relay's span ring):\n";
+  table
+    [ "stage"; "count"; "p50 us"; "p95 us"; "p99 us"; "max us" ]
+    (List.map
+       (fun (stage, (c, p50, p95, p99, mx)) ->
+         [ stage; string_of_int c; string_of_int p50; string_of_int p95
+         ; string_of_int p99; string_of_int mx ])
+       (Relay.Trace.summary spans_full));
+  note
+    "publish_admit covers the whole admission (parse + store + fan-out);\n\
+     flush is fan-out to first socket write; deliver is fan-out to the\n\
+     subscriber's queue fully drained, so it absorbs batching delay.\n";
+  match Sys.getenv_opt "OMF_PUSH_URL" with
+  | None -> ()
+  | Some url -> (
+    match Omf_util.Counters.push ~url [ ("bench", stats_full) ] with
+    | Ok () -> note "pushed final relay counters to %s\n" url
+    | Error m -> note "metrics push to %s failed: %s\n" url m)
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1647,6 +1753,7 @@ let () =
   e8_mirror ();
   e9_overload ();
   e10_fanout ();
+  e11_trace ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

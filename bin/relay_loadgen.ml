@@ -137,13 +137,73 @@ let measure ~host ~port ?auth ~stream ~admin ~sender ~fmt ~subscribers ~events
   in
   (dt, delivered, ooo, early, !behind)
 
+(** Per-stage latency percentiles from the relay's merged
+    [hist.stage_us.*] histogram counters: each percentile is the
+    smallest bucket bound whose cumulative count reaches the rank — an
+    upper bound, good to one bucket of resolution. *)
+let print_stage_table (stats : (string * int) list) =
+  let prefix = "hist.stage_us." in
+  let strip_prefix k p =
+    if String.length k > String.length p && String.sub k 0 (String.length p) = p
+    then Some (String.sub k (String.length p) (String.length k - String.length p))
+    else None
+  in
+  let stages =
+    List.filter_map
+      (fun (k, _) ->
+        match strip_prefix k prefix with
+        | Some rest when Filename.check_suffix rest ".count" ->
+          Some (Filename.chop_suffix rest ".count")
+        | _ -> None)
+      stats
+    |> List.sort_uniq compare
+  in
+  if stages = [] then
+    print_endline
+      "  no stage histograms — is the relay tracing? (relayd --trace-sample)"
+  else begin
+    Printf.printf "  %-18s %9s %9s %9s %9s\n" "stage" "count" "p50 us"
+      "p95 us" "p99 us";
+    List.iter
+      (fun stage ->
+        let count =
+          Option.value ~default:0
+            (List.assoc_opt (prefix ^ stage ^ ".count") stats)
+        in
+        if count > 0 then begin
+          let bprefix = prefix ^ stage ^ ".le_" in
+          let buckets =
+            List.filter_map
+              (fun (k, cum) ->
+                match strip_prefix k bprefix with
+                | Some "inf" -> Some (max_int, cum)
+                | Some b -> Some (int_of_string b, cum)
+                | None -> None)
+              stats
+            |> List.sort compare
+          in
+          let pct p =
+            let rank = max 1 (int_of_float (ceil (p *. float_of_int count))) in
+            match List.find_opt (fun (_, cum) -> cum >= rank) buckets with
+            | Some (bound, _) when bound <> max_int -> string_of_int bound
+            | _ -> ">1000000"
+          in
+          Printf.printf "  %-18s %9d %9s %9s %9s\n" stage count (pct 0.50)
+            (pct 0.95) (pct 0.99)
+        end)
+      stages
+  end
+
 let run serve host port policy max_queue auth subscribers events pad sizes
-    rate stream =
+    rate trace push stream =
   let handle =
     if serve then
       Some
         (Relay.start ~host ~policy ~max_queue
            ?auth_keys:(Option.map (fun kp -> [ kp ]) auth)
+           ?trace:
+             (if trace then Some (Relay.Trace.settings ~sample:0.0 ())
+              else None)
            ())
     else None
   in
@@ -153,7 +213,11 @@ let run serve host port policy max_queue auth subscribers events pad sizes
   (* advertise, then bring up the publisher endpoint *)
   let admin = Relay.Client.connect ~host ~port ?auth () in
   Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
-  let pub_link = Relay.Client.publish admin ~stream in
+  let pub_link =
+    Relay.Client.publish
+      ?trace:(if trace then Some (Relay.Trace.make ~sampled:true ()) else None)
+      admin ~stream
+  in
   let catalog = Catalog.create Abi.x86_64 in
   ignore (X2W.register_schema catalog Fx.schema_a);
   let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
@@ -217,6 +281,16 @@ let run serve host port policy max_queue auth subscribers events pad sizes
     ; "evictions_eager"; "publish_busy"; "subscribe_busy"
     ; "ingress_throttled"; "governor_degraded"; "governor_overloaded"
     ; "governor_recovered" ];
+  if trace then begin
+    Printf.printf "  stage latency breakdown (microseconds):\n";
+    print_stage_table stats
+  end;
+  (match push with
+  | None -> ()
+  | Some url -> (
+    match Omf_util.Counters.push ~url [ ("relay", stats) ] with
+    | Ok () -> Printf.printf "  pushed metrics to %s\n" url
+    | Error m -> Printf.printf "  metrics push to %s failed: %s\n" url m));
   Relay.Client.close admin;
   (match handle with Some h -> Relay.stop h | None -> ());
   if !total_ooo > 0 then `Error (false, "events reordered")
@@ -309,6 +383,26 @@ let sizes_arg =
            padding size (bytes) and report per-size throughput. Overrides \
            $(b,--pad).")
 
+let trace_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Publish with an end-to-end trace context and print the relay's \
+           per-stage latency breakdown afterwards (doc/TRACE.md). With \
+           $(b,--serve) tracing is enabled on the self-hosted relay; \
+           against a running relayd start it with $(b,--trace-sample).")
+
+let push_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "push" ] ~docv:"URL"
+        ~doc:
+          "POST the relay's final counters to this push-gateway URL as \
+           Prometheus text on exit (the path defaults to \
+           $(i,/metrics/job/omf)).")
+
 let stream_arg =
   Arg.(
     value & opt string "loadgen"
@@ -324,4 +418,5 @@ let () =
             ret
               (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
              $ max_queue_arg $ auth_arg $ subscribers_arg $ events_arg
-             $ pad_arg $ sizes_arg $ rate_arg $ stream_arg))))
+             $ pad_arg $ sizes_arg $ rate_arg $ trace_flag_arg $ push_arg
+             $ stream_arg))))

@@ -256,6 +256,33 @@ let governor_retry_ms_arg =
     & info [ "governor-retry-ms" ] ~docv:"MS"
         ~doc:"Retry hint carried in $(b,busy) replies while overloaded.")
 
+let trace_sample_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "trace-sample" ] ~docv:"RATE"
+        ~doc:
+          "Head-sample this fraction of published frames for end-to-end \
+           stage tracing (doc/TRACE.md): 0.01 records one frame in a \
+           hundred through admit, store, fanout, flush and delivery. 0 \
+           (the default) disables tracing unless $(b,--trace-slow-us) is \
+           set.")
+
+let trace_buffer_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "trace-buffer" ] ~docv:"SPANS"
+        ~doc:
+          "Per-shard span ring-buffer capacity; the oldest spans are \
+           overwritten once full.")
+
+let trace_slow_us_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-slow-us" ] ~docv:"MICROS"
+        ~doc:
+          "Always record stage spans at least this slow, even when the \
+           frame lost the sampling coin toss. 0 = off.")
+
 let ingress_rate_arg =
   Arg.(
     value & opt float 0.0
@@ -278,8 +305,16 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     drain shards metrics_port store_dir store_fsync store_segment_mb
     store_retain_segments store_retain_mb store_retain_age relay_id mirror
     mirror_promote mirror_rescan governor_budget governor_retry_ms
-    ingress_rate ingress_burst verbose =
+    trace_sample trace_buffer trace_slow_us ingress_rate ingress_burst
+    verbose =
   setup_logs verbose;
+  let trace =
+    if trace_sample > 0.0 || trace_slow_us > 0 then
+      Some
+        (Omf_relay.Relay.Trace.settings ~sample:trace_sample
+           ~buffer:trace_buffer ~slow_us:trace_slow_us ())
+    else None
+  in
   let store =
     Option.map
       (fun root ->
@@ -303,7 +338,7 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     match
       Omf_relay.Relay.Cluster.start ~host ~port ~shards ~policy ~max_queue
         ~evict_grace_s:evict_grace ~auth_keys ~mac_reject_limit
-        ~drain_s:drain ~governor ?ingress ?store ?relay_id ()
+        ~drain_s:drain ~governor ?ingress ?trace ?store ?relay_id ()
     with
     | cluster ->
       Printf.printf
@@ -320,17 +355,26 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
         | Some s ->
           Printf.sprintf ", store %s fsync %s" s.root
             (Omf_relay.Relay.Store.fsync_policy_to_string s.fsync))
-        (if governor_budget > 0 then
-           Printf.sprintf ", governor budget %dB" governor_budget
-         else "");
+        (match trace with
+        | None ->
+          if governor_budget > 0 then
+            Printf.sprintf ", governor budget %dB" governor_budget
+          else ""
+        | Some _ ->
+          Printf.sprintf "%s, trace sample %g slow %dus"
+            (if governor_budget > 0 then
+               Printf.sprintf ", governor budget %dB" governor_budget
+             else "")
+            trace_sample trace_slow_us);
       let mir =
         Option.map
           (fun (src_host, src_port, globs) ->
             let m =
               Omf_mirror.Mirror.start
                 (Omf_mirror.Mirror.config ~globs ~rescan_s:mirror_rescan
-                   ~promote_on_loss:mirror_promote ~source_host:src_host
-                   ~source_port:src_port ~local_host:host
+                   ~promote_on_loss:mirror_promote ?trace
+                   ~source_host:src_host ~source_port:src_port
+                   ~local_host:host
                    ~local_port:(Omf_relay.Relay.Cluster.port cluster)
                    ~local_relay_id:(Omf_relay.Relay.Cluster.relay_id cluster)
                    ())
@@ -349,11 +393,31 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
            | None -> []
            | Some m -> [ ("mirror", Omf_mirror.Mirror.stats m) ])
       in
+      let all_spans () =
+        Omf_relay.Relay.Cluster.trace_spans cluster
+        @ (match mir with
+          | None -> []
+          | Some m -> Omf_mirror.Mirror.trace_spans m)
+      in
+      let trace_routes =
+        if trace = None then []
+        else
+          [ ( "/trace/spans"
+            , fun () ->
+                Omf_httpd.Http.ok ~content_type:"application/json"
+                  (Omf_relay.Relay.Trace.chrome_json (all_spans ())) )
+          ; ( "/trace/summary"
+            , fun () ->
+                Omf_httpd.Http.ok ~content_type:"application/json"
+                  (Omf_relay.Relay.Trace.summary_json (all_spans ())) )
+          ]
+      in
       let metrics =
         Option.map
           (fun p ->
             let srv =
               Omf_httpd.Http.serve_metrics ~host ~port:p
+                ~routes:trace_routes
                 (List.map
                    (fun (name, _) ->
                      ( name
@@ -401,5 +465,6 @@ let () =
              $ store_retain_segments_arg $ store_retain_mb_arg
              $ store_retain_age_arg $ relay_id_arg $ mirror_arg
              $ mirror_promote_arg $ mirror_rescan_arg $ governor_budget_arg
-             $ governor_retry_ms_arg $ ingress_rate_arg $ ingress_burst_arg
+             $ governor_retry_ms_arg $ trace_sample_arg $ trace_buffer_arg
+             $ trace_slow_us_arg $ ingress_rate_arg $ ingress_burst_arg
              $ verbose_arg))))

@@ -531,10 +531,12 @@ let fetcher ?(host = "127.0.0.1") ~port ~path ?timeout_s () : unit -> string =
 (** [metrics_handler sources] answers [GET /metrics] with a
     Prometheus-text rendering of each [(component, snapshot)] source —
     snapshots are taken per request, so mounting a relay's merged
-    per-shard counters here gives live scrape data. Everything else is
-    404. *)
-let metrics_handler (sources : (string * (unit -> (string * int) list)) list) :
-    handler =
+    per-shard counters here gives live scrape data. [routes] mounts
+    extra [(path, thunk)] endpoints beside [/metrics] (relayd's
+    [/trace/spans] and [/trace/summary]); thunks run per request.
+    Everything else is 404. *)
+let metrics_handler ?(routes : (string * (unit -> response)) list = [])
+    (sources : (string * (unit -> (string * int) list)) list) : handler =
  fun ~path ~headers:_ ->
   if String.equal path "/metrics" then
     ok
@@ -544,8 +546,11 @@ let metrics_handler (sources : (string * (unit -> (string * int) list)) list) :
             (fun (component, snapshot) ->
               Omf_util.Counters.prometheus ~component (snapshot ()))
             sources))
-  else not_found path
+  else
+    match List.assoc_opt path routes with
+    | Some thunk -> thunk ()
+    | None -> not_found path
 
 (** Mount [metrics_handler] on its own ephemeral-or-fixed port. *)
-let serve_metrics ?host ~port sources : server =
-  serve ?host ~port (metrics_handler sources)
+let serve_metrics ?host ~port ?routes sources : server =
+  serve ?host ~port (metrics_handler ?routes sources)

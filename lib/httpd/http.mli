@@ -73,15 +73,20 @@ val serve_directory : ?host:string -> port:int -> string -> server
 (** Serve the [*.xsd] files of a directory; traversal-safe. *)
 
 val metrics_handler :
-  (string * (unit -> (string * int) list)) list -> handler
+  ?routes:(string * (unit -> response)) list ->
+  (string * (unit -> (string * int) list)) list ->
+  handler
 (** [metrics_handler sources] answers [GET /metrics] with each
     [(component, snapshot)] rendered as Prometheus text
     ([omf_<component>_<name> <value>] lines); snapshots are taken per
-    request. Everything else is 404. *)
+    request. [routes] mounts extra [(path, thunk)] endpoints beside
+    [/metrics] — relayd's [/trace/spans] and [/trace/summary] live
+    here. Everything else is 404. *)
 
 val serve_metrics :
   ?host:string ->
   port:int ->
+  ?routes:(string * (unit -> response)) list ->
   (string * (unit -> (string * int) list)) list ->
   server
 (** Mount {!metrics_handler} on its own port (relayd [--metrics-port],

@@ -31,6 +31,7 @@
 module Relay = Omf_relay.Relay
 module Client = Relay.Client
 module Counters = Omf_util.Counters
+module Trace = Omf_trace.Trace
 open Omf_transport
 
 let log = Logs.Src.create "omf.mirror" ~doc:"relay-to-relay replication"
@@ -64,16 +65,21 @@ type config = {
   io_timeout_s : float;
       (** per-operation deadline on every connection; also how quickly
           an idle pump notices a stop request *)
+  trace : Trace.settings option;
+      (** record [mirror_replicate] spans (doc/TRACE.md, PROTOCOLS.md
+          §17): the mirror adopts the source stream's trace context
+          (served in DESCRIBE metadata) and re-attaches it to the
+          local [mirror=1] PUBLISH, so one trace crosses relays *)
 }
 
 let config ?(globs = []) ?(rescan_s = 1.0) ?(max_attempts = 8)
     ?(base_delay_s = 0.05) ?(max_delay_s = 1.0) ?(promote_on_loss = false)
-    ?source_auth ?local_auth ?(io_timeout_s = 0.5)
+    ?source_auth ?local_auth ?(io_timeout_s = 0.5) ?trace
     ?(local_host = "127.0.0.1") ~source_host ~source_port ~local_port
     ~local_relay_id () : config =
   { source_host; source_port; local_host; local_port; local_relay_id; globs
   ; rescan_s; max_attempts; base_delay_s; max_delay_s; promote_on_loss
-  ; source_auth; local_auth; io_timeout_s }
+  ; source_auth; local_auth; io_timeout_s; trace }
 
 (* ------------------------------------------------------------------ *)
 (* Stream-name globs                                                    *)
@@ -112,6 +118,9 @@ type link_state = {
 type t = {
   cfg : config;
   counters : Counters.t;
+  trace_col : Trace.collector option;
+      (** the mirror's own span ring (shard [-1], distinguishing its
+          spans from relay shards in merged exports) *)
   mu : Mutex.t;  (** guards [links] (manager vs. stop) *)
   links : (string, link_state) Hashtbl.t;
   mutable manager : Thread.t option;
@@ -120,6 +129,9 @@ type t = {
 
 let counters (t : t) = t.counters
 let stats (t : t) : (string * int) list = Counters.dump t.counters
+
+let trace_spans (t : t) : Trace.span list =
+  match t.trace_col with None -> [] | Some col -> Trace.spans col
 
 let link_frames (t : t) : (string * int) list =
   Mutex.lock t.mu;
@@ -205,10 +217,24 @@ let replicate_once (t : t) (ls : link_state) : session_end =
       Refused
     end
     else begin
+      (* §17: the source relay serves the stream's trace context as a
+         [trace=] DESCRIBE metadata line. Adopt it for the local
+         [mirror=1] PUBLISH — downstream spans join the same trace —
+         and strip it before re-advertising: it is per-publisher state,
+         not stream metadata to persist. *)
+      let trace =
+        match t.trace_col with
+        | None -> None
+        | Some _ ->
+          Option.bind (List.assoc_opt "trace" meta) Trace.of_string
+      in
+      let meta = List.filter (fun (k, _) -> k <> "trace") meta in
       let lc = connect_local cfg in
       Fun.protect ~finally:(fun () -> Client.close lc) @@ fun () ->
       Client.advertise_with_meta lc ~stream ~meta ~schema;
-      let wm, local_link = Client.publish_mirror lc ~stream ~origin ~epoch in
+      let wm, local_link =
+        Client.publish_mirror ?trace lc ~stream ~origin ~epoch
+      in
       (* the local tail is the exact resume point: source offsets and
          local offsets are aligned (both dense from 0, appended in the
          same order), so failover consumers resume seamlessly *)
@@ -224,6 +250,24 @@ let replicate_once (t : t) (ls : link_state) : session_end =
       Log.info (fun m ->
           m "stream %s: replicating %s@%d from offset %d" stream origin epoch
             from);
+      (* forward one message frame, recording a [mirror_replicate]
+         span (time to hand the frame to the local relay) when the
+         stream's trace is sampled or the send was slow *)
+      let send_traced frame =
+        match (t.trace_col, trace) with
+        | Some col, Some ctx ->
+          let t0 = Trace.now_us () in
+          Link.send local_link frame;
+          let dur = Trace.now_us () - t0 in
+          if Trace.should_record col ~sampled:ctx.Trace.sampled ~dur_us:dur
+          then begin
+            Trace.record col ~trace:ctx.Trace.trace_id
+              ~parent:ctx.Trace.span_id ~stage:"mirror_replicate" ~stream
+              ~start_us:t0 ~dur_us:dur;
+            Counters.observe t.counters "stage_us.mirror_replicate" dur
+          end
+        | _ -> Link.send local_link frame
+      in
       let rec pump () =
         if ls.l_stop || t.stopped then Stopped
         else
@@ -238,7 +282,7 @@ let replicate_once (t : t) (ls : link_state) : session_end =
           | Some frame
             when Bytes.length frame > 0
                  && Char.equal (Bytes.get frame 0) Endpoint.frame_message ->
-            Link.send local_link frame;
+            send_traced frame;
             ls.l_replicated <- ls.l_replicated + 1;
             Counters.incr t.counters "frames_replicated";
             pump ()
@@ -396,7 +440,9 @@ let manager_loop (t : t) =
 
 let start (cfg : config) : t =
   let t =
-    { cfg; counters = Counters.create (); mu = Mutex.create ()
+    { cfg; counters = Counters.create ()
+    ; trace_col = Option.map (fun s -> Trace.collector ~shard:(-1) s) cfg.trace
+    ; mu = Mutex.create ()
     ; links = Hashtbl.create 8; manager = None; stopped = false }
   in
   t.manager <- Some (Thread.create (fun () -> manager_loop t) ());

@@ -41,6 +41,10 @@ type config = {
   source_auth : (string * string) option;
   local_auth : (string * string) option;
   io_timeout_s : float;
+  trace : Omf_trace.Trace.settings option;
+      (** record [mirror_replicate] spans and carry the source
+          stream's trace context across relays (doc/TRACE.md,
+          PROTOCOLS.md §17); [None] = tracing off *)
 }
 
 val config :
@@ -53,6 +57,7 @@ val config :
   ?source_auth:string * string ->
   ?local_auth:string * string ->
   ?io_timeout_s:float ->
+  ?trace:Omf_trace.Trace.settings ->
   ?local_host:string ->
   source_host:string ->
   source_port:int ->
@@ -89,3 +94,7 @@ val stats : t -> (string * int) list
 
 val link_frames : t -> (string * int) list
 (** Per-stream message frames replicated so far, sorted by stream. *)
+
+val trace_spans : t -> Omf_trace.Trace.span list
+(** The mirror's recorded [mirror_replicate] spans (shard [-1]),
+    oldest first; empty when [config.trace] is unset. *)

@@ -46,6 +46,11 @@ type t = {
   mutable used : int;
   mutable health : health;
   mutable on_transition : health -> health -> unit;
+  mutable credited_since_tick : int;
+      (** bytes credited (written/shed) since the last {!note_tick} —
+          the raw material of the drain-rate estimate *)
+  mutable drain_rate : float;  (** EWMA of credits, bytes/second *)
+  mutable last_tick : float;  (** [nan] until the first tick *)
 }
 
 let pct budget p = budget * p / 100
@@ -58,14 +63,52 @@ let create (cfg : config) : t =
     over_lo = pct cfg.budget cfg.overloaded_lo_pct;
     used = 0;
     health = Healthy;
-    on_transition = (fun _ _ -> ()) }
+    on_transition = (fun _ _ -> ());
+    credited_since_tick = 0;
+    drain_rate = 0.0;
+    last_tick = Float.nan }
 
 let on_transition t f = t.on_transition <- f
 let used t = t.used
 let budget t = t.cfg.budget
 let health t = t.health
 let enabled t = t.cfg.budget > 0
-let busy_retry_ms t = t.cfg.busy_retry_ms
+
+(* The busy retry hint adapts to the observed drain rate: a client told
+   to come back should find room when it does, so the hint estimates
+   how long draining the current backlog will take at the recent credit
+   rate. The configured [busy_retry_ms] stays meaningful as the floor
+   (never retry sooner) and, at 10x, the ceiling (never park a client
+   for long on a stale estimate). With no rate observed yet the static
+   flag value is the hint, as before. *)
+let retry_ceiling = 10
+
+let busy_retry_ms t =
+  let floor_ms = t.cfg.busy_retry_ms in
+  if t.drain_rate <= 0.0 || t.used <= 0 then floor_ms
+  else
+    let est_ms = float_of_int t.used /. t.drain_rate *. 1000.0 in
+    let cap = float_of_int (retry_ceiling * floor_ms) in
+    int_of_float (Float.max (float_of_int floor_ms) (Float.min cap est_ms))
+
+let note_tick t ~now =
+  if Float.is_nan t.last_tick then begin
+    t.last_tick <- now;
+    t.credited_since_tick <- 0
+  end
+  else begin
+    let dt = now -. t.last_tick in
+    if dt > 0.01 then begin
+      let rate = float_of_int t.credited_since_tick /. dt in
+      t.drain_rate <-
+        (if t.drain_rate <= 0.0 then rate
+         else (0.5 *. t.drain_rate) +. (0.5 *. rate));
+      t.credited_since_tick <- 0;
+      t.last_tick <- now
+    end
+  end
+
+let drain_rate t = t.drain_rate
 
 (* Hysteresis: escalate when usage crosses a high watermark, recover
    only once it falls below the corresponding (lower) low watermark, so
@@ -103,6 +146,7 @@ let debit t n =
 
 let credit t n =
   if n > 0 then begin
+    t.credited_since_tick <- t.credited_since_tick + n;
     t.used <- (if n >= t.used then 0 else t.used - n);
     reeval t
   end

@@ -73,3 +73,20 @@ val enabled : t -> bool
     pinned to [Healthy] and no callbacks fire. *)
 
 val busy_retry_ms : t -> int
+(** The retry hint carried in [busy] replies, in milliseconds. Adaptive:
+    once {!note_tick} has observed a drain rate, the hint estimates how
+    long draining the current backlog will take at that rate —
+    [used / drain_rate] — clamped to
+    [[config.busy_retry_ms, 10 * config.busy_retry_ms]]. Before any rate
+    is observed (or with an empty backlog) it is the configured
+    [busy_retry_ms], unchanged. *)
+
+val note_tick : t -> now:float -> unit
+(** Fold the bytes credited since the previous tick into the drain-rate
+    estimate (EWMA, half-weight per tick). Call periodically from the
+    owning shard loop (the relay calls it from its 1 s gauge tick);
+    ticks closer than 10 ms apart are ignored. *)
+
+val drain_rate : t -> float
+(** Current drain-rate estimate in bytes/second; [0.] until the first
+    complete tick interval. *)

@@ -57,6 +57,7 @@ module Counters = Omf_util.Counters
 module Slice = Omf_util.Slice
 module Store = Omf_store.Store
 module Governor = Governor
+module Trace = Omf_trace.Trace
 
 let log = Logs.Src.create "omf.relay" ~doc:"TCP event relay"
 
@@ -142,6 +143,11 @@ type role =
               durable] at PUBLISH time) — swallow them instead of
               appending and fanning out duplicates *)
       mutable acked : int;  (** last durable offset sent as an ack *)
+      ptrace : Trace.ctx option;
+          (** trace context for this publisher's frames (doc/TRACE.md,
+              PROTOCOLS.md §17): the [trace=] context supplied at
+              PUBLISH, or one minted by the relay's head sampler;
+              [None] iff tracing is disabled on the shard *)
     }
   | Subscriber of {
       stream : string;
@@ -158,6 +164,21 @@ type role =
     }
 
 type state = Running | Draining | Stopped
+
+(** Delivery-side tracing mark (doc/TRACE.md): stamped on a subscriber
+    connection when a traced frame is enqueued, consumed by the [flush]
+    span (first bytes written after the enqueue) and the [deliver] span
+    (write queue fully drained). One mark per connection — sampling
+    keeps traced frames rare, and a later traced enqueue simply
+    restarts the clock — so the untraced path pays one [None] check. *)
+type tmark = {
+  tm_trace : int64;
+  tm_parent : int64;
+  tm_sampled : bool;
+  tm_stream : string;
+  tm_enq_us : int;  (** monotonic enqueue timestamp ({!Trace.now_us}) *)
+  mutable tm_flushed : bool;  (** the [flush] span was already recorded *)
+}
 
 type conn = {
   cid : int;  (** unique across the cluster: strided by shard count *)
@@ -184,6 +205,9 @@ type conn = {
   bucket : Token_bucket.t option;
       (** per-connection ingress token bucket ([--ingress-rate]),
           charged one token per publisher stream frame *)
+  mutable trace_mark : tmark option;
+      (** pending flush/deliver trace spans for the most recently
+          enqueued traced frame (subscribers only) *)
   mutable home : t;  (** the shard whose loop owns this connection *)
 }
 
@@ -222,6 +246,15 @@ and t = {
   governor : Governor.t;
       (** the shard's byte-budget governor (overload control,
           doc/OVERLOAD.md); loop-thread only, like [conns] *)
+  trace : Trace.collector option;
+      (** sampled distributed tracing (doc/TRACE.md): the shard's span
+          ring buffer; [None] = tracing disabled, zero cost *)
+  stream_trace : (string, Trace.ctx) Hashtbl.t;
+      (** last trace context per stream — served in DESCRIBE metadata
+          so downstream mirrors join the same trace; loop-thread only *)
+  mutable cur_trace : Trace.ctx option;
+      (** context of the message currently being fanned out, visible to
+          {!enqueue_relayed_frame} so subscriber marks inherit it *)
   ingress : (float * float) option;
       (** per-connection ingress token bucket [(rate, burst)] in
           frames/s; [None] = unlimited *)
@@ -437,6 +470,32 @@ let credit_conn (c : conn) (n : int) =
     Governor.credit c.home.governor n
   end
 
+(* --- tracing span recorders (doc/TRACE.md) ------------------------- *)
+
+(* A span is written only when the trace is sampled or the duration
+   crosses the slow threshold; the same gate feeds the stage-latency
+   histogram so "stage_us.*" and /trace/spans always agree. *)
+let trace_record (t : t) ~(trace : int64) ~(parent : int64)
+    ~(sampled : bool) ~(stage : string) ~(stream : string) ~(t0_us : int) =
+  match t.trace with
+  | None -> ()
+  | Some col ->
+    let dur = Trace.now_us () - t0_us in
+    if Trace.should_record col ~sampled ~dur_us:dur then begin
+      Trace.record col ~trace ~parent ~stage ~stream ~start_us:t0_us
+        ~dur_us:dur;
+      Counters.observe t.counters ("stage_us." ^ stage) dur
+    end
+
+let trace_span (t : t) (ctx : Trace.ctx) ~(stage : string)
+    ~(stream : string) ~(t0_us : int) =
+  trace_record t ~trace:ctx.Trace.trace_id ~parent:ctx.Trace.span_id
+    ~sampled:ctx.Trace.sampled ~stage ~stream ~t0_us
+
+let trace_mark_span (t : t) (tm : tmark) ~(stage : string) =
+  trace_record t ~trace:tm.tm_trace ~parent:tm.tm_parent
+    ~sampled:tm.tm_sampled ~stage ~stream:tm.tm_stream ~t0_us:tm.tm_enq_us
+
 let reply (c : conn) kind (body : string) =
   let b = Bytes.create (1 + String.length body) in
   Bytes.set b 0 kind;
@@ -563,12 +622,16 @@ let rec gauge_tick (t : t) =
       g "tail" (Store.tail st);
       g "durable" (Store.durable st))
     t.stores;
+  Governor.note_tick t.governor ~now:(Unix.gettimeofday ());
   Counters.set t.counters "governor_used_bytes" (Governor.used t.governor);
   Counters.set t.counters "governor_health"
     (Governor.health_level (Governor.health t.governor));
-  if Governor.enabled t.governor then
+  if Governor.enabled t.governor then begin
     Counters.set t.counters "governor_budget_bytes"
       (Governor.budget t.governor);
+    Counters.set t.counters "governor_retry_ms"
+      (Governor.busy_retry_ms t.governor)
+  end;
   if t.state = Running then
     t.gauge_timer <- Some (Reactor.after t.reactor 1.0 (fun () -> gauge_tick t))
 
@@ -764,6 +827,20 @@ and enqueue_relayed_frame (t : t) (c : conn) (frame : Bytes.t) =
           arm_grace t c
         | Some _ -> ())
   end;
+  (match t.cur_trace with
+  | Some ctx -> (
+    match c.role with
+    | Subscriber s ->
+      c.trace_mark <-
+        Some
+          { tm_trace = ctx.Trace.trace_id
+          ; tm_parent = ctx.Trace.span_id
+          ; tm_sampled = ctx.Trace.sampled
+          ; tm_stream = s.stream
+          ; tm_enq_us = Trace.now_us ()
+          ; tm_flushed = false }
+    | Publisher _ | Pending -> ())
+  | None -> ());
   enqueue_entry c ~droppable frame;
   Counters.incr t.counters "frames_out"
 
@@ -1099,7 +1176,29 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
           end
           else
             let become ~acks ~skip_dup ~acked reply_body =
-              c.role <- Publisher { stream; link; acks; mirror; skip_dup; acked };
+              (* Trace head sampling happens here, once per publisher:
+                 a supplied [trace=] context (a capture point or an
+                 upstream relay already decided) is adopted verbatim;
+                 otherwise this relay draws the sampling decision. The
+                 unsampled case still mints ids so the slow-span
+                 always-record path has a trace to attribute to. *)
+              let ptrace =
+                match t.trace with
+                | None -> None
+                | Some col ->
+                  let ctx =
+                    match
+                      Option.bind (List.assoc_opt "trace" opts)
+                        Trace.of_string
+                    with
+                    | Some ctx -> ctx
+                    | None -> Trace.make ~sampled:(Trace.sample col) ()
+                  in
+                  Hashtbl.replace t.stream_trace stream ctx;
+                  Some ctx
+              in
+              c.role <-
+                Publisher { stream; link; acks; mirror; skip_dup; acked; ptrace };
               Counters.incr t.counters
                 (if mirror then "mirror_publishers" else "publishers");
               (* joining a stream that is already congested: start paused *)
@@ -1269,7 +1368,21 @@ let rec handle_control (t : t) (c : conn) kind (body : string) =
       match Broker.metadata_for t.broker ~stream c.creds with
       | schema ->
         Counters.incr t.counters "describes";
-        reply_ok c (meta_text (advert_info t stream) ^ schema)
+        (* §17: when tracing is on and the stream's publisher carries a
+           context, serve it as a [trace=] metadata line — a mirror
+           DESCRIBEs before replicating and joins the same trace, so
+           spans line up across relays. Never persisted (the mirror
+           strips it before re-advertising). *)
+        let meta =
+          let kvs = advert_info t stream in
+          match
+            if t.trace = None then None
+            else Hashtbl.find_opt t.stream_trace stream
+          with
+          | Some ctx -> kvs @ [ ("trace", Trace.to_string ctx) ]
+          | None -> kvs
+        in
+        reply_ok c (meta_text meta ^ schema)
       | exception Broker.Unknown_stream s ->
         reply_err t c (Printf.sprintf "describe: unknown stream %s" s)
       | exception Broker.Access_denied m ->
@@ -1399,19 +1512,45 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
         end
         else begin
           let admit_t0 = Unix.gettimeofday () in
+          (* the message's trace context, if any: stage spans below are
+             recorded against it (sampled, or slow enough to force) *)
+          let tctx = if is_message then p.ptrace else None in
+          let admit_us =
+            match tctx with Some _ -> Trace.now_us () | None -> 0
+          in
+          let send_fanout frame =
+            match tctx with
+            | None -> Link.send p.link frame
+            | Some ctx ->
+              let f0 = Trace.now_us () in
+              t.cur_trace <- Some ctx;
+              Fun.protect
+                ~finally:(fun () -> t.cur_trace <- None)
+                (fun () -> Link.send p.link frame);
+              trace_span t ctx ~stage:"fanout_enqueue" ~stream:p.stream
+                ~t0_us:f0
+          in
           if is_message then Counters.incr t.counters "events_relayed";
           (match Hashtbl.find_opt t.stores p.stream with
           | Some st when is_message -> (
+            let ap0 =
+              match tctx with Some _ -> Trace.now_us () | None -> 0
+            in
             match Store.append st frame with
             | off ->
               Counters.incr t.counters "store_appends";
+              (match tctx with
+              | Some ctx ->
+                trace_span t ctx ~stage:"store_append" ~stream:p.stream
+                  ~t0_us:ap0
+              | None -> ());
               if p.acks then schedule_ack_flush t p.stream;
               (* thread the fresh offset through fan-out so subscriber
                  [skip_until] filters can see it without reframing *)
               t.fanout_offset <- off;
               Fun.protect
                 ~finally:(fun () -> t.fanout_offset <- -1)
-                (fun () -> Link.send p.link frame)
+                (fun () -> send_fanout frame)
             | exception Store.Store_error msg ->
               (* refuse loudly: fanning out an unstored frame would let
                  the publisher believe it is durable *)
@@ -1423,13 +1562,19 @@ let handle_frame (t : t) (c : conn) (frame : Bytes.t) =
              with Store.Store_error msg ->
                Counters.incr t.counters "store_errors";
                Log.err (fun m -> m "store %s: descriptor: %s" p.stream msg));
-            Link.send p.link frame
-          | None -> Link.send p.link frame);
+            send_fanout frame
+          | None -> send_fanout frame);
           (* publish -> queue admission latency: the full cost of
              accepting this message (store append + fan-out enqueues) *)
-          if is_message then
+          if is_message then begin
             Counters.observe t.counters "publish_admit_us"
-              (int_of_float ((Unix.gettimeofday () -. admit_t0) *. 1e6))
+              (int_of_float ((Unix.gettimeofday () -. admit_t0) *. 1e6));
+            match tctx with
+            | Some ctx ->
+              trace_span t ctx ~stage:"publish_admit" ~stream:p.stream
+                ~t0_us:admit_us
+            | None -> ()
+          end
         end
       | Pending -> protocol_reject t c "stream frame before PUBLISH"
       | Subscriber _ ->
@@ -1516,6 +1661,13 @@ let conn_progress (c : conn) =
   (match c.role with
   | Subscriber { replay = Some _; _ } -> pump_replay t c
   | Subscriber _ | Publisher _ | Pending -> ());
+  (* the traced frame (and everything queued behind it) is fully on the
+     wire: close out its end-to-end [deliver] span *)
+  (match c.trace_mark with
+  | Some tm when Rconn.queued c.io = 0 ->
+    trace_mark_span t tm ~stage:"deliver";
+    c.trace_mark <- None
+  | Some _ | None -> ());
   if t.state = Draining && Rconn.queued c.io = 0 then check_drain_done t
 
 (** Wire an accepted socket into shard [t] (loop-thread only; the
@@ -1552,7 +1704,14 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
           | `In -> Counters.incr c.home.counters ~by:n "bytes_in"
           | `Out ->
             Counters.incr c.home.counters ~by:n "bytes_out";
-            credit_conn c n)
+            credit_conn c n;
+            (* first write after a traced enqueue: the [flush] span —
+               time from fan-out to bytes reaching the socket *)
+            (match c.trace_mark with
+            | Some tm when not tm.tm_flushed ->
+              tm.tm_flushed <- true;
+              trace_mark_span c.home tm ~stage:"flush"
+            | Some _ | None -> ()))
         ()
     in
     let bucket =
@@ -1564,7 +1723,8 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
     let c =
       { cid; io; creds = []; role = Pending; over_since = None
       ; grace_timer = None; congesting = false; mac = None; mac_rejects = 0
-      ; gov_debited = 0; throttled = false; bucket; home = t }
+      ; gov_debited = 0; throttled = false; bucket; trace_mark = None
+      ; home = t }
     in
     cell := Some c;
     Hashtbl.replace t.conns cid c;
@@ -1620,12 +1780,14 @@ let resolve_relay_id ?relay_id (store : Store.config option) : string =
       id)
 
 let create_shard ~host ~port ~relay_id ~policy ~max_queue ~evict_grace
-    ~sndbuf ~auth_keys ~mac_reject_limit ~drain_s ~governor ~ingress
+    ~sndbuf ~auth_keys ~mac_reject_limit ~drain_s ~governor ~ingress ~trace
     ~shard_id ~cid_stride ~shared ~store () : t =
   let gov = Governor.create governor in
   let t =
     { host; port; relay_id; policy; max_queue; evict_grace; sndbuf; auth_keys
     ; mac_reject_limit; drain_default_s = drain_s; governor = gov; ingress
+    ; trace = Option.map (fun s -> Trace.collector ~shard:shard_id s) trace
+    ; stream_trace = Hashtbl.create 8; cur_trace = None
     ; lsock = None; lreg = None
     ; reactor = Reactor.create (); broker = Broker.create ()
     ; conns = Hashtbl.create 64; counters = Counters.create (); shard_id
@@ -1707,20 +1869,25 @@ let recover_streams (t : t) (streams : string list) =
 let create ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(policy = Block)
     ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf ?(auth_keys = [])
     ?(mac_reject_limit = 3) ?(drain_s = 2.0)
-    ?(governor = Governor.config ~budget:0 ()) ?ingress ?store () : t =
+    ?(governor = Governor.config ~budget:0 ()) ?ingress ?trace ?store () : t =
   let lsock, bound_port = Tcp.listener ~host ~port () in
   let relay_id = resolve_relay_id ?relay_id store in
   let t =
     create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
       ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-      ~drain_s ~governor ~ingress ~shard_id:0 ~cid_stride:1 ~shared:None
-      ~store ()
+      ~drain_s ~governor ~ingress ~trace ~shard_id:0 ~cid_stride:1
+      ~shared:None ~store ()
   in
   install_listener t lsock;
   (match store with
   | Some cfg -> recover_streams t (Store.streams cfg)
   | None -> ());
   t
+
+(** Snapshot of the relay's recorded trace spans, oldest first (empty
+    when tracing is disabled). Safe from any thread. *)
+let trace_spans (t : t) : Trace.span list =
+  match t.trace with None -> [] | Some col -> Trace.spans col
 
 (** Run the loop until {!request_shutdown} (then drain) completes. *)
 let run (t : t) : unit =
@@ -1775,7 +1942,8 @@ module Cluster = struct
   let start ?(host = "127.0.0.1") ?(port = 0) ?relay_id ?(shards = 1)
       ?(policy = Block) ?(max_queue = 256) ?(evict_grace_s = 1.0) ?sndbuf
       ?(auth_keys = []) ?(mac_reject_limit = 3) ?(drain_s = 2.0)
-      ?(governor = Governor.config ~budget:0 ()) ?ingress ?store () : t =
+      ?(governor = Governor.config ~budget:0 ()) ?ingress ?trace ?store () :
+      t =
     if shards < 1 then invalid_arg "Cluster.start: shards must be >= 1";
     let lsock, bound_port = Tcp.listener ~host ~port () in
     let relay_id = resolve_relay_id ?relay_id store in
@@ -1786,7 +1954,7 @@ module Cluster = struct
       Array.init shards (fun i ->
           create_shard ~host ~port:bound_port ~relay_id ~policy ~max_queue
             ~evict_grace:evict_grace_s ~sndbuf ~auth_keys ~mac_reject_limit
-            ~drain_s ~governor ~ingress ~shard_id:i ~cid_stride:shards
+            ~drain_s ~governor ~ingress ~trace ~shard_id:i ~cid_stride:shards
             ~shared:(Some shared) ~store ())
     in
     shared.peers <- arr;
@@ -1844,6 +2012,14 @@ module Cluster = struct
     Counters.merged
       (Array.to_list (Array.map (fun s -> s.counters) cl.shards))
 
+  (** Every shard's recorded trace spans, merged and time-ordered. *)
+  let trace_spans (cl : t) : Trace.span list =
+    Array.to_list cl.shards
+    |> List.concat_map (fun (s : relay) ->
+           match s.trace with None -> [] | Some col -> Trace.spans col)
+    |> List.sort (fun a b ->
+           compare a.Trace.sp_start_us b.Trace.sp_start_us)
+
   (** Signal-handler safe: unblock the acceptor and ask every shard to
       drain. *)
   let request_shutdown (cl : t) =
@@ -1876,11 +2052,12 @@ type handle = { relay : t; thread : Thread.t }
 (** [start ()] runs a relay loop in a background thread (ephemeral port
     by default) — the embedding used by tests and benchmarks. *)
 let start ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
-    ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?store () :
-    handle =
+    ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?trace ?store
+    () : handle =
   let relay =
     create ?host ?port ?relay_id ?policy ?max_queue ?evict_grace_s ?sndbuf
-      ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?store ()
+      ?auth_keys ?mac_reject_limit ?drain_s ?governor ?ingress ?trace ?store
+      ()
   in
   { relay; thread = Thread.create run relay }
 
@@ -2010,11 +2187,19 @@ module Client = struct
   let stats (t : t) : (string * int) list =
     Counters.of_text (rpc t k_stats "")
 
+  (* PROTOCOLS.md §17: an optional trace context rides PUBLISH as one
+     more [k=v] option line *)
+  let trace_opt = function
+    | None -> ""
+    | Some ctx -> "\ntrace=" ^ Trace.to_string ctx
+
   (** [publish t ~stream] switches the connection into publisher mode
       and returns the raw link: drive it with
-      {!Omf_transport.Endpoint.Sender}. *)
-  let publish (t : t) ~(stream : string) : Link.t =
-    ignore (rpc t k_publish stream);
+      {!Omf_transport.Endpoint.Sender}. [?trace] attaches a trace
+      context to the stream (PROTOCOLS.md §17): a tracing-enabled relay
+      adopts it instead of head-sampling its own. *)
+  let publish ?trace (t : t) ~(stream : string) : Link.t =
+    ignore (rpc t k_publish (stream ^ trace_opt trace));
     t.link
 
   (** [subscribe t ~stream] returns the (credential-scoped) stream
@@ -2039,8 +2224,8 @@ module Client = struct
       [Some durable]; the relay then sends a ['k' durable] frame on
       this link whenever the watermark advances. [None] means the relay
       is memory-only and will never ack. *)
-  let publish_acked (t : t) ~(stream : string) : int option * Link.t =
-    let body = rpc t k_publish (stream ^ "\nacks=1") in
+  let publish_acked ?trace (t : t) ~(stream : string) : int option * Link.t =
+    let body = rpc t k_publish (stream ^ "\nacks=1" ^ trace_opt trace) in
     let durable =
       if String.length body >= 8 && String.sub body 0 8 = "durable=" then
         int_of_string_opt (String.sub body 8 (String.length body - 8))
@@ -2106,12 +2291,12 @@ module Client = struct
       [Some (durable, tail)] against a store-backed relay — the mirror
       resumes pumping source offsets from [tail]; [None] against a
       memory-only relay (live-only replication). *)
-  let publish_mirror (t : t) ~(stream : string) ~(origin : string)
+  let publish_mirror ?trace (t : t) ~(stream : string) ~(origin : string)
       ~(epoch : int) : (int * int) option * Link.t =
     let body =
       rpc t k_publish
-        (Printf.sprintf "%s\nmirror=1\norigin=%s\nepoch=%d" stream origin
-           epoch)
+        (Printf.sprintf "%s\nmirror=1\norigin=%s\nepoch=%d%s" stream origin
+           epoch (trace_opt trace))
     in
     let kvs = parse_creds body in
     let watermarks =
@@ -2336,6 +2521,9 @@ module Session = struct
     mutable s_busy_waits : int;
         (** [busy]-triggered backoff sleeps — overload slowdowns, not
             outages; reconnect counters stay untouched *)
+    mutable s_trace : Trace.ctx option;
+        (** the stream's trace context as served by DESCRIBE at
+            subscribe time ([want_trace] only) *)
     mutable s_closed : bool;
   }
 
@@ -2351,18 +2539,30 @@ module Session = struct
       relay's [skip_until] filter guarantees no duplicates. Against a
       memory-only relay [from] is ignored and resubscribes are
       tail-only, as before. *)
-  let subscribe ?(from = -1) (cfg : config) ~(stream : string)
-      (abi : Omf_machine.Abi.t) : subscriber =
+  let subscribe ?(from = -1) ?(want_trace = false) (cfg : config)
+      ~(stream : string) (abi : Omf_machine.Abi.t) : subscriber =
     let busy_waits = ref 0 in
     let client = connect_client cfg in
     match
-      with_busy_backoff cfg
-        (Prng.create ~seed:cfg.jitter_seed ())
-        ~what:(Printf.sprintf "subscriber %s" stream)
-        ~on_busy:(fun () -> incr busy_waits)
-        (fun () -> Client.subscribe_from client ~stream ~from)
+      (* [want_trace]: learn the stream's trace context (PROTOCOLS.md
+         §17) with a DESCRIBE on the still-roleless connection, before
+         SUBSCRIBE pins it receive-only. Best-effort — a relay without
+         tracing simply serves no [trace=] line. *)
+      let trace =
+        if not want_trace then None
+        else
+          match Client.describe client ~stream with
+          | meta, _ -> Option.bind (List.assoc_opt "trace" meta) Trace.of_string
+          | exception _ -> None
+      in
+      ( trace,
+        with_busy_backoff cfg
+          (Prng.create ~seed:cfg.jitter_seed ())
+          ~what:(Printf.sprintf "subscriber %s" stream)
+          ~on_busy:(fun () -> incr busy_waits)
+          (fun () -> Client.subscribe_from client ~stream ~from) )
     with
-    | offset, schema, link ->
+    | trace, (offset, schema, link) ->
       let catalog = Catalog.create abi in
       ignore
         (Omf_xml2wire.Xml2wire.register_schema ~source:("relay:" ^ stream)
@@ -2377,7 +2577,8 @@ module Session = struct
       ; s_rng = Prng.create ~seed:cfg.jitter_seed ()
       ; s_client = Some client; s_link = Some link; s_schema = schema
       ; s_next = Option.value offset ~default:(-1)
-      ; s_reconnects = 0; s_busy_waits = !busy_waits; s_closed = false }
+      ; s_reconnects = 0; s_busy_waits = !busy_waits; s_trace = trace
+      ; s_closed = false }
     | exception e ->
       Client.close client;
       raise e
@@ -2470,6 +2671,11 @@ module Session = struct
   (** Overload backoffs served ([busy] replies waited out on a live
       connection) — distinct from {!subscriber_reconnects}. *)
 
+  let subscriber_trace (s : subscriber) = s.s_trace
+  (** The stream's trace context (PROTOCOLS.md §17) as learned at
+      subscribe time; [None] unless the session was opened with
+      [~want_trace:true] against a tracing relay. *)
+
   let subscriber_catalog (s : subscriber) = s.s_catalog
 
   let subscriber_stats (s : subscriber) : Pbio.Receiver.stats =
@@ -2491,6 +2697,9 @@ module Session = struct
     b_cfg : config;
     b_stream : string;
     b_schema : string;
+    b_trace : Trace.ctx option;
+        (** trace context re-attached to every PUBLISH, including the
+            replayed one after a reconnect (PROTOCOLS.md §17) *)
     b_window : int;
     b_catalog : Catalog.t;
     b_mem : Omf_machine.Memory.t;
@@ -2536,7 +2745,7 @@ module Session = struct
       then bounds {e unacknowledged} frames, and a full window blocks
       on the ack channel instead of raising. Against a memory-only
       relay the mode degrades to the plain fire-and-forget session. *)
-  let publisher ?(window = 1024) ?(acked = false) (cfg : config)
+  let publisher ?(window = 1024) ?(acked = false) ?trace (cfg : config)
       ~(stream : string) ~(schema : string) (abi : Omf_machine.Abi.t) :
       publisher =
     let busy_waits = ref 0 in
@@ -2550,14 +2759,15 @@ module Session = struct
         ~what:(Printf.sprintf "publisher %s" stream)
         ~on_busy:(fun () -> incr busy_waits)
         (fun () ->
-          if acked then Client.publish_acked client ~stream
-          else (None, Client.publish client ~stream))
+          if acked then Client.publish_acked client ?trace ~stream
+          else (None, Client.publish client ?trace ~stream))
     with
     | durable, link ->
       let catalog = Catalog.create abi in
       ignore (Omf_xml2wire.Xml2wire.register_schema catalog schema);
       let d = Option.value durable ~default:0 in
-      { b_cfg = cfg; b_stream = stream; b_schema = schema; b_window = window
+      { b_cfg = cfg; b_stream = stream; b_schema = schema; b_trace = trace
+      ; b_window = window
       ; b_catalog = catalog; b_mem = Omf_machine.Memory.create abi
       ; b_rng = Prng.create ~seed:cfg.jitter_seed ()
       ; b_buf = Queue.create (); b_announced = Hashtbl.create 4
@@ -2736,7 +2946,8 @@ module Session = struct
              if p.b_ack_mode then begin
                let durable, link =
                  republish () (fun () ->
-                     Client.publish_acked client ~stream:p.b_stream)
+                     Client.publish_acked client ?trace:p.b_trace
+                       ~stream:p.b_stream)
                in
                p.b_client <- Some client;
                p.b_link <- Some link;
@@ -2746,7 +2957,8 @@ module Session = struct
              else begin
                let link =
                  republish () (fun () ->
-                     Client.publish client ~stream:p.b_stream)
+                     Client.publish client ?trace:p.b_trace
+                       ~stream:p.b_stream)
                in
                p.b_client <- Some client;
                p.b_link <- Some link;

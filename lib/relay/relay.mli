@@ -42,6 +42,11 @@ module Governor = Governor
 (** Re-export of the per-shard resource governor the [?governor]
     arguments configure (see {!Governor} and doc/OVERLOAD.md). *)
 
+module Trace = Omf_trace.Trace
+(** Re-export of the sampled distributed-tracing substrate the
+    [?trace] arguments configure (see {!Omf_trace.Trace}, doc/TRACE.md
+    and PROTOCOLS.md §17). *)
+
 type t
 
 val create :
@@ -57,6 +62,7 @@ val create :
   ?drain_s:float ->
   ?governor:Governor.config ->
   ?ingress:float * float ->
+  ?trace:Trace.settings ->
   ?store:Omf_store.Store.config ->
   unit ->
   t
@@ -85,6 +91,13 @@ val create :
     [(rate, burst)] for a per-connection token bucket on publisher
     data frames — a publisher exceeding [rate] frames/s (burst
     allowance [burst]) has its reads paused until its bucket refills.
+
+    [trace] arms sampled end-to-end tracing (doc/TRACE.md,
+    PROTOCOLS.md §17): each shard records per-stage spans —
+    publish-admit, store-append, fanout-enqueue, flush, deliver — for
+    sampled (or slow) frames into a fixed ring buffer, exposed via
+    {!trace_spans} and the [stage_us.*] latency histograms in
+    {!stats}. Default: disabled, and the frame path pays nothing.
 
     [store] makes the relay durable (doc/STORE.md): every published
     message frame is appended to a per-stream segmented log under the
@@ -117,6 +130,10 @@ val governor_used : t -> int
     invariant, exactly the unwritten bytes across every connection's
     write queue (slice-length accounting; 0 when fully drained). Test
     hook for the debit/credit symmetry guarantee (doc/OVERLOAD.md). *)
+
+val trace_spans : t -> Trace.span list
+(** Snapshot of the recorded trace spans, oldest first; empty when
+    tracing is disabled. Safe from any thread. *)
 
 val run : t -> unit
 (** Run the event loop in the calling thread until a requested
@@ -152,6 +169,7 @@ module Cluster : sig
     ?drain_s:float ->
     ?governor:Governor.config ->
     ?ingress:float * float ->
+    ?trace:Trace.settings ->
     ?store:Omf_store.Store.config ->
     unit ->
     t
@@ -172,6 +190,10 @@ module Cluster : sig
   val stats : t -> (string * int) list
   (** Cluster-wide counter totals (per-shard counters summed; includes
       [shard_handoffs], the connections migrated between loops). *)
+
+  val trace_spans : t -> Trace.span list
+  (** Every shard's recorded trace spans, merged and ordered by start
+      time. Safe from any thread. *)
 
   val request_shutdown : t -> unit
   (** Unblock the acceptor and ask every shard to drain. Safe from a
@@ -201,6 +223,7 @@ val start :
   ?drain_s:float ->
   ?governor:Governor.config ->
   ?ingress:float * float ->
+  ?trace:Trace.settings ->
   ?store:Omf_store.Store.config ->
   unit ->
   handle
@@ -263,7 +286,12 @@ module Client : sig
       advertisement metadata; {!subscribe_meta} returns it so receivers
       can bind conversion plans by fingerprint. *)
 
-  val publish : t -> stream:string -> Omf_transport.Link.t
+  val publish : ?trace:Trace.ctx -> t -> stream:string -> Omf_transport.Link.t
+  (** [?trace] attaches a trace context (PROTOCOLS.md §17) as a
+      [trace=] PUBLISH option: a tracing-enabled relay adopts it —
+      spans carry the caller's trace/span ids — instead of
+      head-sampling its own. Ignored by a relay without tracing. *)
+
   val subscribe : t -> stream:string -> string * Omf_transport.Link.t
   (** The (credential-scoped) stream schema, and the raw link now
       carrying descriptor/message frames. *)
@@ -276,7 +304,8 @@ module Client : sig
       registry-binding metadata ([subject] / [version] /
       [fingerprint]); empty when the advertiser supplied none. *)
 
-  val publish_acked : t -> stream:string -> int option * Omf_transport.Link.t
+  val publish_acked :
+    ?trace:Trace.ctx -> t -> stream:string -> int option * Omf_transport.Link.t
   (** Publisher mode with durability acks (PROTOCOLS.md §13): against
       a store-backed relay returns [Some durable] — the stream's
       durable watermark, which is also the store offset the next
@@ -321,6 +350,7 @@ module Client : sig
       into the stream are disconnected so their epoch check re-runs. *)
 
   val publish_mirror :
+    ?trace:Trace.ctx ->
     t ->
     stream:string ->
     origin:string ->
@@ -408,10 +438,19 @@ module Session : sig
   type subscriber
 
   val subscribe :
-    ?from:int -> config -> stream:string -> Omf_machine.Abi.t -> subscriber
+    ?from:int ->
+    ?want_trace:bool ->
+    config ->
+    stream:string ->
+    Omf_machine.Abi.t ->
+    subscriber
   (** Connect and subscribe. Failures on this first attempt raise
       immediately (an unknown stream at session start is a
       configuration error, not an outage).
+
+      With [~want_trace:true] the session first DESCRIBEs the stream
+      and remembers its [trace=] context, if the relay serves one
+      (PROTOCOLS.md §17) — see {!subscriber_trace}.
 
       Against a store-backed relay, [from] is the store offset to
       start at: [-1] (the default) for the live tail, [0] for the
@@ -444,6 +483,11 @@ module Session : sig
       relay's backoff hint — on the same connection, never counted as
       a reconnect. *)
 
+  val subscriber_trace : subscriber -> Trace.ctx option
+  (** The stream's trace context as served at subscribe time; [None]
+      unless the session was opened with [~want_trace:true] against a
+      tracing-enabled relay. *)
+
   val subscriber_catalog : subscriber -> Omf_xml2wire.Catalog.t
   val subscriber_stats : subscriber -> Omf_pbio.Pbio.Receiver.stats
   val close_subscriber : subscriber -> unit
@@ -455,6 +499,7 @@ module Session : sig
   val publisher :
     ?window:int ->
     ?acked:bool ->
+    ?trace:Trace.ctx ->
     config ->
     stream:string ->
     schema:string ->
@@ -462,7 +507,10 @@ module Session : sig
     publisher
   (** Connect, ADVERTISE and enter publisher mode; first-attempt
       failures raise immediately. [window] (default 1024) bounds data
-      frames buffered while the relay is unreachable.
+      frames buffered while the relay is unreachable. [trace] is
+      attached to every PUBLISH — including the replayed one after a
+      reconnect — so the stream keeps one trace context across
+      outages (PROTOCOLS.md §17).
 
       With [~acked:true] (and a store-backed relay) frames stay
       buffered until the relay acknowledges them durable: a relay

@@ -1,0 +1,19 @@
+/* Monotonic clock for span timestamps.
+ *
+ * Omf_util.Clock deliberately sticks to Sys.time (CPU seconds, no unix
+ * dependency); tracing needs wall-clock-rate monotonic time that keeps
+ * advancing while a thread blocks in select/write, and it needs it
+ * cheap enough to call twice per traced frame.  CLOCK_MONOTONIC in
+ * microseconds fits a tagged OCaml int (2^62 us ~ 146k years), so the
+ * stub allocates nothing and is safe to mark noalloc. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value omf_trace_now_us(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000 + ts.tv_nsec / 1000);
+}

@@ -69,3 +69,17 @@ val prometheus : component:string -> (string * int) list -> string
     [omf_<component>_<name>_bucket{le="<bound>"}] (with [le="+Inf"] for
     the overflow bucket), [omf_<component>_<name>_sum] and
     [omf_<component>_<name>_count]. *)
+
+val push :
+  ?timeout_s:float ->
+  url:string ->
+  (string * (string * int) list) list ->
+  (unit, string) result
+(** [push ~url sources] POSTs the {!prometheus} rendering of each
+    [(component, snapshot)] source to [url] in one shot — push-gateway
+    mode for short-lived tools (the load generator, the bench harness)
+    that exit before any scrape could happen. [url] is
+    [http://host[:port][/path]]; the path defaults to
+    [/metrics/job/omf]. Blocking, bounded by [timeout_s] (default 2 s)
+    per socket operation; every failure (resolution, refusal, non-2xx)
+    is returned as [Error message], never raised. *)

@@ -7,7 +7,16 @@ let make (buf : Bytes.t) (off : int) (len : int) : t =
          (off + len) (Bytes.length buf));
   { buf; off; len }
 
-let of_bytes (buf : Bytes.t) : t = { buf; off = 0; len = Bytes.length buf }
+let of_bytes ?(off = 0) ?len (buf : Bytes.t) : t =
+  match (off, len) with
+  | 0, None -> { buf; off = 0; len = Bytes.length buf }
+  | off, len ->
+    let len = match len with Some l -> l | None -> Bytes.length buf - off in
+    if off < 0 || len < 0 || off + len > Bytes.length buf then
+      invalid_arg
+        (Printf.sprintf "Slice.of_bytes: window [%d,%d) escapes buffer of %d"
+           off (off + len) (Bytes.length buf));
+    { buf; off; len }
 let of_string (s : string) : t = of_bytes (Bytes.of_string s)
 let empty = { buf = Bytes.empty; off = 0; len = 0 }
 let length (s : t) = s.len
@@ -19,7 +28,9 @@ let get (s : t) (i : int) : char =
 
 let sub (s : t) (off : int) (len : int) : t =
   if off < 0 || len < 0 || off + len > s.len then
-    invalid_arg "Slice.sub: window escapes slice";
+    invalid_arg
+      (Printf.sprintf "Slice.sub: window [%d,%d) escapes slice of %d" off
+         (off + len) s.len);
   { buf = s.buf; off = s.off + off; len }
 
 let blit (s : t) (dst : Bytes.t) (dpos : int) : unit =

@@ -27,8 +27,10 @@ val make : Bytes.t -> int -> int -> t
 (** [make buf off len] views [len] bytes of [buf] at [off]. Raises
     [Invalid_argument] when the window is out of bounds. *)
 
-val of_bytes : Bytes.t -> t
-(** The whole buffer as a slice (no copy). *)
+val of_bytes : ?off:int -> ?len:int -> Bytes.t -> t
+(** The whole buffer (or the [off]/[len] window of it) as a slice, no
+    copy. Raises [Invalid_argument] naming the offending window when it
+    escapes the buffer. *)
 
 val of_string : string -> t
 (** Copies [s] once into a fresh buffer (strings are immutable, so the
@@ -45,7 +47,8 @@ val get : t -> int -> char
 
 val sub : t -> int -> int -> t
 (** [sub s off len] is a sub-view sharing the same backing buffer.
-    Raises [Invalid_argument] when the window escapes [s]. *)
+    Raises [Invalid_argument] naming the offending [off]/[len] window
+    when it escapes [s] (including negative offsets and lengths). *)
 
 val blit : t -> Bytes.t -> int -> unit
 (** [blit s dst dpos] copies the viewed bytes into [dst] at [dpos]. *)

@@ -248,6 +248,49 @@ let test_conn_deadline () =
         (!reason = Some "idle timeout");
       Unix.close a)
 
+(* Chunks-mode reads borrow the reactor's scratch buffer: the slice
+   handed to [on_chunk] is valid only inside the callback. The next
+   read refills the same backing buffer, so a retained slice silently
+   changes underneath — escaping the callback requires a copy
+   ([Slice.to_bytes] / [to_string]), which is the documented
+   contract. *)
+let test_chunks_borrow_contract () =
+  with_loop (fun loop ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let borrowed = ref None in
+      let copies = ref [] in
+      ignore
+        (on_loop loop (fun () ->
+             Conn.attach loop b ~mode:Conn.Chunks
+               ~on_chunk:(fun _ chunk ->
+                 if !borrowed = None then borrowed := Some chunk;
+                 copies := Omf_util.Slice.to_string chunk :: !copies)
+               ~on_close:(fun _ _ -> ())
+               ()));
+      let await what cond =
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while (not (cond ())) && Unix.gettimeofday () < deadline do
+          Thread.delay 0.005
+        done;
+        if not (cond ()) then Alcotest.failf "timeout waiting for %s" what
+      in
+      ignore (Unix.write_substring a "AAAA" 0 4);
+      await "first chunk" (fun () -> !borrowed <> None);
+      let retained = Option.get !borrowed in
+      check Alcotest.string "borrow still reads AAAA before the next read"
+        "AAAA"
+        (Omf_util.Slice.to_string retained);
+      (* the first chunk was delivered, so this write lands in a fresh
+         read that reuses the scratch buffer *)
+      ignore (Unix.write_substring a "BBBB" 0 4);
+      await "second chunk" (fun () -> List.length !copies >= 2);
+      check
+        (Alcotest.list Alcotest.string)
+        "escaped copies are stable" [ "BBBB"; "AAAA" ] !copies;
+      check Alcotest.string "retained borrow was overwritten" "BBBB"
+        (Omf_util.Slice.to_string retained);
+      Unix.close a)
+
 let () =
   Alcotest.run "reactor"
     [ ( "wheel"
@@ -258,7 +301,9 @@ let () =
     ; ( "conn"
       , [ Alcotest.test_case "fd churn leaks nothing" `Quick test_fd_churn
         ; Alcotest.test_case "deadline dooms idle conn" `Quick
-            test_conn_deadline ] )
+            test_conn_deadline
+        ; Alcotest.test_case "chunk slices borrow the scratch buffer"
+            `Quick test_chunks_borrow_contract ] )
     ; ( "wakeup"
       , [ Alcotest.test_case "inject under cross-thread load" `Quick
             test_inject_under_load ] )

@@ -613,6 +613,43 @@ let test_governor_hysteresis () =
   check int "disabled stays healthy" 0 (G.health_level (G.health off));
   check bool "disabled reports so" false (G.enabled off)
 
+(* the busy retry hint adapts to the observed drain rate: used bytes /
+   credited-bytes-per-second, clamped to [configured, 10x configured] *)
+let test_governor_adaptive_retry () =
+  let module G = Relay.Governor in
+  let g = G.create (G.config ~budget:10_000 ~busy_retry_ms:100 ()) in
+  check int "no drain rate yet: the configured floor" 100 (G.busy_retry_ms g);
+  G.debit g 1000;
+  G.note_tick g ~now:10.0;
+  (* first tick only arms the window; still the floor *)
+  check int "first tick arms, floor holds" 100 (G.busy_retry_ms g);
+  G.credit g 500;
+  G.note_tick g ~now:11.0;
+  check bool "rate observed" true (abs_float (G.drain_rate g -. 500.0) < 1e-6);
+  (* 500 bytes still queued at 500 B/s -> ~1000ms estimate *)
+  check int "estimate = used / rate" 1000 (G.busy_retry_ms g);
+  (* a much faster drain pulls the hint down toward the floor *)
+  G.credit g 450;
+  G.note_tick g ~now:12.0;
+  (* EWMA(0.5): (500 + 450) / 2 = 475 B/s; 50 B left -> ~105ms *)
+  let hint = G.busy_retry_ms g in
+  check bool "fast drain shrinks the hint" true (hint >= 100 && hint < 200);
+  G.credit g 50;
+  check int "nothing queued: floor again" 100 (G.busy_retry_ms g);
+  (* a stalled queue cannot push the hint past the 10x ceiling *)
+  G.debit g 10_000;
+  G.note_tick g ~now:13.0;
+  G.credit g 1;
+  G.note_tick g ~now:14.0;
+  check int "stall clamps at 10x the floor" 1000 (G.busy_retry_ms g);
+  (* sub-10ms ticks are ignored so a burst of gauge refreshes cannot
+     produce a garbage rate *)
+  let before = G.drain_rate g in
+  G.credit g 100;
+  G.note_tick g ~now:14.001;
+  check bool "too-close tick ignored" true
+    (abs_float (G.drain_rate g -. before) < 1e-6)
+
 let test_governor_overload_sheds_publish () =
   (* a tiny budget + a subscriber that never reads: publishing into the
      backlog must flip the shard to overloaded and shed PUBLISH with a
@@ -785,6 +822,8 @@ let () =
     ; ( "governor",
         [ Alcotest.test_case "hysteresis state machine" `Quick
             test_governor_hysteresis
+        ; Alcotest.test_case "adaptive busy retry hint" `Quick
+            test_governor_adaptive_retry
         ; Alcotest.test_case "overload sheds publish with busy" `Quick
             test_governor_overload_sheds_publish
         ; Alcotest.test_case "byte accounting symmetry" `Quick

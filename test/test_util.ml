@@ -259,6 +259,113 @@ let test_token_bucket () =
   done;
   check bool "unlimited never throttles" true (Tb.ready u ~now:0.0)
 
+(* index of the first occurrence of [sub] in [s], if any *)
+let find_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then None
+    else if String.equal (String.sub s i n) sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_slice_bounds () =
+  let module Slice = Omf_util.Slice in
+  let b = Bytes.of_string "abcdefgh" in
+  check str "window view" "cde" (Slice.to_string (Slice.of_bytes ~off:2 ~len:3 b));
+  check str "sub view" "de"
+    (Slice.to_string (Slice.sub (Slice.of_bytes ~off:2 ~len:3 b) 1 2));
+  let expect_invalid name want f =
+    match f () with
+    | (_ : Slice.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument m ->
+      if not (Omf_testkit.Strings.contains m want) then
+        Alcotest.failf "%s: message %S does not name the window (%S)" name m
+          want
+  in
+  expect_invalid "of_bytes past end" "[4,9) escapes buffer of 8" (fun () ->
+      Slice.of_bytes ~off:4 ~len:5 b);
+  expect_invalid "of_bytes negative off" "[-1," (fun () ->
+      Slice.of_bytes ~off:(-1) b);
+  expect_invalid "of_bytes negative len" "escapes buffer of 8" (fun () ->
+      Slice.of_bytes ~len:(-2) b);
+  expect_invalid "sub escapes view" "[2,4) escapes slice of 3" (fun () ->
+      Slice.sub (Slice.of_bytes ~off:2 ~len:3 b) 2 2);
+  expect_invalid "sub negative off" "[-1,0) escapes slice of 3" (fun () ->
+      Slice.sub (Slice.of_bytes ~off:2 ~len:3 b) (-1) 1);
+  expect_invalid "make out of bounds" "[0,9) escapes buffer of 8" (fun () ->
+      Slice.make b 0 9)
+
+(** A one-shot push-gateway: accept one connection, read the request,
+    answer 200, and hand the request text back. *)
+let mini_gateway () =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let seen = ref "" in
+  let th =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept srv in
+        let buf = Bytes.create 65536 in
+        let body_complete req =
+          match find_sub req "\r\n\r\n" with
+          | None -> false
+          | Some i ->
+            let cl =
+              match find_sub req "Content-Length: " with
+              | None -> 0
+              | Some j ->
+                let rest = String.sub req (j + 16) (String.length req - j - 16) in
+                int_of_string (String.sub rest 0 (String.index rest '\r'))
+            in
+            String.length req >= i + 4 + cl
+        in
+        let rec read_req acc =
+          if body_complete acc then acc
+          else
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> acc
+            | n -> read_req (acc ^ Bytes.sub_string buf 0 n)
+        in
+        seen := read_req "";
+        let resp = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n" in
+        ignore (Unix.write_substring fd resp 0 (String.length resp));
+        Unix.close fd;
+        Unix.close srv)
+      ()
+  in
+  (port, seen, th)
+
+let test_counters_push () =
+  let module C = Omf_util.Counters in
+  let port, seen, th = mini_gateway () in
+  let url = Printf.sprintf "http://127.0.0.1:%d/metrics/job/test" port in
+  (match C.push ~url [ ("loadgen", [ ("frames", 42) ]) ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "push failed: %s" m);
+  Thread.join th;
+  check bool "POSTs the given path" true
+    (Omf_testkit.Strings.contains !seen "POST /metrics/job/test HTTP/1.1");
+  check bool "body is prometheus text" true
+    (Omf_testkit.Strings.contains !seen "omf_loadgen_frames 42");
+  (* failures are returned, never raised *)
+  (match C.push ~timeout_s:0.2 ~url:"http://127.0.0.1:1/x" [] with
+  | Ok () -> Alcotest.fail "push to a closed port succeeded"
+  | Error m -> check bool "error mentions push" true
+      (Omf_testkit.Strings.contains m "push"));
+  match C.push ~url:"ftp://nope" [] with
+  | Ok () -> Alcotest.fail "bad scheme accepted"
+  | Error m ->
+    check bool "bad scheme named" true
+      (Omf_testkit.Strings.contains m "unsupported url")
+
 let test_strings_replace () =
   check str "basic" "a-Y-c" (Omf_testkit.Strings.replace ~sub:"b" ~by:"Y" "a-b-c");
   check str "multiple" "xx" (Omf_testkit.Strings.replace ~sub:"ab" ~by:"x" "abab");
@@ -298,5 +405,11 @@ let () =
     ; ( "token-bucket",
         [ Alcotest.test_case "refill, debt, monotonic clock" `Quick
             test_token_bucket ] )
+    ; ( "slice",
+        [ Alcotest.test_case "bounds checks name the window" `Quick
+            test_slice_bounds ] )
+    ; ( "push",
+        [ Alcotest.test_case "one-shot POST to a gateway" `Quick
+            test_counters_push ] )
     ; ( "strings",
         [ Alcotest.test_case "replace" `Quick test_strings_replace ] ) ]
