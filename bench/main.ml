@@ -13,6 +13,7 @@
     - E6-store: durable streams (append cost, fsync policy, replay)
     - E10-fanout: zero-copy fan-out (throughput + relay allocation)
     - E11-trace: sampled tracing overhead + stage-latency decomposition
+    - E12-compress: negotiated wire compression (bytes on wire, ratio)
     - A1: discovery-method ablation (orthogonality, section 3.3)
 
     Absolute numbers reflect this simulator on today's hardware; the
@@ -1636,6 +1637,179 @@ let e11_trace () =
     | Error m -> note "metrics push to %s failed: %s\n" url m)
 
 (* ------------------------------------------------------------------ *)
+(* E12-compress: negotiated wire compression                            *)
+(* ------------------------------------------------------------------ *)
+
+let e12_compress () =
+  section
+    "E12-compress. Negotiated wire compression: bytes on wire, ratio, \
+     throughput";
+  note
+    "One publisher streams padded structure-A events through the relay\n\
+     to N subscribers, sweeping three payload shapes (zero-fill padding,\n\
+     the bare paper struct, random padding) against three modes: off,\n\
+     comp=lz on every client link (doc/COMPRESS.md), and link + sealed\n\
+     segments compressed on disk (--store-compress, small segments so\n\
+     they roll). bytes-on-wire is the relay's bytes_out counter over\n\
+     the whole run; the reduction column compares each mode against\n\
+     off for the same shape.\n";
+  let stream = "bench-compress" in
+  let nsubs = if quick then 2 else 4 in
+  let events = if quick then 300 else 3_000 in
+  let pad = if quick then 512 else 2048 in
+  let rng = Random.State.make [| 0x5eed; 0xc0de |] in
+  (* printable random padding: incompressible enough that the encoder's
+     stored-block fallback is what keeps the overhead bounded *)
+  let random_pad =
+    String.init pad (fun _ -> Char.chr (32 + Random.State.int rng 95))
+  in
+  let shapes =
+    [ ("zeros", Some (String.make pad 'x'))
+    ; ("paper-struct", None)
+    ; ("random", Some random_pad) ]
+  in
+  let event ~seq ~fill =
+    match Fx.value_a with
+    | Value.Record fields ->
+      Value.Record
+        (List.map
+           (fun (k, v) ->
+             match (k, fill) with
+             | "fltNum", _ -> (k, Value.Int (Int64.of_int seq))
+             | "equip", Some s -> (k, Value.String s)
+             | _ -> (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let run ~compress ~store_root ~fill =
+    let store =
+      Option.map
+        (fun root ->
+          { (Store.default_config ~root) with
+            segment_bytes = 64 * 1024
+          ; fsync = Store.Interval 0.01
+          ; compress = true })
+        store_root
+    in
+    let h = Relay.start ?store () in
+    let port = Relay.port (Relay.relay h) in
+    Fun.protect ~finally:(fun () -> Relay.stop h) @@ fun () ->
+    let admin = Relay.Client.connect ~port () in
+    Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
+    let subs =
+      List.init nsubs (fun _ ->
+          Thread.create
+            (fun () ->
+              let c = Relay.Client.connect ~port ~compress () in
+              let _schema, link = Relay.Client.subscribe c ~stream in
+              let seen = ref 0 in
+              while !seen < events do
+                match Omf_transport.Link.recv link with
+                | Some f when Bytes.length f > 0 && Bytes.get f 0 = 'M' ->
+                  incr seen
+                | Some _ -> ()
+                | None -> seen := events
+              done;
+              Relay.Client.close c)
+            ())
+    in
+    let rec wait_subs () =
+      let n =
+        List.assoc_opt
+          (Printf.sprintf "stream.%s.subscribers" stream)
+          (Relay.Client.stats admin)
+      in
+      if Option.value ~default:0 n < nsubs then begin
+        Thread.delay 0.005;
+        wait_subs ()
+      end
+    in
+    wait_subs ();
+    let pc = Relay.Client.connect ~port ~compress () in
+    Relay.Client.advertise pc ~stream ~schema:Fx.schema_a;
+    let pub = Relay.Client.publish pc ~stream in
+    let catalog = Catalog.create Abi.x86_64 in
+    ignore (X2W.register_schema catalog Fx.schema_a);
+    let fmt = Option.get (Catalog.find_format catalog "ASDOffEvent") in
+    let sender =
+      Omf_transport.Endpoint.Sender.create pub (Memory.create Abi.x86_64)
+    in
+    let t0 = Unix.gettimeofday () in
+    for seq = 0 to events - 1 do
+      Omf_transport.Endpoint.Sender.send_value sender fmt (event ~seq ~fill)
+    done;
+    List.iter Thread.join subs;
+    let dt = Unix.gettimeofday () -. t0 in
+    let stats = Relay.Client.stats admin in
+    let stat k = Option.value ~default:0 (List.assoc_opt k stats) in
+    let r =
+      ( float_of_int events /. dt
+      , stat "bytes_out"
+      , stat (Printf.sprintf "comp.%s.raw_bytes" stream)
+      , stat (Printf.sprintf "comp.%s.wire_bytes" stream)
+      , stat (Printf.sprintf "store.%s.comp_raw" stream)
+      , stat (Printf.sprintf "store.%s.comp_stored" stream) )
+    in
+    Relay.Client.close pc;
+    Relay.Client.close admin;
+    r
+  in
+  let rows = ref [] in
+  let store_rows = ref [] in
+  List.iter
+    (fun (shape, fill) ->
+      let rate_off, wire_off, _, _, _, _ =
+        run ~compress:false ~store_root:None ~fill
+      in
+      let mode label rate wire =
+        [ shape
+        ; label
+        ; Printf.sprintf "%.0f" rate
+        ; string_of_int wire
+        ; Printf.sprintf "%.2fx" (float_of_int wire_off /. float_of_int wire)
+        ; Printf.sprintf "%+.1f%%" ((rate -. rate_off) /. rate_off *. 100.0)
+        ]
+      in
+      rows := !rows @ [ mode "off" rate_off wire_off ];
+      let rate_l, wire_l, _, _, _, _ =
+        run ~compress:true ~store_root:None ~fill
+      in
+      rows := !rows @ [ mode "link" rate_l wire_l ];
+      with_store_root (fun root ->
+          let rate_ls, wire_ls, _, _, comp_raw, comp_stored =
+            run ~compress:true ~store_root:(Some root) ~fill
+          in
+          rows := !rows @ [ mode "link+store" rate_ls wire_ls ];
+          if comp_raw > 0 then
+            store_rows :=
+              !store_rows
+              @ [ [ shape
+                  ; string_of_int comp_raw
+                  ; string_of_int comp_stored
+                  ; Printf.sprintf "%.2fx"
+                      (float_of_int comp_raw /. float_of_int comp_stored) ]
+                ]))
+    shapes;
+  table
+    [ "payload"; "mode"; "events/s"; "bytes on wire"; "reduction"; "vs off" ]
+    !rows;
+  note
+    "Sealed segments rewritten by --store-compress during the link+store\n\
+     runs (record-region bytes before and after sealing):\n";
+  table [ "payload"; "raw B"; "stored B"; "ratio" ] !store_rows;
+  note
+    "Redundant payloads shrink severalfold on the wire; the random\n\
+     sweep shows the floor — incompressible blocks ride as stored\n\
+     blocks (1 byte of header per frame) and cost only the failed\n\
+     match search. Note the asymmetry: the random pad repeats across\n\
+     events, so the stateless per-frame wire blocks can't touch it\n\
+     (~1x) while the segment-level blocks compress it away — sealed\n\
+     segments see cross-frame redundancy the wire path deliberately\n\
+     gives up for drop/fan-out safety. Compression is negotiated per\n\
+     connection, so the off rows are byte-identical to a build without\n\
+     lib/compress.\n"
+
+(* ------------------------------------------------------------------ *)
 (* A1: discovery ablation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1754,6 +1928,7 @@ let () =
   e9_overload ();
   e10_fanout ();
   e11_trace ();
+  e12_compress ();
   a1 ();
   a2 ();
   Printf.printf "\nAll benchmark sections completed.\n"

@@ -42,11 +42,13 @@ type sub_report = {
   mutable out_of_order : int;
   mutable closed_early : bool;
   mutable finished : bool;  (** thread returned (joinable without blocking) *)
+  mutable raw_bytes : int;  (** through the compression wrapper, if any *)
+  mutable wire_bytes : int;
 }
 
-let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
-    (report : sub_report) () =
-  let consumer = Relay.attach_consumer ~host ~port ?auth ~stream abi in
+let subscriber_thread ~host ~port ?auth ~compress ~stream ~last_seq
+    (abi : Abi.t) (report : sub_report) () =
+  let consumer = Relay.attach_consumer ~host ~port ?auth ~compress ~stream abi in
   let rec go prev =
     match Relay.recv consumer with
     | None -> report.closed_early <- true
@@ -60,6 +62,11 @@ let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
       if seq < last_seq then go seq
   in
   (try go (-1) with _ -> report.closed_early <- true);
+  (match Relay.Client.comp_totals consumer.Relay.client with
+  | Some (raw, wire) ->
+    report.raw_bytes <- raw;
+    report.wire_bytes <- wire
+  | None -> ());
   Relay.close_consumer consumer;
   report.finished <- true
 
@@ -67,20 +74,20 @@ let subscriber_thread ~host ~port ?auth ~stream ~last_seq (abi : Abi.t)
     spawn the subscriber fleet, wait for the relay to see it, publish
     [events] events, join the fleet. Returns
     [(dt, delivered, ooo, early, behind)]. *)
-let measure ~host ~port ?auth ~stream ~admin ~sender ~fmt ~subscribers ~events
-    ~rate ~pad () =
+let measure ~host ~port ?auth ~compress ~stream ~admin ~sender ~fmt
+    ~subscribers ~events ~rate ~pad () =
   let reports =
     Array.init subscribers (fun _ ->
         { received = 0; out_of_order = 0; closed_early = false
-        ; finished = false })
+        ; finished = false; raw_bytes = 0; wire_bytes = 0 })
   in
   let threads =
     Array.mapi
       (fun i report ->
         let abi = List.nth Abi.all (i mod List.length Abi.all) in
         Thread.create
-          (subscriber_thread ~host ~port ?auth ~stream ~last_seq:(events - 1)
-             abi report)
+          (subscriber_thread ~host ~port ?auth ~compress ~stream
+             ~last_seq:(events - 1) abi report)
           ())
       reports
   in
@@ -135,7 +142,9 @@ let measure ~host ~port ?auth ~stream ~admin ~sender ~fmt ~subscribers ~events
   let early =
     Array.fold_left (fun a r -> a + if r.closed_early then 1 else 0) 0 reports
   in
-  (dt, delivered, ooo, early, !behind)
+  let raw = Array.fold_left (fun a r -> a + r.raw_bytes) 0 reports in
+  let wire = Array.fold_left (fun a r -> a + r.wire_bytes) 0 reports in
+  (dt, delivered, ooo, early, !behind, raw, wire)
 
 (** Per-stage latency percentiles from the relay's merged
     [hist.stage_us.*] histogram counters: each percentile is the
@@ -194,8 +203,8 @@ let print_stage_table (stats : (string * int) list) =
       stages
   end
 
-let run serve host port policy max_queue auth subscribers events pad sizes
-    rate trace push stream =
+let run serve host port policy max_queue auth compress subscribers events pad
+    sizes rate trace push stream =
   let handle =
     if serve then
       Some
@@ -211,7 +220,10 @@ let run serve host port policy max_queue auth subscribers events pad sizes
     match handle with Some h -> Relay.port (Relay.relay h) | None -> port
   in
   (* advertise, then bring up the publisher endpoint *)
-  let admin = Relay.Client.connect ~host ~port ?auth () in
+  let admin = Relay.Client.connect ~host ~port ?auth ~compress () in
+  if compress && not (Relay.Client.compressed admin) then
+    Printf.printf
+      "relay_loadgen: relay did not grant comp=lz; running uncompressed\n%!";
   Relay.Client.advertise admin ~stream ~schema:Fx.schema_a;
   let pub_link =
     Relay.Client.publish
@@ -224,14 +236,20 @@ let run serve host port policy max_queue auth subscribers events pad sizes
   let sender =
     Omf_transport.Endpoint.Sender.create pub_link (Memory.create Abi.x86_64)
   in
-  let measure = measure ~host ~port ?auth ~stream ~admin ~sender ~fmt
-      ~subscribers ~events ~rate
+  let measure = measure ~host ~port ?auth ~compress ~stream ~admin ~sender
+      ~fmt ~subscribers ~events ~rate
   in
   let total_ooo = ref 0 in
+  let comp_raw = ref 0 and comp_wire = ref 0 in
+  let note_comp raw wire =
+    comp_raw := !comp_raw + raw;
+    comp_wire := !comp_wire + wire
+  in
   (match sizes with
   | [] ->
-    let dt, delivered, ooo, early, behind = measure ~pad () in
+    let dt, delivered, ooo, early, behind, raw, wire = measure ~pad () in
     total_ooo := ooo;
+    note_comp raw wire;
     Printf.printf
       "relay_loadgen: %d events -> %d subscribers in %.3f s (policy %s%s)\n"
       events subscribers dt
@@ -263,8 +281,11 @@ let run serve host port policy max_queue auth subscribers events pad sizes
       "deliveries/s" "lost" "ooo" "early";
     List.iter
       (fun size ->
-        let dt, delivered, ooo, early, _behind = measure ~pad:size () in
+        let dt, delivered, ooo, early, _behind, raw, wire =
+          measure ~pad:size ()
+        in
         total_ooo := !total_ooo + ooo;
+        note_comp raw wire;
         Printf.printf "  %10d %12d %14d %9d %6d %6d\n" size
           (int_of_float (float_of_int events /. dt))
           (int_of_float (float_of_int delivered /. dt))
@@ -281,6 +302,18 @@ let run serve host port policy max_queue auth subscribers events pad sizes
     ; "evictions_eager"; "publish_busy"; "subscribe_busy"
     ; "ingress_throttled"; "governor_degraded"; "governor_overloaded"
     ; "governor_recovered" ];
+  if Relay.Client.compressed admin then begin
+    (* publisher-side totals from the admin connection plus the
+       subscriber fleet's, gathered before each consumer closed *)
+    (match Relay.Client.comp_totals admin with
+    | Some (raw, wire) -> note_comp raw wire
+    | None -> ());
+    if !comp_wire > 0 then
+      Printf.printf
+        "  compression      %9d raw -> %d wire bytes (ratio %.2fx)\n"
+        !comp_raw !comp_wire
+        (float_of_int !comp_raw /. float_of_int !comp_wire)
+  end;
   if trace then begin
     Printf.printf "  stage latency breakdown (microseconds):\n";
     print_stage_table stats
@@ -347,6 +380,16 @@ let auth_arg =
         ~doc:
           "Negotiate HMAC-authenticated framing on every connection (and \
            accept that key on the self-hosted relay with $(b,--serve)).")
+
+let compress_arg =
+  Arg.(
+    value & flag
+    & info [ "compress" ]
+        ~doc:
+          "Offer $(b,comp=lz) wire compression on every connection \
+           (doc/COMPRESS.md) and report the achieved raw/wire ratio. A \
+           relay that does not speak compression negotiates down to \
+           plain frames.")
 
 let subscribers_arg =
   Arg.(
@@ -417,6 +460,6 @@ let () =
           Term.(
             ret
               (const run $ serve_arg $ host_arg $ port_arg $ policy_arg
-             $ max_queue_arg $ auth_arg $ subscribers_arg $ events_arg
-             $ pad_arg $ sizes_arg $ rate_arg $ trace_flag_arg $ push_arg
-             $ stream_arg))))
+             $ max_queue_arg $ auth_arg $ compress_arg $ subscribers_arg
+             $ events_arg $ pad_arg $ sizes_arg $ rate_arg $ trace_flag_arg
+             $ push_arg $ stream_arg))))

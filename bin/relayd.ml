@@ -180,6 +180,17 @@ let store_retain_age_arg =
     & info [ "store-retain-age-s" ] ~docv:"SECONDS"
         ~doc:"Drop sealed segments older than $(docv) seconds (0 = never).")
 
+let store_compress_arg =
+  Arg.(
+    value & flag
+    & info [ "store-compress" ]
+        ~doc:
+          "Rewrite each segment as one LZ block when it is sealed \
+           (doc/COMPRESS.md): the tail stays plain so appends and \
+           torn-tail recovery are untouched, replay inflates \
+           transparently, and the retention budgets count the \
+           compressed on-disk size.")
+
 let relay_id_arg =
   Arg.(
     value
@@ -237,6 +248,16 @@ let mirror_rescan_arg =
         ~doc:
           "How often the mirror manager re-LISTs the source for new \
            streams and refreshes replication-lag gauges.")
+
+let mirror_compress_arg =
+  Arg.(
+    value & flag
+    & info [ "mirror-compress" ]
+        ~doc:
+          "Offer $(b,comp=lz) wire compression on both legs of every \
+           replication link (doc/COMPRESS.md, PROTOCOLS.md §18). A peer \
+           that does not speak compression negotiates down to plain \
+           frames, so the flag is safe against old relays.")
 
 let governor_budget_arg =
   Arg.(
@@ -303,10 +324,10 @@ let verbose_arg =
 
 let run port host policy max_queue evict_grace auth_keys mac_reject_limit
     drain shards metrics_port store_dir store_fsync store_segment_mb
-    store_retain_segments store_retain_mb store_retain_age relay_id mirror
-    mirror_promote mirror_rescan governor_budget governor_retry_ms
-    trace_sample trace_buffer trace_slow_us ingress_rate ingress_burst
-    verbose =
+    store_retain_segments store_retain_mb store_retain_age store_compress
+    relay_id mirror mirror_promote mirror_rescan mirror_compress
+    governor_budget governor_retry_ms trace_sample trace_buffer trace_slow_us
+    ingress_rate ingress_burst verbose =
   setup_logs verbose;
   let trace =
     if trace_sample > 0.0 || trace_slow_us > 0 then
@@ -323,7 +344,8 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
         ; fsync = store_fsync
         ; retain_segments = store_retain_segments
         ; retain_bytes = store_retain_mb * 1024 * 1024
-        ; retain_age = store_retain_age })
+        ; retain_age = store_retain_age
+        ; compress = store_compress })
       store_dir
   in
   let governor =
@@ -372,18 +394,21 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
             let m =
               Omf_mirror.Mirror.start
                 (Omf_mirror.Mirror.config ~globs ~rescan_s:mirror_rescan
-                   ~promote_on_loss:mirror_promote ?trace
+                   ~promote_on_loss:mirror_promote
+                   ~compress:mirror_compress ?trace
                    ~source_host:src_host ~source_port:src_port
                    ~local_host:host
                    ~local_port:(Omf_relay.Relay.Cluster.port cluster)
                    ~local_relay_id:(Omf_relay.Relay.Cluster.relay_id cluster)
                    ())
             in
-            Printf.printf "relayd: mirroring %s:%d%s%s\n%!" src_host src_port
+            Printf.printf "relayd: mirroring %s:%d%s%s%s\n%!" src_host
+              src_port
               (match globs with
               | [] -> ""
               | gs -> Printf.sprintf " (streams %s)" (String.concat ", " gs))
-              (if mirror_promote then ", promote on loss" else "");
+              (if mirror_promote then ", promote on loss" else "")
+              (if mirror_compress then ", compress" else "");
             m)
           mirror
       in
@@ -416,7 +441,7 @@ let run port host policy max_queue evict_grace auth_keys mac_reject_limit
         Option.map
           (fun p ->
             let srv =
-              Omf_httpd.Http.serve_metrics ~host ~port:p
+              Omf_httpd.Http.serve_metrics ~host ~port:p ~staleness:true
                 ~routes:trace_routes
                 (List.map
                    (fun (name, _) ->
@@ -463,8 +488,9 @@ let () =
              $ drain_arg $ shards_arg $ metrics_port_arg $ store_arg
              $ store_fsync_arg $ store_segment_mb_arg
              $ store_retain_segments_arg $ store_retain_mb_arg
-             $ store_retain_age_arg $ relay_id_arg $ mirror_arg
-             $ mirror_promote_arg $ mirror_rescan_arg $ governor_budget_arg
+             $ store_retain_age_arg $ store_compress_arg $ relay_id_arg
+             $ mirror_arg $ mirror_promote_arg $ mirror_rescan_arg
+             $ mirror_compress_arg $ governor_budget_arg
              $ governor_retry_ms_arg $ trace_sample_arg $ trace_buffer_arg
              $ trace_slow_us_arg $ ingress_rate_arg $ ingress_burst_arg
              $ verbose_arg))))

@@ -535,22 +535,30 @@ let fetcher ?(host = "127.0.0.1") ~port ~path ?timeout_s () : unit -> string =
     extra [(path, thunk)] endpoints beside [/metrics] (relayd's
     [/trace/spans] and [/trace/summary]); thunks run per request.
     Everything else is 404. *)
-let metrics_handler ?(routes : (string * (unit -> response)) list = [])
+let metrics_handler ?(staleness = false)
+    ?(routes : (string * (unit -> response)) list = [])
     (sources : (string * (unit -> (string * int) list)) list) : handler =
- fun ~path ~headers:_ ->
-  if String.equal path "/metrics" then
-    ok
-      ~content_type:"text/plain; version=0.0.4"
-      (String.concat ""
-         (List.map
-            (fun (component, snapshot) ->
-              Omf_util.Counters.prometheus ~component (snapshot ()))
-            sources))
-  else
-    match List.assoc_opt path routes with
-    | Some thunk -> thunk ()
-    | None -> not_found path
+  (* One tracker for the handler's lifetime: scrape N+1 is compared
+     against scrape N. All requests run on the server's single reactor
+     thread, so the unguarded mutation is safe. *)
+  let tracker =
+    if staleness then Some (Omf_util.Counters.staleness ()) else None
+  in
+  fun ~path ~headers:_ ->
+    if String.equal path "/metrics" then
+      ok
+        ~content_type:"text/plain; version=0.0.4"
+        (String.concat ""
+           (List.map
+              (fun (component, snapshot) ->
+                Omf_util.Counters.prometheus ?staleness:tracker ~component
+                  (snapshot ()))
+              sources))
+    else
+      match List.assoc_opt path routes with
+      | Some thunk -> thunk ()
+      | None -> not_found path
 
 (** Mount [metrics_handler] on its own ephemeral-or-fixed port. *)
-let serve_metrics ?host ~port ?routes sources : server =
-  serve ?host ~port (metrics_handler ?routes sources)
+let serve_metrics ?host ~port ?staleness ?routes sources : server =
+  serve ?host ~port (metrics_handler ?staleness ?routes sources)

@@ -73,19 +73,26 @@ val serve_directory : ?host:string -> port:int -> string -> server
 (** Serve the [*.xsd] files of a directory; traversal-safe. *)
 
 val metrics_handler :
+  ?staleness:bool ->
   ?routes:(string * (unit -> response)) list ->
   (string * (unit -> (string * int) list)) list ->
   handler
 (** [metrics_handler sources] answers [GET /metrics] with each
     [(component, snapshot)] rendered as Prometheus text
     ([omf_<component>_<name> <value>] lines); snapshots are taken per
-    request. [routes] mounts extra [(path, thunk)] endpoints beside
-    [/metrics] — relayd's [/trace/spans] and [/trace/summary] live
-    here. Everything else is 404. *)
+    request. [~staleness:true] adds scrape-time staleness marks
+    (default off): each scrape is compared against the previous one
+    and annotated with a [# staleness] comment plus an
+    [omf_<component>_stale] marker series counting unchanged series —
+    see {!Omf_util.Counters.prometheus}. [routes] mounts extra
+    [(path, thunk)] endpoints beside [/metrics] — relayd's
+    [/trace/spans] and [/trace/summary] live here. Everything else is
+    404. *)
 
 val serve_metrics :
   ?host:string ->
   port:int ->
+  ?staleness:bool ->
   ?routes:(string * (unit -> response)) list ->
   (string * (unit -> (string * int) list)) list ->
   server

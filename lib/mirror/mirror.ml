@@ -62,6 +62,12 @@ type config = {
           instead of parking the link *)
   source_auth : (string * string) option;
   local_auth : (string * string) option;
+  compress : bool;
+      (** offer [comp=lz] on both legs of every replication link
+          (PROTOCOLS.md §18): the replay/live frame stream from the
+          source and the [mirror=1] re-publish into the local relay
+          both travel as LZ blocks when the peer grants it, and
+          negotiate down transparently when it doesn't *)
   io_timeout_s : float;
       (** per-operation deadline on every connection; also how quickly
           an idle pump notices a stop request *)
@@ -74,12 +80,12 @@ type config = {
 
 let config ?(globs = []) ?(rescan_s = 1.0) ?(max_attempts = 8)
     ?(base_delay_s = 0.05) ?(max_delay_s = 1.0) ?(promote_on_loss = false)
-    ?source_auth ?local_auth ?(io_timeout_s = 0.5) ?trace
+    ?source_auth ?local_auth ?(compress = false) ?(io_timeout_s = 0.5) ?trace
     ?(local_host = "127.0.0.1") ~source_host ~source_port ~local_port
     ~local_relay_id () : config =
   { source_host; source_port; local_host; local_port; local_relay_id; globs
   ; rescan_s; max_attempts; base_delay_s; max_delay_s; promote_on_loss
-  ; source_auth; local_auth; io_timeout_s; trace }
+  ; source_auth; local_auth; compress; io_timeout_s; trace }
 
 (* ------------------------------------------------------------------ *)
 (* Stream-name globs                                                    *)
@@ -162,11 +168,13 @@ let nap (t : t) (ls : link_state option) (secs : float) =
 
 let connect_source (cfg : config) : Client.t =
   Client.connect ~host:cfg.source_host ~port:cfg.source_port
-    ?auth:cfg.source_auth ~io_timeout_s:cfg.io_timeout_s ()
+    ?auth:cfg.source_auth ~compress:cfg.compress
+    ~io_timeout_s:cfg.io_timeout_s ()
 
 let connect_local (cfg : config) : Client.t =
   Client.connect ~host:cfg.local_host ~port:cfg.local_port
-    ?auth:cfg.local_auth ~io_timeout_s:cfg.io_timeout_s ()
+    ?auth:cfg.local_auth ~compress:cfg.compress
+    ~io_timeout_s:cfg.io_timeout_s ()
 
 (* A relay refusal that retrying cannot fix (the gate said no, or the
    stream is gone); everything else is an outage worth a backoff. *)

@@ -40,6 +40,11 @@ type config = {
   promote_on_loss : bool;
   source_auth : (string * string) option;
   local_auth : (string * string) option;
+  compress : bool;
+      (** offer [comp=lz] on both legs of every replication link
+          (doc/COMPRESS.md, PROTOCOLS.md §18); a source or local relay
+          that does not speak compression negotiates down to plain
+          frames, so the flag is safe against old peers *)
   io_timeout_s : float;
   trace : Omf_trace.Trace.settings option;
       (** record [mirror_replicate] spans and carry the source
@@ -56,6 +61,7 @@ val config :
   ?promote_on_loss:bool ->
   ?source_auth:string * string ->
   ?local_auth:string * string ->
+  ?compress:bool ->
   ?io_timeout_s:float ->
   ?trace:Omf_trace.Trace.settings ->
   ?local_host:string ->

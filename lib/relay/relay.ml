@@ -56,6 +56,7 @@ module Broker = Omf_backbone.Broker
 module Counters = Omf_util.Counters
 module Slice = Omf_util.Slice
 module Store = Omf_store.Store
+module Compress = Omf_compress.Compress
 module Governor = Governor
 module Trace = Omf_trace.Trace
 
@@ -195,6 +196,11 @@ type conn = {
       (** HMAC frame mode, negotiated at HELLO; sealing starts with the
           frame after the HELLO exchange in each direction *)
   mutable mac_rejects : int;  (** frames that failed authentication *)
+  mutable comp : bool;
+      (** LZ frame compression, negotiated at HELLO ([comp=lz],
+          PROTOCOLS.md §18) and armed after the plaintext banner like
+          [mac]; composed outside authentication — every wire frame is
+          [seal (compress body)] out, [decompress (open frame)] in *)
   mutable gov_debited : int;
       (** wire bytes debited against the shard governor and not yet
           credited back (written, dropped, or surrendered at close) —
@@ -286,6 +292,18 @@ and t = {
           physical identity: fanning one publish out to N subscribers
           encodes the wire slices once and every queue shares them *)
   mutable wire_cache : Slice.t list;
+  mutable comp_cache_body : Bytes.t;
+      (** same sharing for [comp=lz] subscribers, keyed the same way:
+          the body is compressed once per fan-out and every compressed
+          queue shares the block (plain MAC-less ones also share the
+          framed wire message below; sealed ones re-seal the shared
+          block per connection, as nonces are per-connection) *)
+  mutable comp_cache_blk : Bytes.t;
+  mutable comp_cache_wire : Slice.t list;
+  comp_scratch : Compress.scratch;
+      (** shard-owned match-finder workspace (the shard loop is
+          single-threaded) — compression never allocates chain arrays
+          per frame *)
   pending_acks : (string, unit) Hashtbl.t;
       (** streams with an appender awaiting a durability ack *)
   mutable ack_flush_scheduled : bool;
@@ -327,7 +345,13 @@ let stats t : (string * int) list =
         :: (Printf.sprintf "store.%s.durable" s, Store.durable st)
         :: (Printf.sprintf "store.%s.segments" s, Store.segments st)
         :: (Printf.sprintf "store.%s.bytes" s, Store.bytes st)
-        :: acc)
+        ::
+        (if Store.comp_raw_bytes st > 0 then
+           [ (Printf.sprintf "store.%s.comp_raw" s, Store.comp_raw_bytes st)
+           ; ( Printf.sprintf "store.%s.comp_stored" s
+             , Store.comp_stored_bytes st ) ]
+         else [])
+        @ acc)
       t.stores []
 
 (** Bytes debited against this shard's governor and not yet credited
@@ -427,38 +451,85 @@ let enqueue_wire (c : conn) ~droppable (wire : Slice.t list) =
   end;
   Rconn.send_wire c.io ~droppable wire
 
+(* Compression accounting (doc/COMPRESS.md): monotonic raw/wire byte
+   totals per stream, plus the achieved ratio (x100) as a histogram —
+   [comp.control.*] covers pre-role and control-only connections. *)
+let comp_ratio_bounds = [ 100; 110; 125; 150; 200; 300; 500; 800; 1600 ]
+
+let note_comp (c : conn) ~(raw : int) ~(wire : int) =
+  let t = c.home in
+  let subject =
+    match c.role with
+    | Publisher p -> p.stream
+    | Subscriber s -> s.stream
+    | Pending -> "control"
+  in
+  Counters.incr t.counters ~by:raw (Printf.sprintf "comp.%s.raw_bytes" subject);
+  Counters.incr t.counters ~by:wire
+    (Printf.sprintf "comp.%s.wire_bytes" subject);
+  if wire > 0 then
+    Counters.observe t.counters ~bounds:comp_ratio_bounds "compress_ratio"
+      (raw * 100 / wire)
+
 let enqueue_entry (c : conn) ~droppable (frame : Bytes.t) =
+  let t = c.home in
   let wire =
-    match c.mac with
-    | Some st ->
-      (* under negotiated HMAC mode every outbound frame is sealed;
-         sealing happens at enqueue time so nonces follow queue order
-         exactly — the frame path's one copy-on-seal *)
-      Frame.wire [ Slice.of_bytes (Macframe.seal_next st frame) ]
-    | None ->
-      (* encode the wire message once per published body: the broker
-         fans the same physical [frame] to every subscriber, so all N
-         queues share one header slice and one body buffer *)
-      let t = c.home in
-      if frame == t.wire_cache_body then t.wire_cache
-      else begin
-        let w = Frame.wire [ Slice.of_bytes frame ] in
-        t.wire_cache_body <- frame;
-        t.wire_cache <- w;
-        w
-      end
+    if c.comp then begin
+      (* compress once per fan-out (same physical-identity key as the
+         plain wire cache below), then frame or seal the shared block *)
+      let blk =
+        if frame == t.comp_cache_body then t.comp_cache_blk
+        else begin
+          let b = Compress.compress ~scratch:t.comp_scratch frame in
+          t.comp_cache_body <- frame;
+          t.comp_cache_blk <- b;
+          t.comp_cache_wire <- Frame.wire [ Slice.of_bytes b ];
+          b
+        end
+      in
+      note_comp c ~raw:(Bytes.length frame) ~wire:(Bytes.length blk);
+      match c.mac with
+      | Some st -> Frame.wire [ Slice.of_bytes (Macframe.seal_next st blk) ]
+      | None -> t.comp_cache_wire
+    end
+    else
+      match c.mac with
+      | Some st ->
+        (* under negotiated HMAC mode every outbound frame is sealed;
+           sealing happens at enqueue time so nonces follow queue order
+           exactly — the frame path's one copy-on-seal *)
+        Frame.wire [ Slice.of_bytes (Macframe.seal_next st frame) ]
+      | None ->
+        (* encode the wire message once per published body: the broker
+           fans the same physical [frame] to every subscriber, so all N
+           queues share one header slice and one body buffer *)
+        if frame == t.wire_cache_body then t.wire_cache
+        else begin
+          let w = Frame.wire [ Slice.of_bytes frame ] in
+          t.wire_cache_body <- frame;
+          t.wire_cache <- w;
+          w
+        end
   in
   enqueue_wire c ~droppable wire
 
 (** Enqueue a body that is a view into a shared buffer (stored-replay
     chunks): framed without copying on plain connections, sealed (the
-    copy-on-seal) on authenticated ones. *)
+    copy-on-seal) and/or compressed on negotiated ones. *)
 let enqueue_entry_slice (c : conn) ~droppable (body : Slice.t) =
   let wire =
-    match c.mac with
-    | Some st ->
-      Frame.wire [ Slice.of_bytes (Macframe.seal_next_slices st [ body ]) ]
-    | None -> Frame.wire [ body ]
+    if c.comp then begin
+      let blk = Compress.compress_slice ~scratch:c.home.comp_scratch body in
+      note_comp c ~raw:(Slice.length body) ~wire:(Bytes.length blk);
+      match c.mac with
+      | Some st -> Frame.wire [ Slice.of_bytes (Macframe.seal_next st blk) ]
+      | None -> Frame.wire [ Slice.of_bytes blk ]
+    end
+    else
+      match c.mac with
+      | Some st ->
+        Frame.wire [ Slice.of_bytes (Macframe.seal_next_slices st [ body ]) ]
+      | None -> Frame.wire [ body ]
   in
   enqueue_wire c ~droppable wire
 
@@ -620,7 +691,11 @@ let rec gauge_tick (t : t) =
       g "segments" (Store.segments st);
       g "bytes" (Store.bytes st);
       g "tail" (Store.tail st);
-      g "durable" (Store.durable st))
+      g "durable" (Store.durable st);
+      if Store.comp_raw_bytes st > 0 then begin
+        g "comp_raw" (Store.comp_raw_bytes st);
+        g "comp_stored" (Store.comp_stored_bytes st)
+      end)
     t.stores;
   Governor.note_tick t.governor ~now:(Unix.gettimeofday ());
   Counters.set t.counters "governor_used_bytes" (Governor.used t.governor);
@@ -918,8 +993,21 @@ let handle_hello (t : t) (c : conn) (body : string) =
   c.creds <- parse_creds body;
   if List.mem_assoc "omf-reconnect" c.creds then
     Counters.incr t.counters "reconnects_accepted";
+  (* comp=lz (PROTOCOLS.md §18) negotiates down, never refuses: an
+     unknown mode simply isn't echoed in the banner, so both sides fall
+     back to plain frames — exactly what an old peer would do *)
+  let comp = List.assoc_opt "comp" c.creds = Some "lz" in
+  let comp_tok = if comp then " comp=lz" else "" in
+  let arm_comp () =
+    if comp then begin
+      Counters.incr t.counters "comp_sessions";
+      c.comp <- true
+    end
+  in
   match List.assoc_opt "auth" c.creds with
-  | None -> reply_ok c "omf-relay 1"
+  | None ->
+    reply_ok c ("omf-relay 1" ^ comp_tok);
+    arm_comp ()
   | Some "hmac" -> (
     match List.assoc_opt "key-id" c.creds with
     | None ->
@@ -934,10 +1022,12 @@ let handle_hello (t : t) (c : conn) (body : string) =
         Rconn.doom c.io "auth denied"
       | Some key ->
         Counters.incr t.counters "auth_sessions";
-        reply_ok c "omf-relay 1 mac";
+        reply_ok c ("omf-relay 1 mac" ^ comp_tok);
         (* armed after the reply: the reply itself is plaintext, the
-           next outbound frame is the first sealed one *)
-        c.mac <- Some (Macframe.state ~key)))
+           next outbound frame is the first sealed (and compressed)
+           one *)
+        c.mac <- Some (Macframe.state ~key);
+        arm_comp ()))
   | Some other ->
     Counters.incr t.counters "auth_denied";
     reply_err t c (Printf.sprintf "hello: unsupported auth mode %s" other);
@@ -1607,6 +1697,21 @@ let unseal (t : t) (c : conn) (frame : Bytes.t) : Bytes.t option =
         Rconn.doom c.io "authentication failures";
       None)
 
+(** Inflate an inbound frame on a [comp=lz] connection — after
+    {!unseal}, mirroring the outbound [seal (compress _)] order. A
+    malformed block means the peer lost framing sync entirely (there is
+    no per-frame tolerance to build on, unlike MAC rejects): doom. *)
+let decompress_in (t : t) (c : conn) (frame : Bytes.t) : Bytes.t option =
+  if not c.comp then Some frame
+  else
+    match Compress.decompress frame with
+    | raw -> Some raw
+    | exception Compress.Error msg ->
+      Counters.incr t.counters "frames_rejected";
+      Log.warn (fun m -> m "conn %d: corrupt compressed frame: %s" c.cid msg);
+      Rconn.doom c.io "compression error";
+      None
+
 (* ------------------------------------------------------------------ *)
 (* Reactor callbacks                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -1616,7 +1721,7 @@ let unseal (t : t) (c : conn) (frame : Bytes.t) : Bytes.t option =
     adopting shard. *)
 let conn_frame (c : conn) (frame : Bytes.t) =
   let t = c.home in
-  match unseal t c frame with
+  match Option.bind (unseal t c frame) (decompress_in t c) with
   | None -> ()
   | Some frame -> (
     try handle_frame t c frame with
@@ -1723,8 +1828,8 @@ let adopt_fd (t : t) (fd : Unix.file_descr) =
     let c =
       { cid; io; creds = []; role = Pending; over_since = None
       ; grace_timer = None; congesting = false; mac = None; mac_rejects = 0
-      ; gov_debited = 0; throttled = false; bucket; trace_mark = None
-      ; home = t }
+      ; comp = false; gov_debited = 0; throttled = false; bucket
+      ; trace_mark = None; home = t }
     in
     cell := Some c;
     Hashtbl.replace t.conns cid c;
@@ -1796,6 +1901,10 @@ let create_shard ~host ~port ~relay_id ~policy ~max_queue ~evict_grace
     ; fanout_offset = -1
     ; wire_cache_body = Bytes.empty
     ; wire_cache = Frame.wire [ Slice.of_bytes Bytes.empty ]
+    ; comp_cache_body = Bytes.empty
+    ; comp_cache_blk = Bytes.empty
+    ; comp_cache_wire = Frame.wire [ Slice.of_bytes Bytes.empty ]
+    ; comp_scratch = Compress.scratch ()
     ; pending_acks = Hashtbl.create 8
     ; ack_flush_scheduled = false; store_timer = None; gauge_timer = None
     ; next_cid = shard_id + 1; state = Running
@@ -1981,11 +2090,34 @@ module Cluster = struct
     let acceptor () =
       let next = ref 0 in
       let continue = ref true in
+      (* Governor-aware dealing (doc/OVERLOAD.md): scan the round-robin
+         order but skip shards currently Overloaded, so a drowning loop
+         is not handed fresh connections while its healthy siblings
+         have room. The health read crosses threads unlocked — it is a
+         monotone-ish hint, and a stale read only costs one connection
+         landing on a shard that was recovering anyway. When every
+         shard is overloaded the plain round-robin pick stands (the
+         governor's admission control sheds work from there). *)
+      let pick () =
+        let first = !next mod shards in
+        incr next;
+        let rec scan k =
+          if k = shards then arr.(first)
+          else
+            let cand = arr.((first + k) mod shards) in
+            if Governor.health cand.governor <> Governor.Overloaded then begin
+              if k > 0 then
+                Counters.incr cand.counters ~by:k "accept_deferred";
+              cand
+            end
+            else scan (k + 1)
+        in
+        scan 0
+      in
       while !continue do
         match Unix.accept ~cloexec:true lsock with
         | fd, _ ->
-          let shard = arr.(!next mod shards) in
-          incr next;
+          let shard = pick () in
           Reactor.inject shard.reactor (fun () -> adopt_fd shard fd)
         | exception Unix.Unix_error (EINTR, _, _) -> ()
         | exception Unix.Unix_error _ ->
@@ -2083,7 +2215,40 @@ module Client = struct
       Retryable: wait about [retry_ms] and re-issue the same command on
       the {e same} connection — the relay kept it open on purpose. *)
 
-  type t = { link : Link.t }
+  type comp_totals = { mutable raw_bytes : int; mutable wire_bytes : int }
+  (** Bytes through the compression wrapper, both directions: frame
+      bodies before compression vs blocks on the wire. *)
+
+  type t = { link : Link.t; comp : comp_totals option }
+
+  (* The client-side twin of the relay's negotiated frame mode: blocks
+     out, inflated frames in. Stacked OUTSIDE {!Macframe.wrap} so the
+     wire order matches the relay — seal (compress body). *)
+  let compress_wrap (totals : comp_totals) (link : Link.t) : Link.t =
+    (* owned by the sending side of this connection only; recv never
+       compresses, so one scratch is race-free even when send and recv
+       run on different threads *)
+    let ws = Compress.scratch () in
+    { Link.send =
+        (fun msg ->
+          let blk = Compress.compress ~scratch:ws msg in
+          totals.raw_bytes <- totals.raw_bytes + Bytes.length msg;
+          totals.wire_bytes <- totals.wire_bytes + Bytes.length blk;
+          Link.send link blk)
+    ; recv =
+        (fun () ->
+          match Link.recv link with
+          | None -> None
+          | Some blk -> (
+            match Compress.decompress blk with
+            | raw ->
+              totals.raw_bytes <- totals.raw_bytes + Bytes.length raw;
+              totals.wire_bytes <- totals.wire_bytes + Bytes.length blk;
+              Some raw
+            | exception Compress.Error msg ->
+              raise (Error ("compression: " ^ msg))))
+    ; close = (fun () -> Link.close link)
+    }
 
   let ctrl kind (body : string) : Bytes.t =
     let b = Bytes.create (1 + String.length body) in
@@ -2134,35 +2299,59 @@ module Client = struct
 
   (** [connect ~port ()] dials and HELLOs. With [?auth:(key_id, key)]
       the HELLO requests HMAC frame mode; the handshake itself is
-      plaintext and every later frame is sealed. Failures — unreachable
-      port, handshake timeout, an ['e'] reply — raise {!Error} with the
-      reason, and the socket is closed on every error path. *)
+      plaintext and every later frame is sealed. With [~compress:true]
+      the HELLO offers [comp=lz] (PROTOCOLS.md §18); if the relay
+      echoes it in the banner every later frame in both directions is
+      an LZ block — an old relay simply doesn't echo, and the
+      connection proceeds uncompressed (check {!compressed}). Failures
+      — unreachable port, handshake timeout, an ['e'] reply — raise
+      {!Error} with the reason, and the socket is closed on every error
+      path. *)
   let connect ?(host = "127.0.0.1") ~port ?(creds = []) ?auth
-      ?connect_timeout_s ?io_timeout_s () : t =
+      ?(compress = false) ?connect_timeout_s ?io_timeout_s () : t =
     let link =
       try Tcp.connect ~host ~port ?connect_timeout_s ?io_timeout_s ()
       with e -> reraise (Printf.sprintf "relay connect %s:%d" host port) e
     in
     try
       let hello_creds =
+        (if compress then [ ("comp", "lz") ] else [])
+        @
         match auth with
         | None -> creds
         | Some (key_id, _) ->
           creds @ [ ("auth", "hmac"); ("key-id", key_id) ]
       in
-      let banner = rpc { link } k_hello (creds_text hello_creds) in
-      match auth with
-      | None -> { link }
-      | Some (_, key) ->
-        (* the relay must have granted the mode we asked for *)
-        if not (String.length banner >= 3
-                && String.sub banner (String.length banner - 3) 3 = "mac")
-        then raise (Error "relay did not negotiate authenticated framing");
-        { link = Macframe.wrap (Macframe.state ~key) link }
+      let banner =
+        rpc { link; comp = None } k_hello (creds_text hello_creds)
+      in
+      let granted = String.split_on_char ' ' banner in
+      (* the relay must have granted the auth mode we asked for *)
+      if auth <> None && not (List.mem "mac" granted) then
+        raise (Error "relay did not negotiate authenticated framing");
+      let link =
+        match auth with
+        | None -> link
+        | Some (_, key) -> Macframe.wrap (Macframe.state ~key) link
+      in
+      if compress && List.mem "comp=lz" granted then begin
+        let totals = { raw_bytes = 0; wire_bytes = 0 } in
+        { link = compress_wrap totals link; comp = Some totals }
+      end
+      else { link; comp = None }
     with e ->
       (* no fd leak on handshake failure *)
       (try Link.close link with _ -> ());
       reraise "relay handshake" e
+
+  let compressed (t : t) : bool = t.comp <> None
+
+  (** Raw/wire byte totals through the negotiated compression wrapper
+      (both directions); [None] when the connection is uncompressed. *)
+  let comp_totals (t : t) : (int * int) option =
+    match t.comp with
+    | None -> None
+    | Some c -> Some (c.raw_bytes, c.wire_bytes)
 
   let advertise (t : t) ~(stream : string) ~(schema : string) : unit =
     ignore (rpc t k_advertise (stream ^ "\n" ^ schema))
@@ -2328,9 +2517,9 @@ type consumer = {
 (** [attach_consumer ~port ~stream abi] connects, subscribes, registers
     the served (scoped) schema in a fresh catalog for [abi] and wraps
     the link in an endpoint receiver. *)
-let attach_consumer ?host ~port ?creds ?auth ~(stream : string)
+let attach_consumer ?host ~port ?creds ?auth ?compress ~(stream : string)
     (abi : Omf_machine.Abi.t) : consumer =
-  let client = Client.connect ?host ~port ?creds ?auth () in
+  let client = Client.connect ?host ~port ?creds ?auth ?compress () in
   let schema, link =
     try Client.subscribe client ~stream
     with e ->
@@ -2397,6 +2586,9 @@ module Session = struct
     port : int;
     creds : (string * string) list;
     auth : (string * string) option;  (** [(key-id, secret)] *)
+    compress : bool;
+        (** offer [comp=lz] on every (re)connect; negotiated down
+            against a relay that doesn't speak it *)
     max_attempts : int;  (** reconnect attempts per outage *)
     base_delay_s : float;  (** first backoff step *)
     max_delay_s : float;  (** backoff cap *)
@@ -2405,12 +2597,13 @@ module Session = struct
     jitter_seed : int64;  (** deterministic jitter (tests) *)
   }
 
-  let config ?(host = "127.0.0.1") ?(creds = []) ?auth ?(max_attempts = 10)
-      ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
+  let config ?(host = "127.0.0.1") ?(creds = []) ?auth ?(compress = false)
+      ?(max_attempts = 10) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
       ?(connect_timeout_s = 5.0) ?io_timeout_s ?(jitter_seed = 1L) ~port () :
       config =
-    { host; port; creds; auth; max_attempts; base_delay_s; max_delay_s
-    ; connect_timeout_s = Some connect_timeout_s; io_timeout_s; jitter_seed }
+    { host; port; creds; auth; compress; max_attempts; base_delay_s
+    ; max_delay_s; connect_timeout_s = Some connect_timeout_s; io_timeout_s
+    ; jitter_seed }
 
   (* attempt k (0-based) sleeps min(cap, base * 2^k) scaled into
      [0.5, 1.0) — full-jitter halves thundering-herd resubscription
@@ -2425,8 +2618,8 @@ module Session = struct
       if reconnect then cfg.creds @ [ ("omf-reconnect", "1") ] else cfg.creds
     in
     Client.connect ~host:cfg.host ~port:cfg.port ~creds ?auth:cfg.auth
-      ?connect_timeout_s:cfg.connect_timeout_s ?io_timeout_s:cfg.io_timeout_s
-      ()
+      ~compress:cfg.compress ?connect_timeout_s:cfg.connect_timeout_s
+      ?io_timeout_s:cfg.io_timeout_s ()
 
   let transient = function
     | Client.Error _ | Link.Closed | Link.Timeout | End_of_file

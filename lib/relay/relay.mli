@@ -256,6 +256,7 @@ module Client : sig
     port:int ->
     ?creds:(string * string) list ->
     ?auth:string * string ->
+    ?compress:bool ->
     ?connect_timeout_s:float ->
     ?io_timeout_s:float ->
     unit ->
@@ -264,11 +265,26 @@ module Client : sig
       [?auth:(key_id, secret)] negotiates HMAC-authenticated framing
       (PROTOCOLS.md §12): the HELLO exchange is plaintext, every later
       frame in both directions is sealed; {!Error} if the relay refuses.
-      [connect_timeout_s] bounds connection establishment and
-      [io_timeout_s] arms per-operation send/receive deadlines. Every
-      failure — unreachable port, handshake timeout, an ['e'] reply —
-      raises {!Error} with a readable reason (never a raw
-      [Unix.Unix_error]) and closes the socket. *)
+      [~compress:true] offers [comp=lz] (PROTOCOLS.md §18,
+      doc/COMPRESS.md): if the relay echoes the capability in its
+      banner, every later frame in both directions travels as one LZ
+      block (composed inside authentication: seal-of-compressed); a
+      relay that doesn't speak it simply leaves the connection
+      uncompressed — check {!compressed}. [connect_timeout_s] bounds
+      connection establishment and [io_timeout_s] arms per-operation
+      send/receive deadlines. Every failure — unreachable port,
+      handshake timeout, an ['e'] reply — raises {!Error} with a
+      readable reason (never a raw [Unix.Unix_error]) and closes the
+      socket. *)
+
+  val compressed : t -> bool
+  (** Did the relay grant [comp=lz]? Always [false] without
+      [~compress:true]. *)
+
+  val comp_totals : t -> (int * int) option
+  (** [(raw_bytes, wire_bytes)] through the compression wrapper in both
+      directions — the achieved ratio is [raw / wire]. [None] when the
+      connection is uncompressed. *)
 
   val advertise : t -> stream:string -> schema:string -> unit
 
@@ -381,6 +397,7 @@ val attach_consumer :
   port:int ->
   ?creds:(string * string) list ->
   ?auth:string * string ->
+  ?compress:bool ->
   stream:string ->
   Omf_machine.Abi.t ->
   consumer
@@ -416,6 +433,7 @@ module Session : sig
     ?host:string ->
     ?creds:(string * string) list ->
     ?auth:string * string ->
+    ?compress:bool ->
     ?max_attempts:int ->
     ?base_delay_s:float ->
     ?max_delay_s:float ->
@@ -428,10 +446,12 @@ module Session : sig
   (** [max_attempts] (default 10) bounds reconnect attempts per outage;
       attempt [k] sleeps [min(max_delay_s, base_delay_s * 2^k)] scaled
       by full jitter into [[0.5, 1.0)] of itself (defaults 0.05s/2.0s,
-      deterministic under [jitter_seed]). [auth], [connect_timeout_s]
-      (default 5s) and [io_timeout_s] as for {!Client.connect};
-      reconnect HELLOs carry an extra [omf-reconnect] credential so
-      relay STATS expose churn ([reconnects_accepted]). *)
+      deterministic under [jitter_seed]). [auth], [compress] (offered
+      on every reconnect, renegotiated per connection),
+      [connect_timeout_s] (default 5s) and [io_timeout_s] as for
+      {!Client.connect}; reconnect HELLOs carry an extra
+      [omf-reconnect] credential so relay STATS expose churn
+      ([reconnects_accepted]). *)
 
   (** {3 Subscriber sessions} *)
 

@@ -2,6 +2,7 @@ let src = Logs.Src.create "omf.store" ~doc:"Durable stream store"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Slice = Omf_util.Slice
+module Compress = Omf_compress.Compress
 
 exception Store_error of string
 
@@ -35,6 +36,11 @@ type config = {
   retain_segments : int;
   retain_bytes : int;
   retain_age : float;
+  compress : bool;
+      (** rewrite each segment as one LZ block when it is sealed
+          (doc/COMPRESS.md); the tail stays uncompressed so appends and
+          torn-tail recovery are unchanged, and retention budgets count
+          the compressed on-disk size *)
 }
 
 let default_config ~root =
@@ -46,6 +52,7 @@ let default_config ~root =
     retain_segments = 0;
     retain_bytes = 0;
     retain_age = 0.;
+    compress = false;
   }
 
 (* On-disk framing: magic header, then [u32 len | u32 crc | body]
@@ -54,6 +61,14 @@ let default_config ~root =
    lines — latest wins); segment bodies are verbatim 'M' frames. *)
 
 let seg_magic = "OMFSEG01"
+
+(* A sealed-and-compressed segment: magic, then one {!Omf_compress}
+   block whose plaintext is the record region a plain segment would
+   hold after its magic. Only sealed segments ever carry this magic —
+   [roll] creates the fresh tail {e before} rewriting the sealed file
+   (tmp + rename), so the newest segment, the only one torn-tail
+   recovery scans, is always a plain [seg_magic] file. *)
+let seg_magic_z = "OMFSEGZ1"
 let meta_magic = "OMFMETA1"
 let magic_len = 8
 let header_len = 8
@@ -85,6 +100,10 @@ type t = {
   mutable unsynced : int;
   mutable dirty : bool;
   mutable truncated : int;
+  mutable comp_raw : int;
+      (** record-region bytes fed to segment compression this run *)
+  mutable comp_stored : int;
+      (** what those regions occupy on disk after sealing *)
   mutable closed : bool;
   mutable wbuf : Bytes.t;
       (** reusable record-staging buffer: header + body are framed here
@@ -425,6 +444,13 @@ let recover_tail t (seg : seg) =
   end
 
 let load_segments t =
+  (* sweep rewrite leftovers from a crash mid-compression: the plain
+     original was still in place, so a tmp file is pure garbage *)
+  Array.iter
+    (fun n ->
+      if Filename.check_suffix n ".seg.tmp" then
+        try Unix.unlink (Filename.concat t.dir n) with Unix.Unix_error _ -> ())
+    (Sys.readdir t.dir);
   let names =
     Sys.readdir t.dir |> Array.to_list
     |> List.filter_map (fun n ->
@@ -503,6 +529,8 @@ let schema t = t.schema_
 let meta t = t.meta_kvs
 let descriptors t = List.rev t.descs_rev
 let truncated_bytes t = t.truncated
+let comp_raw_bytes t = t.comp_raw
+let comp_stored_bytes t = t.comp_stored
 
 let check_open t = if t.closed then store_error "stream %S: closed" t.name
 
@@ -552,8 +580,61 @@ let tail_seg t =
   | last :: _ -> last
   | [] -> store_error "stream %S: no tail segment" t.name
 
+(* Rewrite a freshly sealed segment as one compressed block. Crash-safe
+   by ordering: the caller has already created the new tail, so if this
+   dies mid-rewrite the original plain segment survives (the tmp file
+   is invisible to {!seg_base_of_name} and swept on open) and if it
+   dies after the rename the compressed form is complete. Best-effort:
+   an IO failure or an incompressible region leaves the segment plain —
+   the read side sniffs the magic per file either way. *)
+let compress_sealed t (seg : seg) =
+  match
+    let fd = Unix.openfile seg.s_path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        let m = Bytes.create magic_len in
+        if
+          size <= magic_len
+          || read_exact fd m 0 magic_len < magic_len
+          || Bytes.to_string m <> seg_magic
+        then None
+        else begin
+          let region = Bytes.create (size - magic_len) in
+          if read_exact fd region 0 (size - magic_len) < size - magic_len
+          then None
+          else
+            let blk = Compress.compress region in
+            if magic_len + Bytes.length blk >= size then None
+            else Some (blk, size)
+        end)
+  with
+  | None -> ()
+  | Some (blk, raw_size) ->
+    let tmp = seg.s_path ^ ".tmp" in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    write_all fd (Bytes.of_string seg_magic_z) 0 magic_len;
+    write_all fd blk 0 (Bytes.length blk);
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd;
+    Unix.rename tmp seg.s_path;
+    fsync_dir t.dir;
+    seg.s_size <- magic_len + Bytes.length blk;
+    seg.s_index <- [];
+    t.comp_raw <- t.comp_raw + (raw_size - magic_len);
+    t.comp_stored <- t.comp_stored + seg.s_size;
+    Log.debug (fun m ->
+        m "stream %S: sealed %s compressed %d -> %d bytes" t.name
+          (Filename.basename seg.s_path) raw_size seg.s_size)
+  | exception (Unix.Unix_error _ | Sys_error _) -> ()
+
 let roll t =
-  (* Seal the current tail: make it durable, then start a new segment. *)
+  (* Seal the current tail: make it durable, then start a new segment.
+     When compressing, the new tail must exist on disk before the
+     sealed file is rewritten — see {!compress_sealed}. *)
   (try Unix.fsync t.tail_fd with Unix.Unix_error _ -> ());
   Unix.close t.tail_fd;
   t.dirty <- false;
@@ -564,6 +645,7 @@ let roll t =
   let seg, fd = create_segment t t.tail_off in
   t.segs <- t.segs @ [ seg ];
   t.tail_fd <- fd;
+  if t.cfg.compress then compress_sealed t sealed;
   ignore (apply_retention t)
 
 let append_slice t (frame : Slice.t) =
@@ -635,7 +717,61 @@ let set_meta t kvs =
 
 (* Reading: per call we open a fresh read-only fd per segment, seek to
    the nearest sparse-index entry at or below the requested offset, and
-   skip forward. Records actually delivered are CRC-checked. *)
+   skip forward. Records actually delivered are CRC-checked. Compressed
+   sealed segments (magic sniffed per open) are instead inflated whole —
+   they are bounded by [segment_bytes] — and iterated from memory. *)
+
+let seg_kind t (seg : seg) fd =
+  let m = Bytes.create magic_len in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  if seg.s_size < magic_len || read_exact fd m 0 magic_len < magic_len then
+    store_error "stream %S: truncated segment %s" t.name
+      (Filename.basename seg.s_path);
+  match Bytes.to_string m with
+  | s when s = seg_magic -> `Plain
+  | s when s = seg_magic_z -> `Compressed
+  | _ ->
+    store_error "stream %S: segment %s: bad magic" t.name
+      (Filename.basename seg.s_path)
+
+let inflate_seg t (seg : seg) fd : Bytes.t =
+  let zlen = seg.s_size - magic_len in
+  let blob = Bytes.create zlen in
+  ignore (Unix.lseek fd magic_len Unix.SEEK_SET);
+  if read_exact fd blob 0 zlen < zlen then
+    store_error "stream %S: truncated segment %s" t.name
+      (Filename.basename seg.s_path);
+  match Compress.decompress blob with
+  | region -> region
+  | exception Compress.Error msg ->
+    store_error "stream %S: segment %s: corrupt compressed region: %s" t.name
+      (Filename.basename seg.s_path) msg
+
+(* Walk an inflated record region (record [i] lives at stream offset
+   [seg.s_base + i]); the slices handed out view the freshly inflated
+   buffer, so they stay valid after this returns. *)
+let iter_region t (seg : seg) (region : Bytes.t) ~from ~upto
+    (f : int -> Slice.t -> unit) =
+  let size = Bytes.length region in
+  let seg_end = min upto (seg.s_base + seg.s_count) in
+  let corrupt p =
+    store_error "stream %S: corrupt record at %s byte %d" t.name
+      (Filename.basename seg.s_path) (p + magic_len)
+  in
+  let off = ref seg.s_base and pos = ref 0 in
+  while !off < seg_end do
+    if !pos + header_len > size then corrupt !pos;
+    let len = get_u32 region !pos and crc = get_u32 region (!pos + 4) in
+    if len < 1 || len > max_record || !pos + header_len + len > size then
+      corrupt !pos;
+    if !off >= from then begin
+      if Omf_util.Crc32.digest region ~pos:(!pos + header_len) ~len <> crc
+      then corrupt !pos;
+      f !off (Slice.make region (!pos + header_len) len)
+    end;
+    pos := !pos + header_len + len;
+    incr off
+  done
 
 let iter_seg t (seg : seg) ~from f =
   if from < seg.s_base + seg.s_count then begin
@@ -643,6 +779,13 @@ let iter_seg t (seg : seg) ~from f =
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
       (fun () ->
+        match seg_kind t seg fd with
+        | `Compressed ->
+          let region = inflate_seg t seg fd in
+          iter_region t seg region ~from ~upto:max_int (fun off body ->
+              (* bytes-callback contract: each body is a private copy *)
+              f off (Slice.to_bytes body))
+        | `Plain ->
         let size = seg.s_size in
         let start_off, start_pos =
           (* s_index is descending; find the first entry <= from *)
@@ -721,6 +864,10 @@ let iter_seg_slices t (seg : seg) ~from ~upto
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
       (fun () ->
+        match seg_kind t seg fd with
+        | `Compressed ->
+          iter_region t seg (inflate_seg t seg fd) ~from ~upto f
+        | `Plain ->
         let size = seg.s_size in
         let corrupt p =
           store_error "stream %S: corrupt record at %s byte %d" t.name
@@ -829,6 +976,8 @@ let open_stream cfg name =
       unsynced = 0;
       dirty = false;
       truncated = 0;
+      comp_raw = 0;
+      comp_stored = 0;
       closed = false;
       wbuf = Bytes.create 4096;
     }

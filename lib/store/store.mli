@@ -43,6 +43,12 @@ type config = {
   retain_segments : int;  (** keep at most this many segments; 0 = all *)
   retain_bytes : int;  (** total bytes across segments; 0 = unlimited *)
   retain_age : float;  (** drop sealed segments older than this; 0 = never *)
+  compress : bool;
+      (** rewrite each segment as one LZ block when it is sealed
+          (doc/COMPRESS.md): the tail stays plain so appends and
+          torn-tail recovery are untouched, reads sniff the per-file
+          magic and inflate transparently, and {!bytes} — hence the
+          retention budgets — counts the compressed on-disk size *)
 }
 
 val default_config : root:string -> config
@@ -137,6 +143,15 @@ val bytes : t -> int  (** total segment-file bytes (excl. meta.log) *)
 
 val truncated_bytes : t -> int
 (** Bytes dropped by torn-tail truncation during [open_stream]. *)
+
+val comp_raw_bytes : t -> int
+(** Record-region bytes fed to segment compression since this handle
+    opened (0 unless [config.compress]); the relay's
+    [store.<stream>.comp_raw] gauge. *)
+
+val comp_stored_bytes : t -> int
+(** What those regions occupy on disk after sealing — compare with
+    {!comp_raw_bytes} for the achieved ratio. *)
 
 val apply_retention : t -> int
 (** Enforce retention limits now; returns segments deleted. Also runs

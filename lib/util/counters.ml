@@ -142,7 +142,16 @@ let le_label (metric : string) : string =
     done;
     String.sub digits !i (n - !i)
 
-let prometheus ~component (snapshot : (string * int) list) : string =
+(* Scrape-to-scrape memory for staleness marks: the value of every
+   series at the previous render, keyed by component + series name
+   (one tracker may serve several components, e.g. relay + mirror
+   behind one /metrics). *)
+type staleness = (string, int) Hashtbl.t
+
+let staleness () : staleness = Hashtbl.create 64
+
+let prometheus ?staleness:(tracker : staleness option) ~component
+    (snapshot : (string * int) list) : string =
   let b = Buffer.create 512 in
   List.iter
     (fun (name, v) ->
@@ -169,6 +178,27 @@ let prometheus ~component (snapshot : (string * int) list) : string =
       | None -> Buffer.add_string b (String.map metric_char name));
       Buffer.add_string b (Printf.sprintf " %d\n" v))
     snapshot;
+  (match tracker with
+  | None -> ()
+  | Some prev ->
+    (* A series is stale when this scrape sees the same value as the
+       previous one; series first seen this scrape count as fresh. *)
+    let stale = ref 0 in
+    List.iter
+      (fun (name, v) ->
+        let key = component ^ "\x00" ^ name in
+        (match Hashtbl.find_opt prev key with
+        | Some old when old = v -> Stdlib.incr stale
+        | _ -> ());
+        Hashtbl.replace prev key v)
+      snapshot;
+    Buffer.add_string b
+      (Printf.sprintf
+         "# staleness: %s: %d of %d series unchanged since previous scrape\n"
+         component !stale (List.length snapshot));
+    Buffer.add_string b
+      (Printf.sprintf "omf_%s_stale %d\n" (String.map metric_char component)
+         !stale));
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)

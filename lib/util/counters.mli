@@ -51,7 +51,15 @@ val to_text : t -> string
 val of_text : string -> (string * int) list
 (** Parse {!to_text} output (unparseable lines are skipped). *)
 
-val prometheus : component:string -> (string * int) list -> string
+type staleness
+(** Scrape-to-scrape memory for {!prometheus} staleness marks. *)
+
+val staleness : unit -> staleness
+(** A fresh tracker; share one across every component rendered behind
+    the same scrape endpoint. *)
+
+val prometheus :
+  ?staleness:staleness -> component:string -> (string * int) list -> string
 (** Render a snapshot in Prometheus text exposition format, one
     [omf_<component>_<name> <value>] line per counter; characters
     outside [[a-zA-Z0-9_]] in [component] or names become ['_'].
@@ -68,7 +76,15 @@ val prometheus : component:string -> (string * int) list -> string
     Prometheus histogram convention:
     [omf_<component>_<name>_bucket{le="<bound>"}] (with [le="+Inf"] for
     the overflow bucket), [omf_<component>_<name>_sum] and
-    [omf_<component>_<name>_count]. *)
+    [omf_<component>_<name>_count].
+
+    With [?staleness], each render also compares every series against
+    the tracker's previous scrape and appends a
+    [# staleness: <component>: K of N series unchanged since previous
+    scrape] annotation plus a [omf_<component>_stale K] marker series —
+    a scrape-time signal that a component has gone quiet (or that a
+    gauge source is wedged) without any server-side timers. Series
+    first seen this scrape count as fresh. *)
 
 val push :
   ?timeout_s:float ->

@@ -515,8 +515,12 @@ let test_store_survives_sigkill () =
     from the replica exactly once — the pre-kill consumer's prefix and
     the post-failover resume must interleave with zero loss and zero
     duplication — and the promoted replica must accept new publishers.
-    Requires the relayd binary via [OMF_RELAYD]; skipped when absent. *)
-let test_mirror_failover_sigkill () =
+    With [~compress:true] the replication link carries LZ blocks
+    ([relayd --mirror-compress], PROTOCOLS.md §18) — the kill lands
+    mid-compressed-stream and the loss/dup accounting must hold
+    unchanged. Requires the relayd binary via [OMF_RELAYD]; skipped
+    when absent. *)
+let mirror_failover_sigkill ~compress () =
   match Sys.getenv_opt "OMF_RELAYD" with
   | None -> Alcotest.skip ()
   | Some exe ->
@@ -552,7 +556,8 @@ let test_mirror_failover_sigkill () =
       Mirror.start
         (Mirror.config ~rescan_s:0.05 ~io_timeout_s:0.25 ~max_attempts:3
            ~base_delay_s:0.02 ~max_delay_s:0.1 ~promote_on_loss:true
-           ~source_host:"127.0.0.1" ~source_port:port_a ~local_port:port_b
+           ~compress ~source_host:"127.0.0.1" ~source_port:port_a
+           ~local_port:port_b
            ~local_relay_id:(Relay.relay_id (Relay.relay hb)) ())
     in
     Fun.protect ~finally:(fun () -> Mirror.stop m) @@ fun () ->
@@ -578,6 +583,11 @@ let test_mirror_failover_sigkill () =
     poll ~what:"replica caught up before the kill" (fun () ->
         relay_stat ~port:port_b "store.flights.tail" >= first);
     check bool "link established" true (mstat "links_established" >= 1);
+    if compress then
+      (* the kill must land on a genuinely compressed link, not one
+         that negotiated down *)
+      check bool "source granted comp=lz" true
+        (relay_stat ~port:port_a "comp_sessions" >= 1);
     (* stream a second batch slowly so the kill lands mid-publish *)
     let sent = ref first in
     let pusher =
@@ -1065,7 +1075,10 @@ let () =
             `Quick test_acked_resume_watermark_ahead ] )
     ; ( "mirror",
         [ Alcotest.test_case "source SIGKILL: promote-on-loss failover"
-            `Quick test_mirror_failover_sigkill ] )
+            `Quick (mirror_failover_sigkill ~compress:false)
+        ; Alcotest.test_case
+            "source SIGKILL on a compressed link (--mirror-compress)" `Quick
+            (mirror_failover_sigkill ~compress:true) ] )
     ; ( "cluster",
         [ Alcotest.test_case "2 shards: handoffs, zero loss, HMAC" `Quick
             test_cluster_pubsub_across_shards

@@ -111,10 +111,10 @@ let poll ?(deadline_s = 15.0) ~what (cond : unit -> bool) =
 let assoc key stats = Option.value ~default:0 (List.assoc_opt key stats)
 
 (* a fast mirror config for tests *)
-let mcfg ?globs ?(max_attempts = 3) ?(promote_on_loss = false) ~source_port
-    ~local_port ~local_relay_id () =
+let mcfg ?globs ?(max_attempts = 3) ?(promote_on_loss = false)
+    ?(compress = false) ~source_port ~local_port ~local_relay_id () =
   Mirror.config ?globs ~rescan_s:0.05 ~io_timeout_s:0.25 ~max_attempts
-    ~base_delay_s:0.02 ~max_delay_s:0.1 ~promote_on_loss
+    ~base_delay_s:0.02 ~max_delay_s:0.1 ~promote_on_loss ~compress
     ~source_host:"127.0.0.1" ~source_port ~local_port ~local_relay_id ()
 
 (* read exactly [n] decoded events off a replica, starting at store
@@ -203,6 +203,70 @@ let test_replicates_frames_and_metadata () =
   check int "descriptor replicated too" 1
     (assoc "descriptors_replicated" (Mirror.stats m));
   check int "every message frame counted" n
+    (assoc "frames_replicated" (Mirror.stats m));
+  Relay.Client.close pub
+
+(* ------------------------------------------------------------------ *)
+(* Compressed replication link: byte-exact fidelity                     *)
+(* ------------------------------------------------------------------ *)
+
+(* With [--mirror-compress] both legs of the link carry LZ blocks
+   (PROTOCOLS.md §18). The replica must end up byte-identical to the
+   plain-link case: same offsets, same decoded sequence, same
+   advertisement metadata — and the source relay's [comp.*] counters
+   must prove frames actually travelled compressed. *)
+let test_compressed_link_fidelity () =
+  with_root @@ fun root_a ->
+  with_root @@ fun root_b ->
+  let ha = Relay.start ~store:(store_cfg root_a) () in
+  let port_a = Relay.port (Relay.relay ha) in
+  Fun.protect ~finally:(fun () -> Relay.stop ha) @@ fun () ->
+  let hb = Relay.start ~store:(store_cfg root_b) () in
+  let port_b = Relay.port (Relay.relay hb) in
+  Fun.protect ~finally:(fun () -> Relay.stop hb) @@ fun () ->
+  let id_b = Relay.relay_id (Relay.relay hb) in
+  let pub, sender, fmt =
+    make_publisher ~subject:"flights" ~version:3 ~fingerprint:"fp-z"
+      ~port:port_a ~stream:"flights" ()
+  in
+  let n = 40 in
+  for seq = 0 to n - 1 do
+    publish sender fmt seq
+  done;
+  poll ~what:"source stored the burst" (fun () ->
+      relay_stat ~port:port_a "store.flights.tail" >= n);
+  let m =
+    Mirror.start
+      (mcfg ~compress:true ~source_port:port_a ~local_port:port_b
+         ~local_relay_id:id_b ())
+  in
+  Fun.protect ~finally:(fun () -> Mirror.stop m) @@ fun () ->
+  poll ~what:"replica caught up over the compressed link" (fun () ->
+      relay_stat ~port:port_b "store.flights.tail" >= n);
+  (* every replicated frame decodes to the exact published sequence *)
+  check
+    (Alcotest.list int)
+    "replica serves 0..n-1 from offset 0"
+    (List.init n Fun.id)
+    (read_from ~port:port_b ~stream:"flights" ~from:0 n);
+  (* metadata rides the compressed link verbatim too *)
+  let c = Relay.Client.connect ~port:port_b () in
+  let meta, schema = Relay.Client.describe c ~stream:"flights" in
+  check (Alcotest.option string) "fingerprint preserved" (Some "fp-z")
+    (List.assoc_opt "fingerprint" meta);
+  check string "schema replicated" Fx.schema_a schema;
+  Relay.Client.close c;
+  (* both relays granted comp=lz, and the source actually sent the
+     replay as LZ blocks *)
+  check bool "source granted a compressed session" true
+    (relay_stat ~port:port_a "comp_sessions" >= 1);
+  check bool "local relay granted a compressed session" true
+    (relay_stat ~port:port_b "comp_sessions" >= 1);
+  check bool "source counted compressed wire bytes" true
+    (relay_stat ~port:port_a "comp.flights.wire_bytes" > 0);
+  check bool "compressed raw bytes counted" true
+    (relay_stat ~port:port_a "comp.flights.raw_bytes" > 0);
+  check int "no frame lost or duplicated" n
     (assoc "frames_replicated" (Mirror.stats m));
   Relay.Client.close pub
 
@@ -425,6 +489,8 @@ let () =
     [ ( "replication",
         [ Alcotest.test_case "A->B frames + metadata, read-only replica"
             `Quick test_replicates_frames_and_metadata
+        ; Alcotest.test_case "compressed link: byte-exact fidelity" `Quick
+            test_compressed_link_fidelity
         ; Alcotest.test_case "A<->B loops terminate, no amplification"
             `Quick test_bidirectional_no_amplification ] )
     ; ( "failover",
